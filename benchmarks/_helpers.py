@@ -1,0 +1,45 @@
+"""Shared helpers for the paper-reproduction benchmarks (imported by
+each bench module).
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated rows next to the paper's values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes import build_code, build_small_code
+from repro.encode import IraEncoder
+
+_CODES = {}
+
+
+def cached_small_code(rate: str, parallelism: int = 36):
+    """Session-cached scaled code (construction is not what we measure)."""
+    key = (rate, parallelism)
+    if key not in _CODES:
+        _CODES[key] = build_small_code(rate, parallelism=parallelism)
+    return _CODES[key]
+
+
+def cached_full_code(rate: str):
+    """Session-cached full-size 64800-bit code."""
+    key = (rate, 360)
+    if key not in _CODES:
+        _CODES[key] = build_code(rate)
+    return _CODES[key]
+
+
+def print_banner(title: str) -> None:
+    """Visual separator for the regenerated-output sections."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+

@@ -1,0 +1,74 @@
+"""Extension bench — energy/power of the IP core (beyond the paper).
+
+The DATE'05 paper reports area and throughput; this bench adds the
+energy dimension from the activity-count model (repro.hw.power),
+including the Section 2.2 schedule saving expressed in Joules and the
+message-width energy ablation.
+"""
+
+from repro.core.report import format_table
+from repro.hw.power import PowerModel, power_table
+from repro.codes.standard import get_profile
+
+from _helpers import print_banner
+
+
+def test_energy_per_rate(once):
+    rows_raw = once(power_table)
+    rows = [
+        (
+            r["rate"],
+            f"{r['energy_per_frame_uj']:.1f}",
+            f"{r['memory_fraction'] * 100:.0f}%",
+            f"{r['power_mw']:.0f}",
+            f"{r['pj_per_bit_per_iter']:.1f}",
+        )
+        for r in rows_raw
+    ]
+    print_banner(
+        "Energy model — per rate at 270 MHz, 30 iterations (extension)"
+    )
+    print(
+        format_table(
+            ("Rate", "uJ/frame", "mem share", "mW", "pJ/bit/iter"), rows
+        )
+    )
+    for r in rows_raw:
+        assert 300 < r["power_mw"] < 700
+        assert r["memory_fraction"] > 0.3
+
+
+def test_energy_schedule_saving(once):
+    """Section 2.2 in Joules: the 10 saved iterations."""
+
+    def run():
+        m = PowerModel(get_profile("1/2"))
+        return (
+            m.energy_per_frame_nj(30)["total"] / 1e3,
+            m.energy_per_frame_nj(40)["total"] / 1e3,
+        )
+
+    e30, e40 = once(run)
+    print_banner("Energy ablation — zigzag (30 it) vs conventional (40 it)")
+    print(f"  30 iterations: {e30:.1f} uJ/frame")
+    print(f"  40 iterations: {e40:.1f} uJ/frame")
+    print(f"  saving       : {(1 - e30 / e40) * 100:.0f}%")
+    assert e30 < e40
+
+
+def test_energy_width_ablation(once):
+    def run():
+        return [
+            (w, PowerModel(get_profile("1/2"), width_bits=w).power_mw())
+            for w in (4, 5, 6, 8)
+        ]
+
+    rows = once(run)
+    print_banner("Energy ablation — power vs message width (R=1/2)")
+    print(
+        format_table(
+            ("bits", "mW"), [(w, f"{p:.0f}") for w, p in rows]
+        )
+    )
+    powers = [p for _, p in rows]
+    assert powers == sorted(powers)

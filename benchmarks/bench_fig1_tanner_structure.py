@@ -1,0 +1,68 @@
+"""Paper Fig. 1 — the DVB-S2 Tanner graph structure.
+
+Fig. 1 is structural: information nodes of two degree classes connected
+through the permutation Π to constant-degree checks, plus the degree-2
+parity zigzag.  This bench verifies every element of the figure on the
+built full-size graph and benchmarks graph validation.
+"""
+
+import numpy as np
+
+from repro.core.report import format_table
+
+from _helpers import cached_full_code, print_banner
+
+
+def test_fig1_structure_rate_12(once):
+    code = cached_full_code("1/2")
+    graph = code.graph
+    p = code.profile
+
+    once(graph.validate)
+
+    deg = graph.vn_degrees
+    rows = [
+        ("IN degree-j nodes", int((deg[: code.k] == p.j_high).sum()),
+         p.n_high),
+        ("IN degree-3 nodes", int((deg[: code.k] == 3).sum()), p.n_3),
+        ("PN degree-2 nodes", int((deg[code.k :] == 2).sum()),
+         p.n_parity - 1),
+        ("PN chain terminator", int((deg[code.k :] == 1).sum()), 1),
+        ("CN degree k", int((graph.cn_degrees[1:] == p.check_degree).sum()),
+         p.n_parity - 1),
+    ]
+    print_banner("Fig. 1 — Tanner graph structure, R=1/2 (measured)")
+    print(format_table(("element", "measured", "expected"), rows))
+    for _, measured, expected in rows:
+        assert measured == expected
+
+
+def test_fig1_zigzag_is_banded(once):
+    """The parity part of H is a square banded (bidiagonal) matrix."""
+    code = cached_full_code("1/2")
+
+    def check_band():
+        sl_self = code.zigzag_self_edge_slice()
+        sl_fwd = code.zigzag_forward_edge_slice()
+        vn_self = code.graph.edge_vn[sl_self] - code.k
+        cn_self = code.graph.edge_cn[sl_self]
+        vn_fwd = code.graph.edge_vn[sl_fwd] - code.k
+        cn_fwd = code.graph.edge_cn[sl_fwd]
+        return (
+            np.array_equal(vn_self, cn_self)
+            and np.array_equal(vn_fwd + 1, cn_fwd)
+        )
+
+    assert once(check_band)
+    print_banner("Fig. 1 — zigzag part verified bidiagonal (banded)")
+    print("  H_parity[j, j] = H_parity[j, j-1] = 1 for every check j")
+
+
+def test_fig1_permutation_is_girth_conditioned(once):
+    """The random part Π avoids 4-cycles (sampled check on the full
+    graph; full verification lives in the table diagnostics)."""
+    code = cached_full_code("1/2")
+    cycles = once(code.graph.count_4cycles, max_vn=720)
+    print_banner("Fig. 1 — 4-cycles through first 720 variable nodes")
+    print(f"  count = {cycles}")
+    assert cycles == 0

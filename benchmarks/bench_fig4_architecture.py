@@ -1,0 +1,96 @@
+"""Paper Fig. 4 — the decoder architecture is a lossless rearrangement.
+
+The experiment: stream noisy frames through the cycle-faithful IP core
+(address ROM -> RAM banks -> barrel shuffler -> serial FUs -> write-back)
+and show it is bit-exact against the algorithmic golden model, while
+reporting the Eq. 8 cycle counts.  Benchmarks the core's frame decode.
+"""
+
+import numpy as np
+
+from repro.channel import AwgnChannel
+from repro.decode import QuantizedZigzagDecoder
+from repro.encode import IraEncoder
+from repro.hw.decoder_core import CoreConfig, DecoderIpCore
+
+from _helpers import cached_small_code, print_banner
+
+ITERATIONS = 15
+
+
+def test_fig4_bit_exact_architecture(once):
+    code = cached_small_code("1/2")
+    enc = IraEncoder(code)
+    golden = QuantizedZigzagDecoder(
+        code, normalization=0.75, channel_scale=0.5,
+        segments=code.profile.parallelism,
+    )
+    core = DecoderIpCore(
+        code,
+        config=CoreConfig(
+            normalization=0.75, channel_scale=0.5, iterations=ITERATIONS
+        ),
+    )
+    channel = AwgnChannel(ebn0_db=1.8, rate=0.5, seed=77)
+    rng = np.random.default_rng(77)
+
+    mismatches = 0
+    cycles = None
+    for _ in range(4):
+        frame = enc.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+        llrs = channel.llrs(frame)
+        rg = golden.decode(llrs, max_iterations=ITERATIONS,
+                           early_stop=False)
+        rc = core.decode(llrs)
+        cycles = rc.extra["cycles"]
+        if not np.array_equal(rg.bits, rc.bits):
+            mismatches += 1
+    print_banner("Fig. 4 — architecture vs golden model")
+    print(f"  frames compared : 4")
+    print(f"  bit mismatches  : {mismatches}")
+    print(f"  cycles per block: {cycles:.0f} (Eq. 8, {ITERATIONS} iters)")
+    assert mismatches == 0
+
+    # Benchmark: one frame through the full architectural dataflow.
+    frame = enc.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+    llrs = channel.llrs(frame)
+    result = once(core.decode, llrs)
+    assert result.iterations == ITERATIONS
+
+
+def test_fig4_ram_images_stay_in_range(once):
+    """Every message written to the RAM banks respects the 6-bit format
+    throughout a decode — the RAMs never see an unrepresentable value."""
+    code = cached_small_code("1/2")
+    core = DecoderIpCore(
+        code,
+        config=CoreConfig(normalization=0.75, channel_scale=0.5,
+                          iterations=8),
+    )
+    rng = np.random.default_rng(5)
+    llrs = rng.normal(0.8, 1.0, code.n)
+
+    # decode and then inspect the final RAM state via a fresh run that
+    # exposes internals.
+    def run_and_probe():
+        ch = core.config.fmt.quantize(llrs * 0.5).astype(np.int64)
+        p, q = core.p, core.q
+        n_groups = code.k // p
+        ch_in = ch[: code.k].reshape(n_groups, p)
+        ch_pn = ch[code.k :].reshape(p, q)
+        in_ram = np.zeros((p, core._n_words), dtype=np.int64)
+        b_ram = np.zeros((p, q), dtype=np.int64)
+        f_b = np.zeros(p, dtype=np.int64)
+        for _ in range(8):
+            core._vn_phase(in_ram, ch_in)
+            _, f_b = core._cn_phase(in_ram, b_ram, ch_pn, f_b)
+        return in_ram, b_ram
+
+    in_ram, b_ram = once(run_and_probe)
+    limit = core.config.fmt.max_int
+    print_banner("Fig. 4 — RAM content range after 8 iterations")
+    print(f"  IN message RAM: [{in_ram.min()}, {in_ram.max()}] "
+          f"(format ±{limit})")
+    print(f"  PN message RAM: [{b_ram.min()}, {b_ram.max()}]")
+    assert np.abs(in_ram).max() <= limit
+    assert np.abs(b_ram).max() <= limit

@@ -1,0 +1,154 @@
+"""Paper Section 1 / ref [4] — why fully-parallel decoding cannot scale.
+
+Reproduces both halves of the paper's motivation: the 1024-bit
+fully-parallel decoder works (we decode with it and reproduce its die
+area), but extrapolating the wiring-dominated layout to the 64800-bit
+DVB-S2 frame explodes, making the partly-parallel architecture
+"mandatory".
+"""
+
+from repro.baseline import (
+    FullyParallelAreaModel,
+    FullyParallelDecoder,
+    blanksby_howland_reference,
+    build_regular_code,
+)
+from repro.channel import AwgnChannel
+from repro.codes.standard import get_profile
+from repro.core.report import format_table
+from repro.hw.area import AreaModel
+
+from _helpers import print_banner
+
+
+def test_baseline_1024_bit_decoder(once):
+    """The ref [4] operating point: a 1024-bit code decodes fine."""
+    code = build_regular_code(n=1024, dv=3, dc=6, seed=7)
+    dec = FullyParallelDecoder(code, "tanh")
+    channel = AwgnChannel(ebn0_db=3.0, rate=0.5, seed=4)
+
+    def decode_frames():
+        errors = 0
+        for _ in range(5):
+            llrs = channel.llrs_all_zero(code.n)
+            result = dec.decode(llrs, max_iterations=40)
+            errors += int(result.bits.sum())
+        return errors
+
+    errors = once(decode_frames)
+    print_banner("Ref [4] baseline — 1024-bit fully-parallel decoder")
+    print(f"  5 frames at 3 dB: {errors} bit errors")
+    print(f"  cycles per block (hardwired): {dec.cycles_per_block(30)}")
+    assert errors == 0
+
+
+def test_baseline_area_scaling(once):
+    """The scaling table: die area of fully-parallel layouts vs the
+    paper's 22.74 mm² partly-parallel core."""
+    model = FullyParallelAreaModel()
+    ref = blanksby_howland_reference()
+
+    def run():
+        rows = []
+        for n, label in ((1024, "ref [4] code"), (4096, "4k code"),
+                         (16384, "16k code")):
+            nodes = n + n // 2
+            edges = n * 3
+            rows.append(
+                (label, n, model.die_area_mm2(nodes, edges),
+                 model.wiring_fraction(nodes, edges))
+            )
+        p = get_profile("1/2")
+        rows.append(
+            (
+                "DVB-S2 R=1/2",
+                p.n,
+                model.die_area_mm2(p.n + p.n_parity, p.e_total),
+                model.wiring_fraction(p.n + p.n_parity, p.e_total),
+            )
+        )
+        return rows
+
+    rows = once(run)
+    partly = AreaModel().report().total
+    print_banner("Fully-parallel die area vs block length (wiring model)")
+    print(
+        format_table(
+            ("design", "N", "die mm^2", "wiring frac"),
+            [
+                (label, n, f"{a:.0f}", f"{w:.2f}")
+                for label, n, a, w in rows
+            ],
+        )
+    )
+    print(f"\n  partly-parallel IP core (this paper): {partly:.2f} mm^2")
+    ref_area = rows[0][2]
+    dvb_area = rows[-1][2]
+    # calibration: the 1024-bit point matches the published 52.5 mm²
+    assert abs(ref_area - ref["area_mm2"]) / ref["area_mm2"] < 0.1
+    # the conclusion: orders of magnitude beyond the partly-parallel core
+    assert dvb_area > 1000 * partly
+    # area grows superlinearly in block length
+    areas = [a for _, _, a, _ in rows]
+    assert all(b > a for a, b in zip(areas, areas[1:]))
+
+
+def test_routing_congestion_reproduction(once):
+    """The paper's P&R experiment, both sides: the barrel shuffler
+    routes without congestion; a fully-parallel 64800-bit layout does
+    not (and ref [4]'s 1024-bit chip sits at the edge)."""
+    from repro.hw.floorplan import (
+        FuArrayFloorplan,
+        fully_parallel_congestion,
+    )
+
+    def run():
+        plan = FuArrayFloorplan()
+        shuffler = plan.congestion_ratio()
+        fp_small = fully_parallel_congestion(1024, 3072)
+        fp_dvb = fully_parallel_congestion(64800, 226799)
+        return (
+            shuffler,
+            plan.shuffle_wirelength_mm(),
+            fp_small["congestion_ratio"],
+            fp_dvb["congestion_ratio"],
+        )
+
+    shuffler, wirelength, fp_small, fp_dvb = once(run)
+    print_banner("Routing congestion (bisection demand / capacity)")
+    print(
+        format_table(
+            ("layout", "congestion ratio", "verdict"),
+            [
+                ("barrel shuffler (this IP)", f"{shuffler:.2f}",
+                 "routable"),
+                ("fully-parallel 1024b (ref [4])", f"{fp_small:.2f}",
+                 "marginal"),
+                ("fully-parallel 64800b", f"{fp_dvb:.2f}",
+                 "CONGESTED"),
+            ],
+        )
+    )
+    print(f"\n  shuffler total wirelength: {wirelength / 1000:.1f} m")
+    print("  paper: 'Due to its regularity no congestions resulted'")
+    assert shuffler < 1.0
+    assert fp_dvb > 1.0
+    assert fp_small < fp_dvb
+
+
+def test_baseline_throughput_is_not_the_issue(once):
+    """Fully-parallel wins on cycles (2/iteration) — the paper's point is
+    that wiring, not speed, kills it."""
+    code = build_regular_code(n=1024, dv=3, dc=6, seed=7)
+    dec = FullyParallelDecoder(code, "tanh")
+
+    def cycles():
+        from repro.hw.throughput import ThroughputModel
+        partly = ThroughputModel(get_profile("1/2")).cycles_per_block(30)
+        return dec.cycles_per_block(30), partly
+
+    fp, pp = once(cycles)
+    print_banner("Cycles per block: fully-parallel vs partly-parallel")
+    print(f"  fully-parallel (1024b): {fp} cycles")
+    print(f"  partly-parallel (64800b): {pp} cycles")
+    assert fp < pp

@@ -1,0 +1,71 @@
+"""Extension bench — the soft-vs-hard decoding gap (paper ref [2]).
+
+Quantifies why the IP core spends 9 mm² on 6-bit message RAMs: hard
+decision decoders (Gallager's algorithms) need several dB more channel
+SNR, and on the IRA structure the classic Gallager-B thresholds are
+outright unstable.
+"""
+
+from repro.core.report import format_table
+from repro.decode import (
+    BitFlippingDecoder,
+    GallagerBDecoder,
+    ZigzagDecoder,
+)
+from repro.sim import measure_ber
+
+from _helpers import cached_small_code, print_banner
+
+FRAMES = 10
+
+
+def test_soft_vs_hard_gap(once):
+    code = cached_small_code("1/2")
+    soft = ZigzagDecoder(code, "minsum", normalization=0.75, segments=36)
+    hard = BitFlippingDecoder(code)
+
+    def run():
+        rows = []
+        for ebn0 in (2.0, 4.0, 6.0, 8.0):
+            rs = measure_ber(code, soft, ebn0, max_frames=FRAMES,
+                             max_iterations=50, seed=4)
+            rh = measure_ber(code, hard, ebn0, max_frames=FRAMES,
+                             max_iterations=50, seed=4)
+            rows.append((ebn0, rs.ber, rh.ber))
+        return rows
+
+    rows = once(run)
+    print_banner("Soft (zigzag min-sum) vs hard (bit flipping) BER")
+    print(
+        format_table(
+            ("Eb/N0 dB", "soft BER", "hard BER"),
+            [(e, f"{s:.1e}", f"{h:.1e}") for e, s, h in rows],
+        )
+    )
+    # soft is error-free from 2 dB; hard needs ~8 dB: a >4 dB gap.
+    assert rows[0][1] == 0.0          # soft clean at 2 dB
+    assert rows[0][2] > 1e-2          # hard hopeless at 2 dB
+    assert rows[-1][2] < 1e-2         # hard finally works at 8 dB
+
+
+def test_gallager_b_instability_on_ira(once):
+    """The documented finding: textbook Gallager-B amplifies errors on
+    the DVB-S2 IRA structure; a conservative threshold restores it."""
+    code = cached_small_code("1/2")
+
+    def run():
+        default = GallagerBDecoder(code)
+        safe = GallagerBDecoder(code, threshold=3)
+        r_def = measure_ber(code, default, 8.0, max_frames=FRAMES,
+                            max_iterations=50, seed=4)
+        r_safe = measure_ber(code, safe, 8.0, max_frames=FRAMES,
+                             max_iterations=50, seed=4)
+        return r_def.ber, r_safe.ber
+
+    ber_default, ber_safe = once(run)
+    print_banner("Gallager-B on the IRA structure at 8 dB")
+    print(f"  textbook majority threshold : BER {ber_default:.1e}")
+    print(f"  conservative threshold (3)  : BER {ber_safe:.1e}")
+    print("  the degree-2 zigzag chain relays hard errors; only the")
+    print("  conservative variant is stable")
+    assert ber_safe < ber_default / 10

@@ -1,0 +1,89 @@
+"""Extension bench — message-passing schedules head to head.
+
+Generalizes the paper's Fig. 2 comparison to three schedules: flooding
+(two-phase), the paper's zigzag (fresh chain messages only), and full
+row-layering (fresh messages everywhere, the follow-up literature's
+choice).  Expected ordering of convergence speed:
+
+    flooding  <  zigzag  <  layered
+"""
+
+from repro.core.report import format_table
+from repro.decode import (
+    BeliefPropagationDecoder,
+    LayeredMinSumDecoder,
+    ZigzagDecoder,
+)
+from repro.sim import measure_ber
+
+from _helpers import cached_small_code, print_banner
+
+EBN0_DB = 2.0
+FRAMES = 20
+
+
+def test_schedule_convergence_ordering(once):
+    code = cached_small_code("1/2")
+    schedules = [
+        ("flooding", BeliefPropagationDecoder(
+            code, "minsum", normalization=0.75)),
+        ("zigzag", ZigzagDecoder(
+            code, "minsum", normalization=0.75, segments=36)),
+        ("layered", LayeredMinSumDecoder(code, normalization=0.75)),
+    ]
+
+    def run():
+        rows = []
+        for name, dec in schedules:
+            r = measure_ber(
+                code, dec, EBN0_DB, max_frames=FRAMES,
+                max_iterations=60, seed=13,
+            )
+            rows.append((name, r.avg_iterations, r.ber))
+        return rows
+
+    rows = once(run)
+    print_banner(
+        f"Schedule comparison at Eb/N0 = {EBN0_DB} dB "
+        "(average iterations to convergence)"
+    )
+    print(
+        format_table(
+            ("schedule", "avg iters", "BER"),
+            [(n, f"{i:.1f}", f"{b:.1e}") for n, i, b in rows],
+        )
+    )
+    iters = {name: i for name, i, _ in rows}
+    assert iters["layered"] < iters["zigzag"] < iters["flooding"]
+    for _, _, ber in rows:
+        assert ber < 1e-3  # all converge at this operating point
+
+
+def test_layer_granularity_ablation(once):
+    """Fewer, larger layers lose the freshness benefit."""
+    from repro.decode import sequential_block_layers
+
+    code = cached_small_code("1/2")
+
+    def run():
+        rows = []
+        for n_layers in (1, 4, 36, code.profile.q):
+            if code.graph.n_cns % n_layers:
+                continue
+            layers = sequential_block_layers(code, n_layers)
+            dec = LayeredMinSumDecoder(code, layers=layers,
+                                       normalization=0.75)
+            r = measure_ber(
+                code, dec, EBN0_DB, max_frames=12,
+                max_iterations=60, seed=13,
+            )
+            rows.append((n_layers, r.avg_iterations))
+        return rows
+
+    rows = once(run)
+    print_banner("Ablation — layered convergence vs layer count")
+    print(format_table(("layers", "avg iters"),
+                       [(n, f"{i:.1f}") for n, i in rows]))
+    by_layers = dict(rows)
+    most = max(by_layers)
+    assert by_layers[most] <= by_layers[1]

@@ -1,0 +1,93 @@
+"""Paper Table 2 — q, E_PN, E_IN and connectivity storage per rate.
+
+Regenerates Table 2 by counting edges in the constructed full-size graphs
+and by measuring the actual ROM depth the schedule builder emits, then
+benchmarks the hardware-mapping extraction.
+"""
+
+from repro.codes import all_profiles
+from repro.core.report import format_table
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import DecoderSchedule
+
+from _helpers import cached_full_code, print_banner
+
+#: Paper Table 2 rows: rate -> (q, E_IN, Addr).  (The E_PN column in the
+#: archived PDF is garbled; we use the zigzag identity 2*N_parity - 1.)
+PAPER_ROWS = {
+    "1/4": (135, 97200, 270),
+    "1/3": (120, 129600, 360),
+    "2/5": (108, 155520, 432),
+    "1/2": (90, 162000, 450),
+    "3/5": (72, 233280, 648),
+    "2/3": (60, 172800, 480),
+    "3/4": (45, 194400, 540),
+    "4/5": (36, 207360, 576),
+    "5/6": (30, 216000, 600),
+    "8/9": (20, 180000, 500),
+    "9/10": (18, 181440, 504),
+}
+
+
+def measured_row(code):
+    """Count the Table 2 quantities from a built code."""
+    e_in = int(
+        (code.graph.edge_vn < code.k).sum()
+    )  # information edges
+    e_pn = code.graph.n_edges - e_in
+    mapping = IpMapping(code)
+    return (code.rate_name, code.profile.q, e_pn, e_in, mapping.n_words)
+
+
+def test_table2_regenerated_from_full_codes(once):
+    rows = []
+    for profile in all_profiles():
+        code = cached_full_code(profile.name)
+        row = measured_row(code)
+        rows.append(row)
+        q, e_in, addr = PAPER_ROWS[profile.name]
+        assert row[1] == q
+        assert row[2] == 2 * profile.n_parity - 1
+        assert row[3] == e_in
+        assert row[4] == addr
+    print_banner("Table 2 (measured from full-size 64800-bit graphs)")
+    print(format_table(("Rate", "q", "E_PN", "E_IN", "Addr"), rows))
+    # Benchmark: mapping + schedule extraction for the R=3/5 worst case.
+    code = cached_full_code("3/5")
+
+    def build_schedule():
+        mapping = IpMapping(code)
+        sched = DecoderSchedule.canonical(mapping)
+        sched.validate()
+        return sched
+
+    sched = once(build_schedule)
+    assert sched.address_rom().size == 648
+
+
+def test_connectivity_rom_words_match_addr_column(once):
+    """The address/shuffle ROM needs exactly Addr words per rate — the
+    architecture stores the whole Tanner graph in E_IN/360 words."""
+    rows = []
+
+    def collect():
+        out = []
+        for profile in all_profiles():
+            code = cached_full_code(profile.name)
+            sched = DecoderSchedule.canonical(IpMapping(code))
+            out.append(
+                (
+                    profile.name,
+                    profile.addr_entries,
+                    sched.address_rom().size,
+                    sched.rom_bits(),
+                )
+            )
+        return out
+
+    rows = once(collect)
+    for name, addr, measured, bits in rows:
+        assert measured == addr
+        assert bits > 0
+    print_banner("Connectivity storage per rate (words and bits)")
+    print(format_table(("Rate", "Addr", "ROM words", "ROM bits"), rows))

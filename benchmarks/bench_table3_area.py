@@ -1,0 +1,93 @@
+"""Paper Table 3 — synthesis area breakdown on ST 0.13 um CMOS.
+
+Regenerates every row of Table 3 from the architectural bit/gate counts
+(see repro.hw.area for the two calibrated technology constants), checks
+each against the paper, and adds the Section 2.2 memory-saving ablation:
+the zigzag schedule halves the parity-message storage.
+"""
+
+import pytest
+
+from repro.codes import all_profiles
+from repro.core.report import format_table
+from repro.hw.area import PAPER_TABLE3_MM2, AreaModel
+
+from _helpers import print_banner
+
+
+def test_table3_component_breakdown(once):
+    model = AreaModel()
+    report = once(model.report)
+    rows = []
+    for row in report.as_rows():
+        paper = PAPER_TABLE3_MM2[row["component"]]
+        rows.append(
+            (
+                row["component"],
+                f"{row['area_mm2']:.3f}",
+                f"{paper:.3f}",
+                f"{(row['area_mm2'] - paper) / paper * 100:+.1f}%",
+            )
+        )
+    print_banner("Table 3 — area breakdown, model vs paper (mm^2)")
+    print(format_table(("Component", "model", "paper", "dev"), rows))
+    assert report.total == pytest.approx(22.74, rel=0.05)
+    assert report.message_ram == pytest.approx(9.12, rel=0.05)
+    assert report.functional_nodes == pytest.approx(10.8, rel=0.05)
+    assert report.shuffle_network == pytest.approx(0.55, rel=0.10)
+    assert report.connectivity_rom < 0.1
+
+
+def test_table3_sizing_rates(once):
+    """Section 5's sizing claims: which rate dominates which component."""
+    model = AreaModel()
+    sizing = once(model.sizing_rates)
+    print_banner("Component-sizing rates (paper Section 5 claims)")
+    for key, value in sizing.items():
+        print(f"  {key:16s} sized by rate {value}")
+    assert sizing == {
+        "in_message_ram": "3/5",
+        "pn_message_ram": "1/4",
+        "fu_vn_degree": "2/3",
+        "fu_cn_degree": "9/10",
+    }
+
+
+def test_zigzag_memory_saving_ablation(once):
+    """Section 2.2: storing only backward messages halves PN storage.
+
+    Ablation row: message-RAM area with the conventional schedule (both
+    chain directions stored) versus the zigzag schedule."""
+
+    def compute():
+        model = AreaModel()
+        zigzag_bits = model.pn_message_bits()
+        conventional_bits = (
+            max(p.e_pn for p in all_profiles()) * model.width_bits
+        )
+        sram = model.technology.sram_bit_um2 / 1e6
+        return zigzag_bits * sram, conventional_bits * sram
+
+    zz_mm2, conv_mm2 = once(compute)
+    print_banner("Ablation — parity message storage (Section 2.2)")
+    print(f"  conventional schedule : {conv_mm2:.3f} mm^2")
+    print(f"  zigzag schedule       : {zz_mm2:.3f} mm^2")
+    print(f"  saving                : {conv_mm2 - zz_mm2:.3f} mm^2")
+    assert zz_mm2 == pytest.approx(conv_mm2 / 2, rel=0.01)
+
+
+def test_quantization_width_area_ablation(once):
+    """Area versus message width (the 5-bit option trades 0.05-0.1 dB
+    for ~1/6 of the memory area)."""
+
+    def sweep():
+        return [
+            (w, AreaModel(width_bits=w).report().total) for w in (4, 5, 6, 8)
+        ]
+
+    rows = once(sweep)
+    print_banner("Ablation — total area vs message quantization width")
+    print(format_table(("bits", "total mm^2"),
+                       [(w, f"{a:.2f}") for w, a in rows]))
+    totals = [a for _, a in rows]
+    assert totals == sorted(totals)

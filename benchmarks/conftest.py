@@ -1,0 +1,17 @@
+"""Pytest fixtures for the paper-reproduction benchmarks."""
+
+from _helpers import cached_full_code, cached_small_code, print_banner  # noqa: F401
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benchmarked callable exactly once (Monte-Carlo benches
+    measure a fixed workload, not microseconds)."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""EXIT-chart analysis of the DVB-S2 degree distributions.
+
+Draws (in ASCII) the variable- and check-node EXIT curves of the R=1/2
+ensemble at its decoding threshold, prints the staircase trajectory, and
+tabulates the analytic threshold of every rate against the Shannon
+limit — the theory behind the paper's "0.7 dB to Shannon" claim.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    cn_exit,
+    decoding_threshold_db,
+    edge_degree_distribution,
+    exit_trajectory,
+    vn_exit,
+)
+from repro.channel import ebn0_db_to_sigma, shannon_limit_ebn0_db
+from repro.codes import all_profiles, get_profile
+
+RATE = "1/2"
+GRID = 61  # ASCII chart resolution
+
+
+def ascii_chart(profile, ebn0_db: float) -> str:
+    """Plot I_E,VND(I_A) and the inverted CND curve on one ASCII grid."""
+    lam, rho = edge_degree_distribution(profile)
+    sigma_ch = 2.0 / ebn0_db_to_sigma(ebn0_db, float(profile.rate))
+    xs = np.linspace(0.0, 1.0, GRID)
+    vn = [vn_exit(x, sigma_ch, lam) for x in xs]
+    cn = [cn_exit(x, rho) for x in xs]
+    rows = []
+    for level in range(GRID - 1, -1, -1):
+        y = level / (GRID - 1)
+        line = []
+        for i, x in enumerate(xs):
+            ch = " "
+            if abs(cn[i] - y) < 0.5 / GRID:
+                ch = "c"
+            if abs(vn[i] - y) < 0.5 / GRID:
+                ch = "V" if ch == "c" else "v"
+            line.append(ch)
+        rows.append("|" + "".join(line))
+    rows.append("+" + "-" * GRID)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    profile = get_profile(RATE)
+    threshold = decoding_threshold_db(profile)
+    print(f"Rate {RATE}: GA-EXIT threshold {threshold:.2f} dB Eb/N0")
+    print(f"(v = variable-node curve, c = check-node curve; the tunnel")
+    print(f"is just open at {threshold + 0.1:.2f} dB)\n")
+    print(ascii_chart(profile, threshold + 0.1))
+
+    traj = exit_trajectory(profile, threshold + 0.1)
+    print(f"\nStaircase trajectory: {len(traj)} steps to I -> 1")
+    for step in (0, 1, 2, len(traj) // 2, len(traj) - 1):
+        i_vc, i_cv = traj[step]
+        print(f"  step {step:3d}: I_V->C = {i_vc:.4f}, I_C->V = {i_cv:.4f}")
+
+    print("\nAnalytic thresholds for all rates (Eb/N0, dB):")
+    print(f"{'rate':>6} {'threshold':>10} {'Shannon':>9} {'gap':>6}")
+    for p in all_profiles():
+        th = decoding_threshold_db(p)
+        sh = shannon_limit_ebn0_db(float(p.rate))
+        print(f"{p.name:>6} {th:10.2f} {sh:9.2f} {th - sh:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

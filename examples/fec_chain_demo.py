@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The complete DVB-S2 FEC chain: outer BCH + inner LDPC.
+
+DVB-S2 wraps every LDPC frame in an outer BCH code so the iterative
+decoder's occasional few-bit residues never reach the transport stream.
+This demo runs the chain near the waterfall with a deliberately tight
+LDPC iteration budget and shows the BCH stage mopping up.
+"""
+
+import numpy as np
+
+from repro.bch import Dvbs2FecChain
+from repro.channel import AwgnChannel
+from repro.codes import build_small_code
+from repro.decode import ZigzagDecoder
+from repro.encode import IraEncoder
+
+PARALLELISM = 36
+RATE = "1/2"
+EBN0_DB = 1.5
+LDPC_ITERATIONS = 12
+FRAMES = 15
+
+
+def main() -> None:
+    code = build_small_code(RATE, parallelism=PARALLELISM)
+    decoder = ZigzagDecoder(code, "tanh", segments=PARALLELISM)
+    chain = Dvbs2FecChain(code, decoder, bch_m=12, bch_t=8)
+    print(f"FEC chain: BCH(n={chain.bch.n}, k={chain.bch.k}, "
+          f"t={chain.bch.t}) + LDPC rate {RATE}")
+    print(f"Overall rate {chain.rate:.4f} "
+          f"(LDPC alone: {float(code.profile.rate):.4f})\n")
+
+    rng = np.random.default_rng(7)
+    channel = AwgnChannel(
+        ebn0_db=EBN0_DB, rate=float(code.profile.rate), seed=7
+    )
+
+    print(f"{'frame':>5} {'LDPC iters':>10} {'residual':>9} "
+          f"{'BCH fixed':>9} {'payload':>8}")
+    lost = cleaned = 0
+    for i in range(FRAMES):
+        payload = rng.integers(0, 2, chain.k, dtype=np.uint8)
+        frame = chain.encode(payload)
+        result = chain.decode(
+            channel.llrs(frame), max_iterations=LDPC_ITERATIONS
+        )
+        residual = int(
+            np.count_nonzero(
+                result.ldpc_result.bits[: code.k] != frame[: code.k]
+            )
+        )
+        ok = np.array_equal(result.info_bits, payload)
+        lost += not ok
+        cleaned += residual > 0 and ok
+        print(f"{i:5d} {result.ldpc_result.iterations:10d} "
+              f"{residual:9d} {result.bch_corrected:9d} "
+              f"{'OK' if ok else 'LOST':>8}")
+
+    print(f"\n{FRAMES} frames at Eb/N0 = {EBN0_DB} dB with only "
+          f"{LDPC_ITERATIONS} LDPC iterations:")
+    print(f"  payloads lost       : {lost}")
+    print(f"  residues BCH cleaned: {cleaned}")
+
+
+if __name__ == "__main__":
+    main()

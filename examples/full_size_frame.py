@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The real thing: a genuine 64800-bit DVB-S2 frame through the IP core.
+
+Everything at full scale — 360 functional units, q = 90 checks per FU,
+450-word message RAMs, annealed addressing — decoding one noisy frame
+cycle-faithfully and printing the numbers the paper reports for this
+configuration.
+"""
+
+import numpy as np
+
+from repro.channel import AwgnChannel
+from repro.core import DvbS2LdpcDecoderIp, IpCoreConfig
+
+RATE = "1/2"
+EBN0_DB = 2.0
+
+
+def main() -> None:
+    print("Building the full-size IP core (this builds the 64800-bit "
+          "code,\nverifies the mapping, and anneals the addressing)...")
+    ip = DvbS2LdpcDecoderIp(
+        IpCoreConfig(
+            rate=RATE,
+            parallelism=360,
+            channel_scale=0.5,
+            early_stop=True,
+            annealing_iterations=300,
+        )
+    )
+    sheet = ip.datasheet()
+    print(f"\nConfiguration: rate {RATE}, {sheet['frame_bits']}-bit "
+          f"frames, {sheet['message_bits']}-bit messages")
+    print(f"  write buffer depth (annealed) : "
+          f"{sheet['write_buffer_depth']}")
+    print(f"  cycles per block (30 iters)   : "
+          f"{sheet['cycles_per_block']}")
+    print(f"  info throughput at 270 MHz    : "
+          f"{sheet['info_throughput_mbps']:.1f} Mb/s")
+    print(f"  total area (Table 3 model)    : "
+          f"{sheet['total_area_mm2']:.2f} mm^2")
+
+    rng = np.random.default_rng(2026)
+    info = rng.integers(0, 2, ip.code.k, dtype=np.uint8)
+    frame = ip.encode(info)
+    channel = AwgnChannel(ebn0_db=EBN0_DB, rate=0.5, seed=7)
+    print(f"\nTransmitting one frame at Eb/N0 = {EBN0_DB} dB...")
+    result = ip.decode(channel.llrs(frame))
+    errors = int(np.count_nonzero(result.bits[: ip.code.k] != info))
+    print(f"Decoded in {result.iterations} iterations "
+          f"({result.extra['cycles']:.0f} clock cycles): "
+          f"{errors} information-bit errors")
+    seconds = result.extra["cycles"] / 270e6
+    print(f"At 270 MHz this frame took {seconds * 1e6:.0f} us of "
+          f"silicon time — {ip.code.k / seconds / 1e6:.0f} Mb/s "
+          "with early termination.")
+
+
+if __name__ == "__main__":
+    main()

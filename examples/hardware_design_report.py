@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Generate the IP core's design report — the paper's tables in one run.
+
+Walks the hardware-design flow the paper describes:
+
+1. regenerate the code-structure tables (Tables 1 and 2),
+2. verify the node mapping and shuffle network for a chosen rate,
+3. anneal the RAM addressing and report the write-buffer depth (Fig. 5),
+4. print the Eq. 8 throughput table and the Table 3 area breakdown.
+"""
+
+from repro.codes import build_code
+from repro.core.report import (
+    table1_report,
+    table2_report,
+    table3_report,
+    throughput_report,
+)
+from repro.hw.annealing import AnnealingConfig, optimize_rate
+from repro.hw.conflicts import simulate_cn_phase, simulate_vn_phase
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import DecoderSchedule
+from repro.hw.shuffle import ShuffleNetwork
+
+RATE = "1/2"
+SA_ITERATIONS = 500
+
+
+def main() -> None:
+    print("Table 1 — Tanner graph parameters")
+    print(table1_report())
+    print()
+    print("Table 2 — edge counts and connectivity storage")
+    print(table2_report())
+
+    print(f"\nBuilding full-size rate-{RATE} code and verifying the "
+          "hardware mapping...")
+    code = build_code(RATE)
+    mapping = IpMapping(code)
+    mapping.verify()
+    ShuffleNetwork(lanes=360).verify_realizes_table(mapping)
+    print(f"  {mapping.n_words} address words; every permutation is a "
+          "cyclic shift — barrel shuffler verified.")
+
+    print("\nRAM conflict analysis (Fig. 5):")
+    canonical = DecoderSchedule.canonical(mapping)
+    cn = simulate_cn_phase(canonical)
+    vn = simulate_vn_phase(canonical)
+    print(f"  canonical addressing: CN-phase peak buffer "
+          f"{cn.peak_buffer}, VN-phase {vn.peak_buffer}")
+
+    print(f"  annealing the addressing ({SA_ITERATIONS} moves)...")
+    result = optimize_rate(
+        mapping, AnnealingConfig(iterations=SA_ITERATIONS, seed=1)
+    )
+    print(f"  annealed: peak buffer {result.final_stats.peak_buffer} "
+          f"(pressure {result.initial_stats.total_deferred} -> "
+          f"{result.final_stats.total_deferred})")
+
+    print("\nThroughput at 270 MHz, 30 iterations (Eq. 8):")
+    print(throughput_report())
+
+    print("\nTable 3 — synthesis area model vs paper:")
+    print(table3_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fixed-point design study: message width versus BER and silicon area.
+
+Reproduces the trade-off behind the paper's 6-bit choice (Section 2.1 /
+Table 3): sweep the message quantization from 4 to 8 bits, measure BER
+at a fixed operating point, and price each option with the area model.
+"""
+
+from repro.codes import build_small_code
+from repro.decode import QuantizedZigzagDecoder, ZigzagDecoder
+from repro.hw.area import AreaModel
+from repro.quantize import FixedPointFormat
+from repro.sim import measure_ber
+
+PARALLELISM = 36
+RATE = "1/2"
+EBN0_DB = 1.8
+FRAMES = 24
+
+FORMATS = [
+    FixedPointFormat(total_bits=4, frac_bits=1),
+    FixedPointFormat(total_bits=5, frac_bits=1),
+    FixedPointFormat(total_bits=6, frac_bits=2),
+    FixedPointFormat(total_bits=8, frac_bits=3),
+]
+
+
+def main() -> None:
+    code = build_small_code(RATE, parallelism=PARALLELISM)
+    print(f"Code: rate {RATE}, {code.n}-bit frames; operating point "
+          f"Eb/N0 = {EBN0_DB} dB; {FRAMES} frames per row.\n")
+
+    print(f"{'format':>8} {'range':>9} {'BER':>10} {'FER':>6} "
+          f"{'avg iters':>10} {'core mm^2':>10}")
+
+    float_dec = ZigzagDecoder(code, "minsum", normalization=0.75,
+                              segments=PARALLELISM)
+    r = measure_ber(code, float_dec, EBN0_DB, max_frames=FRAMES,
+                    max_iterations=30, seed=3)
+    print(f"{'float':>8} {'inf':>9} {r.ber:10.2e} {r.fer:6.2f} "
+          f"{r.avg_iterations:10.1f} {'-':>10}")
+
+    for fmt in FORMATS:
+        dec = QuantizedZigzagDecoder(
+            code, fmt=fmt, normalization=0.75, channel_scale=0.5
+        )
+        r = measure_ber(code, dec, EBN0_DB, max_frames=FRAMES,
+                        max_iterations=30, seed=3)
+        area = AreaModel(width_bits=fmt.total_bits).report().total
+        label = f"{fmt.total_bits}b.q{fmt.frac_bits}"
+        print(f"{label:>8} ±{fmt.max_real:8.2f} {r.ber:10.2e} "
+              f"{r.fer:6.2f} {r.avg_iterations:10.1f} {area:10.2f}")
+
+    print("\nThe paper synthesizes the 6-bit option: ~0.1 dB from float")
+    print("(ref [9]) at 22.74 mm^2; 5 bits would trade ~0.1 dB more for")
+    print("roughly one sixth of the message RAM.")
+
+
+if __name__ == "__main__":
+    main()

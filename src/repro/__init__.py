@@ -1,0 +1,30 @@
+"""repro — reproduction of the DATE 2005 DVB-S2 LDPC decoder IP core paper.
+
+The package is layered bottom-up (see DESIGN.md):
+
+* :mod:`repro.codes` — DVB-S2 LDPC code construction (profiles, address
+  tables, Tanner graphs),
+* :mod:`repro.encode` — linear-time IRA encoder,
+* :mod:`repro.channel` — BPSK modulation, AWGN, LLRs, Shannon limits,
+* :mod:`repro.quantize` — saturating fixed-point arithmetic,
+* :mod:`repro.decode` — belief-propagation / min-sum / zigzag-scheduled /
+  quantized decoders,
+* :mod:`repro.hw` — the paper's contribution: the partly-parallel decoder
+  architecture (node mapping, shuffle network, RAM conflicts + simulated
+  annealing, cycle-accurate core, throughput and area models),
+* :mod:`repro.baseline` — the fully-parallel decoder baseline (ref [4]),
+* :mod:`repro.sim` — Monte-Carlo BER/FER harness,
+* :mod:`repro.core` — the IP-core facade and datasheet reports.
+"""
+
+__version__ = "1.0.0"
+
+from .codes import LdpcCode, build_code, build_small_code, get_profile
+
+__all__ = [
+    "LdpcCode",
+    "__version__",
+    "build_code",
+    "build_small_code",
+    "get_profile",
+]

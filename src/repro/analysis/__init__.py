@@ -1,0 +1,31 @@
+"""Analytical tools: EXIT thresholds and distance estimation."""
+
+from .distance import (
+    DistanceEstimate,
+    impulse_distance_estimate,
+    pairwise_impulse_estimate,
+)
+from .exit import (
+    cn_exit,
+    converges,
+    decoding_threshold_db,
+    edge_degree_distribution,
+    exit_trajectory,
+    j_function,
+    j_inverse,
+    vn_exit,
+)
+
+__all__ = [
+    "DistanceEstimate",
+    "cn_exit",
+    "converges",
+    "decoding_threshold_db",
+    "edge_degree_distribution",
+    "exit_trajectory",
+    "impulse_distance_estimate",
+    "j_function",
+    "j_inverse",
+    "pairwise_impulse_estimate",
+    "vn_exit",
+]

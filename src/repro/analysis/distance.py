@@ -1,0 +1,126 @@
+"""Impulse-based minimum-distance estimation (error-floor analysis).
+
+The error floor of an LDPC code is governed by its low-weight codewords
+and near-codewords; the standard engineering estimate is Berrou's
+*error impulse* method: start from the all-zero codeword under a
+near-perfect channel, slam one (or two) strongly wrong LLR impulses in,
+and let the decoder converge — if it locks onto a wrong codeword, that
+codeword's Hamming weight upper-bounds the minimum distance through the
+impulse position.
+
+For the DVB-S2 IRA structure this probes exactly the known weak spots:
+degree-3 information nodes and the degree-2 parity chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..codes.matrix import is_codeword
+from ..decode.bp import BeliefPropagationDecoder
+
+
+@dataclass
+class DistanceEstimate:
+    """Result of an impulse search."""
+
+    min_weight_found: Optional[int]
+    weights: List[int] = field(default_factory=list)
+    probed_positions: int = 0
+    wrong_codewords: int = 0
+
+    @property
+    def is_upper_bound(self) -> bool:
+        """The estimate bounds d_min from above (found codewords are
+        real); absence of findings proves nothing."""
+        return self.min_weight_found is not None
+
+
+def impulse_distance_estimate(
+    code: LdpcCode,
+    positions: Optional[Sequence[int]] = None,
+    n_positions: int = 50,
+    impulse_magnitude: float = 25.0,
+    base_magnitudes: Sequence[float] = (1.2, 1.5, 2.0, 2.5),
+    max_iterations: int = 60,
+    seed: int = 0,
+) -> DistanceEstimate:
+    """Probe for low-weight codewords via single error impulses.
+
+    Parameters
+    ----------
+    code:
+        The code under test.
+    positions:
+        Bit positions to hit; default samples information and parity
+        positions uniformly.
+    impulse_magnitude / base_magnitudes:
+        Wrong-LLR strength at the impulse vs correct-LLR strength
+        elsewhere.  The method only "escapes" to a neighbouring
+        codeword in a narrow base window, so several base strengths
+        are scanned per position (the classic tuning of the method).
+    """
+    rng = np.random.default_rng(seed)
+    if positions is None:
+        positions = rng.choice(
+            code.n, size=min(n_positions, code.n), replace=False
+        )
+    decoder = BeliefPropagationDecoder(code, "tanh")
+    weights: List[int] = []
+    wrong = 0
+    for pos in positions:
+        for base in base_magnitudes:
+            llrs = np.full(code.n, base, dtype=np.float64)
+            llrs[int(pos)] = -impulse_magnitude
+            result = decoder.decode(
+                llrs, max_iterations=max_iterations, early_stop=True
+            )
+            if result.converged and result.bits.any():
+                if is_codeword(code.graph, result.bits):
+                    wrong += 1
+                    weights.append(int(result.bits.sum()))
+    return DistanceEstimate(
+        min_weight_found=min(weights) if weights else None,
+        weights=sorted(weights),
+        probed_positions=len(list(positions)),
+        wrong_codewords=wrong,
+    )
+
+
+def pairwise_impulse_estimate(
+    code: LdpcCode,
+    n_pairs: int = 30,
+    impulse_magnitude: float = 25.0,
+    base_magnitudes: Sequence[float] = (1.2, 1.5, 2.0, 2.5),
+    max_iterations: int = 60,
+    seed: int = 0,
+) -> DistanceEstimate:
+    """Two-impulse variant: probes codewords no single impulse reaches
+    (pairs of degree-3 / chain bits are the usual IRA floor culprits)."""
+    rng = np.random.default_rng(seed)
+    decoder = BeliefPropagationDecoder(code, "tanh")
+    weights: List[int] = []
+    wrong = 0
+    for _ in range(n_pairs):
+        a, b = rng.choice(code.n, size=2, replace=False)
+        for base in base_magnitudes:
+            llrs = np.full(code.n, base, dtype=np.float64)
+            llrs[int(a)] = -impulse_magnitude
+            llrs[int(b)] = -impulse_magnitude
+            result = decoder.decode(
+                llrs, max_iterations=max_iterations, early_stop=True
+            )
+            if result.converged and result.bits.any():
+                if is_codeword(code.graph, result.bits):
+                    wrong += 1
+                    weights.append(int(result.bits.sum()))
+    return DistanceEstimate(
+        min_weight_found=min(weights) if weights else None,
+        weights=sorted(weights),
+        probed_positions=n_pairs,
+        wrong_codewords=wrong,
+    )

@@ -1,0 +1,168 @@
+"""EXIT-chart threshold analysis of the DVB-S2 degree distributions.
+
+The paper attributes the codes' 0.7 dB-to-Shannon performance to the
+degree distributions of Table 1.  EXIT analysis (ten Brink's Gaussian
+approximation of density evolution) predicts the asymptotic decoding
+threshold of an ensemble directly from those distributions — no Monte
+Carlo — and this module computes it for every DVB-S2 rate, giving the
+theoretical side of the Shannon-gap experiment.
+
+Machinery:
+
+* ``J(sigma)`` — mutual information between a bit and its LLR when the
+  LLR is consistent-Gaussian ``N(sigma^2/2, sigma^2)``; computed by
+  Gauss–Hermite quadrature (no fitted constants) and inverted by
+  bisection.
+* Variable-node curve: ``I_E = Σ_d λ_d · J(sqrt((d-1)·s_a^2 + s_ch^2))``
+  over the edge-perspective degree distribution λ.
+* Check-node curve (duality approximation):
+  ``I_E = 1 − J(sqrt(d_c − 1) · J_inv(1 − I_A))``.
+* Threshold: the smallest channel quality whose iterated EXIT recursion
+  reaches ``I → 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..channel.awgn import ebn0_db_to_sigma
+from ..codes.standard import CodeRateProfile
+
+_HERMITE_POINTS = 64
+_NODES, _WEIGHTS = np.polynomial.hermite.hermgauss(_HERMITE_POINTS)
+
+
+def j_function(sigma: float) -> float:
+    """Mutual information of a consistent Gaussian LLR of std ``sigma``."""
+    if sigma <= 0:
+        return 0.0
+    mean = sigma * sigma / 2.0
+    llrs = mean + np.sqrt(2.0) * sigma * _NODES
+    vals = np.logaddexp(0.0, -llrs) / np.log(2.0)
+    out = 1.0 - float(np.sum(_WEIGHTS * vals) / np.sqrt(np.pi))
+    return min(1.0, max(0.0, out))
+
+
+def _build_j_table() -> Tuple[np.ndarray, np.ndarray]:
+    sigmas = np.linspace(0.0, 40.0, 8001)
+    values = np.array([j_function(float(s)) for s in sigmas])
+    # enforce strict monotonicity for interpolation (J saturates at 1)
+    values = np.maximum.accumulate(values)
+    return sigmas, values
+
+
+_J_SIGMAS, _J_VALUES = _build_j_table()
+
+
+def j_inverse(i: float) -> float:
+    """Inverse of :func:`j_function` via a monotone lookup table.
+
+    Table resolution 0.005 in sigma; relative error < 1e-3 over the
+    whole EXIT-relevant range, which is far below the Gaussian
+    approximation's own error.
+    """
+    if not 0.0 <= i <= 1.0:
+        raise ValueError("mutual information must be in [0, 1]")
+    if i <= 0.0:
+        return 0.0
+    if i >= float(_J_VALUES[-1]):
+        return float(_J_SIGMAS[-1])
+    return float(np.interp(i, _J_VALUES, _J_SIGMAS))
+
+
+def edge_degree_distribution(
+    profile: CodeRateProfile,
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Edge-perspective degree distributions ``(lambda, rho)``.
+
+    The variable side includes the parity chain: the zigzag contributes
+    ``2(N_parity − 1) + 1`` degree-2-node edges (the terminator's single
+    edge is folded in as degree 2 — asymptotically exact).
+    """
+    e_in = profile.e_in
+    e_pn = profile.e_pn
+    total = e_in + e_pn
+    lam = {
+        profile.j_high: profile.n_high * profile.j_high / total,
+        3: profile.n_3 * 3 / total,
+        2: e_pn / total,
+    }
+    if profile.j_high == 3:
+        lam = {3: (profile.n_high * 3 + profile.n_3 * 3) / total,
+               2: e_pn / total}
+    rho = {profile.check_degree: 1.0}
+    return lam, rho
+
+
+def vn_exit(
+    i_a: float, sigma_ch: float, lam: Dict[int, float]
+) -> float:
+    """Variable-node EXIT curve at a-priori information ``i_a``."""
+    s_a = j_inverse(i_a)
+    out = 0.0
+    for d, frac in lam.items():
+        out += frac * j_function(
+            np.sqrt((d - 1) * s_a * s_a + sigma_ch * sigma_ch)
+        )
+    return out
+
+
+def cn_exit(i_a: float, rho: Dict[int, float]) -> float:
+    """Check-node EXIT curve (duality approximation)."""
+    s = j_inverse(1.0 - i_a)
+    out = 0.0
+    for d, frac in rho.items():
+        out += frac * (1.0 - j_function(np.sqrt(d - 1) * s))
+    return out
+
+
+def exit_trajectory(
+    profile: CodeRateProfile,
+    ebn0_db: float,
+    max_steps: int = 2000,
+) -> List[Tuple[float, float]]:
+    """The staircase trajectory ``[(I_va, I_cv), ...]`` at one Eb/N0."""
+    lam, rho = edge_degree_distribution(profile)
+    sigma_noise = ebn0_db_to_sigma(ebn0_db, float(profile.rate))
+    sigma_ch = 2.0 / sigma_noise
+    trajectory = []
+    i_cv = 0.0
+    for _ in range(max_steps):
+        i_vc = vn_exit(i_cv, sigma_ch, lam)
+        i_cv_new = cn_exit(i_vc, rho)
+        trajectory.append((i_vc, i_cv_new))
+        if i_vc > 0.9999:
+            break
+        if i_cv_new - i_cv < 1e-7:
+            break
+        i_cv = i_cv_new
+    return trajectory
+
+
+def converges(profile: CodeRateProfile, ebn0_db: float) -> bool:
+    """True when the EXIT recursion opens all the way to I = 1."""
+    trajectory = exit_trajectory(profile, ebn0_db)
+    return trajectory[-1][0] > 0.9999
+
+
+def decoding_threshold_db(
+    profile: CodeRateProfile,
+    lo_db: float = -2.0,
+    hi_db: float = 6.0,
+    resolution_db: float = 0.01,
+) -> float:
+    """Asymptotic decoding threshold in Eb/N0 (dB) for the ensemble."""
+    if not converges(profile, hi_db):
+        raise ValueError("ensemble does not converge even at hi_db")
+    if converges(profile, lo_db):
+        return lo_db
+    lo, hi = lo_db, hi_db
+    while hi - lo > resolution_db:
+        mid = 0.5 * (lo + hi)
+        if converges(profile, mid):
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,17 @@
+"""Fully-parallel decoder baseline (paper ref [4])."""
+
+from .parallel import (
+    FullyParallelAreaModel,
+    FullyParallelDecoder,
+    RegularLdpcCode,
+    blanksby_howland_reference,
+    build_regular_code,
+)
+
+__all__ = [
+    "FullyParallelAreaModel",
+    "FullyParallelDecoder",
+    "RegularLdpcCode",
+    "blanksby_howland_reference",
+    "build_regular_code",
+]

@@ -1,0 +1,14 @@
+"""Outer BCH code and the concatenated DVB-S2 FEC chain."""
+
+from .chain import Dvbs2FecChain, FecDecodeResult
+from .code import BchCode, BchDecodeResult
+from .galois import GF2m, PRIMITIVE_POLYS
+
+__all__ = [
+    "BchCode",
+    "BchDecodeResult",
+    "Dvbs2FecChain",
+    "FecDecodeResult",
+    "GF2m",
+    "PRIMITIVE_POLYS",
+]

@@ -1,0 +1,117 @@
+"""The concatenated DVB-S2 FEC chain: outer BCH + inner LDPC.
+
+The DVB-S2 FEC encodes a BBFRAME with the outer BCH code, whose output
+exactly fills the inner LDPC code's information field; at the receiver
+the iterative LDPC decoder removes almost all channel errors and the
+algebraic BCH decoder cleans up the residual floor.  The paper's IP is
+the inner stage; this module closes the loop.
+
+Sizing: the inner code's ``K`` rarely matches ``2^m - 1 - deg(g)``
+exactly, so the BCH code is *shortened* to ``k = K_ldpc - n_parity_bch``
+message bits — precisely how EN 302 307 dimensions its BBFRAMEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..decode.result import DecodeResult
+from .code import BchCode
+
+
+@dataclass
+class FecDecodeResult:
+    """Outcome of the concatenated decode."""
+
+    info_bits: np.ndarray
+    ldpc_result: DecodeResult
+    bch_corrected: int
+    bch_success: bool
+
+
+class Dvbs2FecChain:
+    """Outer BCH + inner LDPC encoder/decoder pair.
+
+    Parameters
+    ----------
+    ldpc_code:
+        The inner code (full-size or scaled).
+    ldpc_decoder:
+        Any decoder with ``decode(llrs, max_iterations, early_stop)``.
+    bch_m, bch_t:
+        Outer-code field degree and correction capability.  The field
+        must be large enough that ``2^m - 1 >= K_ldpc``.
+    """
+
+    def __init__(
+        self,
+        ldpc_code: LdpcCode,
+        ldpc_decoder,
+        bch_m: int = 16,
+        bch_t: int = 12,
+    ) -> None:
+        from ..encode.encoder import IraEncoder
+
+        self.ldpc_code = ldpc_code
+        self.ldpc_decoder = ldpc_decoder
+        self._ldpc_encoder = IraEncoder(ldpc_code)
+        probe = BchCode(bch_m, bch_t)
+        if probe.n_parity >= ldpc_code.k:
+            raise ValueError(
+                "BCH parity does not fit into the LDPC information field"
+            )
+        if (1 << bch_m) - 1 < ldpc_code.k:
+            raise ValueError(
+                f"GF(2^{bch_m}) too small for K_ldpc={ldpc_code.k}"
+            )
+        self.bch = BchCode(bch_m, bch_t, k=ldpc_code.k - probe.n_parity)
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Payload bits per frame (BBFRAME data field)."""
+        return self.bch.k
+
+    @property
+    def n(self) -> int:
+        """Channel bits per frame."""
+        return self.ldpc_code.n
+
+    @property
+    def rate(self) -> float:
+        """Overall FEC rate including the outer code."""
+        return self.k / self.n
+
+    def encode(self, payload: np.ndarray) -> np.ndarray:
+        """payload → BCH codeword → LDPC codeword."""
+        outer = self.bch.encode(payload)
+        if outer.size != self.ldpc_code.k:
+            raise AssertionError(
+                "outer codeword does not fill the inner information field"
+            )  # pragma: no cover - sized in __init__
+        return self._ldpc_encoder.encode(outer)
+
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = 30,
+        early_stop: bool = True,
+    ) -> FecDecodeResult:
+        """LDPC decode, then BCH cleanup of the information field."""
+        inner = self.ldpc_decoder.decode(
+            channel_llrs,
+            max_iterations=max_iterations,
+            early_stop=early_stop,
+        )
+        outer_word = inner.bits[: self.ldpc_code.k]
+        outer = self.bch.decode(outer_word)
+        return FecDecodeResult(
+            info_bits=self.bch.extract_message(outer.bits),
+            ldpc_result=inner,
+            bch_corrected=outer.corrected,
+            bch_success=outer.success,
+        )

@@ -1,0 +1,157 @@
+"""GF(2^m) arithmetic for the BCH outer code of the DVB-S2 FEC chain.
+
+The DVB-S2 standard concatenates an outer BCH code (over GF(2^16) for
+normal frames) with the inner LDPC code the paper's IP decodes; this
+module provides the field arithmetic for that substrate.  Elements are
+represented as integers (polynomial basis); multiplication runs through
+exp/log tables, vectorized with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+#: Primitive polynomials (as bit masks including the x^m term) for the
+#: field sizes used by BCH codes in this library.  The m=16 entry is the
+#: DVB-S2 normal-frame polynomial x^16 + x^5 + x^3 + x^2 + 1... the
+#: standard actually uses g1(x) = x^16+x^5+x^3+x^2+1 as its first factor;
+#: any primitive polynomial yields an equivalent field.
+PRIMITIVE_POLYS: Dict[int, int] = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+    15: 0b1000000000000011,
+    16: 0b10000000000101101,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-based arithmetic.
+
+    Elements are Python ints / numpy integer arrays in ``[0, 2^m)``.
+    ``alpha`` (the primitive element) is ``2``; ``exp`` and ``log``
+    tables drive multiplication.
+    """
+
+    def __init__(self, m: int, primitive_poly: int = 0) -> None:
+        if m not in PRIMITIVE_POLYS and not primitive_poly:
+            raise ValueError(f"no primitive polynomial known for m={m}")
+        self.m = m
+        self.poly = primitive_poly or PRIMITIVE_POLYS[m]
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= self.poly
+        if x != 1:
+            raise ValueError(
+                f"polynomial {self.poly:#x} is not primitive for m={self.m}"
+            )
+        exp[self.order :] = exp[: self.order]  # wraparound for index sums
+        self.exp = exp
+        self.log = log
+
+    # ------------------------------------------------------------------
+    def mul(self, a, b):
+        """Element-wise product (0 absorbs)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = self.exp[(self.log[a] + self.log[b]) % self.order]
+        return np.where((a == 0) | (b == 0), 0, out)
+
+    def inv(self, a):
+        """Element-wise multiplicative inverse.
+
+        Raises
+        ------
+        ZeroDivisionError
+            If any element is 0.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        if (a == 0).any():
+            raise ZeroDivisionError("0 has no inverse in GF(2^m)")
+        return self.exp[(self.order - self.log[a]) % self.order]
+
+    def div(self, a, b):
+        """Element-wise quotient ``a / b``."""
+        return self.mul(a, self.inv(b))
+
+    def pow_alpha(self, k):
+        """``alpha ** k`` for integer (array) exponents of any sign."""
+        k = np.asarray(k, dtype=np.int64) % self.order
+        return self.exp[k]
+
+    def pow(self, a, k: int):
+        """Element-wise ``a ** k`` for a scalar integer exponent."""
+        a = np.asarray(a, dtype=np.int64)
+        if k == 0:
+            return np.ones_like(a)
+        out = self.exp[(self.log[a] * (k % self.order)) % self.order]
+        return np.where(a == 0, 0, out)
+
+    # ------------------------------------------------------------------
+    def poly_eval(self, coeffs: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Evaluate a polynomial (coeffs[i] = coefficient of x^i) at many
+        points, Horner's rule vectorized over the points."""
+        points = np.asarray(points, dtype=np.int64)
+        result = np.zeros_like(points)
+        for c in coeffs[::-1]:
+            result = self.mul(result, points) ^ int(c)
+        return result
+
+    def poly_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Product of two polynomials over GF(2^m)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = np.zeros(len(a) + len(b) - 1, dtype=np.int64)
+        for i, ai in enumerate(a):
+            if ai:
+                out[i : i + len(b)] ^= self.mul(ai, b)
+        return out
+
+    # ------------------------------------------------------------------
+    def cyclotomic_coset(self, i: int) -> List[int]:
+        """The 2-cyclotomic coset of ``i`` modulo ``2^m - 1``."""
+        coset = []
+        x = i % self.order
+        while x not in coset:
+            coset.append(x)
+            x = (2 * x) % self.order
+        return sorted(coset)
+
+    def minimal_polynomial(self, i: int) -> np.ndarray:
+        """Minimal polynomial of ``alpha^i`` over GF(2).
+
+        Returns the coefficient array (index = power of x); all
+        coefficients are 0/1 by construction.
+        """
+        poly = np.array([1], dtype=np.int64)
+        for j in self.cyclotomic_coset(i):
+            # multiply by (x + alpha^j)
+            root = int(self.pow_alpha(j))
+            poly = self.poly_mul(poly, np.array([root, 1], dtype=np.int64))
+        if not np.isin(poly, (0, 1)).all():
+            raise AssertionError(
+                "minimal polynomial has non-binary coefficients"
+            )  # pragma: no cover - mathematical impossibility
+        return poly

@@ -1,0 +1,63 @@
+"""Modulation, AWGN and fading channels, LLRs, Shannon limits."""
+
+from .awgn import (
+    AwgnChannel,
+    ebn0_db_to_sigma,
+    esn0_db_to_sigma,
+    sigma_to_ebn0_db,
+)
+from .fading import (
+    BlockFadingChannel,
+    rayleigh_amplitudes,
+    rician_amplitudes,
+)
+from .capacity import (
+    bpsk_capacity,
+    gap_to_shannon_db,
+    shannon_limit_ebn0_db,
+    unconstrained_capacity,
+)
+from .apsk import (
+    ApskChannel,
+    Constellation,
+    apsk16,
+    apsk32,
+)
+from .psk import (
+    Psk8Channel,
+    psk8_demodulate_hard,
+    psk8_llrs,
+    psk8_modulate,
+)
+from .modulation import (
+    bpsk_demodulate_hard,
+    bpsk_modulate,
+    qpsk_demodulate_hard,
+    qpsk_modulate,
+)
+
+__all__ = [
+    "ApskChannel",
+    "AwgnChannel",
+    "BlockFadingChannel",
+    "Constellation",
+    "Psk8Channel",
+    "apsk16",
+    "apsk32",
+    "bpsk_capacity",
+    "bpsk_demodulate_hard",
+    "bpsk_modulate",
+    "ebn0_db_to_sigma",
+    "esn0_db_to_sigma",
+    "gap_to_shannon_db",
+    "qpsk_demodulate_hard",
+    "rayleigh_amplitudes",
+    "rician_amplitudes",
+    "psk8_demodulate_hard",
+    "psk8_llrs",
+    "psk8_modulate",
+    "qpsk_modulate",
+    "shannon_limit_ebn0_db",
+    "sigma_to_ebn0_db",
+    "unconstrained_capacity",
+]

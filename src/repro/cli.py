@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the reproduction's main entry points — the
+regenerated datasheet tables, BER measurements, addressing annealing,
+and the RTL bundle — so the repository is usable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_datasheet(args: argparse.Namespace) -> int:
+    from .core.report import full_datasheet
+
+    print(full_datasheet(iterations=args.iterations))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .core.report import table1_report, table2_report, table3_report
+
+    which = args.table
+    if which in ("1", "all"):
+        print("Table 1 — Tanner graph parameters")
+        print(table1_report())
+    if which in ("2", "all"):
+        print("\nTable 2 — edge counts and connectivity storage")
+        print(table2_report())
+    if which in ("3", "all"):
+        print("\nTable 3 — area breakdown (model vs paper)")
+        print(table3_report())
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    from .core.report import throughput_report
+
+    print(throughput_report(iterations=args.iterations))
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from .core.report import power_report
+
+    print(power_report(iterations=args.iterations))
+    return 0
+
+
+def _cmd_thresholds(args: argparse.Namespace) -> int:
+    from .core.report import exit_threshold_report
+
+    print(exit_threshold_report())
+    return 0
+
+
+def _cmd_ber(args: argparse.Namespace) -> int:
+    from .codes import build_code, build_small_code
+    from .sim import fast_ber
+
+    if args.parallelism == 360:
+        code = build_code(args.rate)
+    else:
+        code = build_small_code(args.rate, parallelism=args.parallelism)
+    result = fast_ber(
+        code,
+        ebn0_db=args.ebn0,
+        frames=args.frames,
+        max_iterations=args.iterations,
+        seed=args.seed,
+    )
+    lo, hi = result.ber_estimate.interval
+    print(f"rate {args.rate} (P={args.parallelism}, n={code.n}) "
+          f"at Eb/N0 = {args.ebn0} dB:")
+    print(f"  frames          : {result.frames}")
+    print(f"  BER             : {result.ber:.3e} "
+          f"[{lo:.2e}, {hi:.2e}] (95% Wilson)")
+    print(f"  FER             : {result.fer:.3e}")
+    print(f"  avg iterations  : {result.avg_iterations:.1f}")
+    return 0
+
+
+def _cmd_anneal(args: argparse.Namespace) -> int:
+    from .codes import build_code, build_small_code
+    from .hw.annealing import AnnealingConfig, optimize_rate
+    from .hw.mapping import IpMapping
+
+    if args.parallelism == 360:
+        code = build_code(args.rate)
+    else:
+        code = build_small_code(args.rate, parallelism=args.parallelism)
+    mapping = IpMapping(code)
+    result = optimize_rate(
+        mapping, AnnealingConfig(iterations=args.moves, seed=args.seed)
+    )
+    print(f"rate {args.rate}: annealed addressing over {args.moves} moves")
+    print(f"  peak write buffer : {result.initial_stats.peak_buffer} -> "
+          f"{result.final_stats.peak_buffer}")
+    print(f"  buffer pressure   : {result.initial_stats.total_deferred} "
+          f"-> {result.final_stats.total_deferred}")
+    print(f"  accepted moves    : {result.accepted_moves}"
+          f"/{result.proposed_moves}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .codes import build_code, build_small_code
+    from .hw.verification import verify_core
+
+    if args.parallelism == 360:
+        code = build_code(args.rate)
+    else:
+        code = build_small_code(args.rate, parallelism=args.parallelism)
+    report = verify_core(
+        code, n_frames=args.frames, ebn0_db=args.ebn0, seed=args.seed
+    )
+    print(f"rate {args.rate} (P={args.parallelism}): "
+          f"{report.frames} frames verified")
+    print(f"  bit mismatches      : {report.mismatches}")
+    print(f"  max posterior delta : {report.max_posterior_delta:.3g}")
+    print(f"  verdict             : "
+          f"{'PASS' if report.passed else 'FAIL'}")
+    return 0 if report.passed else 1
+
+
+def _cmd_vectors(args: argparse.Namespace) -> int:
+    from .core.vectors import generate_vectors, replay_vectors
+
+    if args.action == "generate":
+        result = generate_vectors(
+            args.file,
+            rate=args.rate,
+            parallelism=args.parallelism,
+            n_frames=args.frames,
+            seed=args.seed,
+        )
+        print(f"wrote {result.n_frames} golden vectors to {args.file}")
+    else:
+        matched = replay_vectors(args.file)
+        print(f"replayed {matched} vectors: all match")
+    return 0
+
+
+def _cmd_rtl(args: argparse.Namespace) -> int:
+    from .hw.rtl import emit_ip_core_rtl
+
+    text = emit_ip_core_rtl(
+        lanes=args.lanes, width=args.width, ram_depth=args.ram_depth
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(text.splitlines())} lines to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DVB-S2 LDPC decoder IP reproduction (Kienle/Brack/Wehn, "
+            "DATE 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasheet", help="print the full datasheet")
+    p.add_argument("--iterations", type=int, default=30)
+    p.set_defaults(func=_cmd_datasheet)
+
+    p = sub.add_parser("tables", help="regenerate paper tables 1-3")
+    p.add_argument("--table", choices=("1", "2", "3", "all"),
+                   default="all")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("throughput", help="Eq. 8 throughput table")
+    p.add_argument("--iterations", type=int, default=30)
+    p.set_defaults(func=_cmd_throughput)
+
+    p = sub.add_parser("power", help="energy model table (extension)")
+    p.add_argument("--iterations", type=int, default=30)
+    p.set_defaults(func=_cmd_power)
+
+    p = sub.add_parser(
+        "exit-thresholds", help="analytic decoding thresholds"
+    )
+    p.set_defaults(func=_cmd_thresholds)
+
+    p = sub.add_parser("ber", help="Monte-Carlo BER measurement")
+    p.add_argument("--rate", default="1/2")
+    p.add_argument("--ebn0", type=float, default=2.0)
+    p.add_argument("--frames", type=int, default=50)
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--parallelism", type=int, default=36)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_ber)
+
+    p = sub.add_parser("anneal", help="optimize the RAM addressing")
+    p.add_argument("--rate", default="1/2")
+    p.add_argument("--moves", type=int, default=500)
+    p.add_argument("--parallelism", type=int, default=360)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_anneal)
+
+    p = sub.add_parser(
+        "verify", help="core-vs-golden bit-exactness check"
+    )
+    p.add_argument("--rate", default="1/2")
+    p.add_argument("--parallelism", type=int, default=36)
+    p.add_argument("--frames", type=int, default=5)
+    p.add_argument("--ebn0", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "vectors", help="generate or replay golden test vectors"
+    )
+    p.add_argument("action", choices=("generate", "replay"))
+    p.add_argument("file")
+    p.add_argument("--rate", default="1/2")
+    p.add_argument("--parallelism", type=int, default=36)
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_vectors)
+
+    p = sub.add_parser("rtl", help="emit the Verilog bundle")
+    p.add_argument("--lanes", type=int, default=360)
+    p.add_argument("--width", type=int, default=6)
+    p.add_argument("--ram-depth", type=int, default=648)
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=_cmd_rtl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

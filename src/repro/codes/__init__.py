@@ -1,0 +1,53 @@
+"""DVB-S2 LDPC code substrate: profiles, tables, construction, graphs.
+
+Public entry points:
+
+* :func:`~repro.codes.standard.get_profile` / ``all_profiles`` — Table 1/2
+  parameters for the eleven standard rates,
+* :func:`~repro.codes.construction.build_code` — full 64800-bit codes,
+* :func:`~repro.codes.small.build_small_code` — structure-preserving scaled
+  codes for fast simulation.
+"""
+
+from .construction import LdpcCode, build_code, zigzag_edges
+from .design import DesignCandidate, design_code, enumerate_candidates
+from .matrix import is_codeword, syndrome, syndrome_weight
+from .short import build_short_code, short_profile
+from .small import build_small_code, scaled_profile
+from .standard import (
+    FRAME_LENGTH,
+    PARALLELISM,
+    RATE_NAMES,
+    CodeRateProfile,
+    all_profiles,
+    get_profile,
+)
+from .tables import AddressTable, DEFAULT_TABLE_SEED, generate_table, get_table
+from .tanner import TannerGraph
+
+__all__ = [
+    "AddressTable",
+    "CodeRateProfile",
+    "DesignCandidate",
+    "DEFAULT_TABLE_SEED",
+    "FRAME_LENGTH",
+    "LdpcCode",
+    "PARALLELISM",
+    "RATE_NAMES",
+    "TannerGraph",
+    "all_profiles",
+    "build_code",
+    "build_short_code",
+    "build_small_code",
+    "design_code",
+    "enumerate_candidates",
+    "generate_table",
+    "get_profile",
+    "get_table",
+    "is_codeword",
+    "scaled_profile",
+    "short_profile",
+    "syndrome",
+    "syndrome_weight",
+    "zigzag_edges",
+]

@@ -1,0 +1,179 @@
+"""Construction of the full DVB-S2 LDPC code from a profile and a table.
+
+The parity-check matrix of a DVB-S2 code has two parts (paper Section 2):
+
+* a *random* part connecting the information nodes to the check nodes,
+  defined by the address table through the encoding rule Eq. (2), and
+* a *fixed* part connecting the degree-2 parity nodes in a zigzag to
+  consecutive check nodes, defined by the accumulator Eq. (3)::
+
+      p_j = p_j ^ p_{j-1}      j = 1 .. N_parity - 1
+
+  so parity node ``j`` participates in check ``j`` and (except the last)
+  in check ``j + 1``; check 0 sees only parity node 0.
+
+:class:`LdpcCode` bundles the profile, the table, and the expanded
+:class:`~repro.codes.tanner.TannerGraph`, and is the object every encoder,
+decoder and hardware model in this library consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .standard import CodeRateProfile, get_profile
+from .tables import AddressTable, DEFAULT_TABLE_SEED, get_table
+from .tanner import TannerGraph
+
+
+def zigzag_edges(n_parity: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Edges of the accumulator zigzag as (parity-node, check-node) arrays.
+
+    Parity nodes are numbered locally ``0 .. n_parity - 1``; the *self*
+    edges ``(j, j)`` come first, then the *forward* edges ``(j, j + 1)``,
+    which is the order the zigzag-schedule decoder expects.
+    """
+    j = np.arange(n_parity, dtype=np.int64)
+    self_pn, self_cn = j, j
+    fwd_pn, fwd_cn = j[:-1], j[:-1] + 1
+    return (
+        np.concatenate([self_pn, fwd_pn]),
+        np.concatenate([self_cn, fwd_cn]),
+    )
+
+
+@dataclass(frozen=True)
+class LdpcCode:
+    """A concrete DVB-S2 (or scaled DVB-S2-like) LDPC code.
+
+    Attributes
+    ----------
+    profile:
+        The code-rate profile (Table 1 parameters).
+    table:
+        The address table defining the permutation ``Π``.
+    graph:
+        The expanded Tanner graph.  Edge numbering: the ``E_IN``
+        information edges in table order first, then the ``n_parity``
+        zigzag self edges, then the ``n_parity - 1`` zigzag forward edges.
+    """
+
+    profile: CodeRateProfile
+    table: AddressTable
+    graph: TannerGraph
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rate(
+        cls, rate: str, seed: int = DEFAULT_TABLE_SEED
+    ) -> "LdpcCode":
+        """Build the shipped full-size code for a standard rate label."""
+        profile = get_profile(rate)
+        table = get_table(rate, seed=seed)
+        return cls.from_parts(profile, table)
+
+    @classmethod
+    def from_parts(
+        cls, profile: CodeRateProfile, table: AddressTable
+    ) -> "LdpcCode":
+        """Build a code from an explicit profile/table pair."""
+        if table.n_checks != profile.n_checks:
+            raise ValueError(
+                "table covers a different number of checks than the profile"
+            )
+        in_vn, in_cn = table.expand()
+        pn_local, pn_cn = zigzag_edges(profile.n_parity)
+        edge_vn = np.concatenate([in_vn, profile.k_info + pn_local])
+        edge_cn = np.concatenate([in_cn, pn_cn])
+        graph = TannerGraph(
+            n_vns=profile.n,
+            n_cns=profile.n_checks,
+            edge_vn=edge_vn,
+            edge_cn=edge_cn,
+            n_info=profile.k_info,
+        )
+        return cls(profile=profile, table=table, graph=graph)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Codeword length."""
+        return self.profile.n
+
+    @property
+    def k(self) -> int:
+        """Number of information bits."""
+        return self.profile.k_info
+
+    @property
+    def n_parity(self) -> int:
+        """Number of parity bits (= number of checks)."""
+        return self.profile.n_parity
+
+    @property
+    def e_in(self) -> int:
+        """Number of information edges."""
+        return self.profile.e_in
+
+    @property
+    def rate_name(self) -> str:
+        """Rate label of the underlying profile."""
+        return self.profile.name
+
+    def information_edge_slice(self) -> slice:
+        """Canonical edge indices of the information edges."""
+        return slice(0, self.e_in)
+
+    def zigzag_self_edge_slice(self) -> slice:
+        """Canonical edge indices of the zigzag self edges ``(PN j, CN j)``."""
+        return slice(self.e_in, self.e_in + self.n_parity)
+
+    def zigzag_forward_edge_slice(self) -> slice:
+        """Canonical edge indices of the zigzag forward edges
+        ``(PN j, CN j+1)``."""
+        start = self.e_in + self.n_parity
+        return slice(start, start + self.n_parity - 1)
+
+    # ------------------------------------------------------------------
+    # Structural validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Verify the construction against every profile identity."""
+        self.profile.validate()
+        self.graph.validate()
+        if self.graph.n_edges != self.profile.e_in + self.profile.e_pn:
+            raise ValueError("edge count mismatch against Table 2")
+        cn_deg = self.graph.cn_degrees
+        expected = np.full(self.n_parity, self.profile.check_degree)
+        expected[0] -= 1  # check 0 has a single zigzag edge
+        if not np.array_equal(cn_deg, expected):
+            raise ValueError("check-node degrees are not constant k")
+        vn_deg = self.graph.vn_degrees
+        info_deg = vn_deg[: self.k]
+        high = int((info_deg == self.profile.j_high).sum())
+        low = int((info_deg == 3).sum())
+        if self.profile.j_high == 3:
+            if high != self.k:
+                raise ValueError("degree-3 information node count wrong")
+        elif high != self.profile.n_high or low != self.profile.n_3:
+            raise ValueError("information degree distribution violated")
+        parity_deg = vn_deg[self.k :]
+        if not (parity_deg[:-1] == 2).all() or parity_deg[-1] != 1:
+            raise ValueError("parity nodes are not a degree-2 zigzag chain")
+
+
+def build_code(
+    rate: str, seed: int = DEFAULT_TABLE_SEED, validate: bool = False
+) -> LdpcCode:
+    """One-call constructor: rate label → validated :class:`LdpcCode`."""
+    code = LdpcCode.from_rate(rate, seed=seed)
+    if validate:
+        code.validate()
+    return code

@@ -1,0 +1,119 @@
+"""Decoder-first IRA code design (paper ref [7]: Kienle & Wehn, ASP-DAC'04).
+
+The paper's architecture works because the *code was designed for the
+decoder*: group structure fixed by the parallelism, constant check
+degree for balanced FU load, two information-node degree classes.  Ref
+[7] is the authors' methodology for picking the remaining freedom — the
+degree pair ``(j_high, fraction of high-degree nodes)`` — to maximize
+communications performance under those hardware constraints.
+
+This module reproduces that methodology: enumerate every architecture-
+legal degree split for a target rate (all Table-1-style identities must
+hold), score each candidate with the GA-EXIT threshold of
+:mod:`repro.analysis.exit`, and return the ranking.  Run on rate 1/2 it
+rediscovers a profile of the same family as the standard's (j=8 class
+plus degree-3 bulk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.exit import decoding_threshold_db
+from .standard import CodeRateProfile, FRAME_LENGTH, PARALLELISM
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One architecture-legal degree split with its analytic score."""
+
+    profile: CodeRateProfile
+    threshold_db: float
+
+    @property
+    def j_high(self) -> int:
+        """High degree class of the candidate."""
+        return self.profile.j_high
+
+    @property
+    def high_fraction(self) -> float:
+        """Fraction of information nodes in the high class."""
+        return self.profile.n_high / self.profile.k_info
+
+
+def enumerate_candidates(
+    k_info: int,
+    n: int = FRAME_LENGTH,
+    j_values: Optional[List[int]] = None,
+    parallelism: int = PARALLELISM,
+    max_check_degree: int = 36,
+) -> List[CodeRateProfile]:
+    """All degree splits satisfying the architecture identities.
+
+    For each high degree ``j`` and check degree ``k`` the split is
+    forced: ``n_high = ((k-2)·N_parity − 3K) / (j − 3)`` must be a
+    positive multiple of the parallelism.
+    """
+    if k_info % parallelism or n % parallelism:
+        raise ValueError("K and N must be multiples of the parallelism")
+    n_parity = n - k_info
+    j_values = j_values or [4, 5, 6, 7, 8, 9, 10, 11, 12, 13]
+    out: List[CodeRateProfile] = []
+    for j in j_values:
+        for k in range(4, max_check_degree + 1):
+            numerator = (k - 2) * n_parity - 3 * k_info
+            if numerator <= 0 or numerator % (j - 3):
+                continue
+            n_high = numerator // (j - 3)
+            if n_high % parallelism or not 0 < n_high < k_info:
+                continue
+            profile = CodeRateProfile(
+                name=f"design-j{j}-k{k}",
+                n=n,
+                k_info=k_info,
+                n_high=n_high,
+                j_high=j,
+                n_3=k_info - n_high,
+                check_degree=k,
+                parallelism=parallelism,
+            )
+            try:
+                profile.validate()
+            except ValueError:  # pragma: no cover - filtered above
+                continue
+            out.append(profile)
+    return out
+
+
+def rank_candidates(
+    candidates: List[CodeRateProfile],
+    lo_db: float = -2.0,
+    hi_db: float = 8.0,
+) -> List[DesignCandidate]:
+    """Score candidates by GA-EXIT threshold, best (lowest) first."""
+    scored = []
+    for profile in candidates:
+        try:
+            threshold = decoding_threshold_db(
+                profile, lo_db=lo_db, hi_db=hi_db
+            )
+        except ValueError:
+            continue  # never converges in the bracket: discard
+        scored.append(
+            DesignCandidate(profile=profile, threshold_db=threshold)
+        )
+    return sorted(scored, key=lambda c: c.threshold_db)
+
+
+def design_code(
+    k_info: int,
+    n: int = FRAME_LENGTH,
+    j_values: Optional[List[int]] = None,
+    top: int = 5,
+) -> List[DesignCandidate]:
+    """The ref [7] flow in one call: enumerate, score, rank."""
+    candidates = enumerate_candidates(k_info, n, j_values)
+    if not candidates:
+        raise ValueError("no architecture-legal degree split exists")
+    return rank_candidates(candidates)[:top]

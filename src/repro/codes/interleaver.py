@@ -1,0 +1,62 @@
+"""DVB-S2 block bit interleaver (EN 302 307 §5.3.3).
+
+For 8PSK, 16APSK and 32APSK the standard interleaves each FECFRAME with
+a column-write / row-read block interleaver (3, 4 or 5 columns — one
+per constellation bit) so consecutive code bits land on different
+reliability levels of the constellation.  QPSK/BPSK frames are not
+interleaved.
+
+The interleaver is a pure permutation; :func:`deinterleave` inverts both
+bit streams and LLR streams, which is how the receiver feeds the
+decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Column count per modulation (bits per symbol for the APSK family).
+COLUMNS: Dict[str, int] = {"8psk": 3, "16apsk": 4, "32apsk": 5}
+
+
+def _columns_for(modulation: str, n: int) -> int:
+    key = modulation.lower()
+    if key in ("bpsk", "qpsk"):
+        raise ValueError(
+            f"{modulation} frames are not interleaved in DVB-S2"
+        )
+    if key not in COLUMNS:
+        raise KeyError(
+            f"unknown modulation {modulation!r}; expected one of "
+            f"{sorted(COLUMNS)} (QPSK/BPSK are uninterleaved)"
+        )
+    cols = COLUMNS[key]
+    if n % cols:
+        raise ValueError(
+            f"frame length {n} is not a multiple of {cols} columns"
+        )
+    return cols
+
+
+def interleave(frame: np.ndarray, modulation: str) -> np.ndarray:
+    """Serial-to-column write, row-wise read (transmitter side)."""
+    frame = np.asarray(frame)
+    cols = _columns_for(modulation, frame.size)
+    rows = frame.size // cols
+    # write column by column, read row by row
+    return frame.reshape(cols, rows).T.reshape(-1)
+
+
+def deinterleave(stream: np.ndarray, modulation: str) -> np.ndarray:
+    """Inverse permutation (receiver side; works on bits or LLRs)."""
+    stream = np.asarray(stream)
+    cols = _columns_for(modulation, stream.size)
+    rows = stream.size // cols
+    return stream.reshape(rows, cols).T.reshape(-1)
+
+
+def interleaver_permutation(n: int, modulation: str) -> np.ndarray:
+    """The explicit permutation: output index of every input bit."""
+    return interleave(np.arange(n), modulation)

@@ -1,0 +1,120 @@
+"""Parity-check matrix utilities (sparse, GF(2)).
+
+The decoders never materialize ``H``; they work on the Tanner graph edge
+arrays.  This module provides the matrix view for validation, rank checks on
+small codes, and interoperability (dense/`scipy.sparse` export).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tanner import TannerGraph
+
+
+def syndrome(graph: "TannerGraph", bits: np.ndarray) -> np.ndarray:
+    """Compute the GF(2) syndrome ``H x^T`` for hard bits.
+
+    Parameters
+    ----------
+    graph:
+        The Tanner graph defining ``H``.
+    bits:
+        Array of 0/1 codeword bits, length ``graph.n_vns``.
+
+    Returns
+    -------
+    Array of length ``graph.n_cns``; all zeros iff ``bits`` is a codeword
+    (paper Eq. 1).
+    """
+    bits = np.asarray(bits)
+    if bits.shape != (graph.n_vns,):
+        raise ValueError(
+            f"expected {graph.n_vns} bits, got shape {bits.shape}"
+        )
+    edge_bits = bits[graph.edge_vn].astype(np.int64)
+    sums = np.zeros(graph.n_cns, dtype=np.int64)
+    np.add.at(sums, graph.edge_cn, edge_bits)
+    return (sums & 1).astype(np.uint8)
+
+
+def is_codeword(graph: "TannerGraph", bits: np.ndarray) -> bool:
+    """True iff ``H x^T = 0`` (paper Eq. 1)."""
+    return not syndrome(graph, bits).any()
+
+
+def syndrome_weight(graph: "TannerGraph", bits: np.ndarray) -> int:
+    """Number of unsatisfied parity checks."""
+    return int(syndrome(graph, bits).sum())
+
+
+def to_dense(graph: "TannerGraph") -> np.ndarray:
+    """Materialize ``H`` as a dense uint8 array (small codes only).
+
+    Raises
+    ------
+    ValueError
+        If the dense matrix would exceed 64M entries, to protect against
+        accidentally densifying a full 64800-bit frame.
+    """
+    if graph.n_cns * graph.n_vns > 64_000_000:
+        raise ValueError(
+            "refusing to densify a parity-check matrix this large; "
+            "use to_scipy_sparse instead"
+        )
+    h = np.zeros((graph.n_cns, graph.n_vns), dtype=np.uint8)
+    h[graph.edge_cn, graph.edge_vn] = 1
+    return h
+
+
+def to_scipy_sparse(graph: "TannerGraph"):
+    """Export ``H`` as a ``scipy.sparse.csr_matrix`` (scipy required)."""
+    from scipy.sparse import csr_matrix
+
+    data = np.ones(graph.n_edges, dtype=np.uint8)
+    return csr_matrix(
+        (data, (graph.edge_cn, graph.edge_vn)),
+        shape=(graph.n_cns, graph.n_vns),
+    )
+
+
+def gf2_rank(h: np.ndarray) -> int:
+    """Rank of a dense binary matrix over GF(2) (Gaussian elimination).
+
+    Intended for the scaled test codes; cost is O(rows * cols^2 / 64) using
+    bit-packed rows.
+    """
+    rows, cols = h.shape
+    packed_width = (cols + 63) // 64
+    packed = np.zeros((rows, packed_width), dtype=np.uint64)
+    for j in range(cols):
+        col_bits = h[:, j].astype(np.uint64)
+        packed[:, j // 64] |= col_bits << np.uint64(j % 64)
+    rank = 0
+    used = np.zeros(rows, dtype=bool)
+    for j in range(cols):
+        word, bit = j // 64, np.uint64(1) << np.uint64(j % 64)
+        column_hits = (packed[:, word] & bit).astype(bool)
+        candidates = np.nonzero(column_hits & ~used)[0]
+        if candidates.size == 0:
+            continue
+        pivot = int(candidates[0])
+        used[pivot] = True
+        rank += 1
+        mask = column_hits.copy()
+        mask[pivot] = False
+        packed[mask] ^= packed[pivot]
+    return rank
+
+
+def density(graph: "TannerGraph") -> float:
+    """Fraction of nonzero entries of ``H`` (shows H is indeed sparse)."""
+    return graph.n_edges / (graph.n_cns * graph.n_vns)
+
+
+def structure_summary(graph: "TannerGraph") -> Tuple[int, int, int, float]:
+    """Return ``(n_vns, n_cns, n_edges, density)`` for reports."""
+    return graph.n_vns, graph.n_cns, graph.n_edges, density(graph)

@@ -1,0 +1,105 @@
+"""Structure-preserving scaled-down DVB-S2-like codes for fast tests.
+
+Full DVB-S2 frames are 64800 bits; Monte-Carlo statistics on them are slow
+in pure Python.  Because every count in a code-rate profile (``K``,
+``n_high``, ``n_3``, ``N_parity``) is a multiple of 360, the whole
+construction scales down by any divisor ``s`` of 360: the parallelism
+becomes ``M = 360 / s``, the frame becomes ``64800 / s`` bits, and — the
+crucial property — **q, the node degrees, and every structural identity are
+unchanged**, so the hardware mapping, the shuffle network, and the conflict
+analysis behave exactly as for the full code, just with fewer functional
+units.
+
+These scaled codes are this library's equivalent of an RTL testbench's
+reduced configuration: same architecture, smaller instance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .construction import LdpcCode
+from .standard import CodeRateProfile, FRAME_LENGTH, PARALLELISM, get_profile
+from .tables import DEFAULT_TABLE_SEED, TableDiagnostics, generate_table
+
+#: Divisors of 360 that make sensible test parallelisms.
+SUPPORTED_PARALLELISMS: Tuple[int, ...] = (
+    4, 6, 8, 9, 10, 12, 15, 18, 20, 24, 30, 36, 40, 45, 60, 72, 90, 120, 180, 360,
+)
+
+
+def scaled_profile(rate: str, parallelism: int) -> CodeRateProfile:
+    """Scale a standard profile down to a smaller parallelism.
+
+    Parameters
+    ----------
+    rate:
+        Standard rate label, e.g. ``"1/2"``.
+    parallelism:
+        Target group width ``M``; must divide 360.
+
+    Returns
+    -------
+    A validated :class:`~repro.codes.standard.CodeRateProfile` whose name is
+    suffixed with ``@M`` (e.g. ``"1/2@36"``) so reports can tell scaled
+    codes apart.
+    """
+    if parallelism <= 0 or PARALLELISM % parallelism != 0:
+        raise ValueError(
+            f"parallelism {parallelism} must be a positive divisor of 360"
+        )
+    base = get_profile(rate)
+    scale = PARALLELISM // parallelism
+    profile = CodeRateProfile(
+        name=f"{rate}@{parallelism}" if parallelism != PARALLELISM else rate,
+        n=FRAME_LENGTH // scale,
+        k_info=base.k_info // scale,
+        n_high=base.n_high // scale,
+        j_high=base.j_high,
+        n_3=base.n_3 // scale,
+        check_degree=base.check_degree,
+        parallelism=parallelism,
+    )
+    profile.validate()
+    if profile.q != base.q:
+        raise AssertionError("scaling must preserve q")  # pragma: no cover
+    return profile
+
+
+def build_small_code(
+    rate: str,
+    parallelism: int = 36,
+    seed: int = DEFAULT_TABLE_SEED,
+    validate: bool = True,
+) -> LdpcCode:
+    """Build a scaled code instance (default: 1/10 scale, 6480-bit frame)."""
+    profile = scaled_profile(rate, parallelism)
+    table, _ = generate_table(profile, seed=seed)
+    code = LdpcCode.from_parts(profile, table)
+    if validate:
+        code.validate()
+    return code
+
+
+def build_small_code_with_diagnostics(
+    rate: str,
+    parallelism: int = 36,
+    seed: int = DEFAULT_TABLE_SEED,
+) -> Tuple[LdpcCode, TableDiagnostics]:
+    """Like :func:`build_small_code` but also return girth diagnostics."""
+    profile = scaled_profile(rate, parallelism)
+    table, diag = generate_table(profile, seed=seed)
+    code = LdpcCode.from_parts(profile, table)
+    return code, diag
+
+
+def available_scales(rate: str) -> List[int]:
+    """Parallelisms for which the rate scales cleanly (all of them do)."""
+    results = []
+    for m in SUPPORTED_PARALLELISMS:
+        try:
+            scaled_profile(rate, m)
+        except ValueError:
+            continue
+        results.append(m)
+    return results

@@ -1,0 +1,243 @@
+"""Code-rate profiles of the DVB-S2 LDPC codes (normal frame, N = 64800).
+
+This module regenerates the code-rate dependent parameters of the paper's
+Table 1 (Tanner-graph parameters) and Table 2 (edge counts and connectivity
+storage) for all eleven code rates specified in EN 302 307.
+
+The DVB-S2 LDPC codes are irregular repeat-accumulate (IRA) codes.  For a
+code of rate ``R`` with frame length ``N = 64800``:
+
+* ``K = R * N`` information nodes (IN) split into two degree classes: ``n_high``
+  nodes of degree ``j_high`` and ``n_3`` nodes of degree 3,
+* ``N_parity = N - K`` parity nodes (PN), all of degree 2, chained in the
+  accumulator zigzag,
+* ``N_parity`` check nodes (CN) of constant degree ``k``: ``k - 2``
+  information edges plus the two zigzag edges (one for the first check).
+
+The structural identities tying these together (checked in
+:func:`CodeRateProfile.validate`) are exactly the ones the paper's hardware
+mapping exploits:
+
+* ``E_IN = n_high * j_high + n_3 * 3 = (k - 2) * N_parity``  (paper Eq. 6),
+* ``q = N_parity / 360``  (the accumulator step of paper Eq. 2),
+* ``Addr = E_IN / 360``  (address/shuffle ROM entries, Table 2),
+* ``E_PN = 2 * N_parity - 1``  (zigzag edges, paper Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+#: Frame length of the DVB-S2 *normal* FECFRAME, the only length the paper
+#: considers (the 0.7 dB-to-Shannon performance stems from this block size).
+FRAME_LENGTH = 64800
+
+#: Hardware parallelism the standard's construction is built around: the
+#: permutation tables address groups of 360 information nodes at once, which
+#: is what allows 360 functional units to work in lock step.
+PARALLELISM = 360
+
+#: The eleven code rates of EN 302 307, in the order of the paper's Table 1.
+RATE_NAMES: Tuple[str, ...] = (
+    "1/4", "1/3", "2/5", "1/2", "3/5", "2/3", "3/4", "4/5", "5/6", "8/9", "9/10",
+)
+
+
+@dataclass(frozen=True)
+class CodeRateProfile:
+    """All rate-dependent parameters of one DVB-S2 LDPC code.
+
+    Instances are immutable value objects; obtain them via :func:`get_profile`
+    or :func:`all_profiles`.
+
+    Attributes
+    ----------
+    name:
+        Rate label as printed in the standard, e.g. ``"1/2"``.
+    n:
+        Codeword length (always :data:`FRAME_LENGTH` here).
+    k_info:
+        Number of information bits ``K`` (= number of information nodes).
+    n_high:
+        Number of information nodes of the high degree class.
+    j_high:
+        Degree of the high degree class (paper Table 1 column ``j``).
+    n_3:
+        Number of information nodes of degree 3.
+    check_degree:
+        Constant check node degree ``k`` (including the two zigzag edges).
+    """
+
+    name: str
+    n: int
+    k_info: int
+    n_high: int
+    j_high: int
+    n_3: int
+    check_degree: int
+    parallelism: int = PARALLELISM
+
+    # ------------------------------------------------------------------
+    # Derived quantities (Table 1 / Table 2 columns)
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> Fraction:
+        """Exact code rate ``K / N`` as a fraction."""
+        return Fraction(self.k_info, self.n)
+
+    @property
+    def n_parity(self) -> int:
+        """Number of parity nodes ``N_parity = N - K`` (= number of checks)."""
+        return self.n - self.k_info
+
+    @property
+    def n_checks(self) -> int:
+        """Number of check nodes (equal to :attr:`n_parity` for IRA codes)."""
+        return self.n_parity
+
+    @property
+    def q(self) -> int:
+        """Accumulator spreading factor ``q = N_parity / 360`` of paper Eq. 2."""
+        return self.n_parity // self.parallelism
+
+    @property
+    def e_in(self) -> int:
+        """Number of edges between information and check nodes (Table 2 E_IN)."""
+        return self.n_high * self.j_high + self.n_3 * 3
+
+    @property
+    def e_pn(self) -> int:
+        """Number of edges between parity and check nodes (Table 2 E_PN).
+
+        Parity node ``j`` connects to checks ``j`` and ``j + 1`` (zigzag),
+        except the last one which only closes check ``N_parity - 1``; hence
+        ``2 * N_parity - 1`` edges.
+        """
+        return 2 * self.n_parity - 1
+
+    @property
+    def e_total(self) -> int:
+        """Total Tanner-graph edge count processed per iteration."""
+        return self.e_in + self.e_pn
+
+    @property
+    def addr_entries(self) -> int:
+        """Connectivity storage: address/shuffle words (Table 2 ``Addr``).
+
+        One word steers one clock cycle in which 360 messages move through
+        the shuffling network, so ``Addr = E_IN / 360``.
+        """
+        return self.e_in // self.parallelism
+
+    @property
+    def in_groups(self) -> int:
+        """Number of 360-wide information node groups (``K / 360``)."""
+        return self.k_info // self.parallelism
+
+    @property
+    def high_degree_groups(self) -> int:
+        """Number of 360-wide groups made of degree-``j_high`` nodes."""
+        return self.n_high // self.parallelism
+
+    @property
+    def degree_sequence(self) -> List[Tuple[int, int]]:
+        """Information node degree distribution as ``[(count, degree), ...]``."""
+        return [(self.n_high, self.j_high), (self.n_3, 3)]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every structural identity the hardware mapping relies on.
+
+        Raises
+        ------
+        ValueError
+            If any invariant is violated (would indicate a corrupted
+            profile table, never expected for the shipped profiles).
+        """
+        problems: List[str] = []
+        if self.n_high + self.n_3 != self.k_info:
+            problems.append("degree classes do not partition the information nodes")
+        if self.n_parity % self.parallelism != 0:
+            problems.append("N_parity is not a multiple of the parallelism")
+        if self.k_info % self.parallelism != 0:
+            problems.append("K is not a multiple of the parallelism")
+        if self.n_high % self.parallelism != 0:
+            problems.append("n_high is not a multiple of the parallelism")
+        if self.e_in != (self.check_degree - 2) * self.n_checks:
+            problems.append(
+                "edge balance violated: E_IN != (k - 2) * N_checks (paper Eq. 6)"
+            )
+        if self.e_in % self.parallelism != 0:
+            problems.append("E_IN is not a multiple of the parallelism")
+        if problems:
+            raise ValueError(f"profile {self.name}: " + "; ".join(problems))
+
+
+def _build_profiles() -> Dict[str, CodeRateProfile]:
+    """Construct the table of the eleven standard profiles.
+
+    The raw numbers are the DVB-S2 normal-frame parameters (paper Table 1);
+    each profile is validated on construction so a typo here cannot survive
+    import.
+    """
+    raw = [
+        # name,  K,     n_high, j_high, n_3,   k
+        ("1/4", 16200, 5400, 12, 10800, 4),
+        ("1/3", 21600, 7200, 12, 14400, 5),
+        ("2/5", 25920, 8640, 12, 17280, 6),
+        ("1/2", 32400, 12960, 8, 19440, 7),
+        ("3/5", 38880, 12960, 12, 25920, 11),
+        ("2/3", 43200, 4320, 13, 38880, 10),
+        ("3/4", 48600, 5400, 12, 43200, 14),
+        ("4/5", 51840, 6480, 11, 45360, 18),
+        ("5/6", 54000, 5400, 13, 48600, 22),
+        ("8/9", 57600, 7200, 4, 50400, 27),
+        ("9/10", 58320, 6480, 4, 51840, 30),
+    ]
+    profiles: Dict[str, CodeRateProfile] = {}
+    for name, k_info, n_high, j_high, n_3, k in raw:
+        profile = CodeRateProfile(
+            name=name,
+            n=FRAME_LENGTH,
+            k_info=k_info,
+            n_high=n_high,
+            j_high=j_high,
+            n_3=n_3,
+            check_degree=k,
+        )
+        profile.validate()
+        profiles[name] = profile
+    return profiles
+
+
+_PROFILES: Dict[str, CodeRateProfile] = _build_profiles()
+
+
+def get_profile(rate: str) -> CodeRateProfile:
+    """Return the profile for a rate label such as ``"1/2"``.
+
+    Parameters
+    ----------
+    rate:
+        One of :data:`RATE_NAMES`.
+
+    Raises
+    ------
+    KeyError
+        If the rate is not one of the eleven DVB-S2 rates.
+    """
+    try:
+        return _PROFILES[rate]
+    except KeyError:
+        raise KeyError(
+            f"unknown DVB-S2 code rate {rate!r}; expected one of {RATE_NAMES}"
+        ) from None
+
+
+def all_profiles() -> List[CodeRateProfile]:
+    """Return the eleven profiles in the paper's Table 1 order."""
+    return [_PROFILES[name] for name in RATE_NAMES]

@@ -1,0 +1,392 @@
+"""Synthetic DVB-S2 address tables (the permutation ``Π`` of paper Fig. 1).
+
+The DVB-S2 standard defines the random part of the parity-check matrix by
+per-rate *address tables*: for every group of 360 information columns there is
+one row of base addresses, and each base address ``x`` is expanded by the
+encoding rule (paper Eq. 2)::
+
+    j = (x + q * (m mod 360)) mod N_parity        for m = 0 .. 359
+
+into one check-node connection per column of the group.
+
+The genuine annex tables of EN 302 307 are not redistributable here, so this
+module generates *structurally identical* synthetic tables (see DESIGN.md,
+"Substitutions").  The construction enforces every property the paper's
+architecture exploits:
+
+* **Group structure** — one row per 360-wide group, row length equals the
+  group's node degree, so the address/shuffle ROM needs exactly
+  ``Addr = E_IN / 360`` words (paper Table 2).
+* **Balanced check degrees** — each check node receives exactly ``k - 2``
+  information edges.  Because the expansion of a base address ``x`` touches
+  exactly the 360 checks congruent to ``x (mod q)``, this reduces to giving
+  every residue class mod ``q`` exactly ``k - 2`` base addresses.
+* **Cyclic-shift property** — writing ``x = r + q * t``, the edge of column
+  ``m`` lands on check ``r + q * ((t + m) mod 360)``; with the paper's node
+  mapping this is a cyclic shift by ``t`` between functional units, which is
+  what makes a simple barrel shuffler sufficient (paper Section 3).
+* **Girth conditioning** — no 4-cycles inside a group (distinct residues per
+  row), no information/parity 4-cycles (no two addresses of a row differ by
+  ±1), and cross-group 4-cycles are removed by an iterative repair pass, as
+  the standard's designers did for the genuine tables.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .standard import CodeRateProfile, get_profile
+
+#: Seed used for the shipped tables.  Fixed so that every build of this
+#: library produces bit-identical codes (the tables play the role of the
+#: standard's frozen annex tables).
+DEFAULT_TABLE_SEED = 0x5B52  # "S2" homage
+
+_MAX_REPAIR_PASSES = 60
+
+
+@dataclass(frozen=True)
+class AddressTable:
+    """A per-rate address table defining the permutation ``Π``.
+
+    Attributes
+    ----------
+    rate_name:
+        Code-rate label, e.g. ``"1/2"``.
+    parallelism:
+        Group width ``M`` (360 for the standard codes).
+    q:
+        Accumulator spreading factor; checks indices live in
+        ``[0, parallelism * q)``.
+    rows:
+        One tuple of base addresses per information-node group; group ``g``
+        covers information nodes ``[g * M, (g + 1) * M)`` and its row length
+        equals the degree of those nodes.
+    """
+
+    rate_name: str
+    parallelism: int
+    q: int
+    rows: Tuple[Tuple[int, ...], ...]
+    seed: int = DEFAULT_TABLE_SEED
+
+    @property
+    def n_checks(self) -> int:
+        """Number of check nodes covered by the table."""
+        return self.parallelism * self.q
+
+    @property
+    def n_address_words(self) -> int:
+        """Total number of base addresses (= ``Addr`` of paper Table 2)."""
+        return sum(len(row) for row in self.rows)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of information-node groups."""
+        return len(self.rows)
+
+    def iter_addresses(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(group_index, base_address)`` in table order."""
+        for g, row in enumerate(self.rows):
+            for x in row:
+                yield g, x
+
+    def expand_group(self, group: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand one group into its edges.
+
+        Returns
+        -------
+        (vn, cn):
+            Arrays of equal length ``M * degree(group)`` holding the
+            information-node and check-node index of every edge, in
+            address-major order (all 360 edges of the first base address
+            first).  Information nodes are numbered globally from 0.
+        """
+        m_range = np.arange(self.parallelism, dtype=np.int64)
+        vn_parts: List[np.ndarray] = []
+        cn_parts: List[np.ndarray] = []
+        base_vn = group * self.parallelism
+        for x in self.rows[group]:
+            vn_parts.append(base_vn + m_range)
+            cn_parts.append((x + self.q * m_range) % self.n_checks)
+        return np.concatenate(vn_parts), np.concatenate(cn_parts)
+
+    def expand(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand the whole table into ``(vn, cn)`` edge arrays."""
+        vn_parts: List[np.ndarray] = []
+        cn_parts: List[np.ndarray] = []
+        for g in range(self.n_groups):
+            vn, cn = self.expand_group(g)
+            vn_parts.append(vn)
+            cn_parts.append(cn)
+        return np.concatenate(vn_parts), np.concatenate(cn_parts)
+
+    def check_degrees(self) -> np.ndarray:
+        """Information-edge degree of every check node (should be ``k - 2``)."""
+        _, cn = self.expand()
+        return np.bincount(cn, minlength=self.n_checks)
+
+    def shuffle_offsets(self) -> List[List[int]]:
+        """Cyclic-shift amounts ``t = x // q`` per row (shuffle-ROM contents)."""
+        return [[x // self.q for x in row] for row in self.rows]
+
+    def ram_addresses(self) -> List[List[int]]:
+        """Check-side base rows ``r = x mod q`` per row (address-ROM contents)."""
+        return [[x % self.q for x in row] for row in self.rows]
+
+
+@dataclass
+class TableDiagnostics:
+    """Girth-conditioning statistics collected while generating a table."""
+
+    repair_passes: int = 0
+    resampled_offsets: int = 0
+    residual_cross_group_collisions: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def four_cycle_free(self) -> bool:
+        """True when the repair pass removed every detectable 4-cycle."""
+        return self.residual_cross_group_collisions == 0
+
+
+class TableGenerationError(RuntimeError):
+    """Raised when a structurally valid table cannot be constructed."""
+
+
+def _group_degrees(profile) -> List[int]:
+    """Per-group node degree: high-degree groups first, then degree-3 groups."""
+    m = profile.parallelism if hasattr(profile, "parallelism") else 360
+    degrees = [profile.j_high] * (profile.n_high // m)
+    degrees += [3] * (profile.n_3 // m)
+    return degrees
+
+
+def _assign_residues(
+    degrees: Sequence[int], q: int, capacity: int, rng: np.random.Generator
+) -> List[List[int]]:
+    """Assign each group ``d_g`` distinct residues mod ``q``.
+
+    Every residue must be used exactly ``capacity`` (= ``k - 2``) times in
+    total, which is what balances the check-node degrees.  A greedy
+    most-remaining-capacity choice (ties shuffled) always succeeds because
+    every group degree is at most ``q`` and capacities start uniform.
+    """
+    remaining = np.full(q, capacity, dtype=np.int64)
+    assignment: List[List[int]] = []
+    order = sorted(range(len(degrees)), key=lambda g: -degrees[g])
+    rows: Dict[int, List[int]] = {}
+    for g in order:
+        d = degrees[g]
+        if d > q:
+            raise TableGenerationError(
+                f"group degree {d} exceeds q={q}; cannot pick distinct residues"
+            )
+        # Most-constrained-first: take the residues with the largest
+        # remaining capacity, breaking ties randomly for ensemble variety.
+        tiebreak = rng.random(q)
+        ranking = np.lexsort((tiebreak, -remaining))
+        chosen = [int(r) for r in ranking[:d]]
+        if remaining[chosen].min() <= 0:
+            raise TableGenerationError(
+                "residue capacities exhausted; profile identities violated"
+            )
+        remaining[chosen] -= 1
+        rows[g] = chosen
+    if remaining.any():
+        raise TableGenerationError("unbalanced residue assignment")
+    for g in range(len(degrees)):
+        assignment.append(rows[g])
+    return assignment
+
+
+def _initial_offsets(
+    residues: List[List[int]], q: int, m: int, rng: np.random.Generator
+) -> List[List[int]]:
+    """Pick a random offset ``t`` in ``[0, M)`` for every (group, residue)."""
+    return [[int(rng.integers(0, m)) for _ in row] for row in residues]
+
+
+def _row_addresses(residues: List[int], offsets: List[int], q: int) -> List[int]:
+    return [r + q * t for r, t in zip(residues, offsets)]
+
+
+def _within_group_ok(addresses: List[int], n_checks: int) -> bool:
+    """Reject rows whose addresses differ by ±1 (would make IN/PN 4-cycles)."""
+    seen = set(addresses)
+    for x in addresses:
+        if (x + 1) % n_checks in seen or (x - 1) % n_checks in seen:
+            return False
+    return True
+
+
+def _cross_group_collisions(
+    rows: List[List[int]], q: int, n_checks: int
+) -> List[Tuple[int, int, int, int]]:
+    """Find cross-group 4-cycles.
+
+    Two groups ``g1 < g2`` produce a 4-cycle when two *distinct* pairs of
+    same-residue addresses have the same difference modulo ``n_checks``.
+    Returns a list of ``(g1, i1, g2, i2)`` witnesses: the address ``i2`` of
+    group ``g2`` participating in a colliding pair (a good candidate for
+    resampling).
+    """
+    # Bucket addresses by residue class: residue -> list of (group, idx, t)
+    by_residue: Dict[int, List[Tuple[int, int, int]]] = {}
+    for g, row in enumerate(rows):
+        for i, x in enumerate(row):
+            by_residue.setdefault(x % q, []).append((g, i, x // q))
+
+    m = n_checks // q
+    # For every unordered pair of groups, collect differences of shared
+    # residues; a repeated difference is a 4-cycle.
+    diffs: Dict[Tuple[int, int], Dict[int, Tuple[int, int]]] = {}
+    collisions: List[Tuple[int, int, int, int]] = []
+    for members in by_residue.values():
+        for a in range(len(members)):
+            g1, i1, t1 = members[a]
+            for b in range(a + 1, len(members)):
+                g2, i2, t2 = members[b]
+                if g1 == g2:
+                    # distinct residues within a group make this impossible
+                    continue
+                if g1 < g2:
+                    ga, ia, ta, gb, ib, tb = g1, i1, t1, g2, i2, t2
+                else:
+                    ga, ia, ta, gb, ib, tb = g2, i2, t2, g1, i1, t1
+                d = (ta - tb) % m
+                bucket = diffs.setdefault((ga, gb), {})
+                if d in bucket:
+                    collisions.append((ga, bucket[d][0], gb, ib))
+                else:
+                    bucket[d] = (ia, ib)
+    return collisions
+
+
+def generate_table(
+    profile: CodeRateProfile,
+    seed: int = DEFAULT_TABLE_SEED,
+    max_repair_passes: int = _MAX_REPAIR_PASSES,
+) -> Tuple[AddressTable, TableDiagnostics]:
+    """Generate a synthetic address table for a code-rate profile.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`~repro.codes.standard.CodeRateProfile` or any object with
+        the same attributes (the scaled specs of :mod:`repro.codes.small`
+        also qualify).
+    seed:
+        PRNG seed; the shipped codes use :data:`DEFAULT_TABLE_SEED`.
+    max_repair_passes:
+        Bound on the 4-cycle repair iterations; any residual collisions are
+        reported in the returned diagnostics instead of raising.
+
+    Returns
+    -------
+    (table, diagnostics):
+        The frozen table plus girth-conditioning statistics.
+    """
+    m = getattr(profile, "parallelism", 360)
+    q = profile.q
+    n_checks = profile.n_checks
+    capacity = profile.check_degree - 2
+    # zlib.crc32 is stable across processes (str.__hash__ is salted).
+    name_hash = zlib.crc32(profile.name.encode("ascii"))
+    rng = np.random.default_rng((seed << 32) ^ name_hash ^ (m << 16))
+
+    degrees = _group_degrees(profile)
+    residues = _assign_residues(degrees, q, capacity, rng)
+    offsets = _initial_offsets(residues, q, m, rng)
+    diag = TableDiagnostics()
+
+    rows = [
+        _row_addresses(res, off, q) for res, off in zip(residues, offsets)
+    ]
+
+    # Enforce the within-group ±1 constraint by local resampling.
+    for g, row in enumerate(rows):
+        guard = 0
+        while not _within_group_ok(row, n_checks):
+            i = int(rng.integers(0, len(row)))
+            offsets[g][i] = int(rng.integers(0, m))
+            row = _row_addresses(residues[g], offsets[g], q)
+            rows[g] = row
+            diag.resampled_offsets += 1
+            guard += 1
+            if guard > 1000:
+                raise TableGenerationError(
+                    f"cannot satisfy within-group constraint for group {g}"
+                )
+
+    # Iteratively repair cross-group difference collisions (4-cycles).
+    for _ in range(max_repair_passes):
+        collisions = _cross_group_collisions(rows, q, n_checks)
+        if not collisions:
+            break
+        diag.repair_passes += 1
+        touched = set()
+        for g1, i1, g2, i2 in collisions:
+            if (g2, i2) in touched:
+                continue
+            touched.add((g2, i2))
+            guard = 0
+            while True:
+                offsets[g2][i2] = int(rng.integers(0, m))
+                candidate = _row_addresses(residues[g2], offsets[g2], q)
+                if _within_group_ok(candidate, n_checks):
+                    rows[g2] = candidate
+                    diag.resampled_offsets += 1
+                    break
+                guard += 1
+                if guard > 1000:
+                    raise TableGenerationError(
+                        f"cannot resample offset for group {g2}"
+                    )
+    else:
+        collisions = _cross_group_collisions(rows, q, n_checks)
+
+    diag.residual_cross_group_collisions = len(
+        _cross_group_collisions(rows, q, n_checks)
+    )
+    if diag.residual_cross_group_collisions:
+        diag.notes.append(
+            "table retains short cycles; acceptable for scaled test codes"
+        )
+
+    table = AddressTable(
+        rate_name=profile.name,
+        parallelism=m,
+        q=q,
+        rows=tuple(tuple(row) for row in rows),
+        seed=seed,
+    )
+    return table, diag
+
+
+_TABLE_CACHE: Dict[Tuple[str, int, int], Tuple[AddressTable, TableDiagnostics]] = {}
+
+
+def get_table(
+    rate: str, seed: int = DEFAULT_TABLE_SEED
+) -> AddressTable:
+    """Return the (cached) shipped table for a standard rate label."""
+    profile = get_profile(rate)
+    key = (rate, profile.parallelism if hasattr(profile, "parallelism") else 360, seed)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = generate_table(profile, seed=seed)
+    return _TABLE_CACHE[key][0]
+
+
+def get_table_diagnostics(
+    rate: str, seed: int = DEFAULT_TABLE_SEED
+) -> TableDiagnostics:
+    """Return the diagnostics recorded while generating the shipped table."""
+    get_table(rate, seed=seed)
+    profile = get_profile(rate)
+    key = (rate, profile.parallelism if hasattr(profile, "parallelism") else 360, seed)
+    return _TABLE_CACHE[key][1]

@@ -1,0 +1,173 @@
+"""Tanner graph representation used by every decoder and hardware model.
+
+A :class:`TannerGraph` stores the bipartite graph of paper Fig. 1 as flat
+edge arrays plus two sorted views (by variable node and by check node) that
+make the vectorized message-passing decoders O(E) per iteration:
+
+* ``edge_vn[e]`` / ``edge_cn[e]`` — endpoints of edge ``e`` in *canonical*
+  order (information edges in address-table order, then the zigzag edges),
+* ``vn_order`` / ``cn_order`` — permutations sorting edges by VN / by CN,
+* ``vn_ptr`` / ``cn_ptr`` — CSR-style segment pointers into those orders.
+
+Variable nodes are numbered codeword-style: information nodes ``0 .. K-1``
+followed by parity nodes ``K .. N-1`` (matching the systematic codeword
+layout of the IRA encoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TannerGraph:
+    """Immutable bipartite graph between variable and check nodes."""
+
+    n_vns: int
+    n_cns: int
+    edge_vn: np.ndarray
+    edge_cn: np.ndarray
+    n_info: int
+
+    def __post_init__(self) -> None:
+        if self.edge_vn.shape != self.edge_cn.shape:
+            raise ValueError("edge endpoint arrays must have equal length")
+        if self.edge_vn.size and (
+            self.edge_vn.min() < 0 or self.edge_vn.max() >= self.n_vns
+        ):
+            raise ValueError("variable-node index out of range")
+        if self.edge_cn.size and (
+            self.edge_cn.min() < 0 or self.edge_cn.max() >= self.n_cns
+        ):
+            raise ValueError("check-node index out of range")
+        if not 0 <= self.n_info <= self.n_vns:
+            raise ValueError("n_info out of range")
+        # Sorted views are derived once; object.__setattr__ because frozen.
+        vn_order = np.argsort(self.edge_vn, kind="stable")
+        cn_order = np.argsort(self.edge_cn, kind="stable")
+        vn_deg = np.bincount(self.edge_vn, minlength=self.n_vns)
+        cn_deg = np.bincount(self.edge_cn, minlength=self.n_cns)
+        object.__setattr__(self, "_vn_order", vn_order)
+        object.__setattr__(self, "_cn_order", cn_order)
+        object.__setattr__(self, "_vn_deg", vn_deg)
+        object.__setattr__(self, "_cn_deg", cn_deg)
+        object.__setattr__(
+            self, "_vn_ptr", np.concatenate(([0], np.cumsum(vn_deg)))
+        )
+        object.__setattr__(
+            self, "_cn_ptr", np.concatenate(([0], np.cumsum(cn_deg)))
+        )
+
+    # ------------------------------------------------------------------
+    # Shape queries
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Total number of edges."""
+        return int(self.edge_vn.size)
+
+    @property
+    def n_parity(self) -> int:
+        """Number of parity (non-information) variable nodes."""
+        return self.n_vns - self.n_info
+
+    @property
+    def vn_degrees(self) -> np.ndarray:
+        """Degree of every variable node."""
+        return self._vn_deg
+
+    @property
+    def cn_degrees(self) -> np.ndarray:
+        """Degree of every check node."""
+        return self._cn_deg
+
+    @property
+    def vn_order(self) -> np.ndarray:
+        """Permutation of edge indices sorted by variable node (stable)."""
+        return self._vn_order
+
+    @property
+    def cn_order(self) -> np.ndarray:
+        """Permutation of edge indices sorted by check node (stable)."""
+        return self._cn_order
+
+    @property
+    def vn_ptr(self) -> np.ndarray:
+        """Segment pointers: edges of VN ``v`` are
+        ``vn_order[vn_ptr[v]:vn_ptr[v+1]]``."""
+        return self._vn_ptr
+
+    @property
+    def cn_ptr(self) -> np.ndarray:
+        """Segment pointers: edges of CN ``c`` are
+        ``cn_order[cn_ptr[c]:cn_ptr[c+1]]``."""
+        return self._cn_ptr
+
+    # ------------------------------------------------------------------
+    # Node-local views
+    # ------------------------------------------------------------------
+    def vn_edges(self, v: int) -> np.ndarray:
+        """Edge indices incident to variable node ``v``."""
+        return self._vn_order[self._vn_ptr[v] : self._vn_ptr[v + 1]]
+
+    def cn_edges(self, c: int) -> np.ndarray:
+        """Edge indices incident to check node ``c``."""
+        return self._cn_order[self._cn_ptr[c] : self._cn_ptr[c + 1]]
+
+    def neighbors_of_cn(self, c: int) -> np.ndarray:
+        """Variable nodes adjacent to check node ``c``."""
+        return self.edge_vn[self.cn_edges(c)]
+
+    def neighbors_of_vn(self, v: int) -> np.ndarray:
+        """Check nodes adjacent to variable node ``v``."""
+        return self.edge_cn[self.vn_edges(v)]
+
+    def is_information(self, v: int) -> bool:
+        """True when variable node ``v`` is an information node."""
+        return 0 <= v < self.n_info
+
+    # ------------------------------------------------------------------
+    # Validation and structural statistics
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on violation."""
+        if int(self._vn_deg.sum()) != self.n_edges:
+            raise ValueError("variable degrees do not sum to edge count")
+        if int(self._cn_deg.sum()) != self.n_edges:
+            raise ValueError("check degrees do not sum to edge count")
+        if (self._vn_deg == 0).any():
+            raise ValueError("isolated variable node present")
+        if (self._cn_deg == 0).any():
+            raise ValueError("isolated check node present")
+        # No parallel edges: endpoint pairs must be unique.
+        pair_key = self.edge_vn.astype(np.int64) * self.n_cns + self.edge_cn
+        if np.unique(pair_key).size != self.n_edges:
+            raise ValueError("parallel edges present in Tanner graph")
+
+    def count_4cycles(self, max_vn: int | None = None) -> int:
+        """Count 4-cycles touching the first ``max_vn`` variable nodes.
+
+        A 4-cycle is a pair of variable nodes sharing two check nodes.
+        The count is exact when ``max_vn`` is ``None``; restricting it keeps
+        the diagnostic affordable on full 64800-bit frames.
+        """
+        limit = self.n_vns if max_vn is None else min(max_vn, self.n_vns)
+        count = 0
+        for v in range(limit):
+            checks = self.neighbors_of_vn(v)
+            partners = np.concatenate(
+                [self.neighbors_of_cn(c) for c in checks]
+            )
+            partners = partners[partners > v]
+            if partners.size:
+                _, occurrences = np.unique(partners, return_counts=True)
+                count += int(((occurrences * (occurrences - 1)) // 2).sum())
+        return count
+
+    def degree_histogram(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Histogram of variable-node degrees ``(degrees, counts)``."""
+        degrees, counts = np.unique(self._vn_deg, return_counts=True)
+        return degrees, counts

@@ -1,0 +1,33 @@
+"""Public IP-core facade and datasheet reports."""
+
+from .config import IpCoreConfig
+from .ip_core import DvbS2LdpcDecoderIp
+from .multirate import MultiRateDecoderIp
+from .vectors import generate_vectors, load_vectors, replay_vectors
+from .report import (
+    exit_threshold_report,
+    format_table,
+    full_datasheet,
+    power_report,
+    table1_report,
+    table2_report,
+    table3_report,
+    throughput_report,
+)
+
+__all__ = [
+    "DvbS2LdpcDecoderIp",
+    "IpCoreConfig",
+    "MultiRateDecoderIp",
+    "exit_threshold_report",
+    "format_table",
+    "full_datasheet",
+    "generate_vectors",
+    "load_vectors",
+    "power_report",
+    "replay_vectors",
+    "table1_report",
+    "table2_report",
+    "table3_report",
+    "throughput_report",
+]

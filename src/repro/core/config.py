@@ -1,0 +1,48 @@
+"""Top-level configuration of the DVB-S2 LDPC decoder IP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codes.standard import RATE_NAMES
+from ..quantize.fixed_point import MESSAGE_6BIT, FixedPointFormat
+
+
+@dataclass(frozen=True)
+class IpCoreConfig:
+    """Everything a user chooses when instantiating the IP core.
+
+    Defaults mirror the synthesized configuration of the paper: 64800-bit
+    frames, 6-bit messages, 30 iterations, 270 MHz, 360 functional units,
+    annealed addressing.
+    """
+
+    rate: str = "1/2"
+    iterations: int = 30
+    fmt: FixedPointFormat = MESSAGE_6BIT
+    normalization: float = 0.75
+    channel_scale: float = 1.0
+    clock_hz: float = 270e6
+    parallelism: int = 360
+    anneal_addressing: bool = True
+    annealing_iterations: int = 800
+    early_stop: bool = False
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Reject configurations the architecture cannot realize."""
+        problems = []
+        if self.rate not in RATE_NAMES:
+            problems.append(f"unknown rate {self.rate!r}")
+        if self.iterations < 1:
+            problems.append("need at least one iteration")
+        if not 0.0 < self.normalization <= 1.0:
+            problems.append("normalization must be in (0, 1]")
+        if self.channel_scale <= 0:
+            problems.append("channel_scale must be positive")
+        if self.clock_hz <= 0:
+            problems.append("clock must be positive")
+        if self.parallelism < 1 or 360 % self.parallelism != 0:
+            problems.append("parallelism must divide 360")
+        if problems:
+            raise ValueError("; ".join(problems))

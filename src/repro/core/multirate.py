@@ -1,0 +1,163 @@
+"""The multi-rate IP — "capable to process all specified code rates".
+
+The paper's headline is not eleven decoders but **one**: a single set of
+360 functional units, one shuffling network, memories sized by the worst
+rate per component, and per-rate address/shuffle ROM contents loaded on
+a rate switch.  This module models exactly that object: codes and
+schedules are built (and optionally annealed) lazily per rate, while the
+datapath configuration — message format, normalization, parallelism —
+is fixed at construction like silicon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode, build_code
+from ..codes.small import build_small_code
+from ..codes.standard import PARALLELISM, RATE_NAMES
+from ..decode.result import DecodeResult
+from ..encode.encoder import IraEncoder
+from ..hw.annealing import AnnealingConfig, optimize_rate
+from ..hw.area import AreaModel, AreaReport
+from ..hw.conflicts import simulate_cn_phase
+from ..hw.decoder_core import CoreConfig, DecoderIpCore
+from ..hw.mapping import IpMapping
+from ..hw.schedule import DecoderSchedule
+from .config import IpCoreConfig
+
+
+class MultiRateDecoderIp:
+    """One decoder instance serving every DVB-S2 code rate.
+
+    Parameters
+    ----------
+    config:
+        Datapath configuration; its ``rate`` field is ignored (all rates
+        are served) but parallelism, format, normalization, iteration
+        budget and annealing policy apply to every rate.
+    rates:
+        Rates to support; defaults to all eleven.
+    """
+
+    def __init__(
+        self,
+        config: Optional[IpCoreConfig] = None,
+        rates: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.config = config or IpCoreConfig()
+        self.config.validate()
+        self.rates = tuple(rates) if rates is not None else RATE_NAMES
+        unknown = set(self.rates) - set(RATE_NAMES)
+        if unknown:
+            raise ValueError(f"unknown rates: {sorted(unknown)}")
+        self._codes: Dict[str, LdpcCode] = {}
+        self._schedules: Dict[str, DecoderSchedule] = {}
+        self._cores: Dict[str, DecoderIpCore] = {}
+        self._encoders: Dict[str, IraEncoder] = {}
+        self._active: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Rate switching (the ROM reload of a real IP)
+    # ------------------------------------------------------------------
+    def _materialize(self, rate: str) -> None:
+        if rate in self._cores:
+            return
+        if rate not in self.rates:
+            raise KeyError(
+                f"rate {rate!r} not supported by this instance"
+            )
+        cfg = self.config
+        if cfg.parallelism == PARALLELISM:
+            code = build_code(rate)
+        else:
+            code = build_small_code(rate, parallelism=cfg.parallelism)
+        mapping = IpMapping(code)
+        if cfg.anneal_addressing:
+            schedule = optimize_rate(
+                mapping,
+                AnnealingConfig(
+                    iterations=cfg.annealing_iterations, seed=cfg.seed
+                ),
+            ).schedule
+        else:
+            schedule = DecoderSchedule.canonical(mapping)
+        self._codes[rate] = code
+        self._schedules[rate] = schedule
+        self._cores[rate] = DecoderIpCore(
+            code,
+            schedule=schedule,
+            config=CoreConfig(
+                fmt=cfg.fmt,
+                normalization=cfg.normalization,
+                channel_scale=cfg.channel_scale,
+                iterations=cfg.iterations,
+                early_stop=cfg.early_stop,
+            ),
+        )
+        self._encoders[rate] = IraEncoder(code)
+
+    def select_rate(self, rate: str) -> None:
+        """Load a rate's ROMs (lazy build + anneal on first use)."""
+        self._materialize(rate)
+        self._active = rate
+
+    @property
+    def active_rate(self) -> Optional[str]:
+        """Currently selected rate, or ``None``."""
+        return self._active
+
+    def code(self, rate: Optional[str] = None) -> LdpcCode:
+        """The code object of a (or the active) rate."""
+        rate = self._require(rate)
+        return self._codes[rate]
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    def encode(
+        self, info_bits: np.ndarray, rate: Optional[str] = None
+    ) -> np.ndarray:
+        """Encode with the selected (or given) rate."""
+        rate = self._require(rate)
+        return self._encoders[rate].encode(info_bits)
+
+    def decode(
+        self, channel_llrs: np.ndarray, rate: Optional[str] = None
+    ) -> DecodeResult:
+        """Decode with the selected (or given) rate."""
+        rate = self._require(rate)
+        return self._cores[rate].decode(channel_llrs)
+
+    def _require(self, rate: Optional[str]) -> str:
+        if rate is not None:
+            self._materialize(rate)
+            return rate
+        if self._active is None:
+            raise RuntimeError(
+                "no rate selected; call select_rate() first"
+            )
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Shared-silicon accounting
+    # ------------------------------------------------------------------
+    def shared_area_report(self) -> AreaReport:
+        """The single multi-rate die (Table 3), NOT a sum over rates."""
+        return AreaModel(width_bits=self.config.fmt.total_bits).report()
+
+    def worst_case_buffer(self) -> int:
+        """Write-buffer depth covering every materialized rate —
+        the paper's 'one buffer ... for all code rates'."""
+        if not self._schedules:
+            raise RuntimeError("no rates materialized yet")
+        return max(
+            simulate_cn_phase(s).peak_buffer
+            for s in self._schedules.values()
+        )
+
+    def materialized_rates(self) -> tuple:
+        """Rates whose ROMs have been built so far."""
+        return tuple(sorted(self._codes, key=RATE_NAMES.index))

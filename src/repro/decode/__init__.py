@@ -1,0 +1,32 @@
+"""LDPC decoders: two-phase BP, min-sum variants, zigzag schedule,
+fixed-point implementations."""
+
+from .batch import BatchDecodeResult, BatchMinSumDecoder
+from .bp import BeliefPropagationDecoder
+from .hard import BitFlippingDecoder, GallagerBDecoder
+from .layered import LayeredMinSumDecoder, sequential_block_layers
+from .minsum import (
+    MinSumDecoder,
+    NormalizedMinSumDecoder,
+    OffsetMinSumDecoder,
+)
+from .quantized import QuantizedMinSumDecoder, QuantizedZigzagDecoder
+from .result import DecodeResult
+from .zigzag import ZigzagDecoder
+
+__all__ = [
+    "BatchDecodeResult",
+    "BatchMinSumDecoder",
+    "BeliefPropagationDecoder",
+    "BitFlippingDecoder",
+    "DecodeResult",
+    "GallagerBDecoder",
+    "LayeredMinSumDecoder",
+    "MinSumDecoder",
+    "NormalizedMinSumDecoder",
+    "OffsetMinSumDecoder",
+    "QuantizedMinSumDecoder",
+    "QuantizedZigzagDecoder",
+    "ZigzagDecoder",
+    "sequential_block_layers",
+]

@@ -1,0 +1,154 @@
+"""Batched decoding: many frames through one vectorized decoder.
+
+Monte-Carlo BER runs dominate LDPC evaluation time; decoding a batch of
+frames as one ``(frames, edges)`` matrix amortizes every index
+computation and typically buys a 5–10x simulation speedup.  Results are
+bit-identical to the single-frame two-phase min-sum decoder (asserted in
+the tests): converged frames are frozen while the rest keep iterating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+
+
+@dataclass
+class BatchDecodeResult:
+    """Outcome of decoding a batch of frames."""
+
+    bits: np.ndarray           # (frames, n)
+    converged: np.ndarray      # (frames,) bool
+    iterations: np.ndarray     # (frames,) iterations executed per frame
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames in the batch."""
+        return int(self.bits.shape[0])
+
+    def frame_errors(self, reference: np.ndarray) -> np.ndarray:
+        """Per-frame bit-error counts against reference codewords."""
+        reference = np.asarray(reference)
+        if reference.shape != self.bits.shape:
+            raise ValueError("reference batch shape mismatch")
+        return np.count_nonzero(self.bits != reference, axis=1)
+
+
+class BatchMinSumDecoder:
+    """Two-phase (flooding) normalized min-sum over a frame batch."""
+
+    def __init__(
+        self, code: LdpcCode, normalization: float = 0.75
+    ) -> None:
+        self.code = code
+        self.normalization = normalization
+        graph = code.graph
+        self._vn_order = graph.vn_order
+        self._vn_starts = graph.vn_ptr[:-1]
+        self._cn_order = graph.cn_order
+        self._cn_starts = graph.cn_ptr[:-1]
+        self._vn_of_edge = graph.edge_vn
+        self._cn_of_edge = graph.edge_cn
+        cn_lengths = np.diff(graph.cn_ptr)
+        self._seg_of_sorted = np.repeat(
+            np.arange(graph.n_cns), cn_lengths
+        )
+        # syndrome helper: edges sorted by check for parity reduction
+        self._edge_vn_sorted = graph.edge_vn[self._cn_order]
+
+    # ------------------------------------------------------------------
+    def decode_batch(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = 30,
+        early_stop: bool = True,
+    ) -> BatchDecodeResult:
+        """Decode a ``(frames, N)`` batch of channel LLRs."""
+        graph = self.code.graph
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.ndim != 2 or llrs.shape[1] != graph.n_vns:
+            raise ValueError(
+                f"expected shape (frames, {graph.n_vns})"
+            )
+        frames = llrs.shape[0]
+        c2v = np.zeros((frames, graph.n_edges), dtype=np.float64)
+        bits = (llrs < 0).astype(np.uint8)
+        iterations = np.zeros(frames, dtype=np.int64)
+        converged = (
+            self._syndromes_ok(bits)
+            if early_stop
+            else np.zeros(frames, dtype=bool)
+        )
+        active = ~converged
+        for _ in range(max_iterations):
+            if not active.any():
+                break
+            idx = np.nonzero(active)[0]
+            sub_c2v = c2v[idx]
+            sub_llrs = llrs[idx]
+            # VN phase
+            totals = np.add.reduceat(
+                sub_c2v[:, self._vn_order], self._vn_starts, axis=1
+            )
+            posteriors = sub_llrs + totals
+            v2c = posteriors[:, self._vn_of_edge] - sub_c2v
+            # CN phase (normalized min-sum)
+            sub_c2v = self._check_phase(v2c)
+            c2v[idx] = sub_c2v
+            iterations[idx] += 1
+            totals = np.add.reduceat(
+                sub_c2v[:, self._vn_order], self._vn_starts, axis=1
+            )
+            posteriors = sub_llrs + totals
+            sub_bits = (posteriors < 0).astype(np.uint8)
+            bits[idx] = sub_bits
+            if early_stop:
+                ok = self._syndromes_ok(sub_bits)
+                converged[idx[ok]] = True
+                active = ~converged
+        return BatchDecodeResult(
+            bits=bits, converged=converged, iterations=iterations
+        )
+
+    # ------------------------------------------------------------------
+    def _syndromes_ok(self, bits: np.ndarray) -> np.ndarray:
+        """Per-frame all-checks-satisfied flag, vectorized."""
+        edge_bits = bits[:, self._edge_vn_sorted].astype(np.int64)
+        parities = (
+            np.add.reduceat(edge_bits, self._cn_starts, axis=1) & 1
+        )
+        return ~parities.any(axis=1)
+
+    def _check_phase(self, v2c: np.ndarray) -> np.ndarray:
+        frames, n_edges = v2c.shape
+        sorted_vals = v2c[:, self._cn_order]
+        mags = np.abs(sorted_vals)
+        min1 = np.minimum.reduceat(mags, self._cn_starts, axis=1)
+        expanded = min1[:, self._seg_of_sorted]
+        is_min = mags == expanded
+        positions = np.where(is_min, np.arange(n_edges), n_edges)
+        argmin = np.minimum.reduceat(positions, self._cn_starts, axis=1)
+        masked = mags.copy()
+        rows = np.repeat(
+            np.arange(frames), argmin.shape[1]
+        ).reshape(frames, -1)
+        masked[rows, argmin] = np.inf
+        min2 = np.minimum.reduceat(masked, self._cn_starts, axis=1)
+        out = expanded.copy()
+        out[rows, argmin] = min2
+        out *= self.normalization
+        negs = (sorted_vals < 0).astype(np.int64)
+        parity = 1 - 2 * (
+            np.add.reduceat(negs, self._cn_starts, axis=1) & 1
+        )
+        signs = parity[:, self._seg_of_sorted] * np.where(
+            sorted_vals < 0, -1.0, 1.0
+        )
+        result_sorted = signs * out
+        result = np.empty_like(v2c)
+        result[:, self._cn_order] = result_sorted
+        return result

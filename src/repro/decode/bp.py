@@ -1,0 +1,143 @@
+"""Two-phase (flooding) belief-propagation decoder — paper Fig. 2a.
+
+This is the *conventional* message-update scheme the paper's Section 2.2
+improves upon: within one iteration all variable nodes update first, then
+all check nodes, every message computed from the previous half-iteration's
+stored values.  It treats information and parity nodes identically and is
+the reference against which the zigzag schedule's iteration savings are
+measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..codes.matrix import syndrome
+from .messages import (
+    check_node_minsum,
+    check_node_tanh,
+    variable_node_update,
+)
+from .result import DecodeResult
+
+#: Default iteration count for the conventional schedule; the paper notes
+#: it needs ~40 iterations to match the zigzag schedule's 30.
+DEFAULT_MAX_ITERATIONS = 40
+
+
+class BeliefPropagationDecoder:
+    """Flooding decoder with selectable check-node kernel.
+
+    Parameters
+    ----------
+    code:
+        The LDPC code to decode.
+    cn_kernel:
+        ``"tanh"`` for the exact rule of paper Eq. (5) (sum-product) or
+        ``"minsum"`` for the hardware-friendly approximation.
+    normalization, offset:
+        Min-sum correction parameters (ignored by the tanh kernel).
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        cn_kernel: str = "tanh",
+        normalization: float = 1.0,
+        offset: float = 0.0,
+        record_trace: bool = False,
+    ) -> None:
+        if cn_kernel not in ("tanh", "minsum"):
+            raise ValueError("cn_kernel must be 'tanh' or 'minsum'")
+        self.code = code
+        self.cn_kernel = cn_kernel
+        self.normalization = normalization
+        self.offset = offset
+        self.record_trace = record_trace
+        graph = code.graph
+        self._vn_order = graph.vn_order
+        self._vn_ptr = graph.vn_ptr
+        self._cn_order = graph.cn_order
+        self._cn_ptr = graph.cn_ptr
+        self._vn_of_edge = graph.edge_vn
+        self._cn_of_edge = graph.edge_cn
+
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        early_stop: bool = True,
+    ) -> DecodeResult:
+        """Decode one frame of channel LLRs.
+
+        Parameters
+        ----------
+        channel_llrs:
+            Length-``N`` array of channel LLRs (positive favours bit 0).
+        max_iterations:
+            Iteration budget (a VN phase plus a CN phase each).
+        early_stop:
+            Stop as soon as the hard decision satisfies all checks, which
+            is what the decoder hardware's syndrome check does.
+        """
+        channel_llrs = np.asarray(channel_llrs, dtype=np.float64)
+        graph = self.code.graph
+        if channel_llrs.shape != (graph.n_vns,):
+            raise ValueError(
+                f"expected {graph.n_vns} LLRs, got {channel_llrs.shape}"
+            )
+        c2v = np.zeros(graph.n_edges, dtype=np.float64)
+        posteriors = channel_llrs.copy()
+        bits = (posteriors < 0).astype(np.uint8)
+        iterations = 0
+        trace = []
+        if self.record_trace:
+            trace.append(int(syndrome(graph, bits).sum()))
+        converged = early_stop and not syndrome(graph, bits).any()
+        while not converged and iterations < max_iterations:
+            v2c, posteriors = variable_node_update(
+                c2v,
+                channel_llrs,
+                self._vn_order,
+                self._vn_ptr,
+                self._vn_of_edge,
+            )
+            c2v = self._check_phase(v2c)
+            iterations += 1
+            # Decisions use the freshest extrinsic information.
+            totals = np.zeros(graph.n_vns, dtype=np.float64)
+            np.add.at(totals, self._vn_of_edge, c2v)
+            posteriors = channel_llrs + totals
+            bits = (posteriors < 0).astype(np.uint8)
+            if self.record_trace:
+                trace.append(int(syndrome(graph, bits).sum()))
+            if early_stop and not syndrome(graph, bits).any():
+                converged = True
+        result = DecodeResult(
+            bits=bits,
+            converged=bool(converged),
+            iterations=iterations,
+            posteriors=posteriors,
+        )
+        if self.record_trace:
+            result.extra["syndrome_trace"] = trace
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_phase(self, v2c: np.ndarray) -> np.ndarray:
+        if self.cn_kernel == "tanh":
+            return check_node_tanh(
+                v2c, self._cn_order, self._cn_ptr, self._cn_of_edge
+            )
+        return check_node_minsum(
+            v2c,
+            self._cn_order,
+            self._cn_ptr,
+            self._cn_of_edge,
+            normalization=self.normalization,
+            offset=self.offset,
+        )

@@ -1,0 +1,154 @@
+"""Hard-decision decoders — Gallager's original algorithms (paper ref [2]).
+
+The paper cites Gallager's 1963 monograph for both the codes and the
+message-passing idea.  These decoders are the historical baselines the
+soft decoder is measured against, and in hardware terms they are what a
+decoder without message RAMs could do: they need one bit per edge
+instead of six — at a ~2 dB performance cost, which is exactly why the
+IP core spends 9 mm² on message storage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..codes.matrix import syndrome
+from .result import DecodeResult
+
+
+class BitFlippingDecoder:
+    """Gradient-style bit flipping on hard channel decisions.
+
+    Each iteration counts, per variable node, the number of unsatisfied
+    incident checks and flips every bit whose count is maximal.  Simple,
+    fast, and ~2 dB worse than BP — the baseline that motivates soft
+    decoding.
+    """
+
+    def __init__(self, code: LdpcCode) -> None:
+        self.code = code
+
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = 30,
+        early_stop: bool = True,
+    ) -> DecodeResult:
+        """Decode from LLR signs (soft input is immediately sliced)."""
+        graph = self.code.graph
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (graph.n_vns,):
+            raise ValueError(f"expected {graph.n_vns} LLRs")
+        bits = (llrs < 0).astype(np.uint8)
+        iterations = 0
+        converged = not syndrome(graph, bits).any()
+        while not converged and iterations < max_iterations:
+            unsatisfied = syndrome(graph, bits)
+            counts = np.zeros(graph.n_vns, dtype=np.int64)
+            np.add.at(
+                counts, graph.edge_vn, unsatisfied[graph.edge_cn]
+            )
+            worst = counts.max()
+            if worst == 0:  # pragma: no cover - caught by syndrome
+                break
+            bits = bits ^ (counts == worst).astype(np.uint8)
+            iterations += 1
+            converged = not syndrome(graph, bits).any()
+            if not early_stop and iterations < max_iterations:
+                converged = False if not converged else converged
+        posteriors = (1.0 - 2.0 * bits.astype(np.float64))
+        return DecodeResult(
+            bits=bits,
+            converged=bool(converged),
+            iterations=iterations,
+            posteriors=posteriors,
+        )
+
+
+class GallagerBDecoder:
+    """Gallager's algorithm B: single-bit message passing with majority.
+
+    CN message = XOR of the other incoming bits; VN sends the channel
+    bit unless at least ``threshold`` of the other check messages
+    disagree.  The decision uses the full majority including the channel
+    bit.
+
+    A finding this reproduction surfaces: on the DVB-S2 codes the
+    default majority threshold oscillates — the degree-2 zigzag chain
+    relays single hard errors along the accumulator and the bulk of
+    degree-3 nodes flip on 2-of-2 disagreement.  A conservative
+    ``threshold=3`` (only nodes of degree >= 4 ever flip) is stable and
+    corrects high-SNR error patterns; either way the ~2 dB+ gap to soft
+    decoding is the quantitative case for the IP core's 9 mm² of soft
+    message RAM.
+    """
+
+    def __init__(
+        self, code: LdpcCode, threshold: Optional[int] = None
+    ) -> None:
+        self.code = code
+        graph = code.graph
+        self._vn_order = graph.vn_order
+        self._vn_ptr = graph.vn_ptr
+        self._cn_order = graph.cn_order
+        self._cn_ptr = graph.cn_ptr
+        self.threshold = threshold
+
+    def _vn_threshold(self, degree: np.ndarray) -> np.ndarray:
+        """Per-node flip threshold: majority of the other messages."""
+        if self.threshold is not None:
+            return np.full_like(degree, self.threshold)
+        return np.maximum(1, ((degree - 1) // 2) + 1)
+
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = 30,
+        early_stop: bool = True,
+    ) -> DecodeResult:
+        """Decode from LLR signs."""
+        graph = self.code.graph
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.shape != (graph.n_vns,):
+            raise ValueError(f"expected {graph.n_vns} LLRs")
+        channel_bits = (llrs < 0).astype(np.int64)
+        v2c = channel_bits[graph.edge_vn].copy()
+        bits = channel_bits.astype(np.uint8)
+        iterations = 0
+        converged = early_stop and not syndrome(graph, bits).any()
+        thresholds = self._vn_threshold(graph.vn_degrees)
+        while not converged and iterations < max_iterations:
+            # CN phase: XOR of the other inputs per edge.
+            sums = np.zeros(graph.n_cns, dtype=np.int64)
+            np.add.at(sums, graph.edge_cn, v2c)
+            c2v = (sums[graph.edge_cn] - v2c) & 1
+            # VN phase: disagreements with the channel bit, excluding self.
+            disagree = (c2v != channel_bits[graph.edge_vn]).astype(np.int64)
+            totals = np.zeros(graph.n_vns, dtype=np.int64)
+            np.add.at(totals, graph.edge_vn, disagree)
+            other_disagree = totals[graph.edge_vn] - disagree
+            flip = other_disagree >= thresholds[graph.edge_vn]
+            v2c = np.where(
+                flip, 1 - channel_bits[graph.edge_vn],
+                channel_bits[graph.edge_vn],
+            )
+            # Decision: majority of channel bit and all check messages.
+            votes = np.zeros(graph.n_vns, dtype=np.int64)
+            np.add.at(votes, graph.edge_vn, 2 * c2v - 1)
+            votes += 2 * channel_bits - 1
+            bits = (votes > 0).astype(np.uint8)
+            ties = votes == 0
+            bits[ties] = channel_bits[ties].astype(np.uint8)
+            iterations += 1
+            if early_stop and not syndrome(graph, bits).any():
+                converged = True
+        posteriors = (1.0 - 2.0 * bits.astype(np.float64))
+        return DecodeResult(
+            bits=bits,
+            converged=bool(converged),
+            iterations=iterations,
+            posteriors=posteriors,
+        )

@@ -1,0 +1,53 @@
+"""Common result type returned by every decoder in this library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one frame.
+
+    Attributes
+    ----------
+    bits:
+        Hard-decision codeword estimate (length ``N``).
+    converged:
+        ``True`` when the syndrome reached zero before the iteration
+        limit (early termination) — a decoder success indicator, not a
+        guarantee the *transmitted* word was recovered.
+    iterations:
+        Number of full iterations actually executed.
+    posteriors:
+        Final a-posteriori LLRs per variable node.
+    extra:
+        Decoder-specific diagnostics (e.g. cycle counts for the hardware
+        core).
+    """
+
+    bits: np.ndarray
+    converged: bool
+    iterations: int
+    posteriors: np.ndarray
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def info_bits(self) -> np.ndarray:
+        """Convenience alias: callers slice ``bits[:k]`` themselves when
+        they know ``k``; kept as the full word here."""
+        return self.bits
+
+    def bit_errors(self, reference: np.ndarray) -> int:
+        """Hamming distance to a reference codeword."""
+        reference = np.asarray(reference)
+        if reference.shape != self.bits.shape:
+            raise ValueError("reference length mismatch")
+        return int(np.count_nonzero(self.bits != reference))
+
+    def frame_error(self, reference: np.ndarray) -> bool:
+        """True when any bit differs from the reference codeword."""
+        return self.bit_errors(reference) > 0

@@ -1,0 +1,5 @@
+"""Linear-time IRA encoding for DVB-S2 LDPC codes."""
+
+from .encoder import IraEncoder
+
+__all__ = ["IraEncoder"]

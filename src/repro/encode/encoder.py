@@ -1,0 +1,125 @@
+"""Linear-time systematic IRA encoder (paper Eq. 2 and Eq. 3).
+
+The paper stresses that DVB-S2 chose IRA codes precisely because their
+encoder is trivial: scatter each information bit into the parity checks its
+Tanner-graph edges point at (Eq. 2), then run the accumulator (Eq. 3)::
+
+    p_0 = s_0,      p_j = p_{j-1} ^ s_j
+
+where ``s_j`` is the XOR of the information bits checked by parity check
+``j``.  Both steps are O(E) — no matrix inversion, unlike generic LDPC
+encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..codes.matrix import is_codeword
+
+
+@dataclass(frozen=True)
+class IraEncoder:
+    """Systematic encoder for a DVB-S2 (IRA) LDPC code.
+
+    The encoder precomputes the information-edge endpoints once so each
+    frame costs two vectorized passes (scatter + cumulative XOR).
+    """
+
+    code: LdpcCode
+
+    def __post_init__(self) -> None:
+        sl = self.code.information_edge_slice()
+        object.__setattr__(self, "_in_vn", self.code.graph.edge_vn[sl])
+        object.__setattr__(self, "_in_cn", self.code.graph.edge_cn[sl])
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of information bits per frame."""
+        return self.code.k
+
+    @property
+    def n(self) -> int:
+        """Codeword length."""
+        return self.code.n
+
+    def check_sums(self, info_bits: np.ndarray) -> np.ndarray:
+        """XOR of information bits feeding each parity check (``s`` above)."""
+        info_bits = self._validated(info_bits)
+        sums = np.zeros(self.code.n_parity, dtype=np.int64)
+        np.add.at(sums, self._in_cn, info_bits[self._in_vn].astype(np.int64))
+        return (sums & 1).astype(np.uint8)
+
+    def encode(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode one frame.
+
+        Parameters
+        ----------
+        info_bits:
+            Array of ``K`` bits (0/1).
+
+        Returns
+        -------
+        Systematic codeword of length ``N``: information bits followed by
+        the accumulator parity bits.
+        """
+        info_bits = self._validated(info_bits)
+        sums = self.check_sums(info_bits)
+        # Accumulator: cumulative XOR equals cumulative sum mod 2.
+        parity = (np.cumsum(sums.astype(np.int64)) & 1).astype(np.uint8)
+        return np.concatenate([info_bits.astype(np.uint8), parity])
+
+    def encode_batch(self, info_bits: np.ndarray) -> np.ndarray:
+        """Encode a ``(frames, K)`` batch in one vectorized pass."""
+        info_bits = np.asarray(info_bits, dtype=np.uint8)
+        if info_bits.ndim != 2 or info_bits.shape[1] != self.k:
+            raise ValueError(f"expected shape (frames, {self.k})")
+        frames = info_bits.shape[0]
+        sums = np.zeros((frames, self.code.n_parity), dtype=np.int64)
+        np.add.at(
+            sums,
+            (slice(None), self._in_cn),
+            info_bits[:, self._in_vn].astype(np.int64),
+        )
+        parity = (np.cumsum(sums & 1, axis=1) & 1).astype(np.uint8)
+        return np.concatenate([info_bits, parity], axis=1)
+
+    def random_codeword(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Encode uniformly random information bits (for simulations)."""
+        rng = rng or np.random.default_rng()
+        return self.encode(rng.integers(0, 2, size=self.k, dtype=np.uint8))
+
+    def self_check(self, rng: Optional[np.random.Generator] = None) -> None:
+        """Encode a random frame and verify ``H x^T = 0``.
+
+        Raises
+        ------
+        AssertionError
+            If the encoder and the Tanner graph disagree (never expected;
+            this guards against hand-edited tables).
+        """
+        word = self.random_codeword(rng)
+        if not is_codeword(self.code.graph, word):
+            raise AssertionError(
+                "encoder produced a word that violates the parity checks"
+            )
+
+    # ------------------------------------------------------------------
+    def _validated(self, info_bits: np.ndarray) -> np.ndarray:
+        info_bits = np.asarray(info_bits)
+        if info_bits.shape != (self.k,):
+            raise ValueError(
+                f"expected {self.k} information bits, got {info_bits.shape}"
+            )
+        if info_bits.dtype == np.bool_:
+            info_bits = info_bits.astype(np.uint8)
+        if ((info_bits != 0) & (info_bits != 1)).any():
+            raise ValueError("information bits must be 0/1")
+        return info_bits

@@ -1,0 +1,87 @@
+"""The paper's contribution: the partly-parallel DVB-S2 LDPC decoder
+architecture — node mapping, shuffle network, schedules, RAM conflicts,
+simulated-annealing addressing, the cycle-faithful IP core, and the
+throughput/area models."""
+
+from .annealing import (
+    AddressingAnnealer,
+    AnnealingConfig,
+    AnnealingResult,
+    optimize_rate,
+)
+from .area import PAPER_TABLE3_MM2, AreaModel, AreaReport, Technology
+from .control import ControlUnit, PhaseProgram
+from .conflicts import (
+    ConflictStats,
+    simulate_cn_phase,
+    simulate_iteration,
+    simulate_vn_phase,
+)
+from .datapath import SerialFunctionalUnit, fu_gate_count
+from .decoder_core import CoreConfig, DecoderIpCore
+from .floorplan import (
+    FuArrayFloorplan,
+    RoutingTechnology,
+    fully_parallel_congestion,
+)
+from .mapping import AddressWord, IpMapping
+from .memory import PartitionedMemory, SramBank
+from .power import EnergyConstants, PowerModel, power_table
+from .rtl import (
+    barrel_shuffler_verilog,
+    emit_ip_core_rtl,
+    functional_unit_verilog,
+    partitioned_ram_verilog,
+)
+from .schedule import CnPhaseSchedule, DecoderSchedule, MemoryLayout
+from .shuffle import ShuffleNetwork
+from .verification import VerificationReport, verify_core
+from .throughput import (
+    REQUIRED_THROUGHPUT_BPS,
+    ThroughputModel,
+    throughput_table,
+)
+
+__all__ = [
+    "AddressWord",
+    "AddressingAnnealer",
+    "AnnealingConfig",
+    "AnnealingResult",
+    "AreaModel",
+    "AreaReport",
+    "CnPhaseSchedule",
+    "ConflictStats",
+    "ControlUnit",
+    "CoreConfig",
+    "DecoderIpCore",
+    "DecoderSchedule",
+    "EnergyConstants",
+    "FuArrayFloorplan",
+    "IpMapping",
+    "MemoryLayout",
+    "PAPER_TABLE3_MM2",
+    "PartitionedMemory",
+    "PhaseProgram",
+    "PowerModel",
+    "power_table",
+    "REQUIRED_THROUGHPUT_BPS",
+    "RoutingTechnology",
+    "SerialFunctionalUnit",
+    "ShuffleNetwork",
+    "SramBank",
+    "Technology",
+    "VerificationReport",
+    "ThroughputModel",
+    "fu_gate_count",
+    "optimize_rate",
+    "verify_core",
+    "simulate_cn_phase",
+    "simulate_iteration",
+    "simulate_vn_phase",
+    "throughput_table",
+    "barrel_shuffler_verilog",
+    "emit_ip_core_rtl",
+    "functional_unit_verilog",
+    "fully_parallel_congestion",
+    "partitioned_ram_verilog",
+]

@@ -1,0 +1,187 @@
+"""Simulated-annealing optimization of the RAM addressing scheme.
+
+Paper Section 4: "We use simulated annealing to find the best addressing
+scheme to reduce RAM access conflicts and hence to minimize the buffer
+overhead.  This optimization step ensures that only one buffer is
+required".
+
+The search space is exactly the freedom the architecture leaves open
+(see :mod:`repro.hw.schedule`):
+
+* the order of information-node groups in the physical layout,
+* the order of words inside each group,
+* the read order of the ``k-2`` words inside each check.
+
+The objective is lexicographic: first the peak write-buffer depth of the
+critical check-node phase, then total buffer pressure, then drain cycles —
+encoded as a weighted scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .conflicts import (
+    DEFAULT_LATENCY,
+    ConflictStats,
+    simulate_cn_phase,
+    simulate_vn_phase,
+)
+from .mapping import IpMapping
+from .memory import DEFAULT_PARTITIONS, DEFAULT_WRITE_PORTS
+from .schedule import CnPhaseSchedule, DecoderSchedule, MemoryLayout
+
+
+@dataclass
+class AnnealingConfig:
+    """Hyper-parameters of the annealing run."""
+
+    iterations: int = 1500
+    initial_temperature: float = 4.0
+    cooling: float = 0.995
+    seed: int = 1
+    latency: int = DEFAULT_LATENCY
+    n_partitions: int = DEFAULT_PARTITIONS
+    write_ports: int = DEFAULT_WRITE_PORTS
+    include_vn_phase: bool = False
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one annealing run."""
+
+    schedule: DecoderSchedule
+    initial_stats: ConflictStats
+    final_stats: ConflictStats
+    cost_trace: List[float] = field(default_factory=list)
+    accepted_moves: int = 0
+    proposed_moves: int = 0
+
+    @property
+    def buffer_reduction(self) -> int:
+        """Peak-buffer depth saved versus the canonical schedule."""
+        return self.initial_stats.peak_buffer - self.final_stats.peak_buffer
+
+
+def schedule_cost(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+    include_vn_phase: bool = False,
+) -> float:
+    """Scalarized objective (lower is better)."""
+    cn = simulate_cn_phase(schedule, latency, n_partitions, write_ports)
+    cost = (
+        1000.0 * cn.peak_buffer
+        + 1.0 * cn.total_deferred
+        + 10.0 * cn.drain_cycles
+    )
+    if include_vn_phase:
+        vn = simulate_vn_phase(schedule, latency, n_partitions, write_ports)
+        cost += 100.0 * vn.peak_buffer + 0.1 * vn.total_deferred
+    return cost
+
+
+class AddressingAnnealer:
+    """Anneal a :class:`DecoderSchedule` for one code rate."""
+
+    def __init__(
+        self, mapping: IpMapping, config: Optional[AnnealingConfig] = None
+    ) -> None:
+        self.mapping = mapping
+        self.config = config or AnnealingConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> AnnealingResult:
+        """Anneal from the canonical schedule; deterministic given seed."""
+        cfg = self.config
+        current = DecoderSchedule.canonical(self.mapping)
+        initial_stats = simulate_cn_phase(
+            current, cfg.latency, cfg.n_partitions, cfg.write_ports
+        )
+        current_cost = self._cost(current)
+        best = current
+        best_cost = current_cost
+        temperature = cfg.initial_temperature
+        trace: List[float] = [current_cost]
+        accepted = 0
+        for _ in range(cfg.iterations):
+            candidate = self._propose(current)
+            cand_cost = self._cost(candidate)
+            delta = cand_cost - current_cost
+            if delta <= 0 or self._rng.random() < np.exp(
+                -delta / max(temperature, 1e-9)
+            ):
+                current, current_cost = candidate, cand_cost
+                accepted += 1
+                if cand_cost < best_cost:
+                    best, best_cost = candidate, cand_cost
+            temperature *= cfg.cooling
+            trace.append(current_cost)
+        final_stats = simulate_cn_phase(
+            best, cfg.latency, cfg.n_partitions, cfg.write_ports
+        )
+        return AnnealingResult(
+            schedule=best,
+            initial_stats=initial_stats,
+            final_stats=final_stats,
+            cost_trace=trace,
+            accepted_moves=accepted,
+            proposed_moves=cfg.iterations,
+        )
+
+    # ------------------------------------------------------------------
+    def _cost(self, schedule: DecoderSchedule) -> float:
+        cfg = self.config
+        return schedule_cost(
+            schedule,
+            cfg.latency,
+            cfg.n_partitions,
+            cfg.write_ports,
+            cfg.include_vn_phase,
+        )
+
+    def _propose(self, schedule: DecoderSchedule) -> DecoderSchedule:
+        """Random neighbour: one of the three legal move types."""
+        move = self._rng.integers(0, 3)
+        layout = schedule.layout
+        cn = schedule.cn_schedule
+        if move == 0:
+            # Swap the within-check read order of one check.
+            cn = cn.clone()
+            r = int(self._rng.integers(0, self.mapping.q))
+            order = cn.within_check_orders[r]
+            if len(order) >= 2:
+                i, j = self._rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            cn._rebuild()
+        elif move == 1:
+            # Swap two words within one group in the layout.
+            layout = layout.clone()
+            g = int(self._rng.integers(0, len(layout.slot_orders)))
+            order = layout.slot_orders[g]
+            if len(order) >= 2:
+                i, j = self._rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            layout._rebuild()
+        else:
+            # Swap two groups in the layout.
+            layout = layout.clone()
+            order = layout.group_order
+            if len(order) >= 2:
+                i, j = self._rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            layout._rebuild()
+        return DecoderSchedule(layout=layout, cn_schedule=cn)
+
+
+def optimize_rate(
+    mapping: IpMapping, config: Optional[AnnealingConfig] = None
+) -> AnnealingResult:
+    """Convenience wrapper: anneal the addressing for one code."""
+    return AddressingAnnealer(mapping, config).run()

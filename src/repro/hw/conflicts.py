@@ -1,0 +1,202 @@
+"""Cycle-accurate RAM write-conflict simulation (paper Section 4 / Fig. 5).
+
+During the check-node phase the decoder reads one message per FU per cycle
+from "dedicated addresses" while previously computed messages stream back
+through the shuffling network.  With single-port SRAMs a write can only
+proceed to a partition not being read this cycle, and at most
+``write_ports`` writes (to distinct partitions) are accepted per cycle;
+anything else waits in the write buffer.  The paper uses simulated
+annealing over the addressing scheme to make one small buffer suffice for
+all code rates — :mod:`repro.hw.annealing` reproduces that optimization
+against the statistics computed here.
+
+Because all 360 FUs run in lockstep and read the *same* address every
+cycle, one FU's access trace is every FU's access trace; the simulation
+therefore models a single FU exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .memory import DEFAULT_PARTITIONS, DEFAULT_WRITE_PORTS
+from .schedule import DecoderSchedule
+
+#: Pipeline depth between reading a check's last input message and its
+#: first output message appearing at the shuffling network.
+DEFAULT_LATENCY = 3
+
+
+@dataclass
+class ConflictStats:
+    """Result of simulating one memory phase.
+
+    Attributes
+    ----------
+    cycles:
+        Total cycles including the drain tail after the last read.
+    read_cycles:
+        Cycles spent issuing reads (= number of address words).
+    peak_buffer:
+        Maximum number of writes waiting at any end of cycle — the
+        required write-buffer depth.
+    total_deferred:
+        Sum of buffer occupancies (buffer pressure; annealing tie-break).
+    blocked_write_cycles:
+        Cycles in which at least one pending write could not proceed
+        because of a partition conflict.
+    drain_cycles:
+        Cycles needed after the last read to empty the buffer.
+    """
+
+    cycles: int
+    read_cycles: int
+    peak_buffer: int
+    total_deferred: int
+    blocked_write_cycles: int
+    drain_cycles: int
+
+
+def _simulate(
+    read_addrs: np.ndarray,
+    emissions: Dict[int, List[int]],
+    n_partitions: int,
+    write_ports: int,
+) -> ConflictStats:
+    """Generic one-FU phase simulation.
+
+    Parameters
+    ----------
+    read_addrs:
+        Physical address read at each cycle ``0..n-1``.
+    emissions:
+        ``cycle -> [write addresses]`` for results leaving the datapath.
+    """
+    n_reads = len(read_addrs)
+    buffer: deque = deque()
+    peak = 0
+    total_deferred = 0
+    blocked_cycles = 0
+    cycle = 0
+    last_emission = max(emissions) if emissions else -1
+    while cycle < n_reads or buffer or cycle <= last_emission:
+        for addr in emissions.get(cycle, ()):  # fresh results arrive
+            buffer.append(addr)
+        read_part = (
+            int(read_addrs[cycle]) % n_partitions if cycle < n_reads else -1
+        )
+        # Accept up to write_ports writes to distinct partitions, none of
+        # which may collide with the partition being read.
+        used_parts = set()
+        accepted: List[int] = []
+        blocked = False
+        for addr in list(buffer):
+            if len(accepted) >= write_ports:
+                break
+            part = addr % n_partitions
+            if part == read_part or part in used_parts:
+                blocked = True
+                continue
+            used_parts.add(part)
+            accepted.append(addr)
+        for addr in accepted:
+            buffer.remove(addr)
+        if blocked and buffer:
+            blocked_cycles += 1
+        peak = max(peak, len(buffer))
+        total_deferred += len(buffer)
+        cycle += 1
+        if cycle > 100 * (n_reads + 10):  # pragma: no cover - safety net
+            raise RuntimeError("conflict simulation did not terminate")
+    return ConflictStats(
+        cycles=cycle,
+        read_cycles=n_reads,
+        peak_buffer=peak,
+        total_deferred=total_deferred,
+        blocked_write_cycles=blocked_cycles,
+        drain_cycles=cycle - n_reads,
+    )
+
+
+def cn_phase_emissions(
+    schedule: DecoderSchedule, latency: int = DEFAULT_LATENCY
+) -> Dict[int, List[int]]:
+    """Write-back timing of the check-node phase.
+
+    The serial FU can only produce a check's outputs after its last input
+    message arrived (the control flag of paper Section 4); outputs then
+    leave one per cycle, in read order, ``latency`` cycles later, each
+    going back to the address it was read from.
+    """
+    phys = schedule.layout.phys
+    reads = schedule.cn_schedule.read_order
+    bounds = schedule.cn_schedule.check_bounds
+    emissions: Dict[int, List[int]] = {}
+    for r in range(len(bounds) - 1):
+        start, end = int(bounds[r]), int(bounds[r + 1])
+        first_out = (end - 1) + latency
+        for j, idx in enumerate(range(start, end)):
+            cycle = first_out + j
+            emissions.setdefault(cycle, []).append(int(phys[reads[idx]]))
+    return emissions
+
+
+def vn_phase_emissions(
+    schedule: DecoderSchedule, latency: int = DEFAULT_LATENCY
+) -> Dict[int, List[int]]:
+    """Write-back timing of the variable-node phase.
+
+    Reads are sequential (incrementing address); a node's outputs start
+    after its last message was read.
+    """
+    bounds = schedule.vn_node_bounds()
+    emissions: Dict[int, List[int]] = {}
+    for g in range(len(bounds) - 1):
+        start, end = int(bounds[g]), int(bounds[g + 1])
+        first_out = (end - 1) + latency
+        for j, addr in enumerate(range(start, end)):
+            cycle = first_out + j
+            emissions.setdefault(cycle, []).append(addr)
+    return emissions
+
+
+def simulate_cn_phase(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+) -> ConflictStats:
+    """Simulate the critical check-node phase of one half iteration."""
+    read_addrs = schedule.address_rom()
+    emissions = cn_phase_emissions(schedule, latency)
+    return _simulate(read_addrs, emissions, n_partitions, write_ports)
+
+
+def simulate_vn_phase(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+) -> ConflictStats:
+    """Simulate the variable-node phase (benign: reads rotate partitions)."""
+    n = schedule.mapping.n_words
+    read_addrs = np.arange(n)
+    emissions = vn_phase_emissions(schedule, latency)
+    return _simulate(read_addrs, emissions, n_partitions, write_ports)
+
+
+def simulate_iteration(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+) -> Tuple[ConflictStats, ConflictStats]:
+    """Simulate one full iteration: ``(vn_stats, cn_stats)``."""
+    return (
+        simulate_vn_phase(schedule, latency, n_partitions, write_ports),
+        simulate_cn_phase(schedule, latency, n_partitions, write_ports),
+    )

@@ -1,0 +1,142 @@
+"""Control-word generation — the "control logic" block of paper Fig. 4.
+
+The decoder's sequencer drives, every clock cycle, one RAM address, one
+shuffle offset, and the serial FU's *last-message* flag (the control flag
+of paper Section 4 that "labels the last message belonging to a node and
+starts the output processing").  This module generates that per-cycle
+control stream from a :class:`~repro.hw.schedule.DecoderSchedule`, packs
+it into ROM words, and cross-checks the cycle counts against the Eq. 8
+throughput model — the control path of a real IP delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .schedule import DecoderSchedule
+from .throughput import ThroughputModel
+
+
+@dataclass(frozen=True)
+class PhaseProgram:
+    """Per-cycle control stream of one half iteration.
+
+    Attributes
+    ----------
+    addresses:
+        RAM address presented each cycle.
+    shifts:
+        Shuffle offset applied each cycle.
+    last_flags:
+        1 on the cycle carrying a node's final message.
+    """
+
+    addresses: np.ndarray
+    shifts: np.ndarray
+    last_flags: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.addresses.size
+        if self.shifts.size != n or self.last_flags.size != n:
+            raise ValueError("control streams must have equal length")
+
+    @property
+    def cycles(self) -> int:
+        """Length of the phase in clock cycles (reads only)."""
+        return int(self.addresses.size)
+
+    def pack_words(self, addr_bits: int, shift_bits: int) -> np.ndarray:
+        """Pack the stream into control-ROM words.
+
+        Layout (LSB first): address, shift, last flag.
+        """
+        if self.addresses.size and int(self.addresses.max()) >= (1 << addr_bits):
+            raise ValueError("address field too narrow")
+        if self.shifts.size and int(self.shifts.max()) >= (1 << shift_bits):
+            raise ValueError("shift field too narrow")
+        return (
+            self.addresses.astype(np.int64)
+            | (self.shifts.astype(np.int64) << addr_bits)
+            | (self.last_flags.astype(np.int64) << (addr_bits + shift_bits))
+        )
+
+    @staticmethod
+    def unpack_words(
+        words: np.ndarray, addr_bits: int, shift_bits: int
+    ) -> "PhaseProgram":
+        """Inverse of :meth:`pack_words`."""
+        words = np.asarray(words, dtype=np.int64)
+        addresses = words & ((1 << addr_bits) - 1)
+        shifts = (words >> addr_bits) & ((1 << shift_bits) - 1)
+        last_flags = words >> (addr_bits + shift_bits)
+        return PhaseProgram(
+            addresses=addresses, shifts=shifts, last_flags=last_flags
+        )
+
+
+class ControlUnit:
+    """Sequencer model generating both phases' control streams."""
+
+    def __init__(self, schedule: DecoderSchedule) -> None:
+        self.schedule = schedule
+        self.mapping = schedule.mapping
+
+    # ------------------------------------------------------------------
+    def vn_program(self) -> PhaseProgram:
+        """VN phase: incrementing addresses, node flag at group ends."""
+        n = self.mapping.n_words
+        addresses = np.arange(n, dtype=np.int64)
+        shifts = self.schedule.shuffle_rom_vn().astype(np.int64)
+        last = np.zeros(n, dtype=np.int64)
+        bounds = self.schedule.vn_node_bounds()
+        last[bounds[1:] - 1] = 1
+        return PhaseProgram(addresses, shifts, last)
+
+    def cn_program(self) -> PhaseProgram:
+        """CN phase: dedicated addresses, flag at check boundaries."""
+        addresses = self.schedule.address_rom().astype(np.int64)
+        shifts = self.schedule.shuffle_rom_cn().astype(np.int64)
+        last = np.zeros(addresses.size, dtype=np.int64)
+        bounds = self.schedule.cn_schedule.check_bounds
+        last[np.asarray(bounds[1:]) - 1] = 1
+        return PhaseProgram(addresses, shifts, last)
+
+    # ------------------------------------------------------------------
+    def field_widths(self) -> Tuple[int, int]:
+        """Minimum (addr_bits, shift_bits) for the ROM packing."""
+        n = self.mapping.n_words
+        addr_bits = max(1, int(np.ceil(np.log2(max(2, n)))))
+        shift_bits = max(
+            1, int(np.ceil(np.log2(self.mapping.parallelism)))
+        )
+        return addr_bits, shift_bits
+
+    def rom_image(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed control ROMs ``(vn_words, cn_words)``."""
+        addr_bits, shift_bits = self.field_widths()
+        return (
+            self.vn_program().pack_words(addr_bits, shift_bits),
+            self.cn_program().pack_words(addr_bits, shift_bits),
+        )
+
+    def cycles_per_iteration(self, latency: int = 8) -> int:
+        """Both phases plus the pipeline latency."""
+        return (
+            self.vn_program().cycles + self.cn_program().cycles + latency
+        )
+
+    def verify_against_throughput_model(self, latency: int = 8) -> None:
+        """The control stream must realize exactly Eq. 8's cycle count."""
+        model = ThroughputModel(
+            self.mapping.code.profile, latency_cycles=latency
+        )
+        expected = model.cycles_per_iteration()
+        actual = self.cycles_per_iteration(latency)
+        if actual != expected:
+            raise AssertionError(
+                f"control program takes {actual} cycles/iteration; "
+                f"Eq. 8 promises {expected}"
+            )

@@ -1,0 +1,158 @@
+"""Serial functional-unit model (the 360 "functional nodes" of Fig. 4).
+
+The paper's FU accepts one message per clock cycle and emits at most one
+updated message per cycle; a control flag marks the last message of a node
+and starts output processing.  The same unit serves both node types
+because only one type is processed per half iteration.
+
+Two artifacts live here:
+
+* :class:`SerialFunctionalUnit` — a scalar, cycle-by-cycle model used in
+  unit tests to pin down the exact arithmetic the vectorized core and the
+  golden decoder must both match,
+* :func:`fu_gate_count` — the gate-complexity model feeding the Table 3
+  area reproduction.  The paper notes the FU logic (10.8 mm²) dominates
+  because of "the required flexibility of the different code rates": the
+  unit must handle the maximum degrees over all rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..quantize.fixed_point import FixedPointFormat
+
+
+class SerialFunctionalUnit:
+    """One FU processing messages serially in VN or CN mode.
+
+    VN mode: accumulate a wide sum of the channel value and all inputs,
+    then emit ``saturate(sum - input_i)`` per stored input (paper Eq. 4).
+
+    CN mode (min-sum): track min1/min2/arg-min magnitude and the sign
+    parity, then emit per input the excluding-self combination; chain
+    inputs for the zigzag schedule are pushed like ordinary inputs.
+    """
+
+    def __init__(
+        self, fmt: FixedPointFormat, normalization: float = 1.0
+    ) -> None:
+        self.fmt = fmt
+        self.normalization = normalization
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear all node state (between nodes)."""
+        self._inputs: List[int] = []
+        self._channel = 0
+
+    # ------------------------------------------------------------------
+    # VN mode
+    # ------------------------------------------------------------------
+    def vn_begin(self, channel_value: int) -> None:
+        """Start a variable node; latch its channel LLR."""
+        self.reset()
+        self._channel = int(channel_value)
+
+    def vn_push(self, message: int) -> None:
+        """Feed one check-to-variable message (one per cycle)."""
+        self._inputs.append(int(message))
+
+    def vn_finish(self) -> Tuple[List[int], int]:
+        """Produce all outgoing messages and the wide posterior.
+
+        Returns ``(messages, posterior)``; messages are saturated, the
+        posterior is the un-saturated wide sum whose sign is the hard
+        decision.
+        """
+        wide = self._channel + sum(self._inputs)
+        outs = [
+            int(self.fmt.saturate(np.array([wide - m]))[0])
+            for m in self._inputs
+        ]
+        return outs, wide
+
+    # ------------------------------------------------------------------
+    # CN mode
+    # ------------------------------------------------------------------
+    def cn_begin(self) -> None:
+        """Start a check node."""
+        self.reset()
+
+    def cn_push(self, message: int) -> None:
+        """Feed one variable-to-check message (one per cycle)."""
+        self._inputs.append(int(message))
+
+    def _normalize(self, mag: int) -> int:
+        if self.normalization == 1.0:
+            return mag
+        return int(np.floor(self.normalization * mag))
+
+    def cn_finish(self) -> List[int]:
+        """Produce the excluding-self min-sum output per input."""
+        mags = [abs(m) for m in self._inputs]
+        signs = [-1 if m < 0 else 1 for m in self._inputs]
+        parity = 1
+        for s in signs:
+            parity *= s
+        order = np.argsort(np.array(mags), kind="stable")
+        i_min = int(order[0])
+        min1 = mags[i_min]
+        min2 = mags[int(order[1])] if len(mags) > 1 else self.fmt.max_int
+        outs = []
+        for i, (mag, sign) in enumerate(zip(mags, signs)):
+            other = min2 if i == i_min else min1
+            outs.append(parity * sign * self._normalize(other))
+        return outs
+
+
+@dataclass(frozen=True)
+class GateModel:
+    """Technology-independent gate-equivalent counts (NAND2 units)."""
+
+    full_adder: float = 6.5
+    flipflop: float = 6.0
+    comparator_per_bit: float = 3.0
+    mux2_per_bit: float = 2.5
+    lut_per_bit: float = 1.2  # ROM-synthesized lookup entry bit
+
+
+def fu_gate_count(
+    max_vn_degree: int,
+    max_cn_degree: int,
+    width_bits: int,
+    gates: Optional[GateModel] = None,
+) -> float:
+    """Gate-equivalents of one flexible functional unit.
+
+    Sized by the worst-case degrees over all supported rates (paper: the
+    VN side by R=2/3's degree-13 nodes, the CN side by R=9/10's
+    degree-30 checks) and the message width.
+
+    The count covers: input storage registers for the VN output pass, the
+    wide accumulator, the subtract-and-saturate output stage, the
+    min1/min2/sign tracker, the ``tanh``-approximation lookup tables, and
+    the mode-switch muxing.
+    """
+    g = gates or GateModel()
+    accumulator_bits = width_bits + int(np.ceil(np.log2(max_vn_degree + 1)))
+    input_regs = max_vn_degree * width_bits * g.flipflop
+    accumulator = accumulator_bits * g.full_adder + accumulator_bits * g.flipflop
+    output_stage = accumulator_bits * g.full_adder + width_bits * g.mux2_per_bit
+    # CN side: two magnitude comparators, sign/parity, index register.
+    minmax = (
+        2 * width_bits * g.comparator_per_bit
+        + 2 * width_bits * g.flipflop
+        + int(np.ceil(np.log2(max_cn_degree))) * g.flipflop
+        + width_bits * g.mux2_per_bit
+    )
+    # Two phi lookup tables (in/out of the magnitude domain).
+    luts = 2 * (2**width_bits) * width_bits * g.lut_per_bit / 8.0
+    control = 40.0 * g.flipflop
+    mode_mux = 2 * width_bits * g.mux2_per_bit
+    return float(
+        input_regs + accumulator + output_stage + minmax + luts + control + mode_mux
+    )

@@ -1,0 +1,305 @@
+"""The partly-parallel decoder IP core (paper Fig. 4), cycle-faithful.
+
+This model executes the *actual hardware dataflow*: 360 lock-step
+functional units, per-FU message RAMs addressed by the address ROM, the
+barrel shuffling network between them, the zigzag chain registers, and the
+backward-message RAMs.  Messages live in the 6-bit fixed-point format of
+the synthesized core.
+
+The model is bit-exact against the algorithmic golden model
+(:class:`repro.decode.quantized.QuantizedZigzagDecoder` with one chain
+segment per FU) — the equivalence is asserted in the test suite and is the
+Fig. 4 reproduction experiment.
+
+RAM layout convention (matching paper Section 4):
+
+* after a **CN phase**, the message of edge ``(word w, column m)`` sits in
+  FU ``m``'s RAM at address ``phys[w]`` ("shuffled back to their original
+  position"),
+* after a **VN phase**, it sits in FU ``(m + shift_w) mod P`` — the
+  shuffling network rotates fresh variable-node outputs so that the check
+  phase finds every message in the FU that owns the target check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..codes.matrix import syndrome
+from ..decode.result import DecodeResult
+from ..quantize.fixed_point import MESSAGE_6BIT, FixedPointFormat
+from .mapping import IpMapping
+from .schedule import DecoderSchedule
+from .throughput import ThroughputModel
+
+
+@dataclass
+class CoreConfig:
+    """Build-time parameters of the IP core."""
+
+    fmt: FixedPointFormat = MESSAGE_6BIT
+    normalization: float = 1.0
+    channel_scale: float = 1.0
+    iterations: int = 30
+    early_stop: bool = False
+
+
+class DecoderIpCore:
+    """Cycle-faithful model of the DVB-S2 LDPC decoder IP.
+
+    Parameters
+    ----------
+    code:
+        The LDPC code (full-size or scaled; the architecture only needs
+        the group structure).
+    schedule:
+        Memory layout + CN read order; defaults to the canonical
+        (un-annealed) schedule, which is functionally identical — the
+        annealing only changes conflict statistics, never results.
+    config:
+        Quantization and iteration parameters.
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        schedule: Optional[DecoderSchedule] = None,
+        config: Optional[CoreConfig] = None,
+    ) -> None:
+        self.code = code
+        self.config = config or CoreConfig()
+        self.mapping = (
+            schedule.mapping if schedule is not None else IpMapping(code)
+        )
+        self.schedule = schedule or DecoderSchedule.canonical(self.mapping)
+        self.p = code.profile.parallelism
+        self.q = code.profile.q
+        self._prepare()
+
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        mapping = self.mapping
+        layout = self.schedule.layout
+        self._phys = layout.phys
+        self._shifts = mapping.shifts
+        self._n_words = mapping.n_words
+        # VN phase program: contiguous runs of words per placed group.
+        self._vn_groups = [
+            (
+                int(g),
+                [int(w) for w in np.nonzero(mapping.groups == g)[0][
+                    layout.slot_orders[g]
+                ]],
+            )
+            for g in layout.group_order
+        ]
+        # CN phase program: per local check, the (annealed) word order.
+        reads = self.schedule.cn_schedule.read_order
+        bounds = self.schedule.cn_schedule.check_bounds
+        self._cn_checks = [
+            [int(w) for w in reads[bounds[r] : bounds[r + 1]]]
+            for r in range(self.q)
+        ]
+
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        channel_llrs: np.ndarray,
+        iterations: Optional[int] = None,
+        early_stop: Optional[bool] = None,
+    ) -> DecodeResult:
+        """Run the core on one frame of float channel LLRs.
+
+        Returns a :class:`~repro.decode.result.DecodeResult` whose
+        ``extra`` dict carries the cycle count of paper Eq. (8).
+        """
+        cfg = self.config
+        iterations = cfg.iterations if iterations is None else iterations
+        early_stop = cfg.early_stop if early_stop is None else early_stop
+        fmt = cfg.fmt
+        ch = fmt.quantize(
+            np.asarray(channel_llrs, dtype=np.float64) * cfg.channel_scale
+        ).astype(np.int64)
+        if ch.shape != (self.code.n,):
+            raise ValueError(f"expected {self.code.n} channel LLRs")
+
+        p, q = self.p, self.q
+        k = self.code.k
+        n_groups = k // p
+        # Channel RAMs (Fig. 4): information values per (group, lane),
+        # parity values per (lane, local check).
+        ch_in = ch[:k].reshape(n_groups, p)
+        ch_pn = ch[k:].reshape(p, q)
+
+        # Message memories, all zero at frame start.
+        in_ram = np.zeros((p, self._n_words), dtype=np.int64)
+        b_ram = np.zeros((p, q), dtype=np.int64)
+        f_boundary = np.zeros(p, dtype=np.int64)  # f of each FU's last check
+
+        graph = self.code.graph
+        bits = (ch < 0).astype(np.uint8)
+        executed = 0
+        converged = early_stop and not syndrome(graph, bits).any()
+        f_mat = np.zeros((p, q), dtype=np.int64)
+        in_posteriors = ch_in.astype(np.int64).copy()
+
+        while not converged and executed < iterations:
+            in_posteriors = self._vn_phase(in_ram, ch_in)
+            f_mat, f_boundary = self._cn_phase(
+                in_ram, b_ram, ch_pn, f_boundary
+            )
+            executed += 1
+            if early_stop or executed == iterations:
+                bits = self._decisions(in_ram, ch_in, ch_pn, f_mat, b_ram)
+                if early_stop and not syndrome(graph, bits).any():
+                    converged = True
+        if not early_stop:
+            bits = self._decisions(in_ram, ch_in, ch_pn, f_mat, b_ram)
+
+        posteriors = self._posteriors(in_ram, ch_in, ch_pn, f_mat, b_ram)
+        cycles = ThroughputModel(self.code.profile).cycles_per_block(
+            iterations=executed
+        )
+        return DecodeResult(
+            bits=bits,
+            converged=bool(converged),
+            iterations=executed,
+            posteriors=posteriors,
+            extra={"cycles": float(cycles)},
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _vn_phase(self, in_ram, ch_in) -> np.ndarray:
+        """Variable-node half iteration: serial nodes, shuffled writes."""
+        fmt = self.config.fmt
+        p = self.p
+        posteriors = np.empty((len(self._vn_groups), p), dtype=np.int64)
+        for row, (g, words) in enumerate(self._vn_groups):
+            inputs = [in_ram[:, self._phys[w]].copy() for w in words]
+            wide = ch_in[g].astype(np.int64)
+            for vec in inputs:
+                wide = wide + vec
+            posteriors[row] = wide
+            for w, vec in zip(words, inputs):
+                out = fmt.saturate(wide - vec).astype(np.int64)
+                # VN output of lane m belongs to edge (w, m); the network
+                # rotates it to the CN-side FU (m + shift) mod P.
+                in_ram[:, self._phys[w]] = np.roll(out, self._shifts[w])
+        return posteriors
+
+    def _cn_phase(self, in_ram, b_ram, ch_pn, f_boundary):
+        """Check-node half iteration with the zigzag forward chain."""
+        fmt = self.config.fmt
+        p, q = self.p, self.q
+        sentinel = np.int64(1 << 40)
+        b_col0_old = b_ram[:, 0].copy()
+        f_mat = np.zeros((p, q), dtype=np.int64)
+        # Chain input of each FU's first check: channel of the previous
+        # FU's last parity node plus its stored forward message.  Lane 0
+        # (check 0) has no predecessor: neutral (max magnitude, + sign).
+        a = np.empty(p, dtype=np.int64)
+        a[0] = fmt.max_int
+        if p > 1:
+            a[1:] = fmt.add(ch_pn[:-1, q - 1], f_boundary[:-1])
+        for r in range(q):
+            words = self._cn_checks[r]
+            inputs = [in_ram[:, self._phys[w]].copy() for w in words]
+            # Serial min1/min2/sign tracking, vectorized across lanes.
+            min1 = np.full(p, sentinel, dtype=np.int64)
+            min2 = np.full(p, sentinel, dtype=np.int64)
+            argmin = np.zeros(p, dtype=np.int64)
+            parity = np.ones(p, dtype=np.int64)
+            for i, vec in enumerate(inputs):
+                mag = np.abs(vec)
+                parity *= np.where(vec < 0, -1, 1)
+                better = mag < min1
+                min2 = np.where(better, min1, np.minimum(min2, mag))
+                argmin = np.where(better, i, argmin)
+                min1 = np.where(better, mag, min1)
+            # Chain inputs: a (fresh, forward) and c (stored, backward).
+            if r < q - 1:
+                b_next = b_ram[:, r + 1]
+            else:
+                b_next = np.concatenate([b_col0_old[1:], [0]])
+            c = fmt.add(ch_pn[:, r], b_next).astype(np.int64)
+            a_sign = np.where(a < 0, -1, 1)
+            a_mag = np.abs(a)
+            c_sign = np.where(c < 0, -1, 1)
+            c_mag = np.abs(c)
+            # Outputs to the information nodes, written back unshuffled.
+            chain_min = np.minimum(a_mag, c_mag)
+            out_parity = parity * a_sign * c_sign
+            for i, (w, vec) in enumerate(zip(words, inputs)):
+                other = np.where(argmin == i, min2, min1)
+                mag = self._normalize(np.minimum(other, chain_min))
+                sign = out_parity * np.where(vec < 0, -1, 1)
+                in_ram[:, self._phys[w]] = np.roll(
+                    sign * mag, -self._shifts[w]
+                )
+            # Chain outputs.
+            f_new = parity * a_sign * self._normalize(
+                np.minimum(min1, a_mag)
+            )
+            b_new = parity * c_sign * self._normalize(
+                np.minimum(min1, c_mag)
+            )
+            f_mat[:, r] = f_new
+            b_ram[:, r] = b_new
+            a = fmt.add(ch_pn[:, r], f_new).astype(np.int64)
+        return f_mat, f_mat[:, q - 1].copy()
+
+    def _normalize(self, mags: np.ndarray) -> np.ndarray:
+        if self.config.normalization == 1.0:
+            return mags
+        return np.floor(self.config.normalization * mags).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _info_posteriors(self, in_ram, ch_in) -> np.ndarray:
+        """Wide posterior per information node from the current RAMs.
+
+        After a CN phase the RAM holds check-to-variable messages in VN
+        layout, so the posterior is channel plus the per-node RAM sum.
+        """
+        n_groups = ch_in.shape[0]
+        post = np.empty((n_groups, self.p), dtype=np.int64)
+        for g in range(n_groups):
+            words = [
+                w for w, grp in enumerate(self.mapping.groups) if grp == g
+            ]
+            total = ch_in[g].astype(np.int64).copy()
+            for w in words:
+                total += in_ram[:, self._phys[w]]
+            post[g] = total
+        return post
+
+    def _decisions(self, in_ram, ch_in, ch_pn, f_mat, b_ram) -> np.ndarray:
+        info_post = self._info_posteriors(in_ram, ch_in)
+        pn_post = self._pn_posteriors(ch_pn, f_mat, b_ram)
+        info_bits = (info_post < 0).astype(np.uint8).reshape(-1)
+        pn_bits = (pn_post < 0).astype(np.uint8).reshape(-1)
+        return np.concatenate([info_bits, pn_bits])
+
+    def _pn_posteriors(self, ch_pn, f_mat, b_ram) -> np.ndarray:
+        p, q = self.p, self.q
+        post = ch_pn.astype(np.int64) + f_mat
+        # PN (lane, r) hears b of check (lane, r+1); the last local check
+        # hears the next lane's first check (wrap: chain end hears none).
+        post[:, : q - 1] += b_ram[:, 1:]
+        nxt = np.concatenate([b_ram[1:, 0], [0]])
+        post[:, q - 1] += nxt
+        return post
+
+    def _posteriors(self, in_ram, ch_in, ch_pn, f_mat, b_ram) -> np.ndarray:
+        info = self._info_posteriors(in_ram, ch_in).reshape(-1)
+        pn = self._pn_posteriors(ch_pn, f_mat, b_ram).reshape(-1)
+        return np.concatenate([info, pn]).astype(np.float64) * (
+            self.config.fmt.scale
+        )

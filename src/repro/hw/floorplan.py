@@ -1,0 +1,165 @@
+"""Floorplan and routing-congestion model (paper Section 5's P&R check).
+
+The paper reports: "We also placed and routed the shuffling network to
+test routing congestions.  Due to its regularity no congestions
+resulted, its area is dominated by the logic cells."  This module
+reproduces that experiment analytically: place the 360 FU tiles on a
+grid, wire every barrel-shifter stage (lane ``i`` → lane
+``(i + 2^s) mod P``), and compare the demanded routing tracks against
+the available ones — then do the same for the fully-parallel
+alternative's random edge wiring, which is exactly what congested
+ref [4]'s die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, sqrt
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .area import AreaModel
+
+
+@dataclass(frozen=True)
+class RoutingTechnology:
+    """Routing resources of a 0.13 um-class metal stack."""
+
+    wire_pitch_um: float = 0.56      # signal pitch, intermediate metal
+    routing_layers: int = 4          # layers available to the network
+    utilization: float = 0.6         # achievable track utilization
+
+
+class FuArrayFloorplan:
+    """Square-ish placement of the FU tiles plus their memories."""
+
+    def __init__(
+        self,
+        lanes: int = 360,
+        width_bits: int = 6,
+        area_model: AreaModel = None,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        self.lanes = lanes
+        self.width_bits = width_bits
+        model = area_model or AreaModel(width_bits=width_bits)
+        report = model.report()
+        # Each tile carries one FU plus its slice of every RAM.
+        tile_mm2 = (
+            report.functional_nodes
+            + report.message_ram
+            + report.channel_ram
+        ) / lanes
+        self.tile_mm = sqrt(tile_mm2)
+        self.cols = ceil(sqrt(lanes))
+        self.rows = ceil(lanes / self.cols)
+
+    # ------------------------------------------------------------------
+    def position(self, lane: int) -> Tuple[float, float]:
+        """Tile-center coordinates (mm) of a lane (row-major placement)."""
+        if not 0 <= lane < self.lanes:
+            raise ValueError("lane out of range")
+        r, c = divmod(lane, self.cols)
+        return ((c + 0.5) * self.tile_mm, (r + 0.5) * self.tile_mm)
+
+    def distance_mm(self, a: int, b: int) -> float:
+        """Manhattan distance between two lanes' tiles."""
+        xa, ya = self.position(a)
+        xb, yb = self.position(b)
+        return abs(xa - xb) + abs(ya - yb)
+
+    @property
+    def die_width_mm(self) -> float:
+        """Width of the placed array."""
+        return self.cols * self.tile_mm
+
+    # ------------------------------------------------------------------
+    # Barrel-shifter wiring
+    # ------------------------------------------------------------------
+    def shuffle_stage_wirelength_mm(self, stage: int) -> float:
+        """Total wirelength of one barrel stage (all lanes, all bits)."""
+        offset = (1 << stage) % self.lanes
+        total = sum(
+            self.distance_mm(i, (i + offset) % self.lanes)
+            for i in range(self.lanes)
+        )
+        return total * self.width_bits
+
+    def shuffle_wirelength_mm(self) -> float:
+        """Total wirelength of the whole shuffling network."""
+        stages = max(1, ceil(np.log2(self.lanes)))
+        return sum(
+            self.shuffle_stage_wirelength_mm(s) for s in range(stages)
+        )
+
+    def bisection_demand_tracks(self) -> int:
+        """Wires crossing the vertical mid-line of the array.
+
+        A stage-``s`` wire from lane ``i`` crosses the cut when the two
+        tiles sit on opposite halves; each carries ``width_bits`` bits.
+        """
+        stages = max(1, ceil(np.log2(self.lanes)))
+        mid = self.die_width_mm / 2.0
+        crossings = 0
+        for s in range(stages):
+            offset = (1 << s) % self.lanes
+            for i in range(self.lanes):
+                xa, _ = self.position(i)
+                xb, _ = self.position((i + offset) % self.lanes)
+                if (xa - mid) * (xb - mid) < 0:
+                    crossings += 1
+        return crossings * self.width_bits
+
+    def bisection_capacity_tracks(
+        self, tech: RoutingTechnology = RoutingTechnology()
+    ) -> int:
+        """Routing tracks available across the same cut."""
+        die_height_um = self.rows * self.tile_mm * 1000.0
+        per_layer = die_height_um / tech.wire_pitch_um
+        return int(per_layer * tech.routing_layers * tech.utilization)
+
+    def congestion_ratio(
+        self, tech: RoutingTechnology = RoutingTechnology()
+    ) -> float:
+        """Demanded / available tracks; < 1 means routable ("no
+        congestion" — the paper's finding for the shuffler)."""
+        return self.bisection_demand_tracks() / max(
+            1, self.bisection_capacity_tracks(tech)
+        )
+
+
+def fully_parallel_congestion(
+    n_vns: int,
+    n_edges: int,
+    tile_mm: float = 0.035,
+    tech: RoutingTechnology = RoutingTechnology(),
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Bisection analysis of a fully-parallel layout's random wiring.
+
+    Every Tanner edge is a dedicated route between a random VN tile and
+    a random CN tile (the graph is random, so placement cannot localize
+    it); about half of all edges cross any bisection.
+    """
+    n_nodes = n_vns + n_vns // 2
+    cols = ceil(sqrt(n_nodes))
+    die_width_mm = cols * tile_mm
+    rng = np.random.default_rng(seed)
+    # Random edge endpoints: x-positions uniform over the die.
+    xa = rng.uniform(0.0, die_width_mm, n_edges)
+    xb = rng.uniform(0.0, die_width_mm, n_edges)
+    mid = die_width_mm / 2.0
+    crossing = int(np.count_nonzero((xa - mid) * (xb - mid) < 0))
+    die_height_um = ceil(n_nodes / cols) * tile_mm * 1000.0
+    capacity = int(
+        die_height_um / tech.wire_pitch_um
+        * tech.routing_layers
+        * tech.utilization
+    )
+    return {
+        "demand_tracks": float(crossing),
+        "capacity_tracks": float(capacity),
+        "congestion_ratio": crossing / max(1, capacity),
+    }

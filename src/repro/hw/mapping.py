@@ -1,0 +1,188 @@
+"""Node-to-functional-unit mapping (paper Section 3, Fig. 3).
+
+The architecture instantiates ``P = 360`` functional units (FUs).  The
+mapping the paper derives from the code structure:
+
+* **Information nodes**: 360 consecutive nodes form a group; node
+  ``i`` of a group maps to FU ``i mod 360``.  Each FU's message RAM holds
+  one message per *address word* (one base address of the table), so a
+  degree-8 node occupies 8 words — "8 storage places are allocated".
+* **Check nodes**: ``q`` consecutive check nodes map to the same FU —
+  CN ``c`` goes to FU ``c // q`` with local index ``c mod q``.
+
+Writing a base address as ``x = r + q * t``, the edge of group column
+``m`` lands on check ``r + q * ((t + m) mod 360)``, i.e. CN-side FU
+``(m + t) mod 360`` and local check ``r``.  Consequences, all verified by
+:meth:`IpMapping.verify`:
+
+* the VN-side to CN-side FU permutation of every address word is a
+  *cyclic shift* by ``t`` — a barrel shuffler suffices (paper's claim),
+* during the check phase, all 360 FUs always read the *same* RAM address,
+* each FU processes exactly ``q * (k - 2)`` information edges per half
+  iteration (paper Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+
+
+@dataclass(frozen=True)
+class AddressWord:
+    """One word of the address/shuffle ROM (one base address of Π).
+
+    Attributes
+    ----------
+    index:
+        Word index ``w`` in canonical table order.
+    group:
+        Information-node group the word belongs to.
+    slot:
+        Position of the word within its group's table row.
+    residue:
+        ``x mod q`` — the local check index this word's messages belong
+        to during the check phase.
+    shift:
+        ``x // q`` — the cyclic-shift amount the shuffling network
+        applies to this word's 360 messages.
+    """
+
+    index: int
+    group: int
+    slot: int
+    residue: int
+    shift: int
+
+
+class IpMapping:
+    """The paper's message/functional-unit mapping for one code."""
+
+    def __init__(self, code: LdpcCode) -> None:
+        self.code = code
+        self.parallelism = code.profile.parallelism
+        self.q = code.profile.q
+        self.words: List[AddressWord] = []
+        slot_counter: dict = {}
+        for w, (g, x) in enumerate(code.table.iter_addresses()):
+            slot = slot_counter.get(g, 0)
+            slot_counter[g] = slot + 1
+            self.words.append(
+                AddressWord(
+                    index=w,
+                    group=g,
+                    slot=slot,
+                    residue=x % self.q,
+                    shift=x // self.q,
+                )
+            )
+        self._residue = np.array([u.residue for u in self.words])
+        self._shift = np.array([u.shift for u in self.words])
+        self._group = np.array([u.group for u in self.words])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_words(self) -> int:
+        """Address/shuffle ROM depth (= Table 2 ``Addr``)."""
+        return len(self.words)
+
+    @property
+    def residues(self) -> np.ndarray:
+        """Residue (local check index) of every word."""
+        return self._residue
+
+    @property
+    def shifts(self) -> np.ndarray:
+        """Cyclic-shift amount of every word."""
+        return self._shift
+
+    @property
+    def groups(self) -> np.ndarray:
+        """Group index of every word."""
+        return self._group
+
+    # ------------------------------------------------------------------
+    # Node-to-FU maps
+    # ------------------------------------------------------------------
+    def fu_of_information_node(self, i: int) -> int:
+        """FU processing information node ``i`` during the VN phase."""
+        return i % self.parallelism
+
+    def group_of_information_node(self, i: int) -> int:
+        """Group of information node ``i``."""
+        return i // self.parallelism
+
+    def fu_of_check_node(self, c: int) -> int:
+        """FU processing check node ``c`` during the CN phase."""
+        return c // self.q
+
+    def local_index_of_check_node(self, c: int) -> int:
+        """Position of check ``c`` within its FU's sequence of checks."""
+        return c % self.q
+
+    def edge_location(self, word: int, m: int) -> Tuple[int, int]:
+        """CN-side (fu, check) reached by column ``m`` of address word
+        ``word`` — the cyclic-shift law in one place."""
+        u = self.words[word]
+        fu = (m + u.shift) % self.parallelism
+        check = u.residue + self.q * fu
+        return fu, check
+
+    def words_of_check_residue(self, residue: int) -> np.ndarray:
+        """Address words feeding local check ``residue`` (length k-2)."""
+        return np.nonzero(self._residue == residue)[0]
+
+    def edges_per_fu_per_half_iteration(self) -> int:
+        """Work per FU per half iteration: ``q * (k - 2)`` (paper Eq. 6)."""
+        return self.q * (self.code.profile.check_degree - 2)
+
+    def in_ram_words_per_fu(self) -> int:
+        """Depth of each FU's information message RAM."""
+        return self.n_words
+
+    def pn_ram_words_per_fu(self) -> int:
+        """Depth of each FU's parity (backward) message RAM.
+
+        The zigzag schedule stores only ``E_PN / 2`` messages in total
+        (paper Section 2.2), i.e. one backward message per check node,
+        ``q`` per FU.
+        """
+        return self.q
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check the mapping laws against the actual Tanner graph.
+
+        Expands every address word and verifies (a) the cyclic-shift law,
+        (b) the balanced work distribution, (c) that CN-phase reads of one
+        cycle all target the same word for every FU.  Raises
+        ``AssertionError`` with a description on any mismatch.
+        """
+        code = self.code
+        p = self.parallelism
+        table = code.table
+        m_range = np.arange(p)
+        w = 0
+        for g, x in table.iter_addresses():
+            cn = (x + table.q * m_range) % table.n_checks
+            u = self.words[w]
+            expected_fu = (m_range + u.shift) % p
+            if not np.array_equal(cn // self.q, expected_fu):
+                raise AssertionError(
+                    f"word {w}: cyclic-shift law violated"
+                )
+            if not (cn % self.q == u.residue).all():
+                raise AssertionError(
+                    f"word {w}: residue law violated"
+                )
+            w += 1
+        # Balanced work: every residue has exactly k - 2 words.
+        counts = np.bincount(self._residue, minlength=self.q)
+        if not (counts == code.profile.check_degree - 2).all():
+            raise AssertionError("unbalanced check-phase schedule")
+        if self.n_words != code.profile.addr_entries:
+            raise AssertionError("address ROM depth disagrees with Table 2")

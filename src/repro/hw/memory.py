@@ -1,0 +1,116 @@
+"""Single-port SRAM models (paper Fig. 5 hierarchical RAM structure).
+
+The IP core uses single-port SRAMs "due to area and power efficiency",
+which makes simultaneous read/write impossible on one macro.  The paper's
+remedy: partition each FU's information-message memory into 4 RAMs selected
+by the two address LSBs, allow one read plus up to two writes (to distinct
+other partitions) per cycle, and buffer writes that cannot proceed.
+
+This module models the banks and the partition arbiter; the cycle-by-cycle
+conflict statistics live in :mod:`repro.hw.conflicts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+#: The paper's partition count: "the two least significant bits of the
+#: addresses determine the assignment to a partition".
+DEFAULT_PARTITIONS = 4
+
+#: Writes accepted per cycle: "write at most 2 data back to two distinct
+#: RAMs, coming from the buffers or the shuffling network".
+DEFAULT_WRITE_PORTS = 2
+
+
+class SramBank:
+    """A single-port RAM: at most one access (read or write) per cycle.
+
+    Used by the functional decoder core; the per-cycle accounting raises
+    if the schedule ever demands two accesses in the same cycle, proving
+    the conflict-avoidance logic correct by construction.
+    """
+
+    def __init__(self, depth: int, name: str = "ram") -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self.name = name
+        self.data = np.zeros(depth, dtype=np.int64)
+        self.reads = 0
+        self.writes = 0
+        self._busy_cycle: Optional[int] = None
+
+    def _claim(self, cycle: Optional[int]) -> None:
+        if cycle is None:
+            return
+        if self._busy_cycle == cycle:
+            raise RuntimeError(
+                f"{self.name}: second access in cycle {cycle} "
+                "(single-port violation)"
+            )
+        self._busy_cycle = cycle
+
+    def read(self, addr: int, cycle: Optional[int] = None) -> int:
+        """Read one word; optionally enforce the single-port constraint."""
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        self._claim(cycle)
+        self.reads += 1
+        return int(self.data[addr])
+
+    def write(self, addr: int, value: int, cycle: Optional[int] = None) -> None:
+        """Write one word; optionally enforce the single-port constraint."""
+        if not 0 <= addr < self.depth:
+            raise IndexError(f"{self.name}: address {addr} out of range")
+        self._claim(cycle)
+        self.writes += 1
+        self.data[addr] = value
+
+
+@dataclass
+class PartitionedMemory:
+    """The 4-RAM partition of Fig. 5 for one FU's message memory.
+
+    Addresses are global; partition = ``addr % n_partitions`` ("the two
+    least significant bits"), the word within a partition is
+    ``addr // n_partitions``.
+    """
+
+    depth: int
+    n_partitions: int = DEFAULT_PARTITIONS
+    banks: List[SramBank] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("need at least one partition")
+        per = (self.depth + self.n_partitions - 1) // self.n_partitions
+        self.banks = [
+            SramBank(per, name=f"part{b}") for b in range(self.n_partitions)
+        ]
+
+    def partition_of(self, addr: int) -> int:
+        """Partition index holding a global address."""
+        return addr % self.n_partitions
+
+    def read(self, addr: int, cycle: Optional[int] = None) -> int:
+        """Read through the partition arbiter."""
+        return self.banks[self.partition_of(addr)].read(
+            addr // self.n_partitions, cycle
+        )
+
+    def write(self, addr: int, value: int, cycle: Optional[int] = None) -> None:
+        """Write through the partition arbiter."""
+        self.banks[self.partition_of(addr)].write(
+            addr // self.n_partitions, value, cycle
+        )
+
+
+def ram_bits(words: int, width_bits: int) -> int:
+    """Storage bits of a RAM macro (helper for the area model)."""
+    if words < 0 or width_bits <= 0:
+        raise ValueError("invalid RAM shape")
+    return words * width_bits

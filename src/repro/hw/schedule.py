@@ -1,0 +1,224 @@
+"""Memory layout and phase schedules (the address/shuffle ROM contents).
+
+The decoder's two half-iterations access the FU message RAMs in different
+orders (paper Section 4):
+
+* **VN phase** — "we just increment the reading address": the physical
+  layout therefore fixes the VN-phase schedule.  A node's messages must be
+  contiguous so the serial FU can detect the last-message flag; beyond
+  that, the *order of groups* and the *order of words inside a group* are
+  free (the VN update is commutative).
+* **CN phase** — reads "from dedicated addresses, provided by the address
+  RAM": local checks must be processed in chain order 0..q-1 (the zigzag
+  forward update is sequential), but the order of the ``k-2`` words
+  *within* a check is free ("the commutativity of the message processing
+  within a check node is exploited").
+
+Those free orders are exactly the degrees of freedom the simulated
+annealing of :mod:`repro.hw.annealing` optimizes to avoid RAM write
+conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .mapping import IpMapping
+
+
+@dataclass
+class MemoryLayout:
+    """Physical placement of address words in the FU message RAMs.
+
+    ``word_at[a]`` is the table word stored at physical address ``a``;
+    ``phys[w]`` is its inverse.  Construction guarantees that words of one
+    group stay contiguous (the VN-phase requirement).
+    """
+
+    mapping: IpMapping
+    group_order: np.ndarray
+    slot_orders: List[np.ndarray]
+
+    @classmethod
+    def canonical(cls, mapping: IpMapping) -> "MemoryLayout":
+        """Table order: groups ascending, slots ascending."""
+        n_groups = mapping.code.table.n_groups
+        rows = mapping.code.table.rows
+        return cls(
+            mapping=mapping,
+            group_order=np.arange(n_groups),
+            slot_orders=[np.arange(len(rows[g])) for g in range(n_groups)],
+        )
+
+    def __post_init__(self) -> None:
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        mapping = self.mapping
+        # words grouped by group in canonical order
+        groups = mapping.groups
+        n_words = mapping.n_words
+        words_of_group: List[np.ndarray] = []
+        n_groups = len(self.slot_orders)
+        for g in range(n_groups):
+            words_of_group.append(np.nonzero(groups == g)[0])
+        order: List[int] = []
+        for g in self.group_order:
+            base = words_of_group[g]
+            order.extend(int(base[s]) for s in self.slot_orders[g])
+        self.word_at = np.array(order, dtype=np.int64)
+        if self.word_at.size != n_words:
+            raise ValueError("layout does not place every word exactly once")
+        self.phys = np.empty(n_words, dtype=np.int64)
+        self.phys[self.word_at] = np.arange(n_words)
+
+    def clone(self) -> "MemoryLayout":
+        """Deep copy (for annealing moves)."""
+        return MemoryLayout(
+            mapping=self.mapping,
+            group_order=self.group_order.copy(),
+            slot_orders=[s.copy() for s in self.slot_orders],
+        )
+
+    def partition_of_word(self, w: int, n_partitions: int) -> int:
+        """RAM partition (Fig. 5) holding word ``w``: address LSBs."""
+        return int(self.phys[w]) % n_partitions
+
+
+@dataclass
+class CnPhaseSchedule:
+    """Read order of the check-node phase.
+
+    ``read_order`` lists table words cycle by cycle; cycle ``r*(k-2)+i``
+    reads the ``i``-th word of local check ``r``.  Checks appear in chain
+    order; only the within-check order varies.
+    """
+
+    mapping: IpMapping
+    within_check_orders: List[np.ndarray]
+
+    @classmethod
+    def canonical(cls, mapping: IpMapping) -> "CnPhaseSchedule":
+        """Within-check order = canonical word order."""
+        q = mapping.q
+        orders = []
+        for r in range(q):
+            words = mapping.words_of_check_residue(r)
+            orders.append(np.arange(len(words)))
+        return cls(mapping=mapping, within_check_orders=orders)
+
+    def __post_init__(self) -> None:
+        self._words_of_residue = [
+            self.mapping.words_of_check_residue(r)
+            for r in range(self.mapping.q)
+        ]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        reads: List[int] = []
+        bounds: List[int] = [0]
+        for r, order in enumerate(self.within_check_orders):
+            base = self._words_of_residue[r]
+            reads.extend(int(base[i]) for i in order)
+            bounds.append(len(reads))
+        self.read_order = np.array(reads, dtype=np.int64)
+        self.check_bounds = np.array(bounds, dtype=np.int64)
+        if self.read_order.size != self.mapping.n_words:
+            raise ValueError("schedule does not read every word exactly once")
+
+    def clone(self) -> "CnPhaseSchedule":
+        """Deep copy (for annealing moves)."""
+        return CnPhaseSchedule(
+            mapping=self.mapping,
+            within_check_orders=[o.copy() for o in self.within_check_orders],
+        )
+
+
+@dataclass
+class DecoderSchedule:
+    """Complete access program: layout plus CN-phase read order.
+
+    Provides the ROM images of paper Fig. 4: the address RAM (physical
+    address per CN-phase cycle) and the shuffle RAM (cyclic shift per
+    cycle, used in both phases).
+    """
+
+    layout: MemoryLayout
+    cn_schedule: CnPhaseSchedule
+
+    @classmethod
+    def canonical(cls, mapping: IpMapping) -> "DecoderSchedule":
+        """The unoptimized schedule straight from the table."""
+        return cls(
+            layout=MemoryLayout.canonical(mapping),
+            cn_schedule=CnPhaseSchedule.canonical(mapping),
+        )
+
+    @property
+    def mapping(self) -> IpMapping:
+        """The node mapping both components refer to."""
+        return self.layout.mapping
+
+    # ------------------------------------------------------------------
+    # ROM images
+    # ------------------------------------------------------------------
+    def address_rom(self) -> np.ndarray:
+        """Physical RAM address read at each CN-phase cycle."""
+        return self.layout.phys[self.cn_schedule.read_order]
+
+    def shuffle_rom_cn(self) -> np.ndarray:
+        """Cyclic shift applied at each CN-phase cycle (write-back uses
+        the inverse shift)."""
+        return self.mapping.shifts[self.cn_schedule.read_order]
+
+    def shuffle_rom_vn(self) -> np.ndarray:
+        """Cyclic shift applied at each VN-phase cycle (= layout order)."""
+        return self.mapping.shifts[self.layout.word_at]
+
+    def rom_bits(self) -> int:
+        """Total connectivity-storage bits (the 0.075 mm² of Table 3).
+
+        One word per cycle: a physical address plus a shift amount.
+        """
+        n = self.mapping.n_words
+        addr_bits = max(1, int(np.ceil(np.log2(max(2, n)))))
+        shift_bits = max(
+            1, int(np.ceil(np.log2(self.mapping.parallelism)))
+        )
+        return n * (addr_bits + shift_bits)
+
+    # ------------------------------------------------------------------
+    def vn_phase_words(self) -> np.ndarray:
+        """Table word read at each VN-phase cycle (incrementing address)."""
+        return self.layout.word_at
+
+    def vn_node_bounds(self) -> np.ndarray:
+        """VN-phase cycle indices at which a node's messages end.
+
+        Entry ``g`` is the cycle after the last word of the ``g``-th
+        *placed* group (layout order) — where the serial FU's "last
+        message" control flag fires.
+        """
+        sizes = [
+            len(self.layout.slot_orders[g]) for g in self.layout.group_order
+        ]
+        return np.concatenate(([0], np.cumsum(sizes)))
+
+    def validate(self) -> None:
+        """Cross-check layout and schedule cover every word once."""
+        n = self.mapping.n_words
+        if sorted(self.layout.word_at.tolist()) != list(range(n)):
+            raise AssertionError("layout is not a permutation of words")
+        if sorted(self.cn_schedule.read_order.tolist()) != list(range(n)):
+            raise AssertionError("CN schedule is not a permutation of words")
+        # chain order: residues must be non-decreasing block-wise
+        residues = self.mapping.residues[self.cn_schedule.read_order]
+        width = self.mapping.code.profile.check_degree - 2
+        expected = np.repeat(np.arange(self.mapping.q), width)
+        if not np.array_equal(residues, expected):
+            raise AssertionError(
+                "CN schedule violates the sequential chain order"
+            )

@@ -1,0 +1,84 @@
+"""Cyclic shuffling network model (the ``Π`` box of paper Fig. 4).
+
+Because the node mapping reduces every address word's FU-to-FU permutation
+to a cyclic shift (see :mod:`repro.hw.mapping`), the full crossbar a
+generic partly-parallel decoder would need collapses to a barrel shifter:
+``ceil(log2(P))`` mux stages of ``P`` lanes each.  The paper reports that
+after place & route the network showed no congestion and its area is
+dominated by the logic cells — our gate model reflects that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShuffleNetwork:
+    """Barrel shuffler moving one message per FU lane per cycle.
+
+    Parameters
+    ----------
+    lanes:
+        Number of FU lanes ``P`` (360 for the full decoder).
+    width_bits:
+        Message width carried per lane (6 in the synthesized core).
+    """
+
+    lanes: int
+    width_bits: int = 6
+
+    def shuffle(self, messages: np.ndarray, shift: int) -> np.ndarray:
+        """Cyclic shift: lane ``m`` input appears on lane ``(m+shift)%P``.
+
+        This is the VN-phase direction: messages produced by VN-side FU
+        ``m`` are routed to the CN-side FU that owns the target check.
+        """
+        messages = np.asarray(messages)
+        if messages.shape[0] != self.lanes:
+            raise ValueError(f"expected {self.lanes} lanes")
+        return np.roll(messages, shift, axis=0)
+
+    def unshuffle(self, messages: np.ndarray, shift: int) -> np.ndarray:
+        """Inverse shift (CN-phase write-back direction)."""
+        messages = np.asarray(messages)
+        if messages.shape[0] != self.lanes:
+            raise ValueError(f"expected {self.lanes} lanes")
+        return np.roll(messages, -shift, axis=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Mux stages of the barrel shifter."""
+        return ceil(log2(self.lanes))
+
+    def mux_count(self) -> int:
+        """2:1 mux equivalents of one barrel shifter."""
+        return self.n_stages * self.lanes * self.width_bits
+
+    def verify_realizes_table(self, mapping) -> None:
+        """Prove the network suffices for a code: every address word's
+        permutation must be realizable as a single cyclic shift.
+
+        Walks each word, builds the exact FU permutation demanded by the
+        Tanner graph, and checks it equals ``roll`` by the word's shift.
+        """
+        code = mapping.code
+        table = code.table
+        p = self.lanes
+        if table.parallelism != p:
+            raise ValueError("lane count differs from code parallelism")
+        m_range = np.arange(p)
+        identity = np.arange(p)
+        for w, (_, x) in enumerate(table.iter_addresses()):
+            cn_fu = ((x + table.q * m_range) % table.n_checks) // table.q
+            shift = mapping.words[w].shift
+            expected = (identity + shift) % p
+            if not np.array_equal(cn_fu, expected):
+                raise AssertionError(
+                    f"word {w} needs a non-cyclic permutation; "
+                    "a barrel shifter would not suffice"
+                )

@@ -1,0 +1,134 @@
+"""Throughput model — paper Eq. (7)/(8) and the 255 Mbit/s requirement.
+
+The decoder processes 360 messages per clock cycle, needs ``E_IN / P``
+cycles per half iteration (information edges only; the zigzag chain is
+handled concurrently inside the FUs), receives 10 channel values per clock
+during I/O, and overlaps input of the next frame with output of the
+previous one::
+
+    #cyc = C / P_IO + It * (2 * E_IN / P + T_latency)
+
+    T = I / #cyc * f_clk                                  (Eq. 8)
+
+with ``C`` the codeword length, ``I = K`` the information bits, ``It`` the
+iteration count (30 in the paper), and ``f_clk = 270 MHz`` worst-case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..codes.standard import CodeRateProfile, all_profiles
+
+#: Channel values accepted per clock cycle during I/O (paper Section 4).
+DEFAULT_IO_PARALLELISM = 10
+
+#: Synthesis clock under worst-case conditions (paper Section 5).
+DEFAULT_CLOCK_HZ = 270e6
+
+#: Iterations assumed for the published throughput figure.
+DEFAULT_ITERATIONS = 30
+
+#: Per-iteration pipeline latency (functional units + shuffling network).
+DEFAULT_LATENCY_CYCLES = 8
+
+#: The DVB-S2 base-station requirement the core must meet.
+REQUIRED_THROUGHPUT_BPS = 255e6
+
+
+@dataclass(frozen=True)
+class ThroughputModel:
+    """Cycle and throughput calculator for one code-rate profile."""
+
+    profile: CodeRateProfile
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    io_parallelism: int = DEFAULT_IO_PARALLELISM
+    latency_cycles: int = DEFAULT_LATENCY_CYCLES
+
+    # ------------------------------------------------------------------
+    def io_cycles(self) -> int:
+        """Cycles to stream one codeword in (output overlaps input)."""
+        c = self.profile.n
+        return -(-c // self.io_parallelism)  # ceil division
+
+    def cycles_per_iteration(self) -> int:
+        """Cycles of one full iteration: both phases plus latency."""
+        e_in = self.profile.e_in
+        p = self.profile.parallelism
+        return 2 * (e_in // p) + self.latency_cycles
+
+    def cycles_per_block(self, iterations: int = DEFAULT_ITERATIONS) -> int:
+        """Total cycles to decode one frame (paper Eq. 8 denominator)."""
+        return self.io_cycles() + iterations * self.cycles_per_iteration()
+
+    def throughput_bps(self, iterations: int = DEFAULT_ITERATIONS) -> float:
+        """Information throughput in bit/s at the configured clock."""
+        return (
+            self.profile.k_info
+            / self.cycles_per_block(iterations)
+            * self.clock_hz
+        )
+
+    def coded_throughput_bps(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> float:
+        """Channel-bit throughput (codeword bits per second)."""
+        return (
+            self.profile.n / self.cycles_per_block(iterations) * self.clock_hz
+        )
+
+    def meets_requirement(
+        self,
+        iterations: int = DEFAULT_ITERATIONS,
+        requirement_bps: float = REQUIRED_THROUGHPUT_BPS,
+        coded: bool = True,
+    ) -> bool:
+        """Check the 255 Mbit/s DVB-S2 base-station requirement.
+
+        The standard's requirement is on the *channel* symbol stream, so
+        by default the coded throughput is compared.
+        """
+        rate = (
+            self.coded_throughput_bps(iterations)
+            if coded
+            else self.throughput_bps(iterations)
+        )
+        return rate >= requirement_bps
+
+    def max_iterations_at_requirement(
+        self,
+        requirement_bps: float = REQUIRED_THROUGHPUT_BPS,
+        coded: bool = True,
+    ) -> int:
+        """Largest iteration count still meeting the requirement."""
+        bits = self.profile.n if coded else self.profile.k_info
+        budget = bits * self.clock_hz / requirement_bps - self.io_cycles()
+        if budget <= 0:
+            return 0
+        return int(budget // self.cycles_per_iteration())
+
+
+def throughput_table(
+    iterations: int = DEFAULT_ITERATIONS,
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+) -> List[Dict[str, float]]:
+    """Per-rate throughput summary over all eleven DVB-S2 rates."""
+    rows = []
+    for profile in all_profiles():
+        model = ThroughputModel(profile, clock_hz=clock_hz)
+        rows.append(
+            {
+                "rate": profile.name,
+                "info_bits": profile.k_info,
+                "cycles": model.cycles_per_block(iterations),
+                "info_throughput_mbps": model.throughput_bps(iterations)
+                / 1e6,
+                "coded_throughput_mbps": model.coded_throughput_bps(
+                    iterations
+                )
+                / 1e6,
+                "meets_255": model.meets_requirement(iterations),
+            }
+        )
+    return rows

@@ -1,0 +1,5 @@
+"""Fixed-point number formats and saturating arithmetic."""
+
+from .fixed_point import MESSAGE_5BIT, MESSAGE_6BIT, FixedPointFormat
+
+__all__ = ["FixedPointFormat", "MESSAGE_5BIT", "MESSAGE_6BIT"]

@@ -1,0 +1,26 @@
+"""Monte-Carlo BER/FER harness, sweeps, and statistics."""
+
+from .ber import BerResult, BerSimulator, measure_ber
+from .fast import fast_ber
+from .stats import ErrorRateEstimate, wilson_interval
+from .sweep import (
+    SweepPoint,
+    find_waterfall_ebn0,
+    iteration_sweep,
+    iterations_to_reach_ber,
+    snr_sweep,
+)
+
+__all__ = [
+    "BerResult",
+    "BerSimulator",
+    "ErrorRateEstimate",
+    "fast_ber",
+    "SweepPoint",
+    "find_waterfall_ebn0",
+    "iteration_sweep",
+    "iterations_to_reach_ber",
+    "measure_ber",
+    "snr_sweep",
+    "wilson_interval",
+]

@@ -1,0 +1,77 @@
+"""ASCII plotting for BER curves (no plotting library required).
+
+The benches and examples run in terminals; this renders log-scale
+waterfall curves as text so results are visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from math import floor, log10
+from typing import Dict, List, Sequence, Tuple
+
+#: Characters assigned to successive series.
+SERIES_MARKS = "ox+*#@"
+
+
+def ascii_ber_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 20,
+    floor_ber: float = 1e-7,
+    title: str = "",
+) -> str:
+    """Render BER-vs-Eb/N0 curves on a log-y ASCII grid.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> list of (ebn0_db, ber) points.  Zero-BER points
+        are clamped to ``floor_ber`` (they sit on the bottom axis).
+    width, height:
+        Character grid size.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [p[0] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    y_lo = log10(floor_ber)
+    y_hi = max(
+        log10(max(p[1], floor_ber)) for p in points
+    )
+    y_hi = max(y_hi, y_lo + 1.0)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (label, pts), mark in zip(series.items(), SERIES_MARKS):
+        for ebn0, ber in pts:
+            x = int(round((ebn0 - x_lo) / (x_hi - x_lo) * (width - 1)))
+            y_val = log10(max(ber, floor_ber))
+            y = int(
+                round((y_hi - y_val) / (y_hi - y_lo) * (height - 1))
+            )
+            grid[min(max(y, 0), height - 1)][
+                min(max(x, 0), width - 1)
+            ] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        frac = row_idx / (height - 1)
+        y_val = y_hi - frac * (y_hi - y_lo)
+        label = f"1e{int(floor(y_val)):+03d}" if row_idx % 4 == 0 else "    "
+        lines.append(f"{label:>6} |" + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    lines.append(
+        f"{'':7}{x_lo:<8.2f}{'Eb/N0 (dB)':^{width - 16}}{x_hi:>8.2f}"
+    )
+    legend = "   ".join(
+        f"{mark}={label}"
+        for (label, _), mark in zip(series.items(), SERIES_MARKS)
+    )
+    lines.append(" " * 8 + legend)
+    return "\n".join(lines)

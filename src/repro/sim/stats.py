@@ -1,0 +1,65 @@
+"""Statistics helpers for Monte-Carlo error-rate estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Tuple
+
+
+def wilson_interval(
+    errors: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at zero observed errors (unlike the normal
+    approximation), which matters for low-BER points.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= errors <= trials:
+        raise ValueError("errors must be within [0, trials]")
+    p = errors / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+@dataclass
+class ErrorRateEstimate:
+    """A BER or FER estimate with its confidence interval."""
+
+    errors: int
+    trials: int
+    z: float = 1.96
+
+    @property
+    def rate(self) -> float:
+        """Point estimate."""
+        if self.trials == 0:
+            return float("nan")
+        return self.errors / self.trials
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """Wilson confidence interval."""
+        return wilson_interval(self.errors, self.trials, self.z)
+
+    @property
+    def reliable(self) -> bool:
+        """Rule of thumb: ≥ 20 observed errors for a stable estimate."""
+        return self.errors >= 20
+
+    def merged(self, other: "ErrorRateEstimate") -> "ErrorRateEstimate":
+        """Pool two independent estimates of the same quantity."""
+        return ErrorRateEstimate(
+            errors=self.errors + other.errors,
+            trials=self.trials + other.trials,
+            z=self.z,
+        )

@@ -1,0 +1,119 @@
+"""Parameter sweeps: SNR curves, iteration curves, threshold search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from .ber import BerResult, BerSimulator, DecoderLike
+
+
+@dataclass
+class SweepPoint:
+    """One point of a sweep: the varied value and its measurement."""
+
+    value: float
+    result: BerResult
+
+
+def snr_sweep(
+    code: LdpcCode,
+    decoder: DecoderLike,
+    ebn0_points_db: Sequence[float],
+    max_frames: int = 100,
+    max_iterations: int = 30,
+    seed: int = 0,
+    all_zero: bool = True,
+    target_frame_errors: Optional[int] = None,
+) -> List[SweepPoint]:
+    """BER/FER versus Eb/N0 (the waterfall curve)."""
+    sim = BerSimulator(code=code, decoder=decoder, all_zero=all_zero, seed=seed)
+    points = []
+    for ebn0 in ebn0_points_db:
+        result = sim.run(
+            ebn0,
+            max_frames=max_frames,
+            max_iterations=max_iterations,
+            target_frame_errors=target_frame_errors,
+        )
+        points.append(SweepPoint(value=float(ebn0), result=result))
+    return points
+
+
+def iteration_sweep(
+    code: LdpcCode,
+    decoder: DecoderLike,
+    ebn0_db: float,
+    iteration_points: Sequence[int],
+    max_frames: int = 100,
+    seed: int = 0,
+    all_zero: bool = True,
+) -> List[SweepPoint]:
+    """BER versus iteration budget at a fixed Eb/N0.
+
+    The Fig. 2 experiment: run with ``early_stop`` disabled so every
+    frame uses exactly the budgeted iterations — isolating the schedule's
+    convergence speed.
+    """
+    sim = BerSimulator(code=code, decoder=decoder, all_zero=all_zero, seed=seed)
+    points = []
+    for iters in iteration_points:
+        result = sim.run(
+            ebn0_db,
+            max_frames=max_frames,
+            max_iterations=int(iters),
+            early_stop=False,
+        )
+        points.append(SweepPoint(value=float(iters), result=result))
+    return points
+
+
+def iterations_to_reach_ber(
+    points: Sequence[SweepPoint], target_ber: float
+) -> Optional[int]:
+    """Smallest swept iteration budget whose BER is at or below target."""
+    for point in sorted(points, key=lambda p: p.value):
+        if point.result.ber <= target_ber:
+            return int(point.value)
+    return None
+
+
+def find_waterfall_ebn0(
+    code: LdpcCode,
+    decoder: DecoderLike,
+    target_fer: float = 0.5,
+    lo_db: float = 0.0,
+    hi_db: float = 4.0,
+    max_frames: int = 40,
+    max_iterations: int = 30,
+    seed: int = 0,
+    resolution_db: float = 0.1,
+) -> float:
+    """Bisect the Eb/N0 at which the FER crosses ``target_fer``.
+
+    A cheap threshold locator used by the Shannon-gap experiment; the
+    FER-vs-SNR curve is steep for long LDPC codes, so the 50% crossing is
+    a stable proxy for the waterfall position.
+    """
+    sim = BerSimulator(code=code, decoder=decoder, all_zero=True, seed=seed)
+
+    def fer_at(ebn0: float) -> float:
+        return sim.run(
+            ebn0, max_frames=max_frames, max_iterations=max_iterations
+        ).fer
+
+    lo, hi = lo_db, hi_db
+    if fer_at(hi) > target_fer:
+        return hi
+    if fer_at(lo) <= target_fer:
+        return lo
+    while hi - lo > resolution_db:
+        mid = 0.5 * (lo + hi)
+        if fer_at(mid) > target_fer:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,5 @@
+"""Baseband framing (BBFRAME) above the FEC chain."""
+
+from .bbframe import HEADER_BITS, BbFramer, BbHeader, crc8
+
+__all__ = ["BbFramer", "BbHeader", "HEADER_BITS", "crc8"]

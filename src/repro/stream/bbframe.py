@@ -1,0 +1,180 @@
+"""BBFRAME mode adaptation (EN 302 307 §5.1) — the layer above the FEC.
+
+DVB-S2 carries user data in *baseband frames*: an 80-bit BBHEADER
+(stream type, user-packet length, data-field length, sync fields, CRC-8)
+followed by the data field and padding up to the FEC payload size.  The
+paper's decoder sits below this layer; implementing it closes the stack
+from user bytes to channel bits.
+
+The CRC-8 uses the standard's generator
+``x^8 + x^7 + x^6 + x^4 + x^2 + 1`` (0xD5 without the leading term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: BBHEADER length in bits.
+HEADER_BITS = 80
+
+#: CRC-8 generator (x^8+x^7+x^6+x^4+x^2+1), leading term implicit.
+CRC8_POLY = 0xD5
+
+
+def crc8(data: bytes, poly: int = CRC8_POLY) -> int:
+    """Bitwise CRC-8 of a byte string (MSB-first, zero initial value)."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ poly) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+@dataclass(frozen=True)
+class BbHeader:
+    """The 80-bit baseband header (simplified field set).
+
+    Attributes
+    ----------
+    matype:
+        Stream-type / roll-off descriptor (2 bytes).
+    upl:
+        User-packet length in bits (0 for continuous streams).
+    dfl:
+        Data-field length in bits.
+    sync:
+        User-packet sync byte.
+    syncd:
+        Distance (bits) to the first packet start in the data field.
+    """
+
+    matype: int
+    upl: int
+    dfl: int
+    sync: int = 0x47
+    syncd: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Pack header fields plus CRC-8 into 10 bytes."""
+        for name, value, width in (
+            ("matype", self.matype, 16),
+            ("upl", self.upl, 16),
+            ("dfl", self.dfl, 16),
+            ("sync", self.sync, 8),
+            ("syncd", self.syncd, 16),
+        ):
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"{name} out of range")
+        body = (
+            self.matype.to_bytes(2, "big")
+            + self.upl.to_bytes(2, "big")
+            + self.dfl.to_bytes(2, "big")
+            + bytes([self.sync])
+            + self.syncd.to_bytes(2, "big")
+        )
+        return body + bytes([crc8(body)])
+
+    def to_bits(self) -> np.ndarray:
+        """Header as an 80-bit array (MSB-first)."""
+        return np.unpackbits(
+            np.frombuffer(self.to_bytes(), dtype=np.uint8)
+        ).astype(np.uint8)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "BbHeader":
+        """Parse and CRC-check an 80-bit header.
+
+        Raises
+        ------
+        ValueError
+            On length or CRC mismatch.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != HEADER_BITS:
+            raise ValueError(f"header must be {HEADER_BITS} bits")
+        raw = np.packbits(bits).tobytes()
+        if crc8(raw[:9]) != raw[9]:
+            raise ValueError("BBHEADER CRC-8 mismatch")
+        return cls(
+            matype=int.from_bytes(raw[0:2], "big"),
+            upl=int.from_bytes(raw[2:4], "big"),
+            dfl=int.from_bytes(raw[4:6], "big"),
+            sync=raw[6],
+            syncd=int.from_bytes(raw[7:9], "big"),
+        )
+
+
+class BbFramer:
+    """Slice a byte stream into BBFRAMEs of a given FEC payload size.
+
+    Parameters
+    ----------
+    payload_bits:
+        The FEC chain's payload size per frame (``K_bch``, or ``K_ldpc``
+        when no outer code is used).
+    matype:
+        MATYPE field copied into every header.
+    """
+
+    def __init__(self, payload_bits: int, matype: int = 0x7200) -> None:
+        if payload_bits <= HEADER_BITS:
+            raise ValueError("payload too small for a BBHEADER")
+        self.payload_bits = payload_bits
+        self.data_field_bits = payload_bits - HEADER_BITS
+        self.matype = matype
+
+    # ------------------------------------------------------------------
+    def frame_stream(self, data: bytes) -> List[np.ndarray]:
+        """Split bytes into padded BBFRAMEs (header + data + padding)."""
+        bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8)
+        ).astype(np.uint8)
+        frames: List[np.ndarray] = []
+        for start in range(0, max(1, bits.size), self.data_field_bits):
+            chunk = bits[start : start + self.data_field_bits]
+            if chunk.size == 0 and frames:
+                break
+            header = BbHeader(
+                matype=self.matype,
+                upl=0,
+                dfl=int(chunk.size),
+            )
+            padding = np.zeros(
+                self.data_field_bits - chunk.size, dtype=np.uint8
+            )
+            frames.append(
+                np.concatenate([header.to_bits(), chunk, padding])
+            )
+        return frames
+
+    def deframe(self, payload: np.ndarray) -> Tuple[BbHeader, np.ndarray]:
+        """Parse one decoded payload back to header plus data-field bits."""
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.size != self.payload_bits:
+            raise ValueError(
+                f"expected {self.payload_bits} payload bits"
+            )
+        header = BbHeader.from_bits(payload[:HEADER_BITS])
+        data_bits = payload[HEADER_BITS : HEADER_BITS + header.dfl]
+        return header, data_bits
+
+    def recover_stream(self, payloads: List[np.ndarray]) -> bytes:
+        """Concatenate the data fields of consecutive frames into bytes.
+
+        Data fields may cross byte boundaries (when the data-field size
+        is not a byte multiple), so bits are joined before packing;
+        trailing bits that do not fill a byte are dropped.
+        """
+        parts = [self.deframe(p)[1] for p in payloads]
+        bits = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint8)
+        )
+        usable = (bits.size // 8) * 8
+        return np.packbits(bits[:usable]).tobytes()

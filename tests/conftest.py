@@ -1,0 +1,58 @@
+"""Shared fixtures: scaled codes are expensive enough to build once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.encode import IraEncoder
+
+
+@pytest.fixture(scope="session")
+def code_half():
+    """Rate-1/2 code at 1/10 scale (648 groups of 36, frame 6480)."""
+    return build_small_code("1/2", parallelism=36)
+
+
+@pytest.fixture(scope="session")
+def code_half_tiny():
+    """Rate-1/2 code at 1/30 scale (frame 2160) for the slowest tests."""
+    return build_small_code("1/2", parallelism=12)
+
+
+@pytest.fixture(scope="session")
+def code_34():
+    """Rate-3/4 code at 1/10 scale (high-rate structure)."""
+    return build_small_code("3/4", parallelism=36)
+
+
+@pytest.fixture(scope="session")
+def code_14():
+    """Rate-1/4 code at 1/10 scale (low-rate structure, k=4 checks)."""
+    return build_small_code("1/4", parallelism=36)
+
+
+@pytest.fixture(scope="session")
+def encoder_half(code_half):
+    """Encoder for the scaled rate-1/2 code."""
+    return IraEncoder(code_half)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+def noisy_llrs(code, encoder, ebn0_db, seed):
+    """Helper: one encoded noisy frame, returns (codeword, llrs)."""
+    from repro.channel import AwgnChannel
+
+    channel = AwgnChannel(
+        ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed
+    )
+    word = encoder.encode(
+        np.random.default_rng(seed).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    return word, channel.llrs(word)

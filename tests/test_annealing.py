@@ -1,0 +1,87 @@
+"""Tests for repro.hw.annealing — the addressing optimization."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.annealing import (
+    AddressingAnnealer,
+    AnnealingConfig,
+    optimize_rate,
+    schedule_cost,
+)
+from repro.hw.conflicts import simulate_cn_phase
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import DecoderSchedule
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return IpMapping(build_small_code("1/2", parallelism=36))
+
+
+@pytest.fixture(scope="module")
+def result(mapping):
+    cfg = AnnealingConfig(iterations=200, seed=3)
+    return AddressingAnnealer(mapping, cfg).run()
+
+
+def test_annealing_never_worse_than_canonical(mapping, result):
+    canonical = simulate_cn_phase(DecoderSchedule.canonical(mapping))
+    assert result.final_stats.peak_buffer <= canonical.peak_buffer
+    assert result.initial_stats.peak_buffer == canonical.peak_buffer
+
+
+def test_annealing_actually_improves_pressure(result):
+    """On this code the canonical order has avoidable conflicts."""
+    assert (
+        result.final_stats.total_deferred
+        < result.initial_stats.total_deferred
+    )
+
+
+def test_result_schedule_is_valid(result):
+    result.schedule.validate()
+
+
+def test_result_preserves_word_coverage(result, mapping):
+    n = mapping.n_words
+    assert sorted(result.schedule.layout.word_at.tolist()) == list(range(n))
+    assert sorted(
+        result.schedule.cn_schedule.read_order.tolist()
+    ) == list(range(n))
+
+
+def test_deterministic_given_seed(mapping):
+    cfg = AnnealingConfig(iterations=60, seed=11)
+    r1 = AddressingAnnealer(mapping, cfg).run()
+    r2 = AddressingAnnealer(mapping, cfg).run()
+    assert np.array_equal(
+        r1.schedule.layout.word_at, r2.schedule.layout.word_at
+    )
+    assert np.array_equal(
+        r1.schedule.cn_schedule.read_order,
+        r2.schedule.cn_schedule.read_order,
+    )
+
+
+def test_trace_and_counters(result):
+    assert len(result.cost_trace) == result.proposed_moves + 1
+    assert 0 <= result.accepted_moves <= result.proposed_moves
+    assert result.buffer_reduction >= 0
+
+
+def test_cost_decreases_along_best(result):
+    assert min(result.cost_trace) <= result.cost_trace[0]
+
+
+def test_schedule_cost_components(mapping):
+    sched = DecoderSchedule.canonical(mapping)
+    base = schedule_cost(sched)
+    with_vn = schedule_cost(sched, include_vn_phase=True)
+    assert with_vn >= base
+
+
+def test_optimize_rate_wrapper(mapping):
+    res = optimize_rate(mapping, AnnealingConfig(iterations=20, seed=0))
+    assert res.proposed_moves == 20

@@ -1,0 +1,138 @@
+"""Tests for repro.channel.apsk — 16/32APSK constellations."""
+
+import numpy as np
+import pytest
+
+from repro.channel.apsk import (
+    APSK16_GAMMA,
+    APSK32_GAMMA,
+    ApskChannel,
+    Constellation,
+    apsk16,
+    apsk32,
+)
+
+
+def test_apsk16_geometry():
+    c = apsk16("3/4")
+    radii = np.sort(np.unique(np.round(np.abs(c.points), 6)))
+    assert radii.size == 2
+    assert radii[1] / radii[0] == pytest.approx(2.85, rel=1e-4)
+    # 4 points inner, 12 outer
+    inner = np.isclose(np.abs(c.points), radii[0])
+    assert int(inner.sum()) == 4
+
+
+def test_apsk32_geometry():
+    c = apsk32("4/5")
+    radii = np.sort(np.unique(np.round(np.abs(c.points), 6)))
+    assert radii.size == 3
+    assert radii[1] / radii[0] == pytest.approx(2.72, rel=1e-4)
+    assert radii[2] / radii[0] == pytest.approx(4.87, rel=1e-4)
+
+
+def test_unit_energy():
+    for c in (apsk16("2/3"), apsk32("9/10")):
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0)
+
+
+def test_all_points_distinct():
+    for c in (apsk16("2/3"), apsk32("3/4")):
+        assert np.unique(np.round(c.points, 9)).size == c.points.size
+
+
+def test_hard_roundtrip(rng):
+    for c in (apsk16("3/4"), apsk32("5/6")):
+        bits = rng.integers(0, 2, c.bits_per_symbol * 100, dtype=np.uint8)
+        assert np.array_equal(
+            c.demodulate_hard(c.modulate(bits)), bits
+        )
+
+
+def test_unknown_rate_rejected():
+    with pytest.raises(KeyError):
+        apsk16("1/4")
+    with pytest.raises(KeyError):
+        apsk32("1/2")
+
+
+def test_custom_gamma_accepted():
+    c = apsk16(gamma=3.0)
+    radii = np.sort(np.unique(np.round(np.abs(c.points), 6)))
+    assert radii[1] / radii[0] == pytest.approx(3.0, rel=1e-4)
+
+
+def test_constellation_validation():
+    with pytest.raises(ValueError, match="unit mean energy"):
+        Constellation(points=2.0 * np.ones(4, dtype=complex),
+                      bits_per_symbol=2)
+    with pytest.raises(ValueError, match="need 8 points"):
+        Constellation(points=np.ones(4, dtype=complex),
+                      bits_per_symbol=3)
+
+
+def test_modulate_validation():
+    c = apsk16("3/4")
+    with pytest.raises(ValueError, match="multiple of 4"):
+        c.modulate(np.array([0, 1, 0]))
+    with pytest.raises(ValueError, match="0/1"):
+        c.modulate(np.array([0, 1, 2, 0]))
+
+
+def test_llr_signs_at_high_snr(rng):
+    c = apsk16("3/4")
+    bits = rng.integers(0, 2, 4 * 400, dtype=np.uint8)
+    llrs = c.llrs(c.modulate(bits), sigma=0.02)
+    assert np.array_equal((llrs < 0).astype(np.uint8), bits)
+
+
+def test_llr_sigma_validation():
+    c = apsk16("3/4")
+    with pytest.raises(ValueError, match="sigma"):
+        c.llrs(np.array([1 + 0j]), sigma=-1.0)
+
+
+def test_ldpc_decodes_over_16apsk(code_34):
+    """Close a real high-efficiency modcod: rate 3/4 LDPC + 16APSK."""
+    from repro.decode import ZigzagDecoder
+    from repro.encode import IraEncoder
+
+    code = code_34
+    assert code.n % 4 == 0
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(9).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    channel = ApskChannel(
+        apsk16("3/4"), ebn0_db=8.5, rate=float(code.profile.rate), seed=2
+    )
+    dec = ZigzagDecoder(code, "tanh", segments=36)
+    result = dec.decode(channel.llrs(word), max_iterations=50)
+    assert result.bit_errors(word) == 0
+
+
+def test_spectral_efficiency_ordering(code_34):
+    """At equal Eb/N0 near the 8PSK threshold, 16APSK (4 bits/symbol)
+    leaves more errors — the efficiency-vs-robustness trade."""
+    from repro.channel.psk import Psk8Channel
+    from repro.decode import ZigzagDecoder
+    from repro.encode import IraEncoder
+
+    code = code_34
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(11).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    dec = ZigzagDecoder(code, "tanh", segments=36)
+    ebn0 = 6.5
+    r8 = dec.decode(
+        Psk8Channel(ebn0_db=ebn0, rate=0.75, seed=3).llrs(word),
+        max_iterations=40,
+    )
+    r16 = dec.decode(
+        ApskChannel(apsk16("3/4"), ebn0_db=ebn0, rate=0.75, seed=3).llrs(
+            word
+        ),
+        max_iterations=40,
+    )
+    assert r8.bit_errors(word) <= r16.bit_errors(word)

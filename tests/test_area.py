@@ -1,0 +1,108 @@
+"""Tests for repro.hw.area — the Table 3 reproduction."""
+
+import pytest
+
+from repro.codes.small import scaled_profile
+from repro.hw.area import PAPER_TABLE3_MM2, AreaModel, Technology
+
+
+@pytest.fixture(scope="module")
+def report():
+    return AreaModel().report()
+
+
+def test_total_matches_paper(report):
+    assert report.total == pytest.approx(
+        PAPER_TABLE3_MM2["total"], rel=0.05
+    )
+
+
+def test_message_ram_matches_paper(report):
+    assert report.message_ram == pytest.approx(
+        PAPER_TABLE3_MM2["message RAMs"], rel=0.05
+    )
+
+
+def test_functional_nodes_match_paper(report):
+    assert report.functional_nodes == pytest.approx(
+        PAPER_TABLE3_MM2["functional nodes"], rel=0.05
+    )
+
+
+def test_shuffle_network_matches_paper(report):
+    assert report.shuffle_network == pytest.approx(
+        PAPER_TABLE3_MM2["shuffling network"], rel=0.1
+    )
+
+
+def test_connectivity_rom_is_negligible(report):
+    """The paper's headline architectural result: describing the Tanner
+    graph costs ~0.07 mm² against ~9 mm² of message storage."""
+    assert report.connectivity_rom == pytest.approx(
+        PAPER_TABLE3_MM2["address/shuffle ROMs"], rel=0.2
+    )
+    assert report.connectivity_rom < 0.01 * report.message_ram * 10
+
+
+def test_sizing_rates_match_paper_claims():
+    sizing = AreaModel().sizing_rates()
+    assert sizing["in_message_ram"] == "3/5"
+    assert sizing["pn_message_ram"] == "1/4"
+    assert sizing["fu_vn_degree"] == "2/3"
+    assert sizing["fu_cn_degree"] == "9/10"
+
+
+def test_bit_counts_exposed(report):
+    d = report.details
+    assert d["in_message_bits"] == 233280 * 6
+    assert d["pn_message_bits"] == 48600 * 6
+    assert d["channel_bits"] == 64800 * 6
+
+
+def test_rows_cover_components(report):
+    rows = report.as_rows()
+    assert [r["component"] for r in rows] == list(PAPER_TABLE3_MM2)
+
+
+def test_wider_messages_cost_more_area():
+    a5 = AreaModel(width_bits=5).report()
+    a6 = AreaModel(width_bits=6).report()
+    assert a6.message_ram > a5.message_ram
+    assert a6.total > a5.total
+
+
+def test_all_rate_resident_connectivity_still_small():
+    m = AreaModel()
+    all_bits = m.connectivity_bits_all_rates()
+    assert all_bits > m.connectivity_bits()
+    # even fully resident, the graphs cost well under one mm²
+    assert all_bits * m.technology.sram_bit_um2 / 1e6 < 1.0
+
+
+def test_single_profile_model():
+    m = AreaModel(profiles=[scaled_profile("1/2", 360)])
+    r = m.report()
+    assert r.total > 0
+    assert r.message_ram < AreaModel().report().message_ram
+
+
+def test_mixed_parallelism_rejected():
+    with pytest.raises(ValueError, match="parallelism"):
+        AreaModel(
+            profiles=[
+                scaled_profile("1/2", 360),
+                scaled_profile("1/2", 36),
+            ]
+        )
+
+
+def test_empty_profiles_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        AreaModel(profiles=[])
+
+
+def test_custom_technology_scales_linearly():
+    double = Technology(sram_bit_um2=2 * 5.35)
+    base = AreaModel().report()
+    scaled = AreaModel(technology=double).report()
+    assert scaled.message_ram == pytest.approx(2 * base.message_ram)

@@ -1,0 +1,95 @@
+"""Tests for repro.baseline — the fully-parallel reference (ref [4])."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    FullyParallelAreaModel,
+    FullyParallelDecoder,
+    blanksby_howland_reference,
+    build_regular_code,
+)
+from repro.channel import AwgnChannel
+from repro.codes.standard import get_profile
+
+
+@pytest.fixture(scope="module")
+def code1024():
+    return build_regular_code(n=1024, dv=3, dc=6, seed=7)
+
+
+def test_regular_code_dimensions(code1024):
+    assert code1024.n == 1024
+    assert code1024.graph.n_cns == 512
+    assert code1024.rate == 0.5
+
+
+def test_degrees_are_exactly_regular(code1024):
+    assert (code1024.graph.vn_degrees == 3).all()
+    assert (code1024.graph.cn_degrees == 6).all()
+
+
+def test_no_parallel_edges(code1024):
+    code1024.graph.validate()
+
+
+def test_construction_rejects_impossible_shape():
+    with pytest.raises(ValueError, match="divisible"):
+        build_regular_code(n=10, dv=3, dc=4)
+
+
+def test_construction_is_deterministic():
+    a = build_regular_code(n=128, dv=3, dc=6, seed=1)
+    b = build_regular_code(n=128, dv=3, dc=6, seed=1)
+    assert np.array_equal(a.graph.edge_vn, b.graph.edge_vn)
+
+
+def test_decoder_corrects_noise(code1024):
+    """The all-zero word is a codeword of every linear code; decode it
+    through noise."""
+    dec = FullyParallelDecoder(code1024, "tanh")
+    ch = AwgnChannel(ebn0_db=3.0, rate=0.5, seed=2)
+    llrs = ch.llrs_all_zero(code1024.n)
+    result = dec.decode(llrs, max_iterations=40)
+    assert result.converged
+    assert not result.bits.any()
+
+
+def test_cycles_independent_of_block_length(code1024):
+    dec = FullyParallelDecoder(code1024)
+    assert dec.cycles_per_block(30) == 60
+
+
+def test_area_model_matches_published_chip():
+    """Calibration check: the model reproduces ref [4]'s 52.5 mm²."""
+    ref = blanksby_howland_reference()
+    model = FullyParallelAreaModel()
+    nodes = 1024 + 512
+    edges = 1024 * 3
+    area = model.die_area_mm2(nodes, edges)
+    assert area == pytest.approx(ref["area_mm2"], rel=0.1)
+
+
+def test_wiring_dominates_at_scale():
+    model = FullyParallelAreaModel()
+    small = model.wiring_fraction(1536, 3072)
+    p = get_profile("1/2")
+    big = model.wiring_fraction(p.n + p.n_parity, p.e_total)
+    assert big > small
+    assert big > 0.95
+
+
+def test_fully_parallel_dvbs2_is_infeasible():
+    """Extrapolated die area is orders of magnitude beyond the paper's
+    22.74 mm² partly-parallel core — the motivation for Section 3."""
+    model = FullyParallelAreaModel()
+    p = get_profile("1/2")
+    area = model.die_area_mm2(p.n + p.n_parity, p.e_total)
+    assert area > 100 * 22.74
+
+
+def test_logic_area_scales_linearly():
+    model = FullyParallelAreaModel()
+    assert model.logic_area_mm2(2000) == pytest.approx(
+        2 * model.logic_area_mm2(1000)
+    )

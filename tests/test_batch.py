@@ -1,0 +1,93 @@
+"""Tests for repro.decode.batch — vectorized multi-frame decoding."""
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.decode import BatchMinSumDecoder, BeliefPropagationDecoder
+from repro.encode import IraEncoder
+
+
+@pytest.fixture(scope="module")
+def batch_setup(code_half):
+    enc = IraEncoder(code_half)
+    rng = np.random.default_rng(55)
+    channel = AwgnChannel(ebn0_db=2.2, rate=0.5, seed=55)
+    words = np.stack(
+        [enc.encode(rng.integers(0, 2, code_half.k, dtype=np.uint8))
+         for _ in range(6)]
+    )
+    llrs = np.stack([channel.llrs(w) for w in words])
+    return words, llrs
+
+
+def test_batch_matches_single_frame_decoder(code_half, batch_setup):
+    """Bit-identical to the single-frame two-phase min-sum decoder."""
+    words, llrs = batch_setup
+    batch = BatchMinSumDecoder(code_half, normalization=0.75)
+    single = BeliefPropagationDecoder(
+        code_half, "minsum", normalization=0.75
+    )
+    result = batch.decode_batch(llrs, max_iterations=25)
+    for f in range(words.shape[0]):
+        ref = single.decode(llrs[f], max_iterations=25)
+        assert np.array_equal(result.bits[f], ref.bits)
+        assert result.converged[f] == ref.converged
+        assert result.iterations[f] == ref.iterations
+
+
+def test_batch_corrects_noise(code_half, batch_setup):
+    words, llrs = batch_setup
+    batch = BatchMinSumDecoder(code_half)
+    result = batch.decode_batch(llrs, max_iterations=40)
+    assert result.converged.all()
+    assert (result.frame_errors(words) == 0).all()
+
+
+def test_batch_shape_validation(code_half):
+    batch = BatchMinSumDecoder(code_half)
+    with pytest.raises(ValueError, match="expected shape"):
+        batch.decode_batch(np.zeros(code_half.n))
+    with pytest.raises(ValueError, match="expected shape"):
+        batch.decode_batch(np.zeros((2, 10)))
+
+
+def test_frames_converge_independently(code_half, batch_setup):
+    """Mix a hopeless frame (random-sign LLRs, far from any codeword)
+    with good frames: the good ones must converge with their usual
+    iteration counts."""
+    words, llrs = batch_setup
+    mixed = llrs.copy()
+    mixed[0] = np.random.default_rng(123).normal(0.0, 2.0, code_half.n)
+    batch = BatchMinSumDecoder(code_half)
+    result = batch.decode_batch(mixed, max_iterations=20)
+    assert not result.converged[0]
+    assert result.iterations[0] == 20
+    assert result.converged[1:].all()
+    assert (result.iterations[1:] < 20).all()
+
+
+def test_without_early_stop_all_frames_run_full_budget(
+    code_half, batch_setup
+):
+    _, llrs = batch_setup
+    batch = BatchMinSumDecoder(code_half)
+    result = batch.decode_batch(llrs, max_iterations=5, early_stop=False)
+    assert (result.iterations == 5).all()
+    assert not result.converged.any()
+
+
+def test_frame_errors_validation(code_half, batch_setup):
+    words, llrs = batch_setup
+    batch = BatchMinSumDecoder(code_half)
+    result = batch.decode_batch(llrs, max_iterations=10)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        result.frame_errors(words[:2])
+
+
+def test_single_frame_batch(code_half, batch_setup):
+    words, llrs = batch_setup
+    batch = BatchMinSumDecoder(code_half)
+    result = batch.decode_batch(llrs[:1], max_iterations=30)
+    assert result.n_frames == 1
+    assert result.converged[0]

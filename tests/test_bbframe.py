@@ -1,0 +1,133 @@
+"""Tests for repro.stream.bbframe — baseband framing with CRC-8."""
+
+import numpy as np
+import pytest
+
+from repro.stream import HEADER_BITS, BbFramer, BbHeader, crc8
+
+
+# ----------------------------------------------------------------------
+# CRC-8
+# ----------------------------------------------------------------------
+def test_crc8_known_properties():
+    assert crc8(b"") == 0
+    assert crc8(b"\x00" * 9) == 0
+    # appending the CRC makes the total check to zero
+    body = b"\x12\x34\x56\x78\x9a\xbc\xde\xf0\x11"
+    assert crc8(body + bytes([crc8(body)])) == 0
+
+
+def test_crc8_detects_single_bit_flips():
+    body = b"\x01\x02\x03\x04\x05\x06\x07\x08\x09"
+    reference = crc8(body)
+    for byte_idx in range(len(body)):
+        for bit in range(8):
+            tampered = bytearray(body)
+            tampered[byte_idx] ^= 1 << bit
+            assert crc8(bytes(tampered)) != reference
+
+
+# ----------------------------------------------------------------------
+# header
+# ----------------------------------------------------------------------
+def test_header_roundtrip():
+    header = BbHeader(matype=0x7200, upl=0, dfl=3064, sync=0x47,
+                      syncd=16)
+    parsed = BbHeader.from_bits(header.to_bits())
+    assert parsed == header
+
+
+def test_header_is_80_bits():
+    assert BbHeader(matype=0, upl=0, dfl=0).to_bits().size == HEADER_BITS
+
+
+def test_header_crc_detects_corruption():
+    bits = BbHeader(matype=0x7200, upl=0, dfl=100).to_bits()
+    bits[5] ^= 1
+    with pytest.raises(ValueError, match="CRC-8"):
+        BbHeader.from_bits(bits)
+
+
+def test_header_field_ranges():
+    with pytest.raises(ValueError, match="out of range"):
+        BbHeader(matype=1 << 16, upl=0, dfl=0).to_bytes()
+    with pytest.raises(ValueError, match="out of range"):
+        BbHeader(matype=0, upl=0, dfl=-1).to_bytes()
+
+
+def test_header_length_validation():
+    with pytest.raises(ValueError, match="80 bits"):
+        BbHeader.from_bits(np.zeros(79, dtype=np.uint8))
+
+
+# ----------------------------------------------------------------------
+# framer
+# ----------------------------------------------------------------------
+def test_framer_roundtrip_exact_fill():
+    framer = BbFramer(payload_bits=HEADER_BITS + 160)
+    data = bytes(range(20))  # exactly 160 bits
+    frames = framer.frame_stream(data)
+    assert len(frames) == 1
+    assert framer.recover_stream(frames) == data
+
+
+def test_framer_roundtrip_multi_frame(rng):
+    framer = BbFramer(payload_bits=HEADER_BITS + 128)
+    data = bytes(rng.integers(0, 256, 100, dtype=np.uint8))  # 800 bits
+    frames = framer.frame_stream(data)
+    assert len(frames) == -(-800 // 128)
+    assert framer.recover_stream(frames) == data
+
+
+def test_framer_pads_last_frame():
+    framer = BbFramer(payload_bits=HEADER_BITS + 128)
+    data = b"\xff" * 10  # 80 bits < 128
+    frames = framer.frame_stream(data)
+    header, field = framer.deframe(frames[0])
+    assert header.dfl == 80
+    assert frames[0].size == framer.payload_bits
+
+
+def test_framer_rejects_tiny_payload():
+    with pytest.raises(ValueError, match="too small"):
+        BbFramer(payload_bits=40)
+
+
+def test_deframe_validates_length():
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    with pytest.raises(ValueError, match="payload bits"):
+        framer.deframe(np.zeros(10, dtype=np.uint8))
+
+
+def test_non_byte_aligned_data_field(rng):
+    """Data fields that are not byte multiples must still reassemble."""
+    framer = BbFramer(payload_bits=HEADER_BITS + 100)  # 100-bit fields
+    data = bytes(rng.integers(0, 256, 50, dtype=np.uint8))  # 400 bits
+    frames = framer.frame_stream(data)
+    assert framer.recover_stream(frames) == data
+
+
+def test_end_to_end_through_fec_chain(code_half, rng):
+    """Bytes -> BBFRAME -> BCH+LDPC -> channel -> decode -> bytes."""
+    from repro.bch import Dvbs2FecChain
+    from repro.channel import AwgnChannel
+    from repro.decode import ZigzagDecoder
+
+    chain = Dvbs2FecChain(
+        code_half, ZigzagDecoder(code_half, "tanh", segments=36),
+        bch_m=12, bch_t=8,
+    )
+    framer = BbFramer(payload_bits=chain.k)
+    message = b"DVB-S2 reproduction: " + bytes(
+        rng.integers(0, 256, 600, dtype=np.uint8)
+    )
+    frames = framer.frame_stream(message)
+    channel = AwgnChannel(ebn0_db=2.2, rate=float(code_half.profile.rate),
+                          seed=12)
+    decoded_payloads = []
+    for frame in frames:
+        tx = chain.encode(frame)
+        result = chain.decode(channel.llrs(tx), max_iterations=40)
+        assert result.bch_success
+        decoded_payloads.append(result.info_bits)
+    assert framer.recover_stream(decoded_payloads) == message

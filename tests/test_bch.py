@@ -1,0 +1,142 @@
+"""Tests for repro.bch.code — the BCH outer code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bch import BchCode
+
+
+@pytest.fixture(scope="module")
+def bch63():
+    """BCH(63, 45, t=3)."""
+    return BchCode(6, 3)
+
+
+def test_dimensions(bch63):
+    assert bch63.n == 63
+    assert bch63.k == 45
+    assert bch63.n_parity == 18
+
+
+def test_generator_divides_x_n_minus_1(bch63):
+    """g(x) | x^n + 1 — the defining property of a cyclic code."""
+    from repro.bch.code import _gf2_poly_mod
+
+    xn1 = np.zeros(64, dtype=np.uint8)
+    xn1[0] = xn1[63] = 1
+    rem = _gf2_poly_mod(xn1, bch63.generator)
+    assert not rem.any()
+
+
+def test_encode_is_systematic(bch63, rng):
+    msg = rng.integers(0, 2, bch63.k, dtype=np.uint8)
+    word = bch63.encode(msg)
+    assert np.array_equal(word[: bch63.k], msg)
+
+
+def test_encoded_word_has_zero_syndromes(bch63, rng):
+    msg = rng.integers(0, 2, bch63.k, dtype=np.uint8)
+    assert bch63.is_codeword(bch63.encode(msg))
+
+
+def test_encode_validates_input(bch63):
+    with pytest.raises(ValueError, match="message bits"):
+        bch63.encode(np.zeros(10, dtype=np.uint8))
+    bad = np.zeros(bch63.k, dtype=np.uint8)
+    bad[0] = 3
+    with pytest.raises(ValueError, match="0/1"):
+        bch63.encode(bad)
+
+
+def test_linearity(bch63, rng):
+    a = rng.integers(0, 2, bch63.k, dtype=np.uint8)
+    b = rng.integers(0, 2, bch63.k, dtype=np.uint8)
+    assert np.array_equal(
+        bch63.encode(a ^ b), bch63.encode(a) ^ bch63.encode(b)
+    )
+
+
+def test_clean_word_decodes_with_zero_corrections(bch63, rng):
+    word = bch63.encode(rng.integers(0, 2, bch63.k, dtype=np.uint8))
+    result = bch63.decode(word)
+    assert result.success
+    assert result.corrected == 0
+    assert np.array_equal(result.bits, word)
+
+
+@pytest.mark.parametrize("n_errors", [1, 2, 3])
+def test_corrects_up_to_t_errors(bch63, rng, n_errors):
+    word = bch63.encode(rng.integers(0, 2, bch63.k, dtype=np.uint8))
+    rx = word.copy()
+    pos = rng.choice(bch63.n, size=n_errors, replace=False)
+    rx[pos] ^= 1
+    result = bch63.decode(rx)
+    assert result.success
+    assert result.corrected == n_errors
+    assert np.array_equal(result.bits, word)
+
+
+def test_detects_more_than_t_errors(bch63, rng):
+    """Beyond t errors the decoder must flag failure (or land on another
+    codeword — verify it never returns success with a non-codeword)."""
+    word = bch63.encode(rng.integers(0, 2, bch63.k, dtype=np.uint8))
+    failures = 0
+    for seed in range(8):
+        r = np.random.default_rng(seed)
+        rx = word.copy()
+        pos = r.choice(bch63.n, size=5, replace=False)
+        rx[pos] ^= 1
+        result = bch63.decode(rx)
+        if result.success:
+            assert bch63.is_codeword(result.bits)
+        else:
+            failures += 1
+    assert failures >= 4  # most patterns are detected
+
+
+def test_decode_validates_length(bch63):
+    with pytest.raises(ValueError, match="expected"):
+        bch63.decode(np.zeros(10, dtype=np.uint8))
+
+
+def test_shortened_code(rng):
+    code = BchCode(8, 4, k=120)
+    assert code.n == 120 + code.n_parity
+    msg = rng.integers(0, 2, 120, dtype=np.uint8)
+    word = code.encode(msg)
+    rx = word.copy()
+    pos = rng.choice(code.n, size=4, replace=False)
+    rx[pos] ^= 1
+    result = code.decode(rx)
+    assert result.success
+    assert np.array_equal(code.extract_message(result.bits), msg)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError, match="t must be"):
+        BchCode(6, 0)
+    with pytest.raises(ValueError, match="out of range"):
+        BchCode(6, 3, k=46)
+    with pytest.raises(ValueError, match="out of range"):
+        BchCode(6, 3, k=0)
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_error_patterns_up_to_t(seed, n_errors):
+    """∀ messages, ∀ error patterns with |e| <= t: decode(c + e) = c."""
+    code = BchCode(5, 2)
+    rng = np.random.default_rng(seed)
+    word = code.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+    rx = word.copy()
+    if n_errors:
+        pos = rng.choice(code.n, size=n_errors, replace=False)
+        rx[pos] ^= 1
+    result = code.decode(rx)
+    assert result.success
+    assert np.array_equal(result.bits, word)

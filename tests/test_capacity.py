@@ -1,0 +1,76 @@
+"""Tests for repro.channel.capacity — Shannon limits."""
+
+import pytest
+
+from repro.channel.capacity import (
+    bpsk_capacity,
+    gap_to_shannon_db,
+    shannon_limit_ebn0_db,
+    unconstrained_capacity,
+)
+
+
+def test_bpsk_capacity_bounds():
+    for esn0 in (-10.0, 0.0, 5.0, 15.0):
+        c = bpsk_capacity(esn0)
+        assert 0.0 <= c <= 1.0
+
+
+def test_bpsk_capacity_monotone_in_snr():
+    values = [bpsk_capacity(x) for x in (-5.0, 0.0, 5.0, 10.0)]
+    assert values == sorted(values)
+
+
+def test_bpsk_capacity_saturates_at_one():
+    assert bpsk_capacity(15.0) == pytest.approx(1.0, abs=1e-4)
+
+
+def test_bpsk_capacity_half_at_known_point():
+    """C_BPSK = 0.5 at Es/N0 ≈ -2.82 dB (textbook value)."""
+    assert bpsk_capacity(-2.82) == pytest.approx(0.5, abs=0.01)
+
+
+def test_unconstrained_exceeds_bpsk():
+    for esn0 in (0.0, 3.0, 8.0):
+        assert unconstrained_capacity(esn0) >= bpsk_capacity(esn0) - 1e-9
+
+
+def test_unconstrained_formula():
+    # C = 0.5 log2(1 + 2 Es/N0); at Es/N0 = 0 dB -> 0.5 log2(3)
+    assert unconstrained_capacity(0.0) == pytest.approx(0.79248, abs=1e-4)
+
+
+def test_shannon_limit_rate_half_bpsk():
+    """BPSK-constrained limit for R = 1/2 is ≈ 0.187 dB Eb/N0."""
+    assert shannon_limit_ebn0_db(0.5) == pytest.approx(0.187, abs=0.02)
+
+
+def test_shannon_limit_unconstrained_rate_half():
+    """Gaussian-input limit for R = 1/2 (1 bit/2 dims) ≈ 0 dB."""
+    assert shannon_limit_ebn0_db(0.5, constrained=False) == pytest.approx(
+        0.0, abs=0.02
+    )
+
+
+def test_shannon_limit_increases_with_rate():
+    limits = [shannon_limit_ebn0_db(r) for r in (0.25, 0.5, 0.75, 0.9)]
+    assert limits == sorted(limits)
+
+
+def test_shannon_limit_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        shannon_limit_ebn0_db(0.0)
+    with pytest.raises(ValueError):
+        shannon_limit_ebn0_db(1.0)
+
+
+def test_gap_to_shannon():
+    limit = shannon_limit_ebn0_db(0.5)
+    assert gap_to_shannon_db(limit + 0.7, 0.5) == pytest.approx(0.7)
+
+
+def test_dvbs2_operating_region_gap():
+    """The paper claims ~0.7 dB to Shannon: a R=1/2 decoder converging
+    near 0.9 dB Eb/N0 sits ~0.7 dB from the 0.187 dB limit."""
+    gap = gap_to_shannon_db(0.9, 0.5)
+    assert 0.5 < gap < 0.9

@@ -1,0 +1,108 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_tables_all(capsys):
+    code, out = run(capsys, "tables")
+    assert code == 0
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out
+    assert "450" in out  # Addr for R=1/2
+
+
+def test_tables_single(capsys):
+    code, out = run(capsys, "tables", "--table", "2")
+    assert code == 0
+    assert "Table 2" in out
+    assert "Table 1" not in out
+
+
+def test_datasheet(capsys):
+    code, out = run(capsys, "datasheet")
+    assert code == 0
+    for section in ("Table 1", "Table 2", "Table 3", "Throughput",
+                    "Energy model"):
+        assert section in out
+
+
+def test_throughput(capsys):
+    code, out = run(capsys, "throughput")
+    assert code == 0
+    assert "9/10" in out
+    assert "NO" not in out
+
+
+def test_power(capsys):
+    code, out = run(capsys, "power")
+    assert code == 0
+    assert "pJ/bit/iter" in out
+
+
+def test_ber_small(capsys):
+    code, out = run(
+        capsys, "ber", "--rate", "1/2", "--ebn0", "3.0",
+        "--frames", "4", "--parallelism", "12",
+    )
+    assert code == 0
+    assert "BER" in out
+    assert "frames          : 4" in out
+
+
+def test_anneal_small(capsys):
+    code, out = run(
+        capsys, "anneal", "--rate", "1/2", "--moves", "30",
+        "--parallelism", "36",
+    )
+    assert code == 0
+    assert "peak write buffer" in out
+
+
+def test_rtl_stdout(capsys):
+    code, out = run(capsys, "rtl", "--lanes", "8", "--width", "4",
+                    "--ram-depth", "16")
+    assert code == 0
+    assert "module shuffle_network" in out
+    assert out.count("endmodule") == 3
+
+
+def test_rtl_to_file(capsys, tmp_path):
+    target = tmp_path / "core.v"
+    code, out = run(
+        capsys, "rtl", "--lanes", "8", "--ram-depth", "16",
+        "--output", str(target),
+    )
+    assert code == 0
+    assert "wrote" in out
+    assert "module functional_unit" in target.read_text()
+
+
+def test_vectors_generate_and_replay(capsys, tmp_path):
+    target = str(tmp_path / "golden.vec")
+    code, out = run(
+        capsys, "vectors", "generate", target,
+        "--parallelism", "12", "--frames", "2",
+    )
+    assert code == 0
+    assert "wrote 2 golden vectors" in out
+    code, out = run(capsys, "vectors", "replay", target,
+                    "--parallelism", "12")
+    assert code == 0
+    assert "all match" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,163 @@
+"""Tests for repro.hw.conflicts — the cycle-accurate RAM conflict sim."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.conflicts import (
+    _simulate,
+    cn_phase_emissions,
+    simulate_cn_phase,
+    simulate_iteration,
+    simulate_vn_phase,
+    vn_phase_emissions,
+)
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import DecoderSchedule
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return DecoderSchedule.canonical(
+        IpMapping(build_small_code("1/2", parallelism=36))
+    )
+
+
+# ----------------------------------------------------------------------
+# the generic engine on hand-built cases
+# ----------------------------------------------------------------------
+def test_no_emissions_no_buffer():
+    stats = _simulate(np.arange(10), {}, n_partitions=4, write_ports=2)
+    assert stats.peak_buffer == 0
+    assert stats.cycles == 10
+    assert stats.drain_cycles == 0
+
+
+def test_single_write_passes_through_other_partition():
+    # read addr 0 (part 0) while writing addr 1 (part 1): no deferral
+    stats = _simulate(
+        np.array([0, 4, 8]), {0: [1]}, n_partitions=4, write_ports=2
+    )
+    assert stats.peak_buffer == 0
+    assert stats.blocked_write_cycles == 0
+
+
+def test_write_conflicting_with_read_is_deferred():
+    # every read hits partition 0 and the write also targets partition 0
+    stats = _simulate(
+        np.array([0, 4, 8]), {0: [4]}, n_partitions=4, write_ports=2
+    )
+    # deferred during all three reads, drains afterwards
+    assert stats.peak_buffer == 1
+    assert stats.drain_cycles >= 1
+    assert stats.blocked_write_cycles == 3
+
+
+def test_write_port_limit_enforced():
+    # three writes ready at cycle 0, all to distinct non-read partitions,
+    # but only 2 ports: one waits one cycle.
+    stats = _simulate(
+        np.array([0, 0]), {0: [1, 2, 3]}, n_partitions=4, write_ports=2
+    )
+    assert stats.peak_buffer == 1
+
+
+def test_same_partition_writes_serialize():
+    # two writes to partition 1 in one cycle: only one accepted.
+    stats = _simulate(
+        np.array([0, 0]), {0: [1, 5]}, n_partitions=4, write_ports=2
+    )
+    assert stats.peak_buffer == 1
+
+
+def test_single_partition_blocks_everything_during_reads():
+    # with one partition a write can never proceed while reading
+    stats = _simulate(
+        np.array([0, 1, 2]), {0: [0]}, n_partitions=1, write_ports=2
+    )
+    assert stats.drain_cycles >= 1
+    assert stats.blocked_write_cycles >= 3
+
+
+def test_total_writes_conserved():
+    emissions = {0: [1, 2], 2: [3], 5: [0, 4, 8]}
+    n_writes = sum(len(v) for v in emissions.values())
+    stats = _simulate(
+        np.arange(6), emissions, n_partitions=4, write_ports=2
+    )
+    # engine terminates only once the buffer is empty
+    assert stats.cycles >= stats.read_cycles
+    assert stats.peak_buffer <= n_writes
+
+
+# ----------------------------------------------------------------------
+# emission builders
+# ----------------------------------------------------------------------
+def test_cn_emissions_cover_every_word(schedule):
+    emissions = cn_phase_emissions(schedule, latency=3)
+    total = sum(len(v) for v in emissions.values())
+    assert total == schedule.mapping.n_words
+
+
+def test_cn_emissions_after_check_completes(schedule):
+    """No output may be emitted before its check's last read."""
+    emissions = cn_phase_emissions(schedule, latency=3)
+    bounds = schedule.cn_schedule.check_bounds
+    phys = schedule.layout.phys
+    reads = schedule.cn_schedule.read_order
+    first_allowed = {}
+    for r in range(len(bounds) - 1):
+        for idx in range(bounds[r], bounds[r + 1]):
+            first_allowed[int(phys[reads[idx]])] = int(bounds[r + 1]) - 1 + 3
+    for cycle, addrs in emissions.items():
+        for addr in addrs:
+            assert cycle >= first_allowed[addr]
+
+
+def test_vn_emissions_cover_every_word(schedule):
+    emissions = vn_phase_emissions(schedule, latency=3)
+    total = sum(len(v) for v in emissions.values())
+    assert total == schedule.mapping.n_words
+
+
+# ----------------------------------------------------------------------
+# full phases
+# ----------------------------------------------------------------------
+def test_cn_phase_needs_small_buffer(schedule):
+    stats = simulate_cn_phase(schedule)
+    assert 0 < stats.peak_buffer <= 16
+    assert stats.read_cycles == schedule.mapping.n_words
+
+
+def test_vn_phase_is_benign(schedule):
+    """Round-robin reads and spaced writes: tiny or no buffering."""
+    stats = simulate_vn_phase(schedule)
+    assert stats.peak_buffer <= 2
+
+
+def test_more_partitions_reduce_pressure(schedule):
+    p2 = simulate_cn_phase(schedule, n_partitions=2)
+    p4 = simulate_cn_phase(schedule, n_partitions=4)
+    p8 = simulate_cn_phase(schedule, n_partitions=8)
+    assert p4.total_deferred <= p2.total_deferred
+    assert p8.total_deferred <= p4.total_deferred
+
+
+def test_more_write_ports_reduce_pressure(schedule):
+    w1 = simulate_cn_phase(schedule, write_ports=1)
+    w2 = simulate_cn_phase(schedule, write_ports=2)
+    assert w2.peak_buffer <= w1.peak_buffer
+    assert w2.total_deferred <= w1.total_deferred
+
+
+def test_simulate_iteration_returns_both(schedule):
+    vn, cn = simulate_iteration(schedule)
+    assert vn.read_cycles == cn.read_cycles == schedule.mapping.n_words
+
+
+def test_latency_shifts_but_preserves_writes(schedule):
+    a = simulate_cn_phase(schedule, latency=1)
+    b = simulate_cn_phase(schedule, latency=10)
+    # all words written in both cases; drain differs
+    assert a.read_cycles == b.read_cycles
+    assert b.cycles >= a.read_cycles

@@ -1,0 +1,101 @@
+"""Tests for repro.codes.construction — code assembly from parts."""
+
+import numpy as np
+import pytest
+
+from repro.codes.construction import LdpcCode, build_code, zigzag_edges
+from repro.codes.small import build_small_code
+from repro.codes.standard import get_profile
+from repro.codes.tables import get_table
+
+
+def test_zigzag_edges_shape():
+    pn, cn = zigzag_edges(5)
+    assert pn.tolist() == [0, 1, 2, 3, 4, 0, 1, 2, 3]
+    assert cn.tolist() == [0, 1, 2, 3, 4, 1, 2, 3, 4]
+
+
+def test_zigzag_edge_count_matches_profile(code_half):
+    p = code_half.profile
+    pn, cn = zigzag_edges(p.n_parity)
+    assert pn.size == p.e_pn
+
+
+def test_code_validates(code_half):
+    code_half.validate()
+
+
+@pytest.mark.parametrize("rate", ["1/4", "2/3", "9/10"])
+def test_other_rates_validate(rate):
+    build_small_code(rate, parallelism=36).validate()
+
+
+def test_edge_slices_partition_edges(code_half):
+    code = code_half
+    info = code.information_edge_slice()
+    self_sl = code.zigzag_self_edge_slice()
+    fwd = code.zigzag_forward_edge_slice()
+    assert info.stop == self_sl.start
+    assert self_sl.stop == fwd.start
+    assert fwd.stop == code.graph.n_edges
+
+
+def test_self_edges_connect_pn_j_to_cn_j(code_half):
+    code = code_half
+    sl = code.zigzag_self_edge_slice()
+    vn = code.graph.edge_vn[sl]
+    cn = code.graph.edge_cn[sl]
+    assert np.array_equal(vn - code.k, cn)
+
+
+def test_forward_edges_connect_pn_j_to_cn_j_plus_1(code_half):
+    code = code_half
+    sl = code.zigzag_forward_edge_slice()
+    vn = code.graph.edge_vn[sl]
+    cn = code.graph.edge_cn[sl]
+    assert np.array_equal(vn - code.k + 1, cn)
+
+
+def test_check0_has_degree_k_minus_1(code_half):
+    """Check 0 misses the incoming zigzag edge (paper Eq. 3 boundary)."""
+    deg = code_half.graph.cn_degrees
+    k = code_half.profile.check_degree
+    assert deg[0] == k - 1
+    assert (deg[1:] == k).all()
+
+
+def test_convenience_accessors(code_half):
+    code = code_half
+    assert code.n == code.profile.n
+    assert code.k == code.profile.k_info
+    assert code.n_parity == code.profile.n_parity
+    assert code.e_in == code.profile.e_in
+    assert code.rate_name == code.profile.name
+
+
+def test_from_parts_rejects_mismatched_table():
+    profile = get_profile("1/2")
+    wrong_table = get_table("1/4")
+    with pytest.raises(ValueError, match="different number of checks"):
+        LdpcCode.from_parts(profile, wrong_table)
+
+
+def test_build_code_full_size_smoke():
+    code = build_code("9/10")
+    assert code.n == 64800
+    assert code.graph.n_edges == code.profile.e_in + code.profile.e_pn
+
+
+def test_information_degree_distribution(code_half):
+    deg = code_half.graph.vn_degrees[: code_half.k]
+    p = code_half.profile
+    assert int((deg == p.j_high).sum()) == p.n_high
+    assert int((deg == 3).sum()) == p.n_3
+
+
+def test_high_degree_nodes_come_first(code_half):
+    """The standard places the degree-j nodes before the degree-3 nodes."""
+    deg = code_half.graph.vn_degrees[: code_half.k]
+    p = code_half.profile
+    assert (deg[: p.n_high] == p.j_high).all()
+    assert (deg[p.n_high :] == 3).all()

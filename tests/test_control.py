@@ -1,0 +1,87 @@
+"""Tests for repro.hw.control — the per-cycle control stream."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.control import ControlUnit, PhaseProgram
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import DecoderSchedule
+
+
+@pytest.fixture(scope="module")
+def unit():
+    mapping = IpMapping(build_small_code("1/2", parallelism=36))
+    return ControlUnit(DecoderSchedule.canonical(mapping))
+
+
+def test_phase_lengths_are_addr(unit):
+    n = unit.mapping.n_words
+    assert unit.vn_program().cycles == n
+    assert unit.cn_program().cycles == n
+
+
+def test_vn_addresses_increment(unit):
+    prog = unit.vn_program()
+    assert np.array_equal(prog.addresses, np.arange(prog.cycles))
+
+
+def test_vn_last_flags_count_nodes(unit):
+    """One last-flag per information-node group."""
+    prog = unit.vn_program()
+    assert int(prog.last_flags.sum()) == unit.mapping.code.table.n_groups
+    assert prog.last_flags[-1] == 1
+
+
+def test_cn_last_flags_count_checks(unit):
+    prog = unit.cn_program()
+    assert int(prog.last_flags.sum()) == unit.mapping.q
+    width = unit.mapping.code.profile.check_degree - 2
+    # flags sit exactly every k-2 cycles
+    assert np.array_equal(
+        np.nonzero(prog.last_flags)[0],
+        np.arange(width - 1, prog.cycles, width),
+    )
+
+
+def test_cn_addresses_match_address_rom(unit):
+    assert np.array_equal(
+        unit.cn_program().addresses, unit.schedule.address_rom()
+    )
+
+
+def test_pack_unpack_roundtrip(unit):
+    addr_bits, shift_bits = unit.field_widths()
+    for prog in (unit.vn_program(), unit.cn_program()):
+        words = prog.pack_words(addr_bits, shift_bits)
+        back = PhaseProgram.unpack_words(words, addr_bits, shift_bits)
+        assert np.array_equal(back.addresses, prog.addresses)
+        assert np.array_equal(back.shifts, prog.shifts)
+        assert np.array_equal(back.last_flags, prog.last_flags)
+
+
+def test_pack_rejects_narrow_fields(unit):
+    prog = unit.cn_program()
+    with pytest.raises(ValueError, match="address field"):
+        prog.pack_words(2, 9)
+    with pytest.raises(ValueError, match="shift field"):
+        prog.pack_words(12, 1)
+
+
+def test_rom_image_shapes(unit):
+    vn_words, cn_words = unit.rom_image()
+    assert vn_words.size == cn_words.size == unit.mapping.n_words
+
+
+def test_control_realizes_eq8(unit):
+    """Control stream length == Eq. 8's cycles per iteration."""
+    unit.verify_against_throughput_model(latency=8)
+
+
+def test_mismatched_streams_rejected():
+    with pytest.raises(ValueError, match="equal length"):
+        PhaseProgram(
+            addresses=np.arange(3),
+            shifts=np.arange(2),
+            last_flags=np.zeros(3, dtype=np.int64),
+        )

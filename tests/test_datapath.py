@@ -1,0 +1,87 @@
+"""Tests for repro.hw.datapath — the serial FU and the gate model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.datapath import GateModel, SerialFunctionalUnit, fu_gate_count
+from repro.quantize import MESSAGE_6BIT
+
+msg = st.integers(min_value=-31, max_value=31)
+
+
+@given(st.lists(msg, min_size=1, max_size=8), msg)
+@settings(max_examples=60, deadline=None)
+def test_vn_mode_matches_eq4(messages, channel):
+    fu = SerialFunctionalUnit(MESSAGE_6BIT)
+    fu.vn_begin(channel)
+    for m in messages:
+        fu.vn_push(m)
+    outs, posterior = fu.vn_finish()
+    wide = channel + sum(messages)
+    assert posterior == wide
+    for out, m in zip(outs, messages):
+        assert out == max(-31, min(31, wide - m))
+
+
+@given(st.lists(msg, min_size=2, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_cn_mode_matches_minsum(messages):
+    fu = SerialFunctionalUnit(MESSAGE_6BIT)
+    fu.cn_begin()
+    for m in messages:
+        fu.cn_push(m)
+    outs = fu.cn_finish()
+    for i, out in enumerate(outs):
+        others = [m for j, m in enumerate(messages) if j != i]
+        mag = min(abs(m) for m in others)
+        sign = 1
+        for m in others:
+            sign *= -1 if m < 0 else 1
+        assert out == sign * mag
+
+
+def test_cn_mode_with_normalization():
+    fu = SerialFunctionalUnit(MESSAGE_6BIT, normalization=0.75)
+    fu.cn_begin()
+    for m in (8, -4, 6):
+        fu.cn_push(m)
+    outs = fu.cn_finish()
+    # exclude-self mins: (4, 6, 4); signs: (-1, +1, -1); floor(0.75*mag)
+    assert outs == [-3, 4, -3]
+
+
+def test_cn_single_input_neutral():
+    fu = SerialFunctionalUnit(MESSAGE_6BIT)
+    fu.cn_begin()
+    fu.cn_push(-5)
+    outs = fu.cn_finish()
+    # excluding the only input leaves the neutral element
+    assert outs == [MESSAGE_6BIT.max_int]
+
+
+def test_reset_between_nodes():
+    fu = SerialFunctionalUnit(MESSAGE_6BIT)
+    fu.vn_begin(3)
+    fu.vn_push(2)
+    fu.vn_finish()
+    fu.vn_begin(0)
+    fu.vn_push(1)
+    outs, posterior = fu.vn_finish()
+    assert posterior == 1
+
+
+def test_gate_count_monotone_in_degree():
+    small = fu_gate_count(4, 10, 6)
+    large = fu_gate_count(13, 30, 6)
+    assert large > small
+
+
+def test_gate_count_monotone_in_width():
+    assert fu_gate_count(13, 30, 8) > fu_gate_count(13, 30, 5)
+
+
+def test_gate_count_positive_and_custom_model():
+    custom = GateModel(full_adder=10.0, flipflop=8.0)
+    assert fu_gate_count(13, 30, 6, custom) > fu_gate_count(13, 30, 6)

@@ -1,0 +1,128 @@
+"""Tests for repro.hw.decoder_core — the cycle-faithful IP core.
+
+The central claim: routing every message through the mapped RAMs and the
+barrel shuffler computes *exactly* what the algorithmic golden model
+computes — the architecture is a lossless rearrangement of the zigzag
+min-sum decoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.decode import QuantizedZigzagDecoder
+from repro.hw.annealing import AnnealingConfig, optimize_rate
+from repro.hw.decoder_core import CoreConfig, DecoderIpCore
+from repro.hw.mapping import IpMapping
+from tests.conftest import noisy_llrs
+from repro.encode import IraEncoder
+
+
+def make_pair(code, normalization=0.75, channel_scale=0.5, iterations=15):
+    golden = QuantizedZigzagDecoder(
+        code,
+        normalization=normalization,
+        channel_scale=channel_scale,
+        segments=code.profile.parallelism,
+    )
+    core = DecoderIpCore(
+        code,
+        config=CoreConfig(
+            normalization=normalization,
+            channel_scale=channel_scale,
+            iterations=iterations,
+        ),
+    )
+    return golden, core
+
+
+def test_bit_exact_against_golden(code_half, encoder_half):
+    golden, core = make_pair(code_half)
+    for seed in range(3):
+        word, llrs = noisy_llrs(
+            code_half, encoder_half, ebn0_db=1.8, seed=700 + seed
+        )
+        rg = golden.decode(llrs, max_iterations=15, early_stop=False)
+        rc = core.decode(llrs)
+        assert np.array_equal(rg.bits, rc.bits)
+        assert np.allclose(rg.posteriors, rc.posteriors)
+
+
+@pytest.mark.parametrize("rate", ["1/4", "3/4"])
+def test_bit_exact_other_rates(rate):
+    code = build_small_code(rate, parallelism=36)
+    enc = IraEncoder(code)
+    golden, core = make_pair(code, iterations=10)
+    word, llrs = noisy_llrs(code, enc, ebn0_db=2.5, seed=4)
+    rg = golden.decode(llrs, max_iterations=10, early_stop=False)
+    rc = core.decode(llrs)
+    assert np.array_equal(rg.bits, rc.bits)
+
+
+def test_annealed_schedule_is_functionally_identical(code_half, encoder_half):
+    """The annealing only rearranges RAM addresses; results must not
+    change in any bit."""
+    mapping = IpMapping(code_half)
+    annealed = optimize_rate(
+        mapping, AnnealingConfig(iterations=100, seed=5)
+    ).schedule
+    canonical_core = DecoderIpCore(
+        code_half,
+        config=CoreConfig(normalization=0.75, channel_scale=0.5, iterations=12),
+    )
+    annealed_core = DecoderIpCore(
+        code_half,
+        schedule=annealed,
+        config=CoreConfig(normalization=0.75, channel_scale=0.5, iterations=12),
+    )
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=1.8, seed=900)
+    ra = annealed_core.decode(llrs)
+    rc = canonical_core.decode(llrs)
+    assert np.array_equal(ra.bits, rc.bits)
+    assert np.allclose(ra.posteriors, rc.posteriors)
+
+
+def test_core_corrects_noise(code_half, encoder_half):
+    _, core = make_pair(code_half, iterations=30)
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=2.5, seed=3)
+    result = core.decode(llrs)
+    assert result.bit_errors(word) == 0
+
+
+def test_cycle_count_reported(code_half):
+    _, core = make_pair(code_half, iterations=15)
+    result = core.decode(np.zeros(code_half.n))
+    assert result.extra["cycles"] > 0
+    # Eq. 8: io + iters * (2*Addr + latency)
+    addr = code_half.profile.addr_entries
+    expected = -(-code_half.n // 10) + 15 * (2 * addr + 8)
+    assert result.extra["cycles"] == expected
+
+
+def test_early_stop_mode(code_half, encoder_half):
+    core = DecoderIpCore(
+        code_half,
+        config=CoreConfig(
+            normalization=0.75,
+            channel_scale=0.5,
+            iterations=30,
+            early_stop=True,
+        ),
+    )
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=3.0, seed=8)
+    result = core.decode(llrs)
+    assert result.converged
+    assert result.iterations < 30
+    assert result.bit_errors(word) == 0
+
+
+def test_wrong_llr_length_rejected(code_half):
+    _, core = make_pair(code_half)
+    with pytest.raises(ValueError, match="channel LLRs"):
+        core.decode(np.zeros(5))
+
+
+def test_iteration_override(code_half):
+    _, core = make_pair(code_half, iterations=15)
+    result = core.decode(np.zeros(code_half.n), iterations=4)
+    assert result.iterations == 4

@@ -1,0 +1,66 @@
+"""Tests for repro.codes.design — the decoder-first design flow (ref [7])."""
+
+import pytest
+
+from repro.codes.design import (
+    DesignCandidate,
+    design_code,
+    enumerate_candidates,
+    rank_candidates,
+)
+from repro.codes.standard import get_profile
+
+
+def test_candidates_satisfy_identities():
+    for profile in enumerate_candidates(32400):
+        profile.validate()
+        assert profile.e_in == (profile.check_degree - 2) * profile.n_checks
+
+
+def test_standard_profile_is_a_candidate():
+    """The DVB-S2 R=1/2 split (j=8, k=7, n_high=12960) must appear in
+    the architecture-legal enumeration."""
+    matches = [
+        p
+        for p in enumerate_candidates(32400)
+        if p.j_high == 8 and p.check_degree == 7 and p.n_high == 12960
+    ]
+    assert len(matches) == 1
+
+
+def test_enumeration_respects_parallelism():
+    for profile in enumerate_candidates(32400):
+        assert profile.n_high % 360 == 0
+
+
+def test_enumeration_validates_inputs():
+    with pytest.raises(ValueError, match="multiples"):
+        enumerate_candidates(32401)
+
+
+def test_design_rediscovers_the_standard():
+    """The headline: ranking all legal splits by EXIT threshold puts the
+    standard's (j=8, k=7, 40% high) family at the top."""
+    best = design_code(32400, top=2)
+    top = best[0]
+    assert (top.j_high, top.profile.check_degree) in ((8, 7), (9, 7))
+    assert top.threshold_db < 0.5
+
+
+def test_ranking_is_sorted():
+    ranked = rank_candidates(enumerate_candidates(32400)[:6])
+    thresholds = [c.threshold_db for c in ranked]
+    assert thresholds == sorted(thresholds)
+
+
+def test_candidate_properties():
+    profile = get_profile("1/2")
+    cand = DesignCandidate(profile=profile, threshold_db=0.45)
+    assert cand.j_high == 8
+    assert cand.high_fraction == pytest.approx(0.4)
+
+
+def test_design_fails_gracefully_when_impossible():
+    with pytest.raises(ValueError, match="no architecture-legal"):
+        # j=4 only with a tiny max check degree leaves nothing
+        design_code(32400, j_values=[4], top=1)

@@ -1,0 +1,96 @@
+"""Tests for repro.encode — the linear-time IRA encoder."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code, is_codeword
+from repro.encode import IraEncoder
+
+
+def test_encoded_word_satisfies_all_checks(code_half, encoder_half, rng):
+    for _ in range(5):
+        info = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+        word = encoder_half.encode(info)
+        assert is_codeword(code_half.graph, word)
+
+
+@pytest.mark.parametrize("rate", ["1/4", "3/5", "8/9"])
+def test_other_rates_encode_correctly(rate, rng):
+    code = build_small_code(rate, parallelism=36)
+    enc = IraEncoder(code)
+    word = enc.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+    assert is_codeword(code.graph, word)
+
+
+def test_systematic_property(code_half, encoder_half, rng):
+    info = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    word = encoder_half.encode(info)
+    assert np.array_equal(word[: code_half.k], info)
+
+
+def test_all_zero_encodes_to_all_zero(code_half, encoder_half):
+    word = encoder_half.encode(np.zeros(code_half.k, dtype=np.uint8))
+    assert not word.any()
+
+
+def test_linearity(code_half, encoder_half, rng):
+    """XOR of two codewords is a codeword (linear code)."""
+    a = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    b = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    wa = encoder_half.encode(a)
+    wb = encoder_half.encode(b)
+    wab = encoder_half.encode(a ^ b)
+    assert np.array_equal(wab, wa ^ wb)
+
+
+def test_parity_follows_accumulator(code_half, encoder_half, rng):
+    """p_j = p_{j-1} ^ s_j (paper Eq. 3)."""
+    info = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    sums = encoder_half.check_sums(info)
+    word = encoder_half.encode(info)
+    parity = word[code_half.k :]
+    assert parity[0] == sums[0]
+    recon = np.bitwise_xor(parity[:-1], sums[1:])
+    assert np.array_equal(parity[1:], recon)
+
+
+def test_batch_matches_single(code_half, encoder_half, rng):
+    infos = rng.integers(0, 2, (4, code_half.k), dtype=np.uint8)
+    batch = encoder_half.encode_batch(infos)
+    for i in range(4):
+        assert np.array_equal(batch[i], encoder_half.encode(infos[i]))
+
+
+def test_batch_shape_validation(encoder_half):
+    with pytest.raises(ValueError, match="expected shape"):
+        encoder_half.encode_batch(np.zeros((2, 3), dtype=np.uint8))
+
+
+def test_rejects_wrong_length(encoder_half):
+    with pytest.raises(ValueError, match="information bits"):
+        encoder_half.encode(np.zeros(10, dtype=np.uint8))
+
+
+def test_rejects_non_binary(code_half, encoder_half):
+    bad = np.zeros(code_half.k, dtype=np.uint8)
+    bad[0] = 2
+    with pytest.raises(ValueError, match="must be 0/1"):
+        encoder_half.encode(bad)
+
+
+def test_accepts_bool_input(code_half, encoder_half, rng):
+    info = rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    assert np.array_equal(
+        encoder_half.encode(info.astype(bool)), encoder_half.encode(info)
+    )
+
+
+def test_random_codeword_and_self_check(code_half, encoder_half, rng):
+    word = encoder_half.random_codeword(rng)
+    assert word.shape == (code_half.n,)
+    encoder_half.self_check(rng)
+
+
+def test_encoder_exposes_dimensions(code_half, encoder_half):
+    assert encoder_half.k == code_half.k
+    assert encoder_half.n == code_half.n

@@ -1,0 +1,136 @@
+"""Tests for repro.analysis.exit — EXIT-chart threshold analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cn_exit,
+    converges,
+    decoding_threshold_db,
+    edge_degree_distribution,
+    exit_trajectory,
+    j_function,
+    j_inverse,
+    vn_exit,
+)
+from repro.channel import shannon_limit_ebn0_db
+from repro.codes import get_profile
+
+
+# ----------------------------------------------------------------------
+# J function
+# ----------------------------------------------------------------------
+def test_j_limits():
+    assert j_function(0.0) == 0.0
+    assert j_function(30.0) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_j_is_monotone():
+    sigmas = np.linspace(0.0, 10.0, 60)
+    values = [j_function(s) for s in sigmas]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_j_known_point():
+    """J(1.6) ≈ 0.35 (standard EXIT-chart reference value)."""
+    assert j_function(1.6) == pytest.approx(0.35, abs=0.01)
+
+
+def test_j_inverse_roundtrip():
+    for sigma in (0.3, 1.0, 2.5, 5.0):
+        assert j_inverse(j_function(sigma)) == pytest.approx(
+            sigma, rel=1e-3
+        )
+
+
+def test_j_inverse_bounds():
+    assert j_inverse(0.0) == 0.0
+    with pytest.raises(ValueError):
+        j_inverse(1.5)
+    with pytest.raises(ValueError):
+        j_inverse(-0.1)
+
+
+# ----------------------------------------------------------------------
+# degree distributions
+# ----------------------------------------------------------------------
+def test_edge_distribution_sums_to_one():
+    for rate in ("1/4", "1/2", "9/10"):
+        lam, rho = edge_degree_distribution(get_profile(rate))
+        assert sum(lam.values()) == pytest.approx(1.0)
+        assert sum(rho.values()) == pytest.approx(1.0)
+
+
+def test_edge_distribution_rate_half():
+    lam, rho = edge_degree_distribution(get_profile("1/2"))
+    total = 162000 + 64799
+    assert lam[8] == pytest.approx(12960 * 8 / total)
+    assert lam[3] == pytest.approx(19440 * 3 / total)
+    assert lam[2] == pytest.approx(64799 / total)
+    assert rho == {7: 1.0}
+
+
+# ----------------------------------------------------------------------
+# EXIT curves
+# ----------------------------------------------------------------------
+def test_vn_curve_monotone_in_prior():
+    lam, _ = edge_degree_distribution(get_profile("1/2"))
+    values = [vn_exit(i, 2.0, lam) for i in (0.0, 0.3, 0.6, 0.9)]
+    assert values == sorted(values)
+
+
+def test_vn_curve_monotone_in_channel():
+    lam, _ = edge_degree_distribution(get_profile("1/2"))
+    assert vn_exit(0.5, 3.0, lam) > vn_exit(0.5, 1.0, lam)
+
+
+def test_cn_curve_monotone():
+    _, rho = edge_degree_distribution(get_profile("1/2"))
+    values = [cn_exit(i, rho) for i in (0.1, 0.4, 0.7, 0.95)]
+    assert values == sorted(values)
+
+
+def test_trajectory_opens_above_threshold():
+    profile = get_profile("1/2")
+    traj = exit_trajectory(profile, ebn0_db=1.5)
+    assert traj[-1][0] > 0.999
+    # mutual information must increase along the staircase
+    i_values = [p[0] for p in traj]
+    assert all(b >= a - 1e-12 for a, b in zip(i_values, i_values[1:]))
+
+
+def test_trajectory_stalls_below_threshold():
+    profile = get_profile("1/2")
+    traj = exit_trajectory(profile, ebn0_db=-0.5)
+    assert traj[-1][0] < 0.9
+
+
+def test_converges_flag():
+    profile = get_profile("1/2")
+    assert converges(profile, 1.5)
+    assert not converges(profile, -0.5)
+
+
+# ----------------------------------------------------------------------
+# thresholds
+# ----------------------------------------------------------------------
+def test_threshold_rate_half_near_capacity():
+    """GA-EXIT threshold of the R=1/2 ensemble: ~0.45 dB, i.e. ~0.26 dB
+    from the BPSK Shannon limit — the paper's 'close to the theoretical
+    limit' claim, analytically."""
+    th = decoding_threshold_db(get_profile("1/2"))
+    gap = th - shannon_limit_ebn0_db(0.5)
+    assert 0.3 < th < 0.6
+    assert 0.1 < gap < 0.5
+
+
+def test_thresholds_increase_with_rate():
+    th_12 = decoding_threshold_db(get_profile("1/2"))
+    th_34 = decoding_threshold_db(get_profile("3/4"))
+    th_910 = decoding_threshold_db(get_profile("9/10"))
+    assert th_12 < th_34 < th_910
+
+
+def test_threshold_brackets_validated():
+    with pytest.raises(ValueError, match="does not converge"):
+        decoding_threshold_db(get_profile("1/2"), hi_db=-1.5)

@@ -1,0 +1,120 @@
+"""Tests for repro.channel.fading — Rician/Rayleigh block fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    BlockFadingChannel,
+    rayleigh_amplitudes,
+    rician_amplitudes,
+)
+
+
+def test_rician_unit_mean_power(rng):
+    amps = rician_amplitudes(200_000, k_factor_db=10.0, rng=rng)
+    assert (amps > 0).all()
+    assert np.mean(amps**2) == pytest.approx(1.0, rel=0.02)
+
+
+def test_rayleigh_unit_mean_power(rng):
+    amps = rayleigh_amplitudes(200_000, rng=rng)
+    assert np.mean(amps**2) == pytest.approx(1.0, rel=0.02)
+
+
+def test_high_k_approaches_los(rng):
+    """K -> inf: amplitudes concentrate at 1 (pure line of sight)."""
+    amps = rician_amplitudes(10_000, k_factor_db=40.0, rng=rng)
+    assert amps.std() < 0.02
+    assert amps.mean() == pytest.approx(1.0, abs=0.01)
+
+
+def test_rayleigh_spreads_more_than_rician(rng):
+    rice = rician_amplitudes(50_000, k_factor_db=10.0, rng=rng)
+    ray = rayleigh_amplitudes(50_000, rng=rng)
+    assert ray.std() > rice.std()
+
+
+def test_block_structure():
+    ch = BlockFadingChannel(
+        ebn0_db=5.0, rate=0.5, k_factor_db=5.0, block_length=100, seed=1
+    )
+    gains = ch._draw_gains(1000)
+    # constant within each 100-symbol block
+    blocks = gains.reshape(10, 100)
+    assert (blocks == blocks[:, :1]).all()
+    # but different across blocks
+    assert np.unique(blocks[:, 0]).size > 1
+
+
+def test_whole_frame_fading_default():
+    ch = BlockFadingChannel(ebn0_db=5.0, rate=0.5, seed=2)
+    gains = ch._draw_gains(500)
+    assert np.unique(gains).size == 1
+
+
+def test_llrs_scale_with_gain():
+    """Weak blocks must produce proportionally weak LLRs (coherent
+    reception)."""
+    ch = BlockFadingChannel(
+        ebn0_db=20.0, rate=0.5, k_factor_db=None, block_length=50, seed=3
+    )
+    bits = np.zeros(500, dtype=np.uint8)
+    llrs = ch.llrs(bits)
+    gains = BlockFadingChannel(
+        ebn0_db=20.0, rate=0.5, k_factor_db=None, block_length=50, seed=3
+    )._draw_gains(500)
+    # at high SNR llr ≈ 2 g^2 / sigma^2: correlation with g^2 is ~1
+    corr = np.corrcoef(llrs, gains**2)[0, 1]
+    assert corr > 0.99
+
+
+def test_all_zero_shortcut_positive_at_high_snr():
+    ch = BlockFadingChannel(ebn0_db=15.0, rate=0.5, seed=4,
+                            k_factor_db=10.0, block_length=10)
+    llrs = ch.llrs_all_zero(2000)
+    assert (llrs > 0).mean() > 0.98
+
+
+def test_decoder_survives_mild_fading(code_half, encoder_half, rng):
+    from repro.decode import ZigzagDecoder
+
+    word = encoder_half.encode(
+        rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    )
+    ch = BlockFadingChannel(
+        ebn0_db=4.0,
+        rate=float(code_half.profile.rate),
+        k_factor_db=10.0,
+        block_length=360,
+        seed=5,
+    )
+    dec = ZigzagDecoder(code_half, "tanh", segments=36)
+    result = dec.decode(ch.llrs(word), max_iterations=50)
+    assert result.bit_errors(word) == 0
+
+
+def test_rayleigh_needs_more_snr_than_awgn(code_half, encoder_half):
+    """Shape check: at the same average Eb/N0 near the AWGN threshold,
+    Rayleigh whole-frame fading produces more frame errors."""
+    from repro.decode import ZigzagDecoder
+    from repro.sim import BerSimulator
+
+    dec = ZigzagDecoder(code_half, "minsum", normalization=0.75,
+                        segments=36)
+    awgn_errors = fading_errors = 0
+    for seed in range(6):
+        word = np.zeros(code_half.n, dtype=np.uint8)
+        ch_fade = BlockFadingChannel(
+            ebn0_db=2.5, rate=0.5, k_factor_db=None,
+            block_length=code_half.n, seed=seed,
+        )
+        from repro.channel import AwgnChannel
+
+        ch_awgn = AwgnChannel(ebn0_db=2.5, rate=0.5, seed=seed)
+        r_f = dec.decode(ch_fade.llrs_all_zero(code_half.n),
+                         max_iterations=30)
+        r_a = dec.decode(ch_awgn.llrs_all_zero(code_half.n),
+                         max_iterations=30)
+        fading_errors += r_f.bits.any()
+        awgn_errors += r_a.bits.any()
+    assert fading_errors >= awgn_errors

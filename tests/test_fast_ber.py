@@ -1,0 +1,59 @@
+"""Tests for repro.sim.fast — the batched Monte-Carlo path."""
+
+import pytest
+
+from repro.decode import BatchMinSumDecoder, BeliefPropagationDecoder
+from repro.sim import fast_ber, measure_ber
+
+
+def test_fast_ber_counts(code_half):
+    result = fast_ber(code_half, ebn0_db=3.0, frames=10, seed=1)
+    assert result.frames == 10
+    assert result.total_bits == 10 * code_half.k
+    assert result.bit_errors == 0
+    assert result.converged_frames == 10
+
+
+def test_fast_ber_sees_errors_at_low_snr(code_half):
+    result = fast_ber(code_half, ebn0_db=-1.0, frames=4, seed=1)
+    assert result.frame_errors == 4
+    assert result.ber > 0.01
+
+
+def test_fast_ber_batching_invariance(code_half):
+    """Splitting into different batch sizes must not change counts
+    (the channel stream is consumed identically)."""
+    a = fast_ber(code_half, ebn0_db=1.6, frames=9, seed=7, batch_size=3)
+    b = fast_ber(code_half, ebn0_db=1.6, frames=9, seed=7, batch_size=9)
+    assert a.bit_errors == b.bit_errors
+    assert a.frame_errors == b.frame_errors
+
+
+def test_fast_ber_agrees_with_generic_harness(code_half):
+    """Same decoder algorithm, same seeds → identical statistics to the
+    generic per-frame harness."""
+    generic = measure_ber(
+        code_half,
+        BeliefPropagationDecoder(code_half, "minsum", normalization=0.75),
+        ebn0_db=1.6,
+        max_frames=6,
+        max_iterations=25,
+        seed=3,
+    )
+    fast = fast_ber(
+        code_half, ebn0_db=1.6, frames=6, max_iterations=25, seed=3
+    )
+    assert fast.bit_errors == generic.bit_errors
+    assert fast.frame_errors == generic.frame_errors
+    assert fast.total_iterations == generic.total_iterations
+
+
+def test_fast_ber_accepts_prebuilt_decoder(code_half):
+    dec = BatchMinSumDecoder(code_half, normalization=0.8)
+    result = fast_ber(code_half, ebn0_db=3.0, frames=3, decoder=dec)
+    assert result.frames == 3
+
+
+def test_fast_ber_validates_frames(code_half):
+    with pytest.raises(ValueError, match="at least one"):
+        fast_ber(code_half, ebn0_db=1.0, frames=0)

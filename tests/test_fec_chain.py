@@ -1,0 +1,76 @@
+"""Tests for repro.bch.chain — the concatenated DVB-S2 FEC."""
+
+import numpy as np
+import pytest
+
+from repro.bch import Dvbs2FecChain
+from repro.channel import AwgnChannel
+from repro.decode import ZigzagDecoder
+
+
+@pytest.fixture(scope="module")
+def chain(code_half):
+    decoder = ZigzagDecoder(code_half, "tanh", segments=36)
+    return Dvbs2FecChain(code_half, decoder, bch_m=12, bch_t=8)
+
+
+def test_dimensions(chain, code_half):
+    assert chain.k + chain.bch.n_parity == code_half.k
+    assert chain.n == code_half.n
+    assert chain.rate < float(code_half.profile.rate)
+
+
+def test_roundtrip_noiseless(chain, rng):
+    payload = rng.integers(0, 2, chain.k, dtype=np.uint8)
+    frame = chain.encode(payload)
+    llrs = 9.0 * (1.0 - 2.0 * frame)
+    result = chain.decode(llrs)
+    assert result.bch_success
+    assert result.bch_corrected == 0
+    assert np.array_equal(result.info_bits, payload)
+
+
+def test_roundtrip_through_noise(chain, code_half, rng):
+    payload = rng.integers(0, 2, chain.k, dtype=np.uint8)
+    frame = chain.encode(payload)
+    channel = AwgnChannel(
+        ebn0_db=2.2, rate=float(code_half.profile.rate), seed=5
+    )
+    result = chain.decode(channel.llrs(frame), max_iterations=40)
+    assert result.bch_success
+    assert np.array_equal(result.info_bits, payload)
+
+
+def test_bch_cleans_residual_errors(chain, code_half, rng):
+    """Force the inner decoder to leave a few errors (tiny iteration
+    budget) and verify the outer code removes them when <= t."""
+    payload = rng.integers(0, 2, chain.k, dtype=np.uint8)
+    frame = chain.encode(payload)
+    channel = AwgnChannel(
+        ebn0_db=2.6, rate=float(code_half.profile.rate), seed=11
+    )
+    llrs = channel.llrs(frame)
+    for budget in (1, 2, 3, 4):
+        result = chain.decode(llrs, max_iterations=budget)
+        inner_errors = int(
+            np.count_nonzero(
+                result.ldpc_result.bits[: code_half.k] != frame[: code_half.k]
+            )
+        )
+        if 0 < inner_errors <= chain.bch.t:
+            assert result.bch_success
+            assert result.bch_corrected == inner_errors
+            assert np.array_equal(result.info_bits, payload)
+            return
+    pytest.skip("no budget produced a residual pattern within t")
+
+
+def test_rejects_too_small_field(code_half):
+    decoder = ZigzagDecoder(code_half, "tanh", segments=36)
+    with pytest.raises(ValueError, match="too small"):
+        Dvbs2FecChain(code_half, decoder, bch_m=10, bch_t=8)
+
+
+def test_payload_length_enforced(chain):
+    with pytest.raises(ValueError, match="message bits"):
+        chain.encode(np.zeros(chain.k + 1, dtype=np.uint8))

@@ -1,0 +1,121 @@
+"""Tests for repro.quantize.fixed_point — saturating arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantize import MESSAGE_5BIT, MESSAGE_6BIT, FixedPointFormat
+
+
+def test_six_bit_range():
+    assert MESSAGE_6BIT.max_int == 31
+    assert MESSAGE_6BIT.min_int == -31
+    assert MESSAGE_6BIT.n_levels == 63
+
+
+def test_five_bit_range():
+    assert MESSAGE_5BIT.max_int == 15
+    assert MESSAGE_5BIT.min_int == -15
+
+
+def test_scale_and_max_real():
+    fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+    assert fmt.scale == 0.25
+    assert fmt.max_real == 7.75
+
+
+def test_quantize_rounds_to_nearest():
+    fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+    assert fmt.quantize(np.array([0.13]))[0] == 1  # 0.13/0.25 = 0.52 -> 1
+    assert fmt.quantize(np.array([0.12]))[0] == 0
+    assert fmt.quantize(np.array([-0.13]))[0] == -1
+
+
+def test_quantize_saturates():
+    fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+    assert fmt.quantize(np.array([100.0]))[0] == 31
+    assert fmt.quantize(np.array([-100.0]))[0] == -31
+
+
+def test_dequantize_inverts_on_representable():
+    fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+    values = fmt.representable_values()
+    assert np.array_equal(fmt.quantize(values), np.arange(-31, 32))
+    assert np.allclose(fmt.dequantize(fmt.quantize(values)), values)
+
+
+def test_add_saturates_both_directions():
+    fmt = MESSAGE_6BIT
+    assert fmt.add(np.array([30]), np.array([30]))[0] == 31
+    assert fmt.add(np.array([-30]), np.array([-30]))[0] == -31
+    assert fmt.add(np.array([10]), np.array([-3]))[0] == 7
+
+
+def test_sum_wide_accumulation():
+    fmt = MESSAGE_6BIT
+    # Intermediate overflow must not corrupt the result: 31+31-31 = 31.
+    vals = np.array([31, 31, -31])
+    assert fmt.sum(vals) == 31
+
+
+def test_invalid_formats_rejected():
+    with pytest.raises(ValueError):
+        FixedPointFormat(total_bits=1)
+    with pytest.raises(ValueError):
+        FixedPointFormat(total_bits=4, frac_bits=4)
+    with pytest.raises(ValueError):
+        FixedPointFormat(total_bits=4, frac_bits=-1)
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantize_always_in_range(bits, values):
+    fmt = FixedPointFormat(total_bits=bits, frac_bits=min(2, bits - 1))
+    q = fmt.quantize(np.array(values))
+    assert (q <= fmt.max_int).all()
+    assert (q >= fmt.min_int).all()
+
+
+@given(
+    st.lists(
+        st.integers(min_value=-200, max_value=200), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_saturate_is_idempotent(ints):
+    fmt = MESSAGE_6BIT
+    once = fmt.saturate(np.array(ints))
+    assert np.array_equal(fmt.saturate(once), once)
+
+
+@given(
+    st.integers(min_value=-31, max_value=31),
+    st.integers(min_value=-31, max_value=31),
+)
+@settings(max_examples=100, deadline=None)
+def test_add_is_commutative_and_bounded(a, b):
+    fmt = MESSAGE_6BIT
+    ab = fmt.add(np.array([a]), np.array([b]))[0]
+    ba = fmt.add(np.array([b]), np.array([a]))[0]
+    assert ab == ba
+    assert -31 <= ab <= 31
+    # Saturating add equals clipped exact sum.
+    assert ab == max(-31, min(31, a + b))
+
+
+@given(st.integers(min_value=-31, max_value=31))
+@settings(max_examples=50, deadline=None)
+def test_quantization_symmetry(v):
+    """Symmetric format: q(-x) == -q(x) exactly (no two's-complement
+    asymmetry), required for decoder sign symmetry."""
+    fmt = MESSAGE_6BIT
+    x = v * fmt.scale
+    assert fmt.quantize(np.array([-x]))[0] == -fmt.quantize(np.array([x]))[0]

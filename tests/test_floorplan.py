@@ -1,0 +1,88 @@
+"""Tests for repro.hw.floorplan — the P&R congestion reproduction."""
+
+import pytest
+
+from repro.hw.floorplan import (
+    FuArrayFloorplan,
+    RoutingTechnology,
+    fully_parallel_congestion,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return FuArrayFloorplan()
+
+
+def test_array_dimensions(plan):
+    assert plan.cols * plan.rows >= 360
+    assert plan.cols == 19
+    assert plan.tile_mm > 0
+
+
+def test_positions_are_grid_centers(plan):
+    x0, y0 = plan.position(0)
+    x1, _ = plan.position(1)
+    assert x0 == pytest.approx(plan.tile_mm / 2)
+    assert x1 - x0 == pytest.approx(plan.tile_mm)
+    _, y_next_row = plan.position(plan.cols)
+    assert y_next_row - y0 == pytest.approx(plan.tile_mm)
+
+
+def test_position_bounds(plan):
+    with pytest.raises(ValueError):
+        plan.position(360)
+    with pytest.raises(ValueError):
+        plan.position(-1)
+
+
+def test_distance_symmetry(plan):
+    assert plan.distance_mm(3, 77) == plan.distance_mm(77, 3)
+    assert plan.distance_mm(5, 5) == 0.0
+
+
+def test_stage_wirelength_grows_with_offset(plan):
+    """Early stages connect neighbours; late stages span the array."""
+    assert (
+        plan.shuffle_stage_wirelength_mm(0)
+        < plan.shuffle_stage_wirelength_mm(5)
+    )
+
+
+def test_total_wirelength_sums_stages(plan):
+    total = sum(plan.shuffle_stage_wirelength_mm(s) for s in range(9))
+    assert plan.shuffle_wirelength_mm() == pytest.approx(total)
+
+
+def test_shuffler_is_routable(plan):
+    """The paper's P&R finding: no congestion for the barrel shuffler."""
+    assert plan.congestion_ratio() < 1.0
+
+
+def test_fully_parallel_is_congested():
+    """...while the fully-parallel layout at 64800 bits is unroutable."""
+    result = fully_parallel_congestion(64800, 226799)
+    assert result["congestion_ratio"] > 1.0
+
+
+def test_fully_parallel_small_code_routable():
+    """At ref [4]'s 1024 bits the random wiring still (barely) routes —
+    consistent with the chip existing but being congestion-limited."""
+    result = fully_parallel_congestion(1024, 3072)
+    assert result["congestion_ratio"] < 1.5
+
+
+def test_more_layers_relieve_congestion(plan):
+    rich = RoutingTechnology(routing_layers=8)
+    assert plan.congestion_ratio(rich) < plan.congestion_ratio()
+
+
+def test_invalid_lanes_rejected():
+    with pytest.raises(ValueError):
+        FuArrayFloorplan(lanes=0)
+
+
+def test_congestion_deterministic():
+    a = fully_parallel_congestion(4096, 12288, seed=5)
+    b = fully_parallel_congestion(4096, 12288, seed=5)
+    assert a == b

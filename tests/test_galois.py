@@ -1,0 +1,132 @@
+"""Tests for repro.bch.galois — GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bch.galois import GF2m, PRIMITIVE_POLYS
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+def test_table_sizes(gf16):
+    assert gf16.size == 16
+    assert gf16.order == 15
+    assert gf16.exp[:15].tolist() == sorted(
+        gf16.exp[:15].tolist(), key=lambda v: gf16.log[v]
+    )
+
+
+def test_exp_log_roundtrip(gf16):
+    for a in range(1, 16):
+        assert gf16.exp[gf16.log[a]] == a
+
+
+def test_mul_by_zero_and_one(gf16):
+    a = np.arange(16)
+    assert (gf16.mul(a, 0) == 0).all()
+    assert np.array_equal(gf16.mul(a, 1), a)
+
+
+def test_inverse(gf16):
+    a = np.arange(1, 16)
+    assert (gf16.mul(a, gf16.inv(a)) == 1).all()
+
+
+def test_inverse_of_zero_raises(gf16):
+    with pytest.raises(ZeroDivisionError):
+        gf16.inv(np.array([0, 1]))
+
+
+def test_division(gf16):
+    a = np.arange(1, 16)
+    b = np.roll(a, 3)
+    assert np.array_equal(gf16.mul(gf16.div(a, b), b), a)
+
+
+def test_pow_alpha_periodicity(gf16):
+    assert gf16.pow_alpha(0) == 1
+    assert gf16.pow_alpha(15) == 1
+    assert gf16.pow_alpha(-1) == gf16.pow_alpha(14)
+
+
+def test_pow_matches_repeated_mul(gf16):
+    a = 7
+    acc = 1
+    for k in range(6):
+        assert gf16.pow(a, k) == acc
+        acc = int(gf16.mul(acc, a))
+
+
+def test_primitivity_check_rejects_reducible():
+    # x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive
+    with pytest.raises(ValueError, match="not primitive"):
+        GF2m(4, primitive_poly=0b10101)
+
+
+def test_unknown_field_size_rejected():
+    with pytest.raises(ValueError, match="no primitive polynomial"):
+        GF2m(25)
+
+
+@pytest.mark.parametrize("m", [3, 4, 5, 8, 10])
+def test_all_shipped_polys_are_primitive(m):
+    GF2m(m)  # constructor validates primitivity
+
+
+def test_poly_eval_horner(gf16):
+    # p(x) = 3 + 2x + x^2 at x = 1: 3 ^ 2 ^ 1 = 0
+    coeffs = np.array([3, 2, 1])
+    assert gf16.poly_eval(coeffs, np.array([1]))[0] == 0
+    # at x = 0: constant term
+    assert gf16.poly_eval(coeffs, np.array([0]))[0] == 3
+
+
+def test_poly_mul_degree(gf16):
+    a = np.array([1, 1])     # 1 + x
+    b = np.array([2, 0, 1])  # 2 + x^2
+    prod = gf16.poly_mul(a, b)
+    assert len(prod) == 4
+    # evaluate identity at several points
+    pts = np.arange(1, 8)
+    lhs = gf16.poly_eval(prod, pts)
+    rhs = gf16.mul(gf16.poly_eval(a, pts), gf16.poly_eval(b, pts))
+    assert np.array_equal(lhs, rhs)
+
+
+def test_cyclotomic_cosets_partition(gf16):
+    """The cosets of the nonzero exponents mod 2^m - 1 partition them."""
+    seen = set()
+    for i in range(1, gf16.order):
+        coset = gf16.cyclotomic_coset(i)
+        if i == min(coset):
+            assert not seen.intersection(coset)
+            seen.update(coset)
+    assert seen == set(range(1, gf16.order))
+
+
+def test_minimal_polynomial_is_binary_and_annihilates(gf16):
+    for i in (1, 3, 5, 7):
+        mp = gf16.minimal_polynomial(i)
+        assert set(np.unique(mp)) <= {0, 1}
+        root = gf16.pow_alpha(i)
+        assert gf16.poly_eval(mp, np.array([root]))[0] == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_field_axioms(a, b, c):
+    f = GF2m(4)
+    # commutativity and associativity of multiplication
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    # distributivity over XOR (field addition)
+    assert int(f.mul(a, b ^ c)) == int(f.mul(a, b)) ^ int(f.mul(a, c))

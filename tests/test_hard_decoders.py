@@ -1,0 +1,97 @@
+"""Tests for repro.decode.hard — Gallager's hard-decision baselines."""
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.decode import (
+    BitFlippingDecoder,
+    GallagerBDecoder,
+    ZigzagDecoder,
+)
+from tests.conftest import noisy_llrs
+
+
+def test_bitflip_noiseless(code_half, encoder_half, rng):
+    word = encoder_half.random_codeword(rng)
+    dec = BitFlippingDecoder(code_half)
+    result = dec.decode(1.0 - 2.0 * word.astype(np.float64))
+    assert result.converged
+    assert result.iterations == 0
+    assert np.array_equal(result.bits, word)
+
+
+def test_bitflip_corrects_high_snr(code_half, encoder_half):
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=8.0, seed=2)
+    dec = BitFlippingDecoder(code_half)
+    result = dec.decode(llrs, max_iterations=60)
+    assert result.converged
+    assert result.bit_errors(word) == 0
+
+
+def test_bitflip_fails_where_soft_succeeds(code_half, encoder_half):
+    """The soft-vs-hard gap: at 2 dB the zigzag decoder is clean while
+    bit flipping is hopeless — the case for 6-bit message RAMs."""
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=2.0, seed=9)
+    soft = ZigzagDecoder(code_half, "minsum", normalization=0.75,
+                         segments=36)
+    hard = BitFlippingDecoder(code_half)
+    r_soft = soft.decode(llrs, max_iterations=50)
+    r_hard = hard.decode(llrs, max_iterations=50)
+    assert r_soft.bit_errors(word) == 0
+    assert r_hard.bit_errors(word) > 100
+
+
+def test_bitflip_wrong_length(code_half):
+    with pytest.raises(ValueError, match="expected"):
+        BitFlippingDecoder(code_half).decode(np.zeros(4))
+
+
+def test_gallager_b_noiseless(code_half, encoder_half, rng):
+    word = encoder_half.random_codeword(rng)
+    dec = GallagerBDecoder(code_half)
+    result = dec.decode(1.0 - 2.0 * word.astype(np.float64))
+    assert result.converged
+    assert np.array_equal(result.bits, word)
+
+
+def test_gallager_b_corrects_sparse_errors_with_safe_threshold(
+    code_half, encoder_half
+):
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=10.0, seed=2)
+    dec = GallagerBDecoder(code_half, threshold=3)
+    result = dec.decode(llrs, max_iterations=60)
+    assert result.bit_errors(word) <= 2
+
+
+def test_gallager_b_default_threshold_oscillates_on_ira(
+    code_half, encoder_half
+):
+    """The documented finding: the textbook majority threshold is
+    unstable on the irregular IRA structure (degree-2 chain + bulk
+    degree-3 nodes) — errors grow instead of shrinking."""
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=8.0, seed=2)
+    raw_errors = int(((llrs < 0).astype(np.uint8) != word).sum())
+    dec = GallagerBDecoder(code_half)
+    result = dec.decode(llrs, max_iterations=60)
+    assert result.bit_errors(word) > raw_errors
+
+
+def test_gallager_b_thresholds_per_degree(code_half):
+    dec = GallagerBDecoder(code_half)
+    degrees = np.array([2, 3, 8, 13])
+    th = dec._vn_threshold(degrees)
+    assert th.tolist() == [1, 2, 4, 7]
+    fixed = GallagerBDecoder(code_half, threshold=3)
+    assert fixed._vn_threshold(degrees).tolist() == [3, 3, 3, 3]
+
+
+def test_gallager_b_wrong_length(code_half):
+    with pytest.raises(ValueError, match="expected"):
+        GallagerBDecoder(code_half).decode(np.zeros(4))
+
+
+def test_hard_decoders_report_hard_posteriors(code_half, encoder_half):
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=8.0, seed=2)
+    result = BitFlippingDecoder(code_half).decode(llrs)
+    assert set(np.unique(result.posteriors)) <= {-1.0, 1.0}

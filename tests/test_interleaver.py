@@ -1,0 +1,77 @@
+"""Tests for repro.codes.interleaver — the DVB-S2 block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.codes.interleaver import (
+    COLUMNS,
+    deinterleave,
+    interleave,
+    interleaver_permutation,
+)
+
+
+@pytest.mark.parametrize("modulation", ["8psk", "16apsk", "32apsk"])
+def test_roundtrip(modulation, rng):
+    cols = COLUMNS[modulation]
+    frame = rng.integers(0, 2, cols * 120, dtype=np.uint8)
+    assert np.array_equal(
+        deinterleave(interleave(frame, modulation), modulation), frame
+    )
+
+
+def test_column_write_row_read_small():
+    # 6 bits, 3 columns, 2 rows: columns [0,1], [2,3], [4,5]
+    # read rows -> 0,2,4,1,3,5
+    frame = np.arange(6)
+    assert interleave(frame, "8psk").tolist() == [0, 2, 4, 1, 3, 5]
+
+
+def test_permutation_is_bijective():
+    perm = interleaver_permutation(300, "16apsk")
+    assert sorted(perm.tolist()) == list(range(300))
+
+
+def test_consecutive_bits_spread_across_symbols():
+    """The purpose: consecutive code bits must land on different
+    constellation bit positions (different columns)."""
+    perm = interleaver_permutation(3 * 100, "8psk")
+    positions = np.argsort(perm)  # where each input bit ends up
+    bit_slot = positions % 3
+    # bits 0..99 are column 0, 100..199 column 1, etc.
+    assert (bit_slot[:100] == bit_slot[0]).all()
+    assert bit_slot[0] != bit_slot[100]
+
+
+def test_qpsk_not_interleaved():
+    with pytest.raises(ValueError, match="not interleaved"):
+        interleave(np.zeros(8), "qpsk")
+
+
+def test_unknown_modulation():
+    with pytest.raises(KeyError, match="unknown modulation"):
+        interleave(np.zeros(8), "64qam")
+
+
+def test_length_must_divide():
+    with pytest.raises(ValueError, match="not a multiple"):
+        interleave(np.zeros(10), "8psk")
+
+
+def test_llrs_deinterleave_like_bits(code_34, rng):
+    """The receiver path: interleave the codeword, modulate, demap,
+    deinterleave the *LLRs*, decode — must recover the frame."""
+    from repro.channel.psk import Psk8Channel, psk8_modulate, psk8_llrs
+    from repro.decode import ZigzagDecoder
+    from repro.encode import IraEncoder
+
+    code = code_34
+    enc = IraEncoder(code)
+    word = enc.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+    tx = interleave(word, "8psk")
+    channel = Psk8Channel(ebn0_db=7.0, rate=0.75, seed=5)
+    llrs = channel.llrs(tx)
+    llrs = deinterleave(llrs, "8psk")
+    dec = ZigzagDecoder(code, "tanh", segments=36)
+    result = dec.decode(llrs, max_iterations=50)
+    assert result.bit_errors(word) == 0

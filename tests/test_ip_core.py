@@ -1,0 +1,109 @@
+"""Tests for repro.core — the IP facade and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import DvbS2LdpcDecoderIp, IpCoreConfig
+
+
+@pytest.fixture(scope="module")
+def ip():
+    return DvbS2LdpcDecoderIp(
+        IpCoreConfig(
+            rate="1/2",
+            parallelism=36,
+            annealing_iterations=60,
+            channel_scale=0.5,
+        )
+    )
+
+
+def test_default_config_validates():
+    IpCoreConfig().validate()
+
+
+@pytest.mark.parametrize(
+    "kw,msg",
+    [
+        (dict(rate="5/8"), "unknown rate"),
+        (dict(iterations=0), "at least one iteration"),
+        (dict(normalization=0.0), "normalization"),
+        (dict(normalization=1.5), "normalization"),
+        (dict(channel_scale=-1.0), "channel_scale"),
+        (dict(clock_hz=0.0), "clock"),
+        (dict(parallelism=7), "parallelism"),
+    ],
+)
+def test_invalid_configs_rejected(kw, msg):
+    with pytest.raises(ValueError, match=msg):
+        IpCoreConfig(**kw).validate()
+
+
+def test_facade_rejects_invalid_config():
+    with pytest.raises(ValueError):
+        DvbS2LdpcDecoderIp(IpCoreConfig(rate="5/8"))
+
+
+def test_encode_decode_roundtrip_noiseless(ip):
+    frame = ip.encode_random()
+    llrs = 8.0 * (1.0 - 2.0 * frame)
+    result = ip.decode(llrs)
+    assert np.array_equal(result.bits, frame)
+
+
+def test_encode_is_systematic(ip, rng):
+    info = rng.integers(0, 2, ip.code.k, dtype=np.uint8)
+    frame = ip.encode(info)
+    assert np.array_equal(frame[: ip.code.k], info)
+
+
+def test_datasheet_keys(ip):
+    sheet = ip.datasheet()
+    for key in (
+        "rate",
+        "cycles_per_block",
+        "info_throughput_mbps",
+        "coded_throughput_mbps",
+        "total_area_mm2",
+        "write_buffer_depth",
+        "meets_255_mbps",
+    ):
+        assert key in sheet
+    assert sheet["rate"] == "1/2"
+    assert sheet["write_buffer_depth"] >= 0
+
+
+def test_annealing_disabled_uses_canonical():
+    plain = DvbS2LdpcDecoderIp(
+        IpCoreConfig(rate="1/2", parallelism=36, anneal_addressing=False)
+    )
+    assert np.array_equal(
+        plain.schedule.layout.word_at,
+        np.arange(plain.mapping.n_words),
+    )
+
+
+def test_annealed_buffer_not_worse_than_canonical(ip):
+    plain = DvbS2LdpcDecoderIp(
+        IpCoreConfig(rate="1/2", parallelism=36, anneal_addressing=False)
+    )
+    assert ip.buffer_requirement() <= plain.buffer_requirement()
+
+
+def test_throughput_model_uses_config_clock():
+    ip2 = DvbS2LdpcDecoderIp(
+        IpCoreConfig(
+            rate="1/2",
+            parallelism=36,
+            anneal_addressing=False,
+            clock_hz=135e6,
+        )
+    )
+    assert ip2.throughput_model().clock_hz == 135e6
+
+
+def test_decode_override_iterations(ip):
+    frame = ip.encode_random()
+    llrs = 8.0 * (1.0 - 2.0 * frame)
+    result = ip.decode(llrs, iterations=5)
+    assert result.iterations == 5

@@ -1,0 +1,101 @@
+"""Tests for repro.hw.mapping — Section 3's node-to-FU mapping."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.mapping import IpMapping
+
+
+@pytest.fixture(scope="module")
+def mapping36():
+    return IpMapping(build_small_code("1/2", parallelism=36))
+
+
+def test_verify_passes(mapping36):
+    mapping36.verify()
+
+
+@pytest.mark.parametrize("rate", ["1/4", "3/5", "9/10"])
+def test_verify_other_rates(rate):
+    IpMapping(build_small_code(rate, parallelism=36)).verify()
+
+
+def test_word_count_is_addr(mapping36):
+    assert mapping36.n_words == mapping36.code.profile.addr_entries
+
+
+def test_in_node_mapping_laws(mapping36):
+    p = mapping36.parallelism
+    assert mapping36.fu_of_information_node(0) == 0
+    assert mapping36.fu_of_information_node(p + 3) == 3
+    assert mapping36.group_of_information_node(p + 3) == 1
+
+
+def test_cn_node_mapping_laws(mapping36):
+    q = mapping36.q
+    assert mapping36.fu_of_check_node(0) == 0
+    assert mapping36.fu_of_check_node(q) == 1
+    assert mapping36.local_index_of_check_node(q + 5) == 5
+
+
+def test_every_fu_gets_q_consecutive_checks(mapping36):
+    q = mapping36.q
+    n_checks = mapping36.code.profile.n_checks
+    fus = [mapping36.fu_of_check_node(c) for c in range(n_checks)]
+    counts = np.bincount(fus)
+    assert (counts == q).all()
+
+
+def test_edge_location_consistent_with_expansion(mapping36):
+    """edge_location must agree with the raw Eq. 2 expansion."""
+    code = mapping36.code
+    table = code.table
+    w = 0
+    for g, x in table.iter_addresses():
+        for m in (0, 1, table.parallelism - 1):
+            fu, check = mapping36.edge_location(w, m)
+            expected_check = (x + table.q * m) % table.n_checks
+            assert check == expected_check
+            assert fu == expected_check // table.q
+        w += 1
+
+
+def test_words_of_check_residue_balanced(mapping36):
+    k = mapping36.code.profile.check_degree
+    for r in range(mapping36.q):
+        assert mapping36.words_of_check_residue(r).size == k - 2
+
+
+def test_edges_per_fu_matches_eq6(mapping36):
+    p = mapping36.code.profile
+    assert (
+        mapping36.edges_per_fu_per_half_iteration()
+        == p.e_in // p.parallelism
+    )
+
+
+def test_ram_depths(mapping36):
+    assert mapping36.in_ram_words_per_fu() == mapping36.n_words
+    assert mapping36.pn_ram_words_per_fu() == mapping36.q
+
+
+def test_word_metadata_consistency(mapping36):
+    q = mapping36.q
+    for u in mapping36.words:
+        assert 0 <= u.residue < q
+        assert 0 <= u.shift < mapping36.parallelism
+    # slots count up within each group
+    per_group = {}
+    for u in mapping36.words:
+        assert u.slot == per_group.get(u.group, 0)
+        per_group[u.group] = u.slot + 1
+
+
+def test_shifts_and_residues_arrays_match_words(mapping36):
+    assert np.array_equal(
+        mapping36.shifts, [u.shift for u in mapping36.words]
+    )
+    assert np.array_equal(
+        mapping36.residues, [u.residue for u in mapping36.words]
+    )

@@ -1,0 +1,114 @@
+"""Tests for repro.codes.matrix — GF(2) parity-check utilities."""
+
+import numpy as np
+import pytest
+
+from repro.codes.matrix import (
+    density,
+    gf2_rank,
+    is_codeword,
+    structure_summary,
+    syndrome,
+    syndrome_weight,
+    to_dense,
+    to_scipy_sparse,
+)
+from repro.codes.tanner import TannerGraph
+
+
+def spc_graph():
+    """Single parity check over 3 bits."""
+    return TannerGraph(
+        n_vns=3,
+        n_cns=1,
+        edge_vn=np.array([0, 1, 2]),
+        edge_cn=np.array([0, 0, 0]),
+        n_info=2,
+    )
+
+
+def test_syndrome_zero_for_even_weight():
+    g = spc_graph()
+    assert syndrome(g, np.array([1, 1, 0])).tolist() == [0]
+    assert syndrome(g, np.array([0, 0, 0])).tolist() == [0]
+
+
+def test_syndrome_one_for_odd_weight():
+    g = spc_graph()
+    assert syndrome(g, np.array([1, 0, 0])).tolist() == [1]
+    assert syndrome(g, np.array([1, 1, 1])).tolist() == [1]
+
+
+def test_is_codeword_and_weight():
+    g = spc_graph()
+    assert is_codeword(g, np.array([1, 0, 1]))
+    assert not is_codeword(g, np.array([1, 0, 0]))
+    assert syndrome_weight(g, np.array([1, 0, 0])) == 1
+
+
+def test_syndrome_shape_check():
+    g = spc_graph()
+    with pytest.raises(ValueError, match="expected 3 bits"):
+        syndrome(g, np.array([1, 0]))
+
+
+def test_to_dense_roundtrip():
+    g = spc_graph()
+    h = to_dense(g)
+    assert h.shape == (1, 3)
+    assert h.tolist() == [[1, 1, 1]]
+
+
+def test_to_dense_guards_against_huge_matrices(code_half):
+    # 6480 x 3240 is fine; fake a giant one via the full-size graph.
+    from repro.codes import build_code
+
+    big = build_code("1/2")
+    with pytest.raises(ValueError, match="refusing to densify"):
+        to_dense(big.graph)
+
+
+def test_to_scipy_sparse_matches_dense():
+    g = spc_graph()
+    sp = to_scipy_sparse(g)
+    assert np.array_equal(sp.toarray(), to_dense(g))
+
+
+def test_gf2_rank_identity():
+    assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+
+def test_gf2_rank_dependent_rows():
+    h = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+    # third row = sum of the first two over GF(2)
+    assert gf2_rank(h) == 2
+
+
+def test_gf2_rank_zero_matrix():
+    assert gf2_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+
+def test_ldpc_parity_matrix_has_full_rank(code_half_tiny):
+    """The IRA structure guarantees full rank: the accumulator part is
+    triangular.  Verified on the 1/30-scale code (2160 columns)."""
+    h = to_dense(code_half_tiny.graph)
+    assert gf2_rank(h) == code_half_tiny.n_parity
+
+
+def test_density_is_sparse(code_half):
+    assert density(code_half.graph) < 0.01
+
+
+def test_structure_summary(code_half):
+    n_vns, n_cns, n_edges, d = structure_summary(code_half.graph)
+    assert n_vns == code_half.n
+    assert n_cns == code_half.n_parity
+    assert n_edges == code_half.graph.n_edges
+    assert 0 < d < 1
+
+
+def test_syndrome_of_encoded_word_is_zero(code_half, encoder_half, rng):
+    word = encoder_half.encode(
+        rng.integers(0, 2, code_half.k, dtype=np.uint8)
+    )
+    assert is_codeword(code_half.graph, word)

@@ -1,0 +1,79 @@
+"""Tests for repro.hw.memory — single-port SRAM and partition models."""
+
+import pytest
+
+from repro.hw.memory import PartitionedMemory, SramBank, ram_bits
+
+
+def test_bank_read_write():
+    bank = SramBank(depth=8)
+    bank.write(3, 42)
+    assert bank.read(3) == 42
+    assert bank.reads == 1
+    assert bank.writes == 1
+
+
+def test_bank_bounds_checked():
+    bank = SramBank(depth=4)
+    with pytest.raises(IndexError):
+        bank.read(4)
+    with pytest.raises(IndexError):
+        bank.write(-1, 0)
+
+
+def test_bank_rejects_zero_depth():
+    with pytest.raises(ValueError):
+        SramBank(depth=0)
+
+
+def test_single_port_violation_detected():
+    bank = SramBank(depth=4, name="t")
+    bank.read(0, cycle=5)
+    with pytest.raises(RuntimeError, match="single-port"):
+        bank.write(1, 9, cycle=5)
+
+
+def test_different_cycles_allowed():
+    bank = SramBank(depth=4)
+    bank.read(0, cycle=1)
+    bank.write(1, 9, cycle=2)
+    assert bank.read(1, cycle=3) == 9
+
+
+def test_untimed_access_never_conflicts():
+    bank = SramBank(depth=4)
+    bank.read(0)
+    bank.write(0, 1)
+    bank.read(0)
+
+
+def test_partitioned_memory_routing():
+    mem = PartitionedMemory(depth=16, n_partitions=4)
+    assert mem.partition_of(0) == 0
+    assert mem.partition_of(5) == 1
+    assert mem.partition_of(7) == 3
+    mem.write(13, 99)
+    assert mem.read(13) == 99
+    # address 13 lives in partition 1, word 3
+    assert mem.banks[1].data[3] == 99
+
+
+def test_partitioned_memory_single_port_per_bank():
+    mem = PartitionedMemory(depth=16, n_partitions=4)
+    mem.read(0, cycle=1)       # partition 0
+    mem.write(1, 5, cycle=1)   # partition 1: fine
+    with pytest.raises(RuntimeError, match="single-port"):
+        mem.write(4, 7, cycle=1)  # partition 0 again
+
+
+def test_partitioned_memory_validation():
+    with pytest.raises(ValueError):
+        PartitionedMemory(depth=8, n_partitions=0)
+
+
+def test_ram_bits():
+    assert ram_bits(100, 6) == 600
+    with pytest.raises(ValueError):
+        ram_bits(-1, 6)
+    with pytest.raises(ValueError):
+        ram_bits(4, 0)

@@ -1,0 +1,232 @@
+"""Tests for repro.decode.messages — vectorized kernels vs brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decode.messages import (
+    check_node_minsum,
+    check_node_tanh,
+    exclusive_segment_sums,
+    min1_min2,
+    phi,
+    segment_mins,
+    segment_sums,
+    sign_parities,
+    variable_node_update,
+)
+
+
+def random_segments(rng, n_segments, min_len=1, max_len=6):
+    lengths = rng.integers(min_len, max_len + 1, n_segments)
+    ptr = np.concatenate(([0], np.cumsum(lengths)))
+    return lengths, ptr
+
+
+# ----------------------------------------------------------------------
+# phi
+# ----------------------------------------------------------------------
+def test_phi_is_self_inverse():
+    x = np.linspace(0.05, 20.0, 200)
+    assert np.allclose(phi(phi(x)), x, rtol=1e-6)
+
+
+def test_phi_is_decreasing():
+    x = np.linspace(0.1, 10.0, 50)
+    y = phi(x)
+    assert (np.diff(y) < 0).all()
+
+
+def test_phi_handles_extremes():
+    out = phi(np.array([0.0, 1e9, np.inf]))
+    assert np.isfinite(out).all()
+
+
+# ----------------------------------------------------------------------
+# segment primitives vs brute force
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_segment_sums_match_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    lengths, ptr = random_segments(rng, 8)
+    values = rng.normal(size=ptr[-1])
+    got = segment_sums(values, ptr)
+    expected = [values[ptr[i] : ptr[i + 1]].sum() for i in range(8)]
+    assert np.allclose(got, expected)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_segment_mins_match_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    lengths, ptr = random_segments(rng, 8)
+    values = rng.normal(size=ptr[-1])
+    got = segment_mins(values, ptr)
+    expected = [values[ptr[i] : ptr[i + 1]].min() for i in range(8)]
+    assert np.allclose(got, expected)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_min1_min2_match_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    lengths, ptr = random_segments(rng, 10, min_len=2)
+    values = np.abs(rng.normal(size=ptr[-1]))
+    min1, min2, argmin = min1_min2(values, ptr)
+    for s in range(10):
+        seg = values[ptr[s] : ptr[s + 1]]
+        srt = np.sort(seg)
+        assert min1[s] == pytest.approx(srt[0])
+        assert min2[s] == pytest.approx(srt[1])
+        assert values[argmin[s]] == pytest.approx(srt[0])
+        assert ptr[s] <= argmin[s] < ptr[s + 1]
+
+
+def test_min1_min2_singleton_segments():
+    values = np.array([3.0, 1.0])
+    ptr = np.array([0, 1, 2])
+    min1, min2, argmin = min1_min2(values, ptr)
+    assert min1.tolist() == [3.0, 1.0]
+    assert np.isinf(min2).all()
+
+
+def test_min1_min2_with_duplicate_minima():
+    values = np.array([2.0, 2.0, 5.0])
+    ptr = np.array([0, 3])
+    min1, min2, argmin = min1_min2(values, ptr)
+    assert min1[0] == 2.0
+    assert min2[0] == 2.0  # the duplicate
+    assert argmin[0] == 0  # first occurrence
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_sign_parities_match_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    lengths, ptr = random_segments(rng, 8)
+    values = rng.normal(size=ptr[-1])
+    got = sign_parities(values, ptr)
+    for s in range(8):
+        seg = values[ptr[s] : ptr[s + 1]]
+        expected = 1 if (seg < 0).sum() % 2 == 0 else -1
+        assert got[s] == expected
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_exclusive_segment_sums(seed):
+    rng = np.random.default_rng(seed)
+    n_edges = 30
+    seg_of_edge = rng.integers(0, 5, n_edges)
+    values = rng.normal(size=n_edges)
+    order = np.argsort(seg_of_edge, kind="stable")
+    counts = np.bincount(seg_of_edge, minlength=5)
+    if (counts == 0).any():  # reduceat needs non-empty segments
+        return
+    ptr = np.concatenate(([0], np.cumsum(counts)))
+    got = exclusive_segment_sums(values, order, ptr, seg_of_edge)
+    for e in range(n_edges):
+        expected = values[seg_of_edge == seg_of_edge[e]].sum() - values[e]
+        assert got[e] == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# node updates vs brute force
+# ----------------------------------------------------------------------
+def brute_force_cn_tanh(v2c, cn_of_edge):
+    out = np.empty_like(v2c)
+    for e in range(v2c.size):
+        idx = np.nonzero(cn_of_edge == cn_of_edge[e])[0]
+        prod = 1.0
+        for i in idx:
+            if i == e:
+                continue
+            prod *= np.tanh(v2c[i] / 2.0)
+        prod = np.clip(prod, -0.999999999999, 0.999999999999)
+        out[e] = 2.0 * np.arctanh(prod)
+    return out
+
+
+def make_cn_structure(rng, n_cns=4, deg_lo=2, deg_hi=5):
+    degs = rng.integers(deg_lo, deg_hi + 1, n_cns)
+    cn_of_edge = np.repeat(np.arange(n_cns), degs)
+    rng.shuffle(cn_of_edge)
+    order = np.argsort(cn_of_edge, kind="stable")
+    ptr = np.concatenate(([0], np.cumsum(np.bincount(cn_of_edge))))
+    return cn_of_edge, order, ptr
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_check_node_tanh_matches_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    cn_of_edge, order, ptr = make_cn_structure(rng)
+    v2c = rng.normal(scale=2.0, size=cn_of_edge.size)
+    v2c[np.abs(v2c) < 0.05] = 0.1  # keep away from the clip region
+    got = check_node_tanh(v2c, order, ptr, cn_of_edge)
+    expected = brute_force_cn_tanh(v2c, cn_of_edge)
+    assert np.allclose(got, expected, rtol=1e-5, atol=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_check_node_minsum_matches_bruteforce(seed):
+    rng = np.random.default_rng(seed)
+    cn_of_edge, order, ptr = make_cn_structure(rng)
+    v2c = rng.normal(scale=2.0, size=cn_of_edge.size)
+    got = check_node_minsum(v2c, order, ptr, cn_of_edge)
+    for e in range(v2c.size):
+        idx = [
+            i
+            for i in np.nonzero(cn_of_edge == cn_of_edge[e])[0]
+            if i != e
+        ]
+        mag = min(abs(v2c[i]) for i in idx)
+        sign = 1
+        for i in idx:
+            sign *= -1 if v2c[i] < 0 else 1
+        assert got[e] == pytest.approx(sign * mag)
+
+
+def test_check_node_minsum_normalization_and_offset():
+    cn_of_edge = np.array([0, 0, 0])
+    order = np.arange(3)
+    ptr = np.array([0, 3])
+    v2c = np.array([4.0, -2.0, 8.0])
+    plain = check_node_minsum(v2c, order, ptr, cn_of_edge)
+    scaled = check_node_minsum(
+        v2c, order, ptr, cn_of_edge, normalization=0.5
+    )
+    offset = check_node_minsum(v2c, order, ptr, cn_of_edge, offset=1.0)
+    assert np.allclose(np.abs(scaled), 0.5 * np.abs(plain))
+    assert np.allclose(np.abs(offset), np.maximum(np.abs(plain) - 1.0, 0))
+
+
+def test_check_node_minsum_offset_floors_at_zero():
+    cn_of_edge = np.array([0, 0])
+    order = np.arange(2)
+    ptr = np.array([0, 2])
+    v2c = np.array([0.5, -0.5])
+    out = check_node_minsum(v2c, order, ptr, cn_of_edge, offset=2.0)
+    assert np.allclose(out, 0.0)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_variable_node_update_matches_eq4(seed):
+    rng = np.random.default_rng(seed)
+    n_vns = 5
+    vn_of_edge = np.repeat(np.arange(n_vns), rng.integers(1, 4, n_vns))
+    order = np.argsort(vn_of_edge, kind="stable")
+    ptr = np.concatenate(([0], np.cumsum(np.bincount(vn_of_edge))))
+    c2v = rng.normal(size=vn_of_edge.size)
+    ch = rng.normal(size=n_vns)
+    v2c, post = variable_node_update(c2v, ch, order, ptr, vn_of_edge)
+    for e in range(c2v.size):
+        v = vn_of_edge[e]
+        expected = ch[v] + c2v[vn_of_edge == v].sum() - c2v[e]
+        assert v2c[e] == pytest.approx(expected)
+    for v in range(n_vns):
+        assert post[v] == pytest.approx(ch[v] + c2v[vn_of_edge == v].sum())

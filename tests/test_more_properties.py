@@ -1,0 +1,128 @@
+"""Additional property-based tests across the hardware layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.control import PhaseProgram
+from repro.hw.conflicts import _simulate
+from repro.hw.shuffle import ShuffleNetwork
+from repro.quantize import FixedPointFormat
+
+
+# ----------------------------------------------------------------------
+# shuffle network group laws
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=2, max_value=64),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_shuffles_compose_additively(lanes, s1, s2):
+    """shift(a) ∘ shift(b) == shift(a + b mod P) — the property that
+    lets the barrel shifter realize any offset."""
+    net = ShuffleNetwork(lanes=lanes)
+    data = np.arange(lanes)
+    via_two = net.shuffle(net.shuffle(data, s1 % lanes), s2 % lanes)
+    direct = net.shuffle(data, (s1 + s2) % lanes)
+    assert np.array_equal(via_two, direct)
+
+
+@given(
+    st.integers(min_value=2, max_value=64),
+    st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_shuffle_preserves_multiset(lanes, shift):
+    net = ShuffleNetwork(lanes=lanes)
+    data = np.random.default_rng(lanes).normal(size=lanes)
+    out = net.shuffle(data, shift % lanes)
+    assert sorted(out.tolist()) == sorted(data.tolist())
+
+
+# ----------------------------------------------------------------------
+# control-word packing
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=3, max_value=9),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_control_pack_roundtrip(addr_bits, shift_bits, seed):
+    rng = np.random.default_rng(seed)
+    n = 20
+    prog = PhaseProgram(
+        addresses=rng.integers(0, 1 << addr_bits, n),
+        shifts=rng.integers(0, 1 << shift_bits, n),
+        last_flags=rng.integers(0, 2, n),
+    )
+    words = prog.pack_words(addr_bits, shift_bits)
+    back = PhaseProgram.unpack_words(words, addr_bits, shift_bits)
+    assert np.array_equal(back.addresses, prog.addresses)
+    assert np.array_equal(back.shifts, prog.shifts)
+    assert np.array_equal(back.last_flags, prog.last_flags)
+
+
+# ----------------------------------------------------------------------
+# conflict engine conservation laws
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_conflict_engine_always_drains(seed):
+    """Whatever the emission pattern, the engine terminates with an
+    empty buffer and the cycle count at least covers the reads."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 40))
+    reads = rng.integers(0, 64, n)
+    emissions = {}
+    n_writes = int(rng.integers(0, 30))
+    for _ in range(n_writes):
+        cycle = int(rng.integers(0, n + 5))
+        emissions.setdefault(cycle, []).append(int(rng.integers(0, 64)))
+    stats = _simulate(reads, emissions, n_partitions=4, write_ports=2)
+    assert stats.cycles >= stats.read_cycles == n
+    assert stats.peak_buffer <= n_writes
+    assert stats.drain_cycles == stats.cycles - n
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_conflict_engine_monotone_in_ports(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(10, 30))
+    reads = rng.integers(0, 16, n)
+    emissions = {
+        int(c): [int(rng.integers(0, 16))]
+        for c in rng.integers(0, n, size=8)
+    }
+    one = _simulate(reads, emissions, n_partitions=4, write_ports=1)
+    two = _simulate(reads, emissions, n_partitions=4, write_ports=2)
+    assert two.peak_buffer <= one.peak_buffer
+    assert two.total_deferred <= one.total_deferred
+
+
+# ----------------------------------------------------------------------
+# fixed-point formats
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.lists(st.integers(min_value=-500, max_value=500),
+             min_size=1, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_saturating_sum_bounded_by_format(bits, values):
+    fmt = FixedPointFormat(total_bits=bits, frac_bits=0)
+    total = fmt.sum(np.array(values))
+    assert fmt.min_int <= int(total) <= fmt.max_int
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_representable_values_are_symmetric(bits):
+    fmt = FixedPointFormat(total_bits=bits, frac_bits=min(2, bits - 1))
+    values = fmt.representable_values()
+    assert np.allclose(values, -values[::-1])
+    assert values.size == fmt.n_levels

@@ -1,0 +1,109 @@
+"""Tests for repro.core.multirate — one IP, all code rates."""
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.core import IpCoreConfig
+from repro.core.multirate import MultiRateDecoderIp
+
+
+@pytest.fixture(scope="module")
+def ip():
+    return MultiRateDecoderIp(
+        IpCoreConfig(
+            parallelism=36,
+            anneal_addressing=False,
+            channel_scale=0.5,
+            early_stop=True,
+        )
+    )
+
+
+def test_requires_rate_selection(ip):
+    fresh = MultiRateDecoderIp(
+        IpCoreConfig(parallelism=36, anneal_addressing=False)
+    )
+    with pytest.raises(RuntimeError, match="no rate selected"):
+        fresh.decode(np.zeros(10))
+
+
+def test_rate_switching_roundtrip(ip):
+    """Switch through several rates on the same instance, decoding one
+    clean frame each — the paper's all-rates claim in one object."""
+    rng = np.random.default_rng(1)
+    for rate in ("1/4", "1/2", "3/4", "9/10"):
+        ip.select_rate(rate)
+        assert ip.active_rate == rate
+        code = ip.code()
+        info = rng.integers(0, 2, code.k, dtype=np.uint8)
+        frame = ip.encode(info)
+        channel = AwgnChannel(
+            ebn0_db=4.5, rate=float(code.profile.rate), seed=10
+        )
+        result = ip.decode(channel.llrs(frame))
+        assert result.converged
+        assert np.array_equal(result.bits[: code.k], info)
+
+
+def test_explicit_rate_argument(ip):
+    rng = np.random.default_rng(2)
+    info = rng.integers(0, 2, ip.code("1/3").k, dtype=np.uint8)
+    frame = ip.encode(info, rate="1/3")
+    llrs = 8.0 * (1.0 - 2.0 * frame)
+    result = ip.decode(llrs, rate="1/3")
+    assert np.array_equal(result.bits[: info.size], info)
+
+
+def test_unknown_rate_rejected(ip):
+    with pytest.raises(KeyError, match="not supported"):
+        ip.select_rate("7/8")
+
+
+def test_restricted_rate_set():
+    limited = MultiRateDecoderIp(
+        IpCoreConfig(parallelism=36, anneal_addressing=False),
+        rates=("1/2", "3/4"),
+    )
+    limited.select_rate("1/2")
+    with pytest.raises(KeyError, match="not supported"):
+        limited.select_rate("1/4")
+
+
+def test_invalid_rate_set_rejected():
+    with pytest.raises(ValueError, match="unknown rates"):
+        MultiRateDecoderIp(
+            IpCoreConfig(parallelism=36), rates=("1/2", "bogus")
+        )
+
+
+def test_materialization_is_lazy_and_cached(ip):
+    before = ip.materialized_rates()
+    ip.select_rate("5/6")
+    after = ip.materialized_rates()
+    assert "5/6" in after
+    assert set(before) <= set(after)
+    core_a = ip._cores["5/6"]
+    ip.select_rate("5/6")
+    assert ip._cores["5/6"] is core_a  # cached, not rebuilt
+
+
+def test_shared_area_is_single_die(ip):
+    """Multi-rate support costs one die, not eleven."""
+    report = ip.shared_area_report()
+    assert report.total == pytest.approx(22.75, rel=0.05)
+
+
+def test_worst_case_buffer(ip):
+    ip.select_rate("1/2")
+    ip.select_rate("1/4")
+    depth = ip.worst_case_buffer()
+    assert 0 < depth <= 16
+
+
+def test_worst_case_buffer_requires_rates():
+    fresh = MultiRateDecoderIp(
+        IpCoreConfig(parallelism=36, anneal_addressing=False)
+    )
+    with pytest.raises(RuntimeError, match="materialized"):
+        fresh.worst_case_buffer()

@@ -1,0 +1,97 @@
+"""Tests for repro.hw.power — the energy model extension."""
+
+import pytest
+
+from repro.codes.standard import get_profile
+from repro.hw.power import EnergyConstants, PowerModel, power_table
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(get_profile("1/2"))
+
+
+def test_activity_counts_scale_with_iterations(model):
+    a30 = model.message_ram_bit_accesses(30)
+    a15 = model.message_ram_bit_accesses(15)
+    assert a30 == 2 * a15
+
+
+def test_message_ram_accesses_formula(model):
+    p = get_profile("1/2")
+    per_iter = 2 * 2 * p.e_in * 6 + 2 * p.n_parity * 6
+    assert model.message_ram_bit_accesses(1) == per_iter
+
+
+def test_energy_breakdown_sums_to_total(model):
+    breakdown = model.energy_per_frame_nj()
+    parts = sum(v for k, v in breakdown.items() if k != "total")
+    assert parts == pytest.approx(breakdown["total"])
+
+
+def test_all_components_positive(model):
+    for value in model.energy_per_frame_nj().values():
+        assert value > 0
+
+
+def test_power_in_plausible_envelope(model):
+    """0.13 um LDPC decoders of the era: 300-700 mW at full throughput."""
+    assert 300 < model.power_mw() < 700
+
+
+def test_memory_fraction_is_large(model):
+    """Iterative decoders are memory-dominated; the RAM share must be
+    the largest single component."""
+    breakdown = model.energy_per_frame_nj()
+    assert breakdown["memories"] == max(
+        v for k, v in breakdown.items() if k != "total"
+    )
+
+
+def test_energy_per_bit_decreases_with_rate():
+    """Higher rates decode more information bits per frame at similar
+    frame energy: pJ/bit/iteration must fall."""
+    low = PowerModel(get_profile("1/4")).energy_per_bit_per_iteration_pj()
+    high = PowerModel(get_profile("9/10")).energy_per_bit_per_iteration_pj()
+    assert high < low
+
+
+def test_fewer_iterations_less_frame_energy(model):
+    e30 = model.energy_per_frame_nj(30)["total"]
+    e20 = model.energy_per_frame_nj(20)["total"]
+    assert e20 < e30
+
+
+def test_zigzag_iteration_saving_in_energy(model):
+    """Section 2.2 expressed in Joules: 30 vs 40 iterations saves ~25%
+    of the dynamic energy."""
+    e30 = model.energy_per_frame_nj(30)
+    e40 = model.energy_per_frame_nj(40)
+    dynamic30 = e30["total"] - e30["clock"] - e30["io"]
+    dynamic40 = e40["total"] - e40["clock"] - e40["io"]
+    assert dynamic30 / dynamic40 == pytest.approx(0.75, abs=0.01)
+
+
+def test_custom_constants_scale_linearly():
+    base = PowerModel(get_profile("1/2"))
+    doubled = PowerModel(
+        get_profile("1/2"),
+        constants=EnergyConstants(sram_pj_per_bit=2 * 0.19),
+    )
+    b = base.energy_per_frame_nj()
+    d = doubled.energy_per_frame_nj()
+    assert d["memories"] == pytest.approx(2 * b["memories"])
+
+
+def test_power_table_covers_all_rates():
+    rows = power_table()
+    assert len(rows) == 11
+    for row in rows:
+        assert row["power_mw"] > 0
+        assert 0 < row["memory_fraction"] < 1
+
+
+def test_wider_messages_cost_more_energy():
+    e6 = PowerModel(get_profile("1/2"), width_bits=6).power_mw()
+    e8 = PowerModel(get_profile("1/2"), width_bits=8).power_mw()
+    assert e8 > e6

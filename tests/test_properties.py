@@ -1,0 +1,115 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import build_small_code, is_codeword, syndrome
+from repro.codes.small import scaled_profile
+from repro.codes.tables import generate_table
+from repro.decode import ZigzagDecoder
+from repro.encode import IraEncoder
+
+RATES = ["1/4", "1/3", "2/5", "1/2", "3/5", "2/3", "3/4", "4/5", "5/6",
+         "8/9", "9/10"]
+
+_CODE_CACHE = {}
+
+
+def cached_code(rate):
+    if rate not in _CODE_CACHE:
+        _CODE_CACHE[rate] = build_small_code(rate, parallelism=12,
+                                             validate=False)
+    return _CODE_CACHE[rate]
+
+
+@given(st.sampled_from(RATES), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_encoder_always_produces_codewords(rate, seed):
+    """∀ rates, ∀ information words: H x^T = 0 (paper Eq. 1)."""
+    code = cached_code(rate)
+    enc = IraEncoder(code)
+    info = np.random.default_rng(seed).integers(
+        0, 2, code.k, dtype=np.uint8
+    )
+    assert is_codeword(code.graph, enc.encode(info))
+
+
+@given(st.sampled_from(RATES))
+@settings(max_examples=11, deadline=None)
+def test_every_rate_graph_obeys_table2_identities(rate):
+    code = cached_code(rate)
+    p = code.profile
+    assert code.graph.n_edges == p.e_in + p.e_pn
+    assert p.e_in == (p.check_degree - 2) * p.n_checks
+    assert p.addr_entries * p.parallelism == p.e_in
+
+
+@given(
+    st.sampled_from(["1/4", "1/2", "3/4"]),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_table_generation_always_balances_checks(rate, seed):
+    """∀ seeds: the residue assignment balances check degrees exactly."""
+    profile = scaled_profile(rate, 12)
+    table, _ = generate_table(profile, seed=seed, max_repair_passes=1)
+    assert (table.check_degrees() == profile.check_degree - 2).all()
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_syndrome_is_linear(seed):
+    """syndrome(a ^ b) == syndrome(a) ^ syndrome(b)."""
+    code = cached_code("1/2")
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, code.n, dtype=np.uint8)
+    b = rng.integers(0, 2, code.n, dtype=np.uint8)
+    sa = syndrome(code.graph, a)
+    sb = syndrome(code.graph, b)
+    assert np.array_equal(syndrome(code.graph, a ^ b), sa ^ sb)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_decoder_is_codeword_symmetric(seed):
+    """The symmetry theorem behind the all-zero Monte-Carlo shortcut:
+    twisting the LLR signs by any *codeword* pattern twists the decoder
+    output by the same pattern.  (Global negation — the all-ones word —
+    is NOT a codeword of codes with odd check degree, so only codeword
+    twists are symmetries.)"""
+    code = cached_code("1/2")
+    dec = ZigzagDecoder(code, "minsum", normalization=0.75,
+                        segments=12)
+    rng = np.random.default_rng(seed)
+    llrs = rng.normal(0.0, 2.0, code.n)
+    llrs[llrs == 0] = 0.1
+    twist_word = IraEncoder(code).encode(
+        rng.integers(0, 2, code.k, dtype=np.uint8)
+    )
+    twist = 1.0 - 2.0 * twist_word.astype(np.float64)
+    r_base = dec.decode(llrs, max_iterations=5, early_stop=False)
+    r_twist = dec.decode(llrs * twist, max_iterations=5, early_stop=False)
+    assert np.allclose(r_twist.posteriors, r_base.posteriors * twist)
+    decided = r_base.posteriors != 0
+    assert np.array_equal(
+        r_twist.bits[decided], (r_base.bits ^ twist_word)[decided]
+    )
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_decoding_a_codeword_is_a_fixed_point(seed):
+    """Saturated LLRs of any codeword decode to that codeword in zero
+    iterations."""
+    code = cached_code("3/4")
+    enc = IraEncoder(code)
+    dec = ZigzagDecoder(code, "tanh")
+    word = enc.encode(
+        np.random.default_rng(seed).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    llrs = 12.0 * (1.0 - 2.0 * word.astype(np.float64))
+    result = dec.decode(llrs)
+    assert result.iterations == 0
+    assert np.array_equal(result.bits, word)

@@ -1,0 +1,117 @@
+"""Tests for repro.channel.psk — 8PSK modulation and demapping."""
+
+import numpy as np
+import pytest
+
+from repro.channel.psk import (
+    Psk8Channel,
+    psk8_demodulate_hard,
+    psk8_gray_neighbours,
+    psk8_llrs,
+    psk8_modulate,
+)
+
+
+def test_unit_energy(rng):
+    bits = rng.integers(0, 2, 300, dtype=np.uint8)
+    symbols = psk8_modulate(bits)
+    assert np.allclose(np.abs(symbols), 1.0)
+
+
+def test_eight_distinct_points():
+    bits = np.array(
+        [b for v in range(8) for b in ((v >> 2) & 1, (v >> 1) & 1, v & 1)]
+    )
+    symbols = psk8_modulate(bits)
+    assert np.unique(np.round(symbols, 9)).size == 8
+
+
+def test_hard_roundtrip(rng):
+    bits = rng.integers(0, 2, 3 * 200, dtype=np.uint8)
+    assert np.array_equal(
+        psk8_demodulate_hard(psk8_modulate(bits)), bits
+    )
+
+
+def test_gray_property():
+    """Adjacent constellation points differ in exactly one bit."""
+    a, b = psk8_gray_neighbours()
+    for la, lb in zip(a, b):
+        assert bin(int(la) ^ int(lb)).count("1") == 1
+
+
+def test_input_validation():
+    with pytest.raises(ValueError, match="multiple of 3"):
+        psk8_modulate(np.array([0, 1]))
+    with pytest.raises(ValueError, match="0/1"):
+        psk8_modulate(np.array([0, 1, 2]))
+    with pytest.raises(ValueError, match="sigma"):
+        psk8_llrs(np.array([1 + 0j]), sigma=0.0)
+
+
+def test_llr_signs_match_bits_at_high_snr(rng):
+    bits = rng.integers(0, 2, 3 * 500, dtype=np.uint8)
+    symbols = psk8_modulate(bits)
+    llrs = psk8_llrs(symbols, sigma=0.05)
+    decided = (llrs < 0).astype(np.uint8)
+    assert np.array_equal(decided, bits)
+
+
+def test_exact_and_maxlog_agree_at_high_snr(rng):
+    pytest.importorskip("scipy")
+    bits = rng.integers(0, 2, 3 * 100, dtype=np.uint8)
+    symbols = psk8_modulate(bits)
+    noisy = symbols + 0.03 * (
+        rng.normal(size=100) + 1j * rng.normal(size=100)
+    )
+    exact = psk8_llrs(noisy, sigma=0.03, max_log=False)
+    approx = psk8_llrs(noisy, sigma=0.03, max_log=True)
+    assert np.allclose(exact, approx, rtol=0.02, atol=0.5)
+
+
+def test_channel_snr_accounting():
+    ch = Psk8Channel(ebn0_db=3.0, rate=2 / 3, seed=1)
+    # Es/N0 = 3 * R * Eb/N0 -> sigma = 1/sqrt(2 Es/N0)
+    esn0 = 3.0 * (2 / 3) * 10 ** 0.3
+    assert ch.sigma == pytest.approx(1.0 / np.sqrt(2 * esn0))
+
+
+def test_ldpc_decodes_over_8psk(code_34):
+    """Close the modcod chain: rate 3/4 LDPC over 8PSK (a real DVB-S2
+    modcod) decodes at a reasonable Eb/N0."""
+    from repro.decode import ZigzagDecoder
+    from repro.encode import IraEncoder
+
+    code = code_34
+    assert code.n % 3 == 0
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(3).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    channel = Psk8Channel(
+        ebn0_db=6.5, rate=float(code.profile.rate), seed=4
+    )
+    dec = ZigzagDecoder(code, "tanh", segments=36)
+    result = dec.decode(channel.llrs(word), max_iterations=50)
+    assert result.bit_errors(word) == 0
+
+
+def test_8psk_needs_more_ebn0_than_bpsk(code_34):
+    """Shape: the 3-bit constellation pays an SNR penalty at equal
+    rate — 8PSK at BPSK's operating point fails."""
+    from repro.channel import AwgnChannel
+    from repro.decode import ZigzagDecoder
+    from repro.encode import IraEncoder
+
+    code = code_34
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(5).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    dec = ZigzagDecoder(code, "tanh", segments=36)
+    ebn0 = 3.4  # just above the BPSK waterfall for rate 3/4
+    bpsk = AwgnChannel(ebn0_db=ebn0, rate=float(code.profile.rate), seed=6)
+    psk = Psk8Channel(ebn0_db=ebn0, rate=float(code.profile.rate), seed=6)
+    r_bpsk = dec.decode(bpsk.llrs(word), max_iterations=40)
+    r_psk = dec.decode(psk.llrs(word), max_iterations=40)
+    assert r_bpsk.bit_errors(word) < r_psk.bit_errors(word)

@@ -1,0 +1,123 @@
+"""Tests for repro.decode.quantized — fixed-point decoders."""
+
+import numpy as np
+import pytest
+
+from repro.decode import (
+    QuantizedMinSumDecoder,
+    QuantizedZigzagDecoder,
+    ZigzagDecoder,
+)
+from repro.quantize import MESSAGE_5BIT, MESSAGE_6BIT, FixedPointFormat
+from tests.conftest import noisy_llrs
+
+
+def strong_llrs(word, magnitude=7.0):
+    return magnitude * (1.0 - 2.0 * word.astype(np.float64))
+
+
+@pytest.mark.parametrize(
+    "decoder_cls", [QuantizedMinSumDecoder, QuantizedZigzagDecoder]
+)
+def test_noiseless_decode(code_half, encoder_half, rng, decoder_cls):
+    word = encoder_half.random_codeword(rng)
+    dec = decoder_cls(code_half, normalization=0.75)
+    result = dec.decode(strong_llrs(word))
+    assert result.converged
+    assert np.array_equal(result.bits, word)
+
+
+@pytest.mark.parametrize(
+    "decoder_cls", [QuantizedMinSumDecoder, QuantizedZigzagDecoder]
+)
+def test_corrects_moderate_noise(code_half, encoder_half, decoder_cls):
+    """channel_scale keeps raw LLRs (std ~4.5 at 2.5 dB) inside the
+    ±7.75 range of the 6-bit format — the hardware's input conditioning."""
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=2.5, seed=31)
+    dec = decoder_cls(code_half, normalization=0.75, channel_scale=0.5)
+    result = dec.decode(llrs, max_iterations=40)
+    assert result.bit_errors(word) == 0
+
+
+def test_messages_bounded_by_format(code_half, encoder_half):
+    """Posteriors are de-scaled; raw integer range must respect 6 bits
+    for the exchanged messages — verified indirectly via quantize."""
+    dec = QuantizedZigzagDecoder(code_half)
+    word, llrs = noisy_llrs(code_half, encoder_half, ebn0_db=2.0, seed=1)
+    q = dec.quantize_channel(llrs)
+    assert q.max() <= MESSAGE_6BIT.max_int
+    assert q.min() >= MESSAGE_6BIT.min_int
+
+
+def test_channel_scale_changes_quantization(code_half):
+    llrs = np.full(code_half.n, 3.0)
+    full = QuantizedZigzagDecoder(code_half, channel_scale=1.0)
+    half = QuantizedZigzagDecoder(code_half, channel_scale=0.5)
+    assert half.quantize_channel(llrs)[0] == full.quantize_channel(llrs)[0] // 2
+
+
+def test_decode_quantized_accepts_integers(code_half, encoder_half, rng):
+    word = encoder_half.random_codeword(rng)
+    dec = QuantizedZigzagDecoder(code_half, normalization=0.75)
+    ints = dec.quantize_channel(strong_llrs(word))
+    result = dec.decode_quantized(ints)
+    assert np.array_equal(result.bits, word)
+
+
+def test_segments_default_to_parallelism(code_half):
+    dec = QuantizedZigzagDecoder(code_half)
+    assert dec.segments == code_half.profile.parallelism
+
+
+def test_invalid_segments_rejected(code_half):
+    with pytest.raises(ValueError, match="segments"):
+        QuantizedZigzagDecoder(code_half, segments=7)
+
+
+def test_wrong_length_rejected(code_half):
+    dec = QuantizedZigzagDecoder(code_half)
+    with pytest.raises(ValueError, match="quantized LLRs"):
+        dec.decode_quantized(np.zeros(3, dtype=np.int64))
+    dec2 = QuantizedMinSumDecoder(code_half)
+    with pytest.raises(ValueError, match="expected"):
+        dec2.decode(np.zeros(3))
+
+
+def test_quantized_tracks_float_at_high_snr(code_half, encoder_half):
+    """6-bit quantization must agree with the float zigzag decoder on
+    comfortable frames (the ~0.1 dB loss only shows near threshold)."""
+    float_dec = ZigzagDecoder(
+        code_half, "minsum", normalization=0.75, segments=36
+    )
+    q_dec = QuantizedZigzagDecoder(code_half, normalization=0.75)
+    for seed in range(3):
+        word, llrs = noisy_llrs(
+            code_half, encoder_half, ebn0_db=3.0, seed=300 + seed
+        )
+        rf = float_dec.decode(llrs, max_iterations=30)
+        rq = q_dec.decode(llrs, max_iterations=30)
+        assert rf.bit_errors(word) == 0
+        assert rq.bit_errors(word) == 0
+
+
+def test_five_bit_weaker_than_six_bit(code_half, encoder_half):
+    """Aggregate over near-threshold frames: 5-bit quantization leaves at
+    least as many errors as 6-bit (refs [6]/[9] ordering)."""
+    errors = {}
+    for fmt, frac in ((MESSAGE_5BIT, 1), (MESSAGE_6BIT, 2)):
+        dec = QuantizedZigzagDecoder(
+            code_half, fmt=fmt, normalization=0.75
+        )
+        total = 0
+        for seed in range(5):
+            word, llrs = noisy_llrs(
+                code_half, encoder_half, ebn0_db=1.4, seed=500 + seed
+            )
+            total += dec.decode(llrs, max_iterations=30).bit_errors(word)
+        errors[fmt.total_bits] = total
+    assert errors[6] <= errors[5]
+
+
+def test_invalid_normalization_rejected(code_half):
+    with pytest.raises(ValueError, match="normalization"):
+        QuantizedMinSumDecoder(code_half, normalization=0.0)

@@ -1,0 +1,72 @@
+"""Tests for repro.core.report — the regenerated datasheet tables."""
+
+from repro.core.report import (
+    format_table,
+    full_datasheet,
+    table1_report,
+    table2_report,
+    table3_report,
+    throughput_report,
+)
+
+
+def test_format_table_alignment():
+    out = format_table(("a", "bb"), [(1, 22), (333, 4)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].endswith("bb")
+    assert "---" in lines[1]
+
+
+def test_table1_contains_all_rates():
+    out = table1_report()
+    for rate in ("1/4", "1/2", "9/10"):
+        assert rate in out
+    # spot values from the paper's Table 1
+    assert "12960" in out  # N_j for R=1/2
+    assert "32400" in out  # K for R=1/2
+
+
+def test_table2_contains_paper_values():
+    out = table2_report()
+    assert "450" in out      # Addr for R=1/2
+    assert "162000" in out   # E_IN for R=1/2
+    assert "233280" in out   # E_IN for R=3/5
+
+
+def test_table3_contains_components_and_paper_column():
+    out = table3_report()
+    assert "message RAMs" in out
+    assert "shuffling network" in out
+    assert "9.120" in out   # paper reference value
+    assert "22.74" in out   # paper total
+
+
+def test_throughput_report_marks_requirement():
+    out = throughput_report()
+    assert "1/2" in out
+    assert "NO" not in out  # every rate meets 255 Mbit/s
+
+
+def test_full_datasheet_contains_all_sections():
+    out = full_datasheet()
+    for section in ("Table 1", "Table 2", "Table 3", "Throughput",
+                    "Energy model"):
+        assert section in out
+
+
+def test_power_report_has_all_rates():
+    from repro.core import power_report
+
+    out = power_report()
+    for rate in ("1/4", "1/2", "9/10"):
+        assert rate in out
+    assert "pJ/bit/iter" in out
+
+
+def test_exit_threshold_report():
+    from repro.core import exit_threshold_report
+
+    out = exit_threshold_report()
+    assert "EXIT thr" in out
+    assert "9/10" in out

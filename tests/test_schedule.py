@@ -1,0 +1,132 @@
+"""Tests for repro.hw.schedule — layouts, read orders, ROM images."""
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.mapping import IpMapping
+from repro.hw.schedule import CnPhaseSchedule, DecoderSchedule, MemoryLayout
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return IpMapping(build_small_code("1/2", parallelism=36))
+
+
+@pytest.fixture()
+def schedule(mapping):
+    return DecoderSchedule.canonical(mapping)
+
+
+def test_canonical_layout_is_identity(mapping):
+    layout = MemoryLayout.canonical(mapping)
+    assert np.array_equal(layout.word_at, np.arange(mapping.n_words))
+    assert np.array_equal(layout.phys, np.arange(mapping.n_words))
+
+
+def test_layout_keeps_groups_contiguous(mapping):
+    layout = MemoryLayout.canonical(mapping)
+    rng = np.random.default_rng(0)
+    layout.group_order = rng.permutation(len(layout.slot_orders))
+    layout._rebuild()
+    groups_in_layout = mapping.groups[layout.word_at]
+    # each group appears as one contiguous run
+    changes = int((np.diff(groups_in_layout) != 0).sum())
+    assert changes == len(layout.slot_orders) - 1
+
+
+def test_layout_clone_is_independent(mapping):
+    layout = MemoryLayout.canonical(mapping)
+    clone = layout.clone()
+    clone.group_order[0], clone.group_order[1] = (
+        clone.group_order[1],
+        clone.group_order[0],
+    )
+    clone._rebuild()
+    assert not np.array_equal(clone.word_at, layout.word_at)
+    assert np.array_equal(layout.word_at, np.arange(mapping.n_words))
+
+
+def test_cn_schedule_reads_checks_in_chain_order(schedule, mapping):
+    residues = mapping.residues[schedule.cn_schedule.read_order]
+    width = mapping.code.profile.check_degree - 2
+    assert np.array_equal(
+        residues, np.repeat(np.arange(mapping.q), width)
+    )
+
+
+def test_cn_schedule_clone_independent(schedule):
+    clone = schedule.cn_schedule.clone()
+    order = clone.within_check_orders[0]
+    order[0], order[1] = order[1], order[0]
+    clone._rebuild()
+    assert not np.array_equal(
+        clone.read_order, schedule.cn_schedule.read_order
+    )
+
+
+def test_address_rom_depth(schedule, mapping):
+    assert schedule.address_rom().size == mapping.n_words
+    assert schedule.shuffle_rom_cn().size == mapping.n_words
+    assert schedule.shuffle_rom_vn().size == mapping.n_words
+
+
+def test_rom_bits_accounting(schedule, mapping):
+    n = mapping.n_words
+    addr_bits = int(np.ceil(np.log2(n)))
+    shift_bits = int(np.ceil(np.log2(mapping.parallelism)))
+    assert schedule.rom_bits() == n * (addr_bits + shift_bits)
+
+
+def test_vn_phase_words_cover_all(schedule, mapping):
+    assert sorted(schedule.vn_phase_words().tolist()) == list(
+        range(mapping.n_words)
+    )
+
+
+def test_vn_node_bounds(schedule, mapping):
+    bounds = schedule.vn_node_bounds()
+    assert bounds[0] == 0
+    assert bounds[-1] == mapping.n_words
+    sizes = np.diff(bounds)
+    profile = mapping.code.profile
+    assert set(sizes.tolist()) <= {3, profile.j_high}
+
+
+def test_validate_canonical(schedule):
+    schedule.validate()
+
+
+def test_validate_detects_tampered_layout(schedule, mapping):
+    schedule.layout.word_at[0] = schedule.layout.word_at[1]
+    with pytest.raises(AssertionError, match="permutation"):
+        schedule.validate()
+
+
+def test_validate_detects_chain_violation(mapping):
+    sched = DecoderSchedule.canonical(mapping)
+    ro = sched.cn_schedule.read_order
+    # swap two words of different checks
+    width = mapping.code.profile.check_degree - 2
+    ro[0], ro[width] = ro[width], ro[0]
+    with pytest.raises(AssertionError, match="chain order"):
+        sched.validate()
+
+
+def test_partition_of_word(mapping):
+    layout = MemoryLayout.canonical(mapping)
+    for w in range(10):
+        assert layout.partition_of_word(w, 4) == w % 4
+
+
+def test_shuffle_roms_consistent_between_phases(schedule, mapping):
+    """Both ROM views must carry the same shift per word."""
+    vn_rom = schedule.shuffle_rom_vn()
+    words_vn = schedule.vn_phase_words()
+    cn_rom = schedule.shuffle_rom_cn()
+    words_cn = schedule.cn_schedule.read_order
+    shift_by_word = {}
+    for w, s in zip(words_vn, vn_rom):
+        shift_by_word[int(w)] = int(s)
+    for w, s in zip(words_cn, cn_rom):
+        assert shift_by_word[int(w)] == int(s)

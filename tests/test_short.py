@@ -1,0 +1,104 @@
+"""Tests for repro.codes.short — short-FECFRAME (16200-bit) profiles."""
+
+import numpy as np
+import pytest
+
+from repro.codes.short import (
+    SHORT_FRAME_LENGTH,
+    SHORT_RATE_NAMES,
+    all_short_profiles,
+    build_short_code,
+    effective_rate,
+    short_profile,
+)
+from repro.encode import IraEncoder
+from repro.codes import is_codeword
+from repro.hw.mapping import IpMapping
+from repro.hw.shuffle import ShuffleNetwork
+
+#: Standard short-frame q values (EN 302 307).
+STANDARD_Q = {
+    "1/4": 36, "1/3": 30, "2/5": 27, "1/2": 25, "3/5": 18,
+    "2/3": 15, "3/4": 12, "4/5": 10, "5/6": 8, "8/9": 5,
+}
+
+
+def test_ten_short_rates():
+    assert len(all_short_profiles()) == 10
+    assert "9/10" not in SHORT_RATE_NAMES
+
+
+@pytest.mark.parametrize("rate", SHORT_RATE_NAMES)
+def test_standard_q_values(rate):
+    assert short_profile(rate).q == STANDARD_Q[rate]
+
+
+@pytest.mark.parametrize("rate", SHORT_RATE_NAMES)
+def test_frame_length(rate):
+    assert short_profile(rate).n == SHORT_FRAME_LENGTH
+
+
+@pytest.mark.parametrize("rate", SHORT_RATE_NAMES)
+def test_profiles_validate(rate):
+    short_profile(rate).validate()
+
+
+def test_nominal_vs_effective_rate():
+    """Short '1/2' actually carries 4/9 — as in the standard."""
+    assert effective_rate("1/2") == pytest.approx(4 / 9)
+    assert effective_rate("8/9") == pytest.approx(14400 / 16200)
+
+
+def test_unknown_rate_rejected():
+    with pytest.raises(KeyError, match="no short-frame code"):
+        short_profile("9/10")
+
+
+def test_profile_names_are_suffixed():
+    assert short_profile("1/2").name == "1/2-short"
+
+
+def test_short_code_builds_and_encodes():
+    code = build_short_code("1/2")
+    assert code.n == 16200
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(3).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    assert is_codeword(code.graph, word)
+
+
+def test_short_code_maps_onto_the_ip_architecture():
+    """The paper's architecture covers short frames unchanged: mapping
+    laws and the cyclic-shift property hold."""
+    code = build_short_code("3/5")
+    mapping = IpMapping(code)
+    mapping.verify()
+    ShuffleNetwork(lanes=360).verify_realizes_table(mapping)
+
+
+def test_short_code_decodes():
+    from repro.channel import AwgnChannel
+    from repro.decode import ZigzagDecoder
+
+    code = build_short_code("1/2")
+    enc = IraEncoder(code)
+    word = enc.encode(
+        np.random.default_rng(5).integers(0, 2, code.k, dtype=np.uint8)
+    )
+    channel = AwgnChannel(ebn0_db=2.5, rate=effective_rate("1/2"), seed=6)
+    dec = ZigzagDecoder(code, "minsum", normalization=0.75, segments=360)
+    result = dec.decode(channel.llrs(word), max_iterations=40)
+    assert result.bit_errors(word) == 0
+
+
+def test_short_frames_fit_existing_throughput_model():
+    from repro.hw.throughput import ThroughputModel
+
+    model = ThroughputModel(short_profile("1/2"))
+    assert model.cycles_per_block(30) > 0
+    # short frames are ~4x faster per frame than normal frames
+    from repro.codes.standard import get_profile
+
+    normal = ThroughputModel(get_profile("1/2"))
+    assert model.cycles_per_block(30) < normal.cycles_per_block(30) / 2

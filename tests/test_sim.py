@@ -1,0 +1,165 @@
+"""Tests for repro.sim — the Monte-Carlo harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decode import ZigzagDecoder
+from repro.sim import (
+    BerSimulator,
+    ErrorRateEstimate,
+    iteration_sweep,
+    iterations_to_reach_ber,
+    measure_ber,
+    snr_sweep,
+    wilson_interval,
+)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+def test_wilson_contains_point_estimate():
+    lo, hi = wilson_interval(10, 100)
+    assert lo < 0.1 < hi
+
+
+def test_wilson_zero_errors_has_positive_upper():
+    lo, hi = wilson_interval(0, 1000)
+    assert lo == 0.0
+    assert 0 < hi < 0.01
+
+
+def test_wilson_all_errors():
+    lo, hi = wilson_interval(50, 50)
+    assert hi == 1.0
+    assert lo > 0.9
+
+
+def test_wilson_validates_inputs():
+    with pytest.raises(ValueError):
+        wilson_interval(1, 0)
+    with pytest.raises(ValueError):
+        wilson_interval(5, 3)
+
+
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_wilson_interval_is_ordered_and_bounded(errors, trials):
+    if errors > trials:
+        return
+    lo, hi = wilson_interval(errors, trials)
+    assert 0.0 <= lo <= hi <= 1.0
+
+
+def test_estimate_properties():
+    est = ErrorRateEstimate(errors=25, trials=100)
+    assert est.rate == 0.25
+    assert est.reliable
+    lo, hi = est.interval
+    assert lo < 0.25 < hi
+
+
+def test_estimate_merge():
+    a = ErrorRateEstimate(errors=5, trials=50)
+    b = ErrorRateEstimate(errors=15, trials=50)
+    merged = a.merged(b)
+    assert merged.rate == 0.2
+    assert merged.trials == 100
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def decoder(code_half):
+    return ZigzagDecoder(code_half, "minsum", normalization=0.75,
+                         segments=36)
+
+
+def test_high_snr_has_no_errors(code_half, decoder):
+    result = measure_ber(
+        code_half, decoder, ebn0_db=4.0, max_frames=5, seed=1
+    )
+    assert result.bit_errors == 0
+    assert result.frame_errors == 0
+    assert result.frames == 5
+    assert result.converged_frames == 5
+
+
+def test_low_snr_has_errors(code_half, decoder):
+    result = measure_ber(
+        code_half, decoder, ebn0_db=-2.0, max_frames=3, seed=1
+    )
+    assert result.frame_errors == 3
+    assert result.ber > 0.01
+
+
+def test_ber_improves_with_snr(code_half, decoder):
+    bad = measure_ber(code_half, decoder, ebn0_db=0.0, max_frames=4, seed=2)
+    good = measure_ber(code_half, decoder, ebn0_db=3.0, max_frames=4, seed=2)
+    assert good.ber <= bad.ber
+
+
+def test_encoded_frames_path(code_half, decoder):
+    sim = BerSimulator(
+        code=code_half, decoder=decoder, all_zero=False, seed=5
+    )
+    result = sim.run(4.0, max_frames=3)
+    assert result.frames == 3
+    assert result.bit_errors == 0
+
+
+def test_target_frame_errors_stops_early(code_half, decoder):
+    sim = BerSimulator(code=code_half, decoder=decoder, seed=1)
+    result = sim.run(-2.0, max_frames=50, target_frame_errors=2)
+    assert result.frames < 50
+    assert result.frame_errors >= 2
+
+
+def test_result_accounting(code_half, decoder):
+    result = measure_ber(
+        code_half, decoder, ebn0_db=2.0, max_frames=4, seed=9
+    )
+    assert result.total_bits == 4 * code_half.k
+    assert 0 <= result.avg_iterations <= 30
+    assert result.fer_estimate.trials == 4
+
+
+def test_seeded_reproducibility(code_half, decoder):
+    a = measure_ber(code_half, decoder, ebn0_db=1.5, max_frames=3, seed=7)
+    b = measure_ber(code_half, decoder, ebn0_db=1.5, max_frames=3, seed=7)
+    assert a.bit_errors == b.bit_errors
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+def test_snr_sweep_shape(code_half, decoder):
+    points = snr_sweep(
+        code_half, decoder, [0.0, 2.0], max_frames=3, seed=3
+    )
+    assert [p.value for p in points] == [0.0, 2.0]
+    assert points[0].result.ber >= points[1].result.ber
+
+
+def test_iteration_sweep_monotone_tendency(code_half, decoder):
+    points = iteration_sweep(
+        code_half, decoder, ebn0_db=1.6,
+        iteration_points=[2, 30], max_frames=4, seed=4
+    )
+    assert points[0].result.ber >= points[1].result.ber
+
+
+def test_iterations_to_reach_ber(code_half, decoder):
+    points = iteration_sweep(
+        code_half, decoder, ebn0_db=2.2,
+        iteration_points=[1, 5, 30], max_frames=3, seed=6
+    )
+    needed = iterations_to_reach_ber(points, 1e-3)
+    assert needed in (1, 5, 30)
+    assert iterations_to_reach_ber(points, -1.0) is None

@@ -1,0 +1,78 @@
+"""Tests for repro.codes.small — structure-preserving scaled codes."""
+
+import pytest
+
+from repro.codes.small import (
+    SUPPORTED_PARALLELISMS,
+    available_scales,
+    build_small_code,
+    build_small_code_with_diagnostics,
+    scaled_profile,
+)
+from repro.codes.standard import RATE_NAMES, get_profile
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_scaling_preserves_q(rate):
+    """q is the architectural constant; scaling must not change it."""
+    base = get_profile(rate)
+    for m in (12, 36, 90):
+        assert scaled_profile(rate, m).q == base.q
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_scaling_preserves_degrees(rate):
+    base = get_profile(rate)
+    scaled = scaled_profile(rate, 36)
+    assert scaled.j_high == base.j_high
+    assert scaled.check_degree == base.check_degree
+
+
+def test_scaled_profiles_validate():
+    for rate in RATE_NAMES:
+        scaled_profile(rate, 36).validate()
+
+
+def test_scaled_counts_are_proportional():
+    base = get_profile("1/2")
+    scaled = scaled_profile("1/2", 36)
+    assert scaled.k_info * 10 == base.k_info
+    assert scaled.n_high * 10 == base.n_high
+    assert scaled.n_parity * 10 == base.n_parity
+    assert scaled.e_in * 10 == base.e_in
+
+
+def test_scaled_name_carries_parallelism():
+    assert scaled_profile("1/2", 36).name == "1/2@36"
+    assert scaled_profile("1/2", 360).name == "1/2"
+
+
+def test_rejects_non_divisor_parallelism():
+    with pytest.raises(ValueError, match="divisor of 360"):
+        scaled_profile("1/2", 7)
+    with pytest.raises(ValueError, match="divisor of 360"):
+        scaled_profile("1/2", 0)
+
+
+def test_build_small_code_validates_by_default():
+    code = build_small_code("2/5", parallelism=24)
+    assert code.n == 64800 * 24 // 360
+    code.validate()  # idempotent
+
+
+def test_build_with_diagnostics_returns_both():
+    code, diag = build_small_code_with_diagnostics("1/2", parallelism=36)
+    assert code.n == 6480
+    assert diag.residual_cross_group_collisions >= 0
+
+
+def test_available_scales_cover_supported_list():
+    scales = available_scales("1/2")
+    assert scales == list(SUPPORTED_PARALLELISMS)
+
+
+def test_full_parallelism_round_trip():
+    profile = scaled_profile("3/4", 360)
+    base = get_profile("3/4")
+    assert profile.k_info == base.k_info
+    assert profile.parallelism == 360

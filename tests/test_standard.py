@@ -1,0 +1,157 @@
+"""Tests for repro.codes.standard — the Table 1/2 parameter source."""
+
+import pytest
+from fractions import Fraction
+
+from repro.codes.standard import (
+    FRAME_LENGTH,
+    PARALLELISM,
+    RATE_NAMES,
+    CodeRateProfile,
+    all_profiles,
+    get_profile,
+)
+
+#: Paper Table 2 reference rows: rate -> (q, E_IN, Addr).
+PAPER_TABLE2 = {
+    "1/4": (135, 97200, 270),
+    "1/3": (120, 129600, 360),
+    "2/5": (108, 155520, 432),
+    "1/2": (90, 162000, 450),
+    "3/5": (72, 233280, 648),
+    "2/3": (60, 172800, 480),
+    "3/4": (45, 194400, 540),
+    "4/5": (36, 207360, 576),
+    "5/6": (30, 216000, 600),
+    "8/9": (20, 180000, 500),
+    "9/10": (18, 181440, 504),
+}
+
+
+def test_eleven_rates_present():
+    assert len(all_profiles()) == 11
+    assert [p.name for p in all_profiles()] == list(RATE_NAMES)
+
+
+def test_frame_length_is_normal_fecframe():
+    for p in all_profiles():
+        assert p.n == FRAME_LENGTH == 64800
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_exact_code_rate(rate):
+    p = get_profile(rate)
+    assert p.rate == Fraction(*map(int, rate.split("/")))
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_table2_q(rate):
+    assert get_profile(rate).q == PAPER_TABLE2[rate][0]
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_table2_e_in(rate):
+    assert get_profile(rate).e_in == PAPER_TABLE2[rate][1]
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_table2_addr(rate):
+    assert get_profile(rate).addr_entries == PAPER_TABLE2[rate][2]
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_e_pn_is_zigzag_edge_count(rate):
+    p = get_profile(rate)
+    assert p.e_pn == 2 * p.n_parity - 1
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_edge_balance_identity(rate):
+    """Paper Eq. 6: every FU gets the same number of edges."""
+    p = get_profile(rate)
+    assert p.e_in == (p.check_degree - 2) * p.n_checks
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_degree_classes_partition_information_nodes(rate):
+    p = get_profile(rate)
+    assert p.n_high + p.n_3 == p.k_info
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_group_counts_are_integral(rate):
+    p = get_profile(rate)
+    assert p.in_groups * PARALLELISM == p.k_info
+    assert p.high_degree_groups * PARALLELISM == p.n_high
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_validate_passes_for_shipped_profiles(rate):
+    get_profile(rate).validate()
+
+
+def test_degree_sequence_structure():
+    p = get_profile("1/2")
+    assert p.degree_sequence == [(12960, 8), (19440, 3)]
+
+
+def test_unknown_rate_raises():
+    with pytest.raises(KeyError, match="unknown DVB-S2 code rate"):
+        get_profile("7/8")
+
+
+def test_validate_rejects_broken_edge_balance():
+    broken = CodeRateProfile(
+        name="broken",
+        n=64800,
+        k_info=32400,
+        n_high=12960,
+        j_high=8,
+        n_3=19440,
+        check_degree=8,  # wrong k
+    )
+    with pytest.raises(ValueError, match="edge balance"):
+        broken.validate()
+
+
+def test_validate_rejects_non_multiple_parallelism():
+    broken = CodeRateProfile(
+        name="broken",
+        n=64800,
+        k_info=32401,
+        n_high=12961,
+        j_high=8,
+        n_3=19440,
+        check_degree=7,
+    )
+    with pytest.raises(ValueError):
+        broken.validate()
+
+
+def test_validate_rejects_bad_partition():
+    broken = CodeRateProfile(
+        name="broken",
+        n=64800,
+        k_info=32400,
+        n_high=12960,
+        j_high=8,
+        n_3=19441,
+        check_degree=7,
+    )
+    with pytest.raises(ValueError, match="partition"):
+        broken.validate()
+
+
+def test_e_total_counts_all_edges():
+    p = get_profile("1/2")
+    assert p.e_total == p.e_in + p.e_pn == 162000 + 64799
+
+
+def test_paper_claims_about_extremes():
+    """Section 5: R=1/4 has the largest parity set, R=3/5 the most
+    information edges."""
+    profiles = all_profiles()
+    assert max(profiles, key=lambda p: p.n_parity).name == "1/4"
+    assert max(profiles, key=lambda p: p.e_in).name == "3/5"
+    assert max(profiles, key=lambda p: p.j_high).name == "2/3"
+    assert max(profiles, key=lambda p: p.check_degree).name == "9/10"

@@ -1,0 +1,63 @@
+"""Tests for repro.sim.sweep helpers not covered elsewhere."""
+
+import pytest
+
+from repro.decode import ZigzagDecoder
+from repro.sim import find_waterfall_ebn0
+from repro.sim.sweep import SweepPoint
+from repro.sim.ber import BerResult
+
+
+def _point(value, ber_errors, frames=10, bits=1000):
+    return SweepPoint(
+        value=value,
+        result=BerResult(
+            ebn0_db=1.0,
+            frames=frames,
+            bit_errors=ber_errors,
+            frame_errors=min(frames, ber_errors),
+            total_bits=bits,
+            total_iterations=frames,
+            converged_frames=frames,
+        ),
+    )
+
+
+def test_iterations_to_reach_ber_picks_first():
+    from repro.sim import iterations_to_reach_ber
+
+    points = [_point(2, 100), _point(5, 10), _point(10, 0)]
+    assert iterations_to_reach_ber(points, 0.05) == 5
+    assert iterations_to_reach_ber(points, 0.0) == 10
+
+
+def test_iterations_to_reach_ber_handles_unsorted_input():
+    from repro.sim import iterations_to_reach_ber
+
+    points = [_point(10, 0), _point(2, 100)]
+    assert iterations_to_reach_ber(points, 0.0) == 10
+
+
+def test_find_waterfall_locates_crossing(code_half_tiny):
+    dec = ZigzagDecoder(code_half_tiny, "minsum", normalization=0.75,
+                        segments=12)
+    ebn0 = find_waterfall_ebn0(
+        code_half_tiny, dec, target_fer=0.5, lo_db=0.0, hi_db=4.0,
+        max_frames=8, max_iterations=30, seed=2, resolution_db=0.25,
+    )
+    assert 0.5 < ebn0 < 3.5
+
+
+def test_find_waterfall_clamps_to_bounds(code_half_tiny):
+    dec = ZigzagDecoder(code_half_tiny, "minsum", normalization=0.75,
+                        segments=12)
+    # impossible target range below the waterfall -> returns hi bound
+    assert find_waterfall_ebn0(
+        code_half_tiny, dec, target_fer=0.5, lo_db=-6.0, hi_db=-5.0,
+        max_frames=4, seed=2,
+    ) == -5.0
+    # far above the waterfall -> returns lo bound
+    assert find_waterfall_ebn0(
+        code_half_tiny, dec, target_fer=0.5, lo_db=6.0, hi_db=8.0,
+        max_frames=4, seed=2,
+    ) == 6.0

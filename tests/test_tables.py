@@ -1,0 +1,165 @@
+"""Tests for repro.codes.tables — the synthetic address tables."""
+
+import numpy as np
+import pytest
+
+from repro.codes.small import scaled_profile
+from repro.codes.standard import RATE_NAMES, get_profile
+from repro.codes.tables import (
+    DEFAULT_TABLE_SEED,
+    TableGenerationError,
+    generate_table,
+    get_table,
+    get_table_diagnostics,
+)
+
+SCALED_RATES = ["1/4", "1/2", "3/5", "3/4", "9/10"]
+
+
+@pytest.fixture(scope="module", params=SCALED_RATES)
+def scaled_table(request):
+    profile = scaled_profile(request.param, 36)
+    table, diag = generate_table(profile)
+    return profile, table, diag
+
+
+def test_row_count_matches_groups(scaled_table):
+    profile, table, _ = scaled_table
+    assert table.n_groups == profile.k_info // 36
+
+
+def test_row_lengths_match_degrees(scaled_table):
+    profile, table, _ = scaled_table
+    n_high_groups = profile.n_high // 36
+    for g, row in enumerate(table.rows):
+        expected = profile.j_high if g < n_high_groups else 3
+        assert len(row) == expected
+
+
+def test_address_word_count_is_addr(scaled_table):
+    profile, table, _ = scaled_table
+    assert table.n_address_words == profile.addr_entries
+
+
+def test_check_degrees_exactly_k_minus_2(scaled_table):
+    """The residue balancing must give every check k-2 information
+    edges — the property behind paper Eq. 6."""
+    profile, table, _ = scaled_table
+    degrees = table.check_degrees()
+    assert (degrees == profile.check_degree - 2).all()
+
+
+def test_addresses_in_range(scaled_table):
+    profile, table, _ = scaled_table
+    for row in table.rows:
+        for x in row:
+            assert 0 <= x < profile.n_checks
+
+
+def test_distinct_residues_within_each_row(scaled_table):
+    _, table, _ = scaled_table
+    for row in table.rows:
+        residues = [x % table.q for x in row]
+        assert len(set(residues)) == len(residues)
+
+
+def test_no_adjacent_addresses_within_row(scaled_table):
+    """Addresses differing by 1 would create IN/PN 4-cycles through the
+    zigzag chain."""
+    _, table, _ = scaled_table
+    n = table.n_checks
+    for row in table.rows:
+        s = set(row)
+        for x in row:
+            assert (x + 1) % n not in s
+            assert (x - 1) % n not in s
+
+
+def test_expansion_edge_count(scaled_table):
+    profile, table, _ = scaled_table
+    vn, cn = table.expand()
+    assert vn.size == cn.size == profile.e_in
+
+
+def test_expansion_follows_encoding_rule(scaled_table):
+    """Every edge must satisfy paper Eq. 2."""
+    _, table, _ = scaled_table
+    m = np.arange(table.parallelism)
+    for g, x in table.iter_addresses():
+        vn, cn = table.expand_group(g)
+    # Spot-check group 0 exhaustively.
+    vn, cn = table.expand_group(0)
+    row = table.rows[0]
+    for i, x in enumerate(row):
+        seg_cn = cn[i * table.parallelism : (i + 1) * table.parallelism]
+        assert np.array_equal(seg_cn, (x + table.q * m) % table.n_checks)
+
+
+def test_shuffle_and_ram_address_decomposition(scaled_table):
+    """x = r + q*t must round-trip through the two ROM views."""
+    _, table, _ = scaled_table
+    shifts = table.shuffle_offsets()
+    rams = table.ram_addresses()
+    for row, srow, rrow in zip(table.rows, shifts, rams):
+        for x, t, r in zip(row, srow, rrow):
+            assert x == r + table.q * t
+            assert 0 <= t < table.parallelism
+            assert 0 <= r < table.q
+
+
+def test_determinism_same_seed():
+    profile = scaled_profile("1/2", 36)
+    t1, _ = generate_table(profile, seed=99)
+    t2, _ = generate_table(profile, seed=99)
+    assert t1.rows == t2.rows
+
+
+def test_different_seeds_differ():
+    profile = scaled_profile("1/2", 36)
+    t1, _ = generate_table(profile, seed=1)
+    t2, _ = generate_table(profile, seed=2)
+    assert t1.rows != t2.rows
+
+
+def test_shipped_tables_are_cached():
+    a = get_table("1/2")
+    b = get_table("1/2")
+    assert a is b
+
+
+def test_shipped_full_size_table_is_4cycle_free():
+    diag = get_table_diagnostics("1/2")
+    assert diag.four_cycle_free
+
+
+@pytest.mark.parametrize("rate", RATE_NAMES)
+def test_full_size_tables_balanced(rate):
+    """Every full-size shipped table balances check degrees exactly."""
+    profile = get_profile(rate)
+    table = get_table(rate)
+    assert table.n_address_words == profile.addr_entries
+    degrees = table.check_degrees()
+    assert (degrees == profile.check_degree - 2).all()
+
+
+def test_generation_error_when_degree_exceeds_q():
+    class FakeProfile:
+        name = "fake"
+        parallelism = 4
+        q = 2
+        n_checks = 8
+        check_degree = 5
+        n_high = 4
+        j_high = 3  # > q
+        n_3 = 4
+
+    with pytest.raises(TableGenerationError):
+        generate_table(FakeProfile())
+
+
+def test_diagnostics_reported_for_tiny_scale():
+    """At very small parallelism some cross-group collisions can remain;
+    diagnostics must report them instead of failing."""
+    profile = scaled_profile("9/10", 12)
+    _, diag = generate_table(profile, max_repair_passes=2)
+    assert diag.residual_cross_group_collisions >= 0

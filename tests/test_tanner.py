@@ -1,0 +1,168 @@
+"""Tests for repro.codes.tanner — the Tanner graph container."""
+
+import numpy as np
+import pytest
+
+from repro.codes.tanner import TannerGraph
+
+
+def tiny_graph():
+    """A hand-built 4-VN / 2-CN graph::
+
+        v0 - c0, v1 - c0, v1 - c1, v2 - c1, v3 - c0, v3 - c1
+    """
+    return TannerGraph(
+        n_vns=4,
+        n_cns=2,
+        edge_vn=np.array([0, 1, 1, 2, 3, 3]),
+        edge_cn=np.array([0, 0, 1, 1, 0, 1]),
+        n_info=2,
+    )
+
+
+def test_counts():
+    g = tiny_graph()
+    assert g.n_edges == 6
+    assert g.n_parity == 2
+
+
+def test_degrees():
+    g = tiny_graph()
+    assert g.vn_degrees.tolist() == [1, 2, 1, 2]
+    assert g.cn_degrees.tolist() == [3, 3]
+
+
+def test_vn_edges_are_correct_sets():
+    g = tiny_graph()
+    assert sorted(g.edge_cn[g.vn_edges(1)].tolist()) == [0, 1]
+    assert sorted(g.edge_cn[g.vn_edges(3)].tolist()) == [0, 1]
+
+
+def test_cn_edges_are_correct_sets():
+    g = tiny_graph()
+    assert sorted(g.edge_vn[g.cn_edges(0)].tolist()) == [0, 1, 3]
+    assert sorted(g.edge_vn[g.cn_edges(1)].tolist()) == [1, 2, 3]
+
+
+def test_neighbor_queries():
+    g = tiny_graph()
+    assert sorted(g.neighbors_of_vn(3).tolist()) == [0, 1]
+    assert sorted(g.neighbors_of_cn(1).tolist()) == [1, 2, 3]
+
+
+def test_is_information():
+    g = tiny_graph()
+    assert g.is_information(0)
+    assert g.is_information(1)
+    assert not g.is_information(2)
+    assert not g.is_information(3)
+
+
+def test_ptr_segments_partition_edges():
+    g = tiny_graph()
+    assert g.vn_ptr[-1] == g.n_edges
+    assert g.cn_ptr[-1] == g.n_edges
+    covered = np.concatenate([g.vn_edges(v) for v in range(g.n_vns)])
+    assert sorted(covered.tolist()) == list(range(g.n_edges))
+
+
+def test_validate_accepts_tiny_graph():
+    tiny_graph().validate()
+
+
+def test_validate_rejects_parallel_edges():
+    g = TannerGraph(
+        n_vns=2,
+        n_cns=2,
+        edge_vn=np.array([0, 0, 1, 1]),
+        edge_cn=np.array([0, 0, 0, 1]),
+        n_info=1,
+    )
+    with pytest.raises(ValueError, match="parallel edges"):
+        g.validate()
+
+
+def test_validate_rejects_isolated_node():
+    g = TannerGraph(
+        n_vns=3,
+        n_cns=1,
+        edge_vn=np.array([0, 1]),
+        edge_cn=np.array([0, 0]),
+        n_info=1,
+    )
+    with pytest.raises(ValueError, match="isolated variable"):
+        g.validate()
+
+
+def test_constructor_rejects_out_of_range_indices():
+    with pytest.raises(ValueError, match="variable-node index"):
+        TannerGraph(
+            n_vns=2,
+            n_cns=2,
+            edge_vn=np.array([0, 5]),
+            edge_cn=np.array([0, 1]),
+            n_info=1,
+        )
+    with pytest.raises(ValueError, match="check-node index"):
+        TannerGraph(
+            n_vns=2,
+            n_cns=2,
+            edge_vn=np.array([0, 1]),
+            edge_cn=np.array([0, 7]),
+            n_info=1,
+        )
+
+
+def test_four_cycle_detection_positive():
+    # v0 and v1 share c0 and c1: one 4-cycle.
+    g = TannerGraph(
+        n_vns=2,
+        n_cns=2,
+        edge_vn=np.array([0, 0, 1, 1]),
+        edge_cn=np.array([0, 1, 0, 1]),
+        n_info=2,
+    )
+    assert g.count_4cycles() == 1
+
+
+def test_four_cycle_detection_counts_shared_check_pairs():
+    # In tiny_graph, v1 and v3 share both c0 and c1: exactly one 4-cycle.
+    assert tiny_graph().count_4cycles() == 1
+
+
+def test_four_cycle_detection_negative():
+    g = TannerGraph(
+        n_vns=4,
+        n_cns=2,
+        edge_vn=np.array([0, 1, 1, 2, 3]),
+        edge_cn=np.array([0, 0, 1, 1, 0]),
+        n_info=2,
+    )
+    assert g.count_4cycles() == 0
+
+
+def test_four_cycle_max_vn_restriction():
+    g = TannerGraph(
+        n_vns=3,
+        n_cns=2,
+        edge_vn=np.array([0, 2, 2, 1]),
+        edge_cn=np.array([0, 0, 1, 1]),
+        n_info=3,
+    )
+    # No cycles at all; restricted count must agree.
+    assert g.count_4cycles(max_vn=1) == 0
+
+
+def test_degree_histogram(code_half):
+    degrees, counts = code_half.graph.degree_histogram()
+    hist = dict(zip(degrees.tolist(), counts.tolist()))
+    p = code_half.profile
+    assert hist[p.j_high] == p.n_high
+    assert hist[3] == p.n_3
+    # parity chain: all degree 2 except the final node
+    assert hist[2] == p.n_parity - 1
+    assert hist[1] == 1
+
+
+def test_scaled_code_graph_validates(code_half):
+    code_half.graph.validate()

@@ -1,0 +1,94 @@
+"""Tests for repro.hw.throughput — paper Eq. (7)/(8)."""
+
+import pytest
+
+from repro.codes.standard import all_profiles, get_profile
+from repro.hw.throughput import (
+    REQUIRED_THROUGHPUT_BPS,
+    ThroughputModel,
+    throughput_table,
+)
+
+
+def model(rate, **kw):
+    return ThroughputModel(get_profile(rate), **kw)
+
+
+def test_io_cycles_is_ceil_of_frame_over_10():
+    assert model("1/2").io_cycles() == 6480
+
+
+def test_cycles_per_iteration_formula():
+    m = model("1/2", latency_cycles=8)
+    # 2 * E_IN / P + latency = 2*450 + 8
+    assert m.cycles_per_iteration() == 908
+
+
+def test_cycles_per_block_eq8():
+    m = model("1/2", latency_cycles=8)
+    assert m.cycles_per_block(30) == 6480 + 30 * 908
+
+
+def test_rate_half_info_throughput_matches_paper_ballpark():
+    """K=32400 bits in ~33.7k cycles at 270 MHz ≈ 259 Mbit/s — the
+    paper's 255 Mbit/s requirement with a small margin."""
+    thr = model("1/2").throughput_bps(30)
+    assert 250e6 < thr < 275e6
+
+
+def test_all_rates_meet_255_coded():
+    """Section 5: 'capable to process all specified code rates with the
+    required throughput of 255 Mbit/s' (channel bits)."""
+    for profile in all_profiles():
+        assert ThroughputModel(profile).meets_requirement(30)
+
+
+def test_worst_coded_throughput_is_rate_35():
+    """R=3/5 has the most information edges, hence the slowest iteration."""
+    rows = throughput_table()
+    worst = min(rows, key=lambda r: r["coded_throughput_mbps"])
+    assert worst["rate"] == "3/5"
+
+
+def test_throughput_scales_with_clock():
+    slow = model("1/2", clock_hz=135e6).throughput_bps(30)
+    fast = model("1/2", clock_hz=270e6).throughput_bps(30)
+    assert fast == pytest.approx(2 * slow)
+
+
+def test_fewer_iterations_more_throughput():
+    m = model("1/2")
+    assert m.throughput_bps(20) > m.throughput_bps(30)
+
+
+def test_max_iterations_at_requirement_consistent():
+    m = model("1/2")
+    it = m.max_iterations_at_requirement()
+    assert m.meets_requirement(it)
+    assert not m.meets_requirement(it + 1)
+
+
+def test_max_iterations_zero_when_impossible():
+    m = model("1/2", clock_hz=1e6)
+    assert m.max_iterations_at_requirement() == 0
+
+
+def test_coded_exceeds_info_throughput():
+    m = model("1/2")
+    assert m.coded_throughput_bps(30) > m.throughput_bps(30)
+
+
+def test_throughput_table_has_all_rates():
+    rows = throughput_table()
+    assert len(rows) == 11
+    assert all(r["cycles"] > 0 for r in rows)
+
+
+def test_zigzag_iteration_saving_enables_requirement():
+    """The paper's point: 30 iterations (zigzag) meet the requirement
+    comfortably where the conventional schedule's 40 erode the margin."""
+    m = model("3/5")
+    t30 = m.coded_throughput_bps(30)
+    t40 = m.coded_throughput_bps(40)
+    assert t30 >= REQUIRED_THROUGHPUT_BPS
+    assert t30 / t40 > 1.2

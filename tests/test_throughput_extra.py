@@ -1,0 +1,41 @@
+"""Extra coverage for repro.hw.throughput info-bit-based requirements."""
+
+import pytest
+
+from repro.codes.standard import get_profile
+from repro.hw.throughput import ThroughputModel
+
+
+def test_info_based_requirement_is_stricter():
+    """On information bits, only some rates clear 255 Mbit/s — the coded
+    stream is the standard's reference, but both views are exposed."""
+    m_low = ThroughputModel(get_profile("1/4"))
+    m_high = ThroughputModel(get_profile("9/10"))
+    assert not m_low.meets_requirement(30, coded=False)
+    assert m_high.meets_requirement(30, coded=False)
+
+
+def test_info_based_iteration_budget():
+    m = ThroughputModel(get_profile("9/10"))
+    info_budget = m.max_iterations_at_requirement(coded=False)
+    coded_budget = m.max_iterations_at_requirement(coded=True)
+    assert info_budget <= coded_budget
+    assert m.meets_requirement(info_budget, coded=False)
+
+
+def test_custom_requirement_threshold():
+    m = ThroughputModel(get_profile("1/2"))
+    assert m.meets_requirement(30, requirement_bps=100e6)
+    assert not m.meets_requirement(30, requirement_bps=1e9)
+
+
+def test_latency_raises_cycle_count():
+    short = ThroughputModel(get_profile("1/2"), latency_cycles=0)
+    long = ThroughputModel(get_profile("1/2"), latency_cycles=50)
+    assert long.cycles_per_block(30) == short.cycles_per_block(30) + 1500
+
+
+def test_io_parallelism_scales_io_cycles():
+    slow = ThroughputModel(get_profile("1/2"), io_parallelism=5)
+    fast = ThroughputModel(get_profile("1/2"), io_parallelism=10)
+    assert slow.io_cycles() == 2 * fast.io_cycles()

@@ -1,0 +1,87 @@
+"""Tests for repro.core.vectors — golden test-vector delivery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.vectors import (
+    VectorSet,
+    generate_vectors,
+    load_vectors,
+    replay_vectors,
+)
+
+
+@pytest.fixture(scope="module")
+def vector_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("vectors") / "golden.vec"
+    generated = generate_vectors(
+        path, rate="1/2", parallelism=12, n_frames=3, iterations=8,
+        seed=4,
+    )
+    return path, generated
+
+
+def test_generation_shapes(vector_file):
+    path, generated = vector_file
+    assert generated.n_frames == 3
+    for stim, exp in zip(generated.stimuli, generated.expected):
+        assert stim.size == exp.size == 2160
+
+
+def test_file_roundtrip(vector_file):
+    path, generated = vector_file
+    loaded = load_vectors(path)
+    assert loaded.header["rate"] == "1/2"
+    assert loaded.n_frames == generated.n_frames
+    for a, b in zip(loaded.stimuli, generated.stimuli):
+        assert np.array_equal(a, b)
+    for a, b in zip(loaded.expected, generated.expected):
+        assert np.array_equal(a, b)
+
+
+def test_replay_matches(vector_file):
+    path, _ = vector_file
+    assert replay_vectors(path) == 3
+
+
+def test_replay_detects_tampering(vector_file, tmp_path):
+    path, _ = vector_file
+    lines = path.read_text().strip().splitlines()
+    record = json.loads(lines[1])
+    # flip one expected bit
+    raw = bytearray(bytes.fromhex(record["expected_hex"]))
+    raw[0] ^= 0x80
+    record["expected_hex"] = raw.hex()
+    lines[1] = json.dumps(record)
+    tampered = tmp_path / "tampered.vec"
+    tampered.write_text("\n".join(lines) + "\n")
+    with pytest.raises(AssertionError, match="vector 0"):
+        replay_vectors(tampered)
+
+
+def test_load_rejects_bad_version(tmp_path):
+    bad = tmp_path / "bad.vec"
+    bad.write_text(json.dumps({"format_version": 99}) + "\n")
+    with pytest.raises(ValueError, match="unsupported vector format"):
+        load_vectors(bad)
+
+
+def test_load_rejects_empty(tmp_path):
+    empty = tmp_path / "empty.vec"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_vectors(empty)
+
+
+def test_vectors_are_deterministic(tmp_path):
+    a = generate_vectors(tmp_path / "a.vec", parallelism=12,
+                         n_frames=2, seed=9)
+    b = generate_vectors(tmp_path / "b.vec", parallelism=12,
+                         n_frames=2, seed=9)
+    for x, y in zip(a.stimuli, b.stimuli):
+        assert np.array_equal(x, y)
+    assert (tmp_path / "a.vec").read_text() == (
+        tmp_path / "b.vec"
+    ).read_text()

@@ -1,0 +1,79 @@
+"""Tests for repro.hw.verification and repro.sim.plot."""
+
+import numpy as np
+import pytest
+
+from repro.hw.verification import VerificationReport, verify_core
+from repro.sim.plot import ascii_ber_plot
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+def test_verify_core_passes(code_half_tiny):
+    report = verify_core(code_half_tiny, n_frames=3, seed=2)
+    assert report.passed
+    assert report.frames == 3
+    assert report.mismatches == 0
+    assert report.max_posterior_delta == 0.0
+
+
+def test_verify_report_fail_semantics():
+    report = VerificationReport(
+        frames=5, mismatches=1, max_posterior_delta=0.5,
+        mismatch_indices=[3],
+    )
+    assert not report.passed
+
+
+def test_verify_cli(capsys, code_half_tiny):
+    from repro.cli import main
+
+    code = main(
+        ["verify", "--rate", "1/2", "--parallelism", "12",
+         "--frames", "2"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+
+
+# ----------------------------------------------------------------------
+# ASCII plot
+# ----------------------------------------------------------------------
+def sample_series():
+    return {
+        "a": [(0.0, 1e-1), (1.0, 1e-3), (2.0, 1e-6)],
+        "b": [(0.0, 2e-1), (1.0, 1e-2), (2.0, 1e-4)],
+    }
+
+
+def test_plot_contains_marks_and_legend():
+    out = ascii_ber_plot(sample_series(), width=40, height=12)
+    assert "o" in out and "x" in out
+    assert "o=a" in out and "x=b" in out
+    assert "Eb/N0" in out
+
+
+def test_plot_has_requested_dimensions():
+    out = ascii_ber_plot(sample_series(), width=40, height=12)
+    plot_rows = [l for l in out.splitlines() if "|" in l]
+    assert len(plot_rows) == 12
+
+
+def test_plot_handles_zero_ber():
+    series = {"a": [(0.0, 1e-2), (1.0, 0.0)]}
+    out = ascii_ber_plot(series)
+    assert "o" in out  # clamped to the floor, still plotted
+
+
+def test_plot_validates_input():
+    with pytest.raises(ValueError, match="at least one series"):
+        ascii_ber_plot({})
+    with pytest.raises(ValueError, match="no points"):
+        ascii_ber_plot({"a": []})
+
+
+def test_plot_single_x_value():
+    out = ascii_ber_plot({"a": [(1.0, 1e-3)]})
+    assert "o" in out
