@@ -43,3 +43,22 @@ def print_banner(title: str) -> None:
     print("=" * 72)
 
 
+def save_bench_json(name: str, payload: dict) -> str:
+    """Persist a benchmark's headline numbers to ``BENCH_<name>.json``.
+
+    The file lands next to this directory's modules so successive runs
+    can be diffed; returns the path written.
+    """
+    import json
+    import os
+
+    path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        f"BENCH_{name}.json",
+    )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+

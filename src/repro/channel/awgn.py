@@ -75,7 +75,12 @@ class AwgnChannel:
         return 2.0 / (self.sigma * self.sigma)
 
     def transmit(self, bits: np.ndarray) -> np.ndarray:
-        """Modulate bits, add noise, and return received symbols."""
+        """Modulate bits, add noise, and return received symbols.
+
+        Accepts a single frame ``(n,)`` or a batch ``(frames, n)``; the
+        noise stream is consumed row by row, so a batched call is
+        stream-identical to the equivalent sequence of per-frame calls.
+        """
         symbols = bpsk_modulate(bits)
         return symbols + self._rng.normal(0.0, self.sigma, size=symbols.shape)
 
@@ -83,14 +88,21 @@ class AwgnChannel:
         """Transmit bits and return the exact channel LLRs ``2 y / sigma^2``."""
         return self.llr_scale * self.transmit(bits)
 
-    def llrs_all_zero(self, n: int) -> np.ndarray:
+    def llrs_all_zero(
+        self, n: int, size: Optional[int] = None
+    ) -> np.ndarray:
         """LLRs for the all-zero codeword without materializing the bits.
 
         Valid for linear codes with symmetric decoders: the BER of the
         all-zero word equals the average BER, the standard Monte-Carlo
         shortcut.
+
+        With ``size`` given, returns a ``(size, n)`` batch drawn in one
+        RNG call; the stream is identical to ``size`` sequential calls,
+        so batched and per-frame simulations see the same noise.
         """
-        received = 1.0 + self._rng.normal(0.0, self.sigma, size=n)
+        shape = n if size is None else (size, n)
+        received = 1.0 + self._rng.normal(0.0, self.sigma, size=shape)
         return self.llr_scale * received
 
     def reseed(self, seed: int) -> None:

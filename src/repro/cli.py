@@ -58,19 +58,38 @@ def _cmd_thresholds(args: argparse.Namespace) -> int:
 
 def _cmd_ber(args: argparse.Namespace) -> int:
     from .codes import build_code, build_small_code
-    from .sim import fast_ber
+    from .sim import fast_ber, parallel_ber
 
     if args.parallelism == 360:
         code = build_code(args.rate)
     else:
         code = build_small_code(args.rate, parallelism=args.parallelism)
-    result = fast_ber(
-        code,
-        ebn0_db=args.ebn0,
-        frames=args.frames,
-        max_iterations=args.iterations,
-        seed=args.seed,
+    adaptive = (
+        args.target_frame_errors is not None
+        or args.ci_halfwidth is not None
     )
+    telemetry = None
+    if args.workers != 1 or adaptive or args.schedule != "flooding":
+        run = parallel_ber(
+            code,
+            args.ebn0,
+            max_frames=args.frames,
+            workers=args.workers,
+            target_frame_errors=args.target_frame_errors,
+            ci_halfwidth=args.ci_halfwidth,
+            max_iterations=args.iterations,
+            schedule=args.schedule,
+            seed=args.seed,
+        )
+        result, telemetry = run.result, run.telemetry
+    else:
+        result = fast_ber(
+            code,
+            ebn0_db=args.ebn0,
+            frames=args.frames,
+            max_iterations=args.iterations,
+            seed=args.seed,
+        )
     lo, hi = result.ber_estimate.interval
     print(f"rate {args.rate} (P={args.parallelism}, n={code.n}) "
           f"at Eb/N0 = {args.ebn0} dB:")
@@ -79,6 +98,13 @@ def _cmd_ber(args: argparse.Namespace) -> int:
           f"[{lo:.2e}, {hi:.2e}] (95% Wilson)")
     print(f"  FER             : {result.fer:.3e}")
     print(f"  avg iterations  : {result.avg_iterations:.1f}")
+    if result.non_converged_frames:
+        print(f"  non-converged   : {result.non_converged_frames}"
+              f"/{result.frames} (at full iteration budget)")
+    if telemetry is not None:
+        print(f"  workers         : {telemetry.workers}")
+        print(f"  throughput      : {telemetry.frames_per_sec:.1f} "
+              f"frames/s ({telemetry.info_mbps:.3f} info Mbit/s)")
     return 0
 
 
@@ -194,10 +220,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ber", help="Monte-Carlo BER measurement")
     p.add_argument("--rate", default="1/2")
     p.add_argument("--ebn0", type=float, default=2.0)
-    p.add_argument("--frames", type=int, default=50)
+    p.add_argument("--frames", type=int, default=50,
+                   help="frame budget (upper bound with adaptive stops)")
     p.add_argument("--iterations", type=int, default=30)
     p.add_argument("--parallelism", type=int, default=36)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the parallel engine "
+                        "(results are identical for any count)")
+    p.add_argument("--target-frame-errors", type=int, default=None,
+                   help="stop once this many frame errors are merged")
+    p.add_argument("--ci-halfwidth", type=float, default=None,
+                   help="stop once the 95%% Wilson FER interval "
+                        "half-width drops below this")
+    p.add_argument("--schedule", choices=("flooding", "zigzag"),
+                   default="flooding",
+                   help="batched decoder schedule")
     p.set_defaults(func=_cmd_ber)
 
     p = sub.add_parser("anneal", help="optimize the RAM addressing")

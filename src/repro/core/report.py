@@ -27,6 +27,46 @@ def format_table(
     return "\n".join(lines)
 
 
+def ber_report(result, telemetry=None) -> str:
+    """Human-readable summary of one Monte-Carlo measurement.
+
+    Surfaces the converged/total frame split explicitly: the mean
+    iteration count includes non-converged frames at their full budget,
+    so it is labelled as such whenever any frame failed to converge.
+    """
+    lines = [
+        f"Eb/N0           : {result.ebn0_db:.2f} dB",
+        f"frames          : {result.frames}",
+        f"converged       : {result.converged_frames}/{result.frames}"
+        f" ({100.0 * result.convergence_rate:.1f}%)",
+        f"bit errors      : {result.bit_errors}",
+        f"frame errors    : {result.frame_errors}",
+        f"BER             : {result.ber:.3e}",
+        f"FER             : {result.fer:.3e}",
+    ]
+    if result.non_converged_frames:
+        lines.append(
+            f"avg iterations  : {result.avg_iterations:.2f}"
+            f" (includes {result.non_converged_frames} non-converged"
+            " frames at full budget)"
+        )
+    else:
+        lines.append(
+            f"avg iterations  : {result.avg_iterations:.2f}"
+        )
+    if telemetry is not None:
+        lines.extend(
+            [
+                f"workers         : {telemetry.workers}",
+                f"throughput      : {telemetry.frames_per_sec:.1f}"
+                f" frames/s, {telemetry.info_mbps:.3f} info Mbit/s",
+                f"shards          : {telemetry.shards_merged} merged,"
+                f" {telemetry.shards_discarded} discarded",
+            ]
+        )
+    return "\n".join(lines)
+
+
 def table1_report() -> str:
     """Regenerate paper Table 1 (Tanner-graph parameters per rate)."""
     rows = []

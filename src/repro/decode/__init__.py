@@ -1,7 +1,7 @@
 """LDPC decoders: two-phase BP, min-sum variants, zigzag schedule,
 fixed-point implementations."""
 
-from .batch import BatchDecodeResult, BatchMinSumDecoder
+from .batch import BatchDecodeResult, BatchMinSumDecoder, BatchZigzagDecoder
 from .bp import BeliefPropagationDecoder
 from .hard import BitFlippingDecoder, GallagerBDecoder
 from .layered import LayeredMinSumDecoder, sequential_block_layers
@@ -17,6 +17,7 @@ from .zigzag import ZigzagDecoder
 __all__ = [
     "BatchDecodeResult",
     "BatchMinSumDecoder",
+    "BatchZigzagDecoder",
     "BeliefPropagationDecoder",
     "BitFlippingDecoder",
     "DecodeResult",

@@ -3,18 +3,43 @@
 Monte-Carlo BER runs dominate LDPC evaluation time; decoding a batch of
 frames as one ``(frames, edges)`` matrix amortizes every index
 computation and typically buys a 5–10x simulation speedup.  Results are
-bit-identical to the single-frame two-phase min-sum decoder (asserted in
-the tests): converged frames are frozen while the rest keep iterating.
+bit-identical to the single-frame decoders (asserted in the tests):
+converged frames are frozen while the rest keep iterating.
+
+Two schedules are available:
+
+* :class:`BatchMinSumDecoder` — two-phase (flooding) normalized min-sum,
+* :class:`BatchZigzagDecoder` — the paper's Section 2.2 zigzag schedule,
+  which converges in fewer iterations (~30 vs ~40) and whose check-node
+  phase works on a dense ``(frames, n_parity, k-2)`` view instead of
+  ragged edge segments, making it the fastest software path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..codes.construction import LdpcCode
+from .messages import phi
+from .zigzag import DEFAULT_MAX_ITERATIONS, _NEUTRAL_MAG
+
+
+def _batch_syndromes_ok(
+    bits: np.ndarray,
+    edge_vn_sorted: np.ndarray,
+    cn_starts: np.ndarray,
+) -> np.ndarray:
+    """Per-frame all-checks-satisfied flag for a ``(frames, n)`` batch.
+
+    The reduction stays in uint8 — check degrees are far below 256, so
+    the per-check popcount cannot wrap.
+    """
+    edge_bits = bits[:, edge_vn_sorted]
+    parities = np.add.reduceat(edge_bits, cn_starts, axis=1) & 1
+    return ~parities.any(axis=1)
 
 
 @dataclass
@@ -117,11 +142,9 @@ class BatchMinSumDecoder:
     # ------------------------------------------------------------------
     def _syndromes_ok(self, bits: np.ndarray) -> np.ndarray:
         """Per-frame all-checks-satisfied flag, vectorized."""
-        edge_bits = bits[:, self._edge_vn_sorted].astype(np.int64)
-        parities = (
-            np.add.reduceat(edge_bits, self._cn_starts, axis=1) & 1
+        return _batch_syndromes_ok(
+            bits, self._edge_vn_sorted, self._cn_starts
         )
-        return ~parities.any(axis=1)
 
     def _check_phase(self, v2c: np.ndarray) -> np.ndarray:
         frames, n_edges = v2c.shape
@@ -152,3 +175,345 @@ class BatchMinSumDecoder:
         result = np.empty_like(v2c)
         result[:, self._cn_order] = result_sorted
         return result
+
+
+class BatchZigzagDecoder:
+    """Vectorized zigzag-schedule decoder over a frame batch.
+
+    Bit-identical per frame to the single-frame
+    :class:`~repro.decode.zigzag.ZigzagDecoder` with the same kernel and
+    ``segments`` (asserted in the tests).  The information-edge check
+    phase reshapes into a dense ``(frames, n_parity, k-2)`` array — every
+    check has exactly ``k-2`` information edges — and the forward chain
+    scan runs sequentially over the ``q`` check nodes of a segment while
+    vectorizing across ``frames × segments``.
+
+    Parameters mirror :class:`~repro.decode.zigzag.ZigzagDecoder`;
+    ``segments`` defaults to ``code.profile.parallelism`` (the IP core's
+    schedule, and the shape that vectorizes best).
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        cn_kernel: str = "minsum",
+        normalization: float = 1.0,
+        offset: float = 0.0,
+        segments: Optional[int] = None,
+    ) -> None:
+        if cn_kernel not in ("tanh", "minsum"):
+            raise ValueError("cn_kernel must be 'tanh' or 'minsum'")
+        if segments is None:
+            segments = code.profile.parallelism
+        n_parity = code.n_parity
+        if segments < 1 or n_parity % segments != 0:
+            raise ValueError(
+                f"segments={segments} must divide n_parity={n_parity}"
+            )
+        self.code = code
+        self.cn_kernel = cn_kernel
+        self.normalization = normalization
+        self.offset = offset
+        self.segments = segments
+        graph = code.graph
+        sl = code.information_edge_slice()
+        in_vn = graph.edge_vn[sl]
+        in_cn = graph.edge_cn[sl]
+        self._e_in = code.e_in
+        self._n_parity = n_parity
+        self._k = code.k
+        self._width = code.profile.check_degree - 2
+        # Messages are stored CN-sorted throughout: each check's k-2
+        # information edges are contiguous, so the check phase is a plain
+        # reshape and no per-iteration permutation is needed.
+        cn_sort = np.argsort(in_cn, kind="stable")
+        cn_unsort = np.empty_like(cn_sort)
+        cn_unsort[cn_sort] = np.arange(self._e_in)
+        self._in_vn_sorted = in_vn[cn_sort]
+        # Gather pattern reproducing the canonical VN-major edge order
+        # from the CN-sorted storage (keeps reduceat sums bit-identical
+        # to the single-frame decoder's).
+        self._vn_gather = cn_unsort[graph.vn_order[: self._e_in]]
+        self._vn_starts = graph.vn_ptr[: self._k]
+        self._seg_len = n_parity // segments
+        self._cn_starts_all = graph.cn_ptr[:-1]
+        self._edge_vn_sorted = graph.edge_vn[graph.cn_order]
+
+    # ------------------------------------------------------------------
+    def decode_batch(
+        self,
+        channel_llrs: np.ndarray,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        early_stop: bool = True,
+    ) -> BatchDecodeResult:
+        """Decode a ``(frames, N)`` batch of channel LLRs."""
+        llrs = np.asarray(channel_llrs, dtype=np.float64)
+        if llrs.ndim != 2 or llrs.shape[1] != self.code.n:
+            raise ValueError(f"expected shape (frames, {self.code.n})")
+        frames = llrs.shape[0]
+        k, n_par, e_in = self._k, self._n_parity, self._e_in
+        ch_in = llrs[:, :k]
+        ch_pn = llrs[:, k:]
+
+        c2v = np.zeros((frames, e_in), dtype=np.float64)
+        # VN totals of the stored c2v messages, cached between iterations
+        # (the decision pass of iteration i computes exactly the totals
+        # the VN phase of iteration i+1 needs).
+        totals = np.zeros((frames, k), dtype=np.float64)
+        b_old = np.zeros((frames, n_par + 1), dtype=np.float64)
+        f_old = np.zeros((frames, n_par), dtype=np.float64)
+        bits = (llrs < 0).astype(np.uint8)
+        iterations = np.zeros(frames, dtype=np.int64)
+        converged = (
+            self._syndromes_ok(bits)
+            if early_stop
+            else np.zeros(frames, dtype=bool)
+        )
+        active = ~converged
+        for _ in range(max_iterations):
+            if not active.any():
+                break
+            all_active = bool(active.all())
+            if all_active:
+                idx = slice(None)
+                sub_c2v = c2v
+                sub_ch_in, sub_ch_pn = ch_in, ch_pn
+                sub_totals = totals
+                sub_b, sub_f = b_old, f_old
+                m = frames
+            else:
+                idx = np.nonzero(active)[0]
+                sub_c2v = c2v[idx]
+                sub_ch_in = ch_in[idx]
+                sub_ch_pn = ch_pn[idx]
+                sub_totals = totals[idx]
+                sub_b, sub_f = b_old[idx], f_old[idx]
+                m = idx.size
+            # VN phase (information nodes, Eq. 4)
+            in_posteriors = sub_ch_in + sub_totals
+            v2c = in_posteriors[:, self._in_vn_sorted] - sub_c2v
+            # CN phase with the zigzag schedule
+            sub_c2v, f_new, b_new, pn_posteriors = self._check_phase(
+                v2c, sub_ch_pn, sub_b, sub_f
+            )
+            iterations[idx] += 1
+            # decisions (and the next iteration's cached totals)
+            sub_totals = np.add.reduceat(
+                sub_c2v[:, self._vn_gather], self._vn_starts, axis=1
+            )
+            sub_bits = np.empty((m, k + n_par), dtype=np.uint8)
+            np.less(sub_ch_in + sub_totals, 0, out=sub_bits[:, :k])
+            np.less(pn_posteriors, 0, out=sub_bits[:, k:])
+            if all_active:
+                c2v, f_old, b_old = sub_c2v, f_new, b_new
+                totals, bits = sub_totals, sub_bits
+            else:
+                c2v[idx] = sub_c2v
+                f_old[idx] = f_new
+                b_old[idx] = b_new
+                totals[idx] = sub_totals
+                bits[idx] = sub_bits
+            if early_stop:
+                ok = self._syndromes_ok(sub_bits)
+                if all_active:
+                    converged = ok
+                else:
+                    converged[idx[ok]] = True
+                active = ~converged
+        return BatchDecodeResult(
+            bits=bits, converged=converged, iterations=iterations
+        )
+
+    # ------------------------------------------------------------------
+    def _syndromes_ok(self, bits: np.ndarray) -> np.ndarray:
+        return _batch_syndromes_ok(
+            bits, self._edge_vn_sorted, self._cn_starts_all
+        )
+
+    def _correct(self, mags: np.ndarray) -> np.ndarray:
+        # Inputs are magnitudes (>= 0), so the zero floor only matters
+        # when an offset is subtracted.
+        if self.offset:
+            return np.maximum(
+                self.normalization * mags - self.offset, 0.0
+            )
+        if self.normalization != 1.0:
+            return self.normalization * mags
+        return mags
+
+    def _check_phase(
+        self,
+        v2c: np.ndarray,
+        ch_pn: np.ndarray,
+        b_old: np.ndarray,
+        f_old: np.ndarray,
+    ) -> tuple:
+        """One batched zigzag check-node phase.
+
+        Same message definitions as the single-frame decoder's
+        ``_check_phase``, with a leading frames axis everywhere;
+        ``v2c`` arrives CN-sorted, so ``reshape`` exposes the dense
+        ``(frames, n_parity, k-2)`` check rows directly.  All sign
+        factors are exactly ±1.0, so reordering/in-placing the sign
+        multiplications keeps results bit-identical.
+        """
+        frames = v2c.shape[0]
+        n_par, width = self._n_parity, self._width
+
+        rows = v2c.reshape(frames, n_par, width)
+        neg = rows < 0
+        row_sign = np.where(neg, -1.0, 1.0)
+        parity = 1.0 - 2.0 * (neg.sum(axis=2) & 1)
+        mags = np.abs(rows)
+
+        c_in = ch_pn + b_old[:, 1 : n_par + 1]
+        c_sign = np.where(c_in < 0, -1.0, 1.0)
+        c_mag = np.abs(c_in)
+
+        if self.cn_kernel == "minsum":
+            argmin = mags.argmin(axis=2)
+            if width > 1:
+                part = np.partition(mags, 1, axis=2)
+                min1 = part[:, :, 0]
+                min2 = part[:, :, 1]
+            else:
+                min1 = mags[:, :, 0]
+                min2 = np.full((frames, n_par), np.inf)
+            f, a_vals = self._forward_scan_minsum(
+                min1, parity, ch_pn, f_old
+            )
+            a_sign = np.where(a_vals < 0, -1.0, 1.0)
+            a_mag = np.abs(a_vals)
+            b_mag = self._correct(np.minimum(min1, c_mag))
+            b = np.where(parity * c_sign < 0, -b_mag, b_mag)
+            out = np.broadcast_to(min1[:, :, None], rows.shape).copy()
+            np.put_along_axis(
+                out, argmin[:, :, None], min2[:, :, None], axis=2
+            )
+            chain_min = np.minimum(a_mag, c_mag)
+            np.minimum(out, chain_min[:, :, None], out=out)
+            if self.offset:
+                out *= self.normalization
+                out -= self.offset
+                np.maximum(out, 0.0, out=out)
+            elif self.normalization != 1.0:
+                out *= self.normalization
+            out *= row_sign
+            out *= (parity * a_sign * c_sign)[:, :, None]
+        else:  # tanh kernel in the phi domain
+            phis = phi(mags)
+            phi_sum = phis.sum(axis=2)
+            f, a_vals = self._forward_scan_tanh(
+                phi_sum, parity, ch_pn, f_old
+            )
+            a_sign = np.where(a_vals < 0, -1.0, 1.0)
+            a_phi = phi(np.abs(a_vals))
+            c_phi = phi(c_mag)
+            b_mag = phi(phi_sum + c_phi)
+            b = np.where(parity * c_sign < 0, -b_mag, b_mag)
+            chain_phi = a_phi + c_phi
+            out = phi(
+                phi_sum[:, :, None] - phis + chain_phi[:, :, None]
+            )
+            out *= row_sign
+            out *= (parity * a_sign * c_sign)[:, :, None]
+
+        c2v = out.reshape(frames, -1)
+
+        pn_posteriors = ch_pn + f
+        pn_posteriors[:, :-1] += b[:, 1:]
+
+        b_store = np.zeros((frames, n_par + 1), dtype=np.float64)
+        b_store[:, 1:n_par] = b[:, 1:]
+        return c2v, f, b_store, pn_posteriors
+
+    def _forward_scan_minsum(
+        self,
+        min1: np.ndarray,
+        parity: np.ndarray,
+        ch_pn: np.ndarray,
+        f_old: np.ndarray,
+    ) -> tuple:
+        """Sequential forward update, vectorized across frames × segments."""
+        frames = min1.shape[0]
+        seg, q = self.segments, self._seg_len
+        min1_s = min1.reshape(frames, seg, q)
+        parity_s = parity.reshape(frames, seg, q)
+        ch_s = ch_pn.reshape(frames, seg, q)
+        f = np.empty((frames, seg, q), dtype=np.float64)
+        a_used = np.empty((frames, seg, q), dtype=np.float64)
+        starts = np.arange(seg) * q
+        a = np.empty((frames, seg), dtype=np.float64)
+        a[:, 0] = _NEUTRAL_MAG
+        if seg > 1:
+            a[:, 1:] = (
+                ch_pn[:, starts[1:] - 1] + f_old[:, starts[1:] - 1]
+            )
+        for t in range(q):
+            a_used[:, :, t] = a
+            a_sign = np.where(a < 0, -1.0, 1.0)
+            mag = self._correct(np.minimum(min1_s[:, :, t], np.abs(a)))
+            f_t = parity_s[:, :, t] * a_sign * mag
+            f[:, :, t] = f_t
+            a = ch_s[:, :, t] + f_t
+        return f.reshape(frames, -1), a_used.reshape(frames, -1)
+
+    def _forward_scan_tanh(
+        self,
+        phi_sum: np.ndarray,
+        parity: np.ndarray,
+        ch_pn: np.ndarray,
+        f_old: np.ndarray,
+    ) -> tuple:
+        """Forward scan for the tanh kernel (phi-domain combine)."""
+        frames = phi_sum.shape[0]
+        seg, q = self.segments, self._seg_len
+        phi_s = phi_sum.reshape(frames, seg, q)
+        parity_s = parity.reshape(frames, seg, q)
+        ch_s = ch_pn.reshape(frames, seg, q)
+        f = np.empty((frames, seg, q), dtype=np.float64)
+        a_used = np.empty((frames, seg, q), dtype=np.float64)
+        starts = np.arange(seg) * q
+        a = np.full((frames, seg), _NEUTRAL_MAG)
+        if seg > 1:
+            a[:, 1:] = (
+                ch_pn[:, starts[1:] - 1] + f_old[:, starts[1:] - 1]
+            )
+        for t in range(q):
+            a_used[:, :, t] = a
+            a_sign = np.where(a < 0, -1.0, 1.0)
+            mag = phi(phi_s[:, :, t] + phi(np.abs(a)))
+            f_t = parity_s[:, :, t] * a_sign * mag
+            f[:, :, t] = f_t
+            a = ch_s[:, :, t] + f_t
+        return f.reshape(frames, -1), a_used.reshape(frames, -1)
+
+
+#: Batched decoding schedules available to the Monte-Carlo paths.
+BATCH_SCHEDULES = ("flooding", "zigzag")
+
+
+def make_batch_decoder(
+    code: LdpcCode,
+    schedule: str = "flooding",
+    normalization: float = 0.75,
+    segments: Optional[int] = None,
+):
+    """Build a batched decoder for a schedule name.
+
+    ``"flooding"`` gives the two-phase :class:`BatchMinSumDecoder`;
+    ``"zigzag"`` the paper-schedule :class:`BatchZigzagDecoder` (min-sum
+    kernel).  Both expose the same ``decode_batch`` interface.
+    """
+    if schedule == "flooding":
+        return BatchMinSumDecoder(code, normalization=normalization)
+    if schedule == "zigzag":
+        return BatchZigzagDecoder(
+            code,
+            "minsum",
+            normalization=normalization,
+            segments=segments,
+        )
+    raise ValueError(
+        f"unknown schedule {schedule!r}; expected one of {BATCH_SCHEDULES}"
+    )

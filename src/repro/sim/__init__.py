@@ -1,13 +1,20 @@
-"""Monte-Carlo BER/FER harness, sweeps, and statistics."""
+"""Monte-Carlo BER/FER harness, sweeps, parallel engine, and statistics."""
 
-from .ber import BerResult, BerSimulator, measure_ber
+from .ber import BerResult, BerSimulator, measure_ber, merge_ber_results
 from .fast import fast_ber
+from .parallel import (
+    ParallelBerRun,
+    ShardResult,
+    SimTelemetry,
+    parallel_ber,
+)
 from .stats import ErrorRateEstimate, wilson_interval
 from .sweep import (
     SweepPoint,
     find_waterfall_ebn0,
     iteration_sweep,
     iterations_to_reach_ber,
+    parallel_snr_sweep,
     snr_sweep,
 )
 
@@ -15,7 +22,13 @@ __all__ = [
     "BerResult",
     "BerSimulator",
     "ErrorRateEstimate",
+    "ParallelBerRun",
+    "ShardResult",
+    "SimTelemetry",
     "fast_ber",
+    "merge_ber_results",
+    "parallel_ber",
+    "parallel_snr_sweep",
     "SweepPoint",
     "find_waterfall_ebn0",
     "iteration_sweep",

@@ -37,18 +37,41 @@ class BerResult:
 
     @property
     def ber(self) -> float:
-        """Bit error rate."""
-        return self.bit_errors / max(1, self.total_bits)
+        """Bit error rate (NaN when no bits were measured)."""
+        if self.total_bits <= 0:
+            return float("nan")
+        return self.bit_errors / self.total_bits
 
     @property
     def fer(self) -> float:
-        """Frame error rate."""
-        return self.frame_errors / max(1, self.frames)
+        """Frame error rate (NaN when no frames were measured)."""
+        if self.frames <= 0:
+            return float("nan")
+        return self.frame_errors / self.frames
 
     @property
     def avg_iterations(self) -> float:
-        """Mean iterations per frame (early termination included)."""
-        return self.total_iterations / max(1, self.frames)
+        """Mean iterations per frame (early termination included).
+
+        Non-converged frames contribute their full iteration budget;
+        check :attr:`non_converged_frames` before quoting this as a
+        convergence speed.
+        """
+        if self.frames <= 0:
+            return float("nan")
+        return self.total_iterations / self.frames
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of frames that reached a zero syndrome."""
+        if self.frames <= 0:
+            return float("nan")
+        return self.converged_frames / self.frames
+
+    @property
+    def non_converged_frames(self) -> int:
+        """Frames that exhausted the iteration budget."""
+        return self.frames - self.converged_frames
 
     @property
     def ber_estimate(self) -> ErrorRateEstimate:
@@ -59,6 +82,34 @@ class BerResult:
     def fer_estimate(self) -> ErrorRateEstimate:
         """FER with confidence interval."""
         return ErrorRateEstimate(self.frame_errors, self.frames)
+
+    def merged(self, other: "BerResult") -> "BerResult":
+        """Pool two independent measurements of the same operating point."""
+        if self.ebn0_db != other.ebn0_db:
+            raise ValueError(
+                "cannot merge results from different Eb/N0 points "
+                f"({self.ebn0_db} vs {other.ebn0_db})"
+            )
+        return BerResult(
+            ebn0_db=self.ebn0_db,
+            frames=self.frames + other.frames,
+            bit_errors=self.bit_errors + other.bit_errors,
+            frame_errors=self.frame_errors + other.frame_errors,
+            total_bits=self.total_bits + other.total_bits,
+            total_iterations=self.total_iterations + other.total_iterations,
+            converged_frames=self.converged_frames + other.converged_frames,
+        )
+
+
+def merge_ber_results(results) -> BerResult:
+    """Merge an iterable of partial :class:`BerResult`\\ s into one."""
+    results = list(results)
+    if not results:
+        raise ValueError("nothing to merge")
+    merged = results[0]
+    for result in results[1:]:
+        merged = merged.merged(result)
+    return merged
 
 
 @dataclass

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..channel.awgn import AwgnChannel
 from ..codes.construction import LdpcCode
-from ..decode.batch import BatchMinSumDecoder
+from ..decode.batch import BatchMinSumDecoder, make_batch_decoder
 from .ber import BerResult
 
 
@@ -27,15 +27,20 @@ def fast_ber(
     seed: int = 0,
     batch_size: int = 32,
     decoder: Optional[BatchMinSumDecoder] = None,
+    schedule: str = "flooding",
 ) -> BerResult:
     """All-zero-codeword BER measurement with batched decoding.
 
     Parameters mirror :func:`repro.sim.ber.measure_ber`; information-bit
-    errors are counted (systematic prefix).
+    errors are counted (systematic prefix).  ``schedule="zigzag"``
+    switches to the batched zigzag decoder (paper §2.2 serial schedule),
+    which converges in roughly half the iterations per frame.
     """
     if frames < 1:
         raise ValueError("need at least one frame")
-    dec = decoder or BatchMinSumDecoder(code, normalization=normalization)
+    dec = decoder or make_batch_decoder(
+        code, schedule=schedule, normalization=normalization
+    )
     channel = AwgnChannel(
         ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed
     )
@@ -45,7 +50,7 @@ def fast_ber(
     done = 0
     while done < frames:
         size = min(batch_size, frames - done)
-        llrs = np.stack([channel.llrs_all_zero(n) for _ in range(size)])
+        llrs = channel.llrs_all_zero(n, size=size)
         result = dec.decode_batch(
             llrs, max_iterations=max_iterations, early_stop=True
         )

@@ -13,10 +13,15 @@ from .ber import BerResult, BerSimulator, DecoderLike
 
 @dataclass
 class SweepPoint:
-    """One point of a sweep: the varied value and its measurement."""
+    """One point of a sweep: the varied value and its measurement.
+
+    ``telemetry`` is populated by :func:`parallel_snr_sweep` (engine
+    throughput at that point) and ``None`` for the serial sweeps.
+    """
 
     value: float
     result: BerResult
+    telemetry: Optional[object] = None
 
 
 def snr_sweep(
@@ -40,6 +45,56 @@ def snr_sweep(
             target_frame_errors=target_frame_errors,
         )
         points.append(SweepPoint(value=float(ebn0), result=result))
+    return points
+
+
+def parallel_snr_sweep(
+    code: LdpcCode,
+    ebn0_points_db: Sequence[float],
+    max_frames: int = 256,
+    max_iterations: int = 30,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    shard_frames: Optional[int] = None,
+    target_frame_errors: Optional[int] = None,
+    ci_halfwidth: Optional[float] = None,
+    schedule: str = "zigzag",
+    normalization: float = 0.75,
+) -> List[SweepPoint]:
+    """Waterfall curve measured with the parallel Monte-Carlo engine.
+
+    Each Eb/N0 point runs through :func:`repro.sim.parallel.parallel_ber`
+    with a point-specific base seed derived from ``(seed, point index)``
+    via ``SeedSequence``, so the whole sweep is reproducible for any
+    worker count and each point's noise is independent.  Engine
+    telemetry is attached to each :class:`SweepPoint`.
+    """
+    from .parallel import DEFAULT_SHARD_FRAMES, parallel_ber
+
+    if shard_frames is None:
+        shard_frames = DEFAULT_SHARD_FRAMES
+    points = []
+    for index, ebn0 in enumerate(ebn0_points_db):
+        run = parallel_ber(
+            code,
+            float(ebn0),
+            max_frames=max_frames,
+            shard_frames=shard_frames,
+            workers=workers,
+            target_frame_errors=target_frame_errors,
+            ci_halfwidth=ci_halfwidth,
+            max_iterations=max_iterations,
+            schedule=schedule,
+            normalization=normalization,
+            seed=np.random.SeedSequence(entropy=(seed, index)),
+        )
+        points.append(
+            SweepPoint(
+                value=float(ebn0),
+                result=run.result,
+                telemetry=run.telemetry,
+            )
+        )
     return points
 
 

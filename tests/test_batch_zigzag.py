@@ -1,0 +1,118 @@
+"""Tests for the batched zigzag decoder (repro.decode.batch).
+
+The contract is strict bit-equivalence: for every frame of a batch,
+``BatchZigzagDecoder`` must produce exactly the bits, convergence flag
+and iteration count of the single-frame :class:`ZigzagDecoder` with the
+same kernel and segment count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel import AwgnChannel
+from repro.decode import BatchZigzagDecoder, ZigzagDecoder
+from repro.decode.batch import make_batch_decoder, BatchMinSumDecoder
+from repro.encode import IraEncoder
+
+
+@pytest.fixture(scope="module")
+def zz_setup(code_half):
+    enc = IraEncoder(code_half)
+    rng = np.random.default_rng(77)
+    channel = AwgnChannel(ebn0_db=1.6, rate=0.5, seed=77)
+    words = np.stack(
+        [enc.encode(rng.integers(0, 2, code_half.k, dtype=np.uint8))
+         for _ in range(6)]
+    )
+    llrs = np.stack([channel.llrs(w) for w in words])
+    return words, llrs
+
+
+def test_minsum_matches_single_frame(code_half, zz_setup):
+    """Bit-identical to the single-frame zigzag decoder (IP-core
+    segments=P, normalized min-sum kernel)."""
+    words, llrs = zz_setup
+    p = code_half.profile.parallelism
+    batch = BatchZigzagDecoder(
+        code_half, cn_kernel="minsum", normalization=0.75, segments=p
+    )
+    single = ZigzagDecoder(
+        code_half, cn_kernel="minsum", normalization=0.75, segments=p
+    )
+    result = batch.decode_batch(llrs, max_iterations=20)
+    for f in range(words.shape[0]):
+        ref = single.decode(llrs[f], max_iterations=20)
+        assert np.array_equal(result.bits[f], ref.bits)
+        assert result.converged[f] == ref.converged
+        assert result.iterations[f] == ref.iterations
+
+
+def test_tanh_kernel_matches_single_frame(code_half, zz_setup):
+    words, llrs = zz_setup
+    p = code_half.profile.parallelism
+    batch = BatchZigzagDecoder(code_half, cn_kernel="tanh", segments=p)
+    single = ZigzagDecoder(code_half, cn_kernel="tanh", segments=p)
+    result = batch.decode_batch(llrs[:3], max_iterations=10)
+    for f in range(3):
+        ref = single.decode(llrs[f], max_iterations=10)
+        assert np.array_equal(result.bits[f], ref.bits)
+        assert result.iterations[f] == ref.iterations
+
+
+def test_without_early_stop_runs_full_budget(code_half, zz_setup):
+    """Disabled early stop burns the whole budget and still matches the
+    single-frame decoder bit-for-bit."""
+    words, llrs = zz_setup
+    p = code_half.profile.parallelism
+    batch = BatchZigzagDecoder(code_half, normalization=0.75)
+    single = ZigzagDecoder(
+        code_half, cn_kernel="minsum", normalization=0.75, segments=p
+    )
+    result = batch.decode_batch(
+        llrs[:2], max_iterations=6, early_stop=False
+    )
+    assert (result.iterations == 6).all()
+    for f in range(2):
+        ref = single.decode(llrs[f], max_iterations=6, early_stop=False)
+        assert np.array_equal(result.bits[f], ref.bits)
+
+
+def test_default_segments_is_parallelism(code_half):
+    batch = BatchZigzagDecoder(code_half)
+    assert batch.segments == code_half.profile.parallelism
+
+
+def test_validation(code_half):
+    with pytest.raises(ValueError, match="kernel"):
+        BatchZigzagDecoder(code_half, cn_kernel="bogus")
+    with pytest.raises(ValueError, match="divide"):
+        BatchZigzagDecoder(code_half, segments=7)
+    batch = BatchZigzagDecoder(code_half)
+    with pytest.raises(ValueError, match="expected shape"):
+        batch.decode_batch(np.zeros(code_half.n))
+
+
+def test_hopeless_frame_does_not_disturb_others(code_half, zz_setup):
+    """A frame of random-sign LLRs must not change the decoding of the
+    good frames sharing its batch."""
+    words, llrs = zz_setup
+    batch = BatchZigzagDecoder(code_half, normalization=0.75)
+    alone = batch.decode_batch(llrs[:3], max_iterations=15)
+    rng = np.random.default_rng(3)
+    mixed = np.concatenate(
+        [llrs[:3], rng.normal(0.0, 4.0, (1, code_half.n))]
+    )
+    together = batch.decode_batch(mixed, max_iterations=15)
+    assert np.array_equal(together.bits[:3], alone.bits)
+    assert np.array_equal(together.iterations[:3], alone.iterations)
+
+
+def test_make_batch_decoder_factory(code_half):
+    assert isinstance(
+        make_batch_decoder(code_half, schedule="flooding"),
+        BatchMinSumDecoder,
+    )
+    zz = make_batch_decoder(code_half, schedule="zigzag")
+    assert isinstance(zz, BatchZigzagDecoder)
+    with pytest.raises(ValueError, match="schedule"):
+        make_batch_decoder(code_half, schedule="layered")

@@ -45,13 +45,16 @@ def test_encoded_path_uses_distinct_frames(code_half, decoder):
 
 
 def test_ber_result_properties_empty_guard():
+    """Zero-frame results report NaN, not a silent (and wrong) 0.0."""
+    import numpy as np
+
     empty = BerResult(
         ebn0_db=1.0, frames=0, bit_errors=0, frame_errors=0,
         total_bits=0, total_iterations=0, converged_frames=0,
     )
-    assert empty.ber == 0.0
-    assert empty.fer == 0.0
-    assert empty.avg_iterations == 0.0
+    assert np.isnan(empty.ber)
+    assert np.isnan(empty.fer)
+    assert np.isnan(empty.avg_iterations)
 
 
 def test_estimates_expose_confidence(code_half, decoder):

@@ -57,3 +57,30 @@ def test_fast_ber_accepts_prebuilt_decoder(code_half):
 def test_fast_ber_validates_frames(code_half):
     with pytest.raises(ValueError, match="at least one"):
         fast_ber(code_half, ebn0_db=1.0, frames=0)
+
+
+def test_fast_ber_zigzag_schedule_matches_single_frame_harness(code_half):
+    """schedule="zigzag" routes through the batched zigzag decoder and
+    stays bit-equivalent to the single-frame zigzag harness on the same
+    noise stream."""
+    from repro.decode import ZigzagDecoder
+    from repro.sim import measure_ber
+
+    p = code_half.profile.parallelism
+    generic = measure_ber(
+        code_half,
+        ZigzagDecoder(
+            code_half, "minsum", normalization=0.75, segments=p
+        ),
+        ebn0_db=1.6,
+        max_frames=6,
+        max_iterations=25,
+        seed=3,
+    )
+    fast = fast_ber(
+        code_half, ebn0_db=1.6, frames=6, max_iterations=25, seed=3,
+        schedule="zigzag",
+    )
+    assert fast.bit_errors == generic.bit_errors
+    assert fast.frame_errors == generic.frame_errors
+    assert fast.total_iterations == generic.total_iterations

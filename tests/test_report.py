@@ -70,3 +70,32 @@ def test_exit_threshold_report():
     out = exit_threshold_report()
     assert "EXIT thr" in out
     assert "9/10" in out
+
+
+def test_ber_report_labels_non_converged_frames():
+    from repro.core.report import ber_report
+    from repro.sim import BerResult, SimTelemetry
+
+    result = BerResult(
+        ebn0_db=1.5, frames=40, bit_errors=120, frame_errors=9,
+        total_bits=40000, total_iterations=800, converged_frames=31,
+    )
+    out = ber_report(result)
+    assert "converged       : 31/40" in out
+    assert "includes 9 non-converged" in out
+
+    clean = BerResult(
+        ebn0_db=2.5, frames=40, bit_errors=0, frame_errors=0,
+        total_bits=40000, total_iterations=200, converged_frames=40,
+    )
+    out = ber_report(clean)
+    assert "non-converged" not in out
+
+    telemetry = SimTelemetry(
+        workers=2, frames=40, info_bits_per_frame=1000,
+        coded_bits_per_frame=2000, elapsed_s=2.0,
+        shard_wall_s=[1.0, 0.9], shards_merged=2,
+    )
+    out = ber_report(result, telemetry)
+    assert "workers         : 2" in out
+    assert "frames/s" in out
