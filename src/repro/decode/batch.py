@@ -42,6 +42,17 @@ def _batch_syndromes_ok(
     return ~parities.any(axis=1)
 
 
+def _batch_unsatisfied_counts(
+    bits: np.ndarray,
+    edge_vn_sorted: np.ndarray,
+    cn_starts: np.ndarray,
+) -> np.ndarray:
+    """Per-frame count of unsatisfied checks (iteration-trace observable)."""
+    edge_bits = bits[:, edge_vn_sorted]
+    parities = np.add.reduceat(edge_bits, cn_starts, axis=1) & 1
+    return parities.sum(axis=1, dtype=np.int64)
+
+
 @dataclass
 class BatchDecodeResult:
     """Outcome of decoding a batch of frames."""
@@ -91,8 +102,14 @@ class BatchMinSumDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = 30,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> BatchDecodeResult:
-        """Decode a ``(frames, N)`` batch of channel LLRs."""
+        """Decode a ``(frames, N)`` batch of channel LLRs.
+
+        ``iteration_trace`` is an optional per-iteration hook (see
+        :mod:`repro.obs.iteration`); it observes but never alters the
+        decoding (results are bit-identical with tracing on or off).
+        """
         graph = self.code.graph
         llrs = np.asarray(channel_llrs, dtype=np.float64)
         if llrs.ndim != 2 or llrs.shape[1] != graph.n_vns:
@@ -103,13 +120,22 @@ class BatchMinSumDecoder:
         c2v = np.zeros((frames, graph.n_edges), dtype=np.float64)
         bits = (llrs < 0).astype(np.uint8)
         iterations = np.zeros(frames, dtype=np.int64)
+        if iteration_trace is not None:
+            iteration_trace.record_batch(
+                type(self).__name__,
+                0,
+                np.arange(frames),
+                self._unsatisfied_counts(bits),
+                np.abs(llrs).mean(axis=1),
+                np.zeros(frames, dtype=np.int64),
+            )
         converged = (
             self._syndromes_ok(bits)
             if early_stop
             else np.zeros(frames, dtype=bool)
         )
         active = ~converged
-        for _ in range(max_iterations):
+        for it in range(1, max_iterations + 1):
             if not active.any():
                 break
             idx = np.nonzero(active)[0]
@@ -130,6 +156,15 @@ class BatchMinSumDecoder:
             )
             posteriors = sub_llrs + totals
             sub_bits = (posteriors < 0).astype(np.uint8)
+            if iteration_trace is not None:
+                iteration_trace.record_batch(
+                    type(self).__name__,
+                    it,
+                    idx,
+                    self._unsatisfied_counts(sub_bits),
+                    np.abs(posteriors).mean(axis=1),
+                    np.count_nonzero(sub_bits != bits[idx], axis=1),
+                )
             bits[idx] = sub_bits
             if early_stop:
                 ok = self._syndromes_ok(sub_bits)
@@ -143,6 +178,12 @@ class BatchMinSumDecoder:
     def _syndromes_ok(self, bits: np.ndarray) -> np.ndarray:
         """Per-frame all-checks-satisfied flag, vectorized."""
         return _batch_syndromes_ok(
+            bits, self._edge_vn_sorted, self._cn_starts
+        )
+
+    def _unsatisfied_counts(self, bits: np.ndarray) -> np.ndarray:
+        """Per-frame unsatisfied-check counts (trace observable)."""
+        return _batch_unsatisfied_counts(
             bits, self._edge_vn_sorted, self._cn_starts
         )
 
@@ -245,8 +286,14 @@ class BatchZigzagDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> BatchDecodeResult:
-        """Decode a ``(frames, N)`` batch of channel LLRs."""
+        """Decode a ``(frames, N)`` batch of channel LLRs.
+
+        ``iteration_trace`` is an optional per-iteration hook (see
+        :mod:`repro.obs.iteration`); it observes but never alters the
+        decoding (results are bit-identical with tracing on or off).
+        """
         llrs = np.asarray(channel_llrs, dtype=np.float64)
         if llrs.ndim != 2 or llrs.shape[1] != self.code.n:
             raise ValueError(f"expected shape (frames, {self.code.n})")
@@ -264,13 +311,22 @@ class BatchZigzagDecoder:
         f_old = np.zeros((frames, n_par), dtype=np.float64)
         bits = (llrs < 0).astype(np.uint8)
         iterations = np.zeros(frames, dtype=np.int64)
+        if iteration_trace is not None:
+            iteration_trace.record_batch(
+                type(self).__name__,
+                0,
+                np.arange(frames),
+                self._unsatisfied_counts(bits),
+                np.abs(llrs).mean(axis=1),
+                np.zeros(frames, dtype=np.int64),
+            )
         converged = (
             self._syndromes_ok(bits)
             if early_stop
             else np.zeros(frames, dtype=bool)
         )
         active = ~converged
-        for _ in range(max_iterations):
+        for it in range(1, max_iterations + 1):
             if not active.any():
                 break
             all_active = bool(active.all())
@@ -304,6 +360,20 @@ class BatchZigzagDecoder:
             sub_bits = np.empty((m, k + n_par), dtype=np.uint8)
             np.less(sub_ch_in + sub_totals, 0, out=sub_bits[:, :k])
             np.less(pn_posteriors, 0, out=sub_bits[:, k:])
+            if iteration_trace is not None:
+                prev_bits = bits if all_active else bits[idx]
+                mean_abs = (
+                    np.abs(sub_ch_in + sub_totals).sum(axis=1)
+                    + np.abs(pn_posteriors).sum(axis=1)
+                ) / (k + n_par)
+                iteration_trace.record_batch(
+                    type(self).__name__,
+                    it,
+                    np.arange(frames) if all_active else idx,
+                    self._unsatisfied_counts(sub_bits),
+                    mean_abs,
+                    np.count_nonzero(sub_bits != prev_bits, axis=1),
+                )
             if all_active:
                 c2v, f_old, b_old = sub_c2v, f_new, b_new
                 totals, bits = sub_totals, sub_bits
@@ -327,6 +397,12 @@ class BatchZigzagDecoder:
     # ------------------------------------------------------------------
     def _syndromes_ok(self, bits: np.ndarray) -> np.ndarray:
         return _batch_syndromes_ok(
+            bits, self._edge_vn_sorted, self._cn_starts_all
+        )
+
+    def _unsatisfied_counts(self, bits: np.ndarray) -> np.ndarray:
+        """Per-frame unsatisfied-check counts (trace observable)."""
+        return _batch_unsatisfied_counts(
             bits, self._edge_vn_sorted, self._cn_starts_all
         )
 

@@ -40,6 +40,10 @@ class BeliefPropagationDecoder:
         ``"minsum"`` for the hardware-friendly approximation.
     normalization, offset:
         Min-sum correction parameters (ignored by the tanh kernel).
+    iteration_trace:
+        Optional :class:`~repro.obs.iteration.IterationTrace` hook
+        called once per iteration with unsatisfied-check count, mean
+        ``|LLR|`` and sign-flip count (read-only; results unchanged).
     """
 
     def __init__(
@@ -49,6 +53,7 @@ class BeliefPropagationDecoder:
         normalization: float = 1.0,
         offset: float = 0.0,
         record_trace: bool = False,
+        iteration_trace=None,
     ) -> None:
         if cn_kernel not in ("tanh", "minsum"):
             raise ValueError("cn_kernel must be 'tanh' or 'minsum'")
@@ -57,6 +62,7 @@ class BeliefPropagationDecoder:
         self.normalization = normalization
         self.offset = offset
         self.record_trace = record_trace
+        self.iteration_trace = iteration_trace
         graph = code.graph
         self._vn_order = graph.vn_order
         self._vn_ptr = graph.vn_ptr
@@ -71,6 +77,7 @@ class BeliefPropagationDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> DecodeResult:
         """Decode one frame of channel LLRs.
 
@@ -83,6 +90,8 @@ class BeliefPropagationDecoder:
         early_stop:
             Stop as soon as the hard decision satisfies all checks, which
             is what the decoder hardware's syndrome check does.
+        iteration_trace:
+            Per-call override of the constructor's iteration hook.
         """
         channel_llrs = np.asarray(channel_llrs, dtype=np.float64)
         graph = self.code.graph
@@ -90,6 +99,11 @@ class BeliefPropagationDecoder:
             raise ValueError(
                 f"expected {graph.n_vns} LLRs, got {channel_llrs.shape}"
             )
+        hook = (
+            iteration_trace
+            if iteration_trace is not None
+            else self.iteration_trace
+        )
         c2v = np.zeros(graph.n_edges, dtype=np.float64)
         posteriors = channel_llrs.copy()
         bits = (posteriors < 0).astype(np.uint8)
@@ -97,6 +111,15 @@ class BeliefPropagationDecoder:
         trace = []
         if self.record_trace:
             trace.append(int(syndrome(graph, bits).sum()))
+        if hook is not None:
+            prev_bits = bits
+            hook.record(
+                type(self).__name__,
+                0,
+                int(syndrome(graph, bits).sum()),
+                float(np.abs(posteriors).mean()),
+                0,
+            )
         converged = early_stop and not syndrome(graph, bits).any()
         while not converged and iterations < max_iterations:
             v2c, posteriors = variable_node_update(
@@ -115,6 +138,15 @@ class BeliefPropagationDecoder:
             bits = (posteriors < 0).astype(np.uint8)
             if self.record_trace:
                 trace.append(int(syndrome(graph, bits).sum()))
+            if hook is not None:
+                hook.record(
+                    type(self).__name__,
+                    iterations,
+                    int(syndrome(graph, bits).sum()),
+                    float(np.abs(posteriors).mean()),
+                    int(np.count_nonzero(bits != prev_bits)),
+                )
+                prev_bits = bits
             if early_stop and not syndrome(graph, bits).any():
                 converged = True
         result = DecodeResult(

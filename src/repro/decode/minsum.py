@@ -11,7 +11,10 @@ hardware:
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..codes.construction import LdpcCode
+from ..obs.iteration import IterationTrace
 from .bp import BeliefPropagationDecoder
 
 #: Standard normalization factor for degree-7..30 checks; hardware uses
@@ -25,25 +28,49 @@ DEFAULT_OFFSET = 0.25
 class MinSumDecoder(BeliefPropagationDecoder):
     """Plain min-sum flooding decoder."""
 
-    def __init__(self, code: LdpcCode) -> None:
-        super().__init__(code, cn_kernel="minsum")
+    def __init__(
+        self,
+        code: LdpcCode,
+        iteration_trace: Optional[IterationTrace] = None,
+    ) -> None:
+        super().__init__(
+            code, cn_kernel="minsum", iteration_trace=iteration_trace
+        )
 
 
 class NormalizedMinSumDecoder(BeliefPropagationDecoder):
     """Normalized min-sum: check outputs scaled by ``alpha``."""
 
     def __init__(
-        self, code: LdpcCode, alpha: float = DEFAULT_NORMALIZATION
+        self,
+        code: LdpcCode,
+        alpha: float = DEFAULT_NORMALIZATION,
+        iteration_trace: Optional[IterationTrace] = None,
     ) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
-        super().__init__(code, cn_kernel="minsum", normalization=alpha)
+        super().__init__(
+            code,
+            cn_kernel="minsum",
+            normalization=alpha,
+            iteration_trace=iteration_trace,
+        )
 
 
 class OffsetMinSumDecoder(BeliefPropagationDecoder):
     """Offset min-sum: check outputs reduced by ``beta``, floored at 0."""
 
-    def __init__(self, code: LdpcCode, beta: float = DEFAULT_OFFSET) -> None:
+    def __init__(
+        self,
+        code: LdpcCode,
+        beta: float = DEFAULT_OFFSET,
+        iteration_trace: Optional[IterationTrace] = None,
+    ) -> None:
         if beta < 0.0:
             raise ValueError("beta must be non-negative")
-        super().__init__(code, cn_kernel="minsum", offset=beta)
+        super().__init__(
+            code,
+            cn_kernel="minsum",
+            offset=beta,
+            iteration_trace=iteration_trace,
+        )

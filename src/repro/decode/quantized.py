@@ -54,6 +54,7 @@ class QuantizedMinSumDecoder:
         fmt: FixedPointFormat = MESSAGE_6BIT,
         normalization: float = 1.0,
         channel_scale: float = 1.0,
+        iteration_trace=None,
     ) -> None:
         if not 0.0 < normalization <= 1.0:
             raise ValueError("normalization must be in (0, 1]")
@@ -61,6 +62,7 @@ class QuantizedMinSumDecoder:
         self.fmt = fmt
         self.normalization = normalization
         self.channel_scale = channel_scale
+        self.iteration_trace = iteration_trace
         graph = code.graph
         self._vn_order = graph.vn_order
         self._vn_ptr = graph.vn_ptr
@@ -81,16 +83,31 @@ class QuantizedMinSumDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = 40,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> DecodeResult:
         """Decode one frame of float channel LLRs (quantized internally)."""
         graph = self.code.graph
         ch = self.quantize_channel(channel_llrs).astype(np.int64)
         if ch.shape != (graph.n_vns,):
             raise ValueError(f"expected {graph.n_vns} LLRs")
+        hook = (
+            iteration_trace
+            if iteration_trace is not None
+            else self.iteration_trace
+        )
         c2v = np.zeros(graph.n_edges, dtype=np.int64)
         posteriors = ch.copy()
         bits = (posteriors < 0).astype(np.uint8)
         iterations = 0
+        if hook is not None:
+            prev_bits = bits
+            hook.record(
+                type(self).__name__,
+                0,
+                int(syndrome(graph, bits).sum()),
+                float(np.abs(posteriors).mean() * self.fmt.scale),
+                0,
+            )
         converged = early_stop and not syndrome(graph, bits).any()
         while not converged and iterations < max_iterations:
             # VN phase: wide totals, saturate each outgoing message.
@@ -105,6 +122,15 @@ class QuantizedMinSumDecoder:
             totals = np.add.reduceat(c2v[self._vn_order], self._vn_ptr[:-1])
             posteriors = ch + totals
             bits = (posteriors < 0).astype(np.uint8)
+            if hook is not None:
+                hook.record(
+                    type(self).__name__,
+                    iterations,
+                    int(syndrome(graph, bits).sum()),
+                    float(np.abs(posteriors).mean() * self.fmt.scale),
+                    int(np.count_nonzero(bits != prev_bits)),
+                )
+                prev_bits = bits
             if early_stop and not syndrome(graph, bits).any():
                 converged = True
         return DecodeResult(
@@ -159,6 +185,7 @@ class QuantizedZigzagDecoder:
         normalization: float = 1.0,
         channel_scale: float = 1.0,
         segments: Optional[int] = None,
+        iteration_trace=None,
     ) -> None:
         if segments is None:
             segments = code.profile.parallelism
@@ -169,6 +196,7 @@ class QuantizedZigzagDecoder:
         self.normalization = normalization
         self.channel_scale = channel_scale
         self.segments = segments
+        self.iteration_trace = iteration_trace
         graph = code.graph
         sl = code.information_edge_slice()
         self._in_vn = graph.edge_vn[sl]
@@ -195,22 +223,31 @@ class QuantizedZigzagDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = 30,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> DecodeResult:
         """Decode one frame of float channel LLRs (quantized internally)."""
         ch = self.quantize_channel(channel_llrs).astype(np.int64)
-        return self.decode_quantized(ch, max_iterations, early_stop)
+        return self.decode_quantized(
+            ch, max_iterations, early_stop, iteration_trace
+        )
 
     def decode_quantized(
         self,
         ch: np.ndarray,
         max_iterations: int = 30,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> DecodeResult:
         """Decode already-quantized integer channel LLRs."""
         n_par = self._n_parity
         ch = np.asarray(ch, dtype=np.int64)
         if ch.shape != (self.code.n,):
             raise ValueError(f"expected {self.code.n} quantized LLRs")
+        hook = (
+            iteration_trace
+            if iteration_trace is not None
+            else self.iteration_trace
+        )
         ch_in = ch[: self._k]
         ch_pn = ch[self._k :]
         c2v_in = np.zeros(self._e_in, dtype=np.int64)
@@ -220,6 +257,15 @@ class QuantizedZigzagDecoder:
         bits = (posteriors < 0).astype(np.uint8)
         iterations = 0
         graph = self.code.graph
+        if hook is not None:
+            prev_bits = bits
+            hook.record(
+                type(self).__name__,
+                0,
+                int(syndrome(graph, bits).sum()),
+                float(np.abs(posteriors).mean() * self.fmt.scale),
+                0,
+            )
         converged = early_stop and not syndrome(graph, bits).any()
         while not converged and iterations < max_iterations:
             totals = np.add.reduceat(c2v_in[self._vn_order], self._vn_ptr[:-1])
@@ -234,6 +280,15 @@ class QuantizedZigzagDecoder:
             totals = np.add.reduceat(c2v_in[self._vn_order], self._vn_ptr[:-1])
             posteriors = np.concatenate([ch_in + totals, pn_post])
             bits = (posteriors < 0).astype(np.uint8)
+            if hook is not None:
+                hook.record(
+                    type(self).__name__,
+                    iterations,
+                    int(syndrome(graph, bits).sum()),
+                    float(np.abs(posteriors).mean() * self.fmt.scale),
+                    int(np.count_nonzero(bits != prev_bits)),
+                )
+                prev_bits = bits
             if early_stop and not syndrome(graph, bits).any():
                 converged = True
         return DecodeResult(

@@ -55,6 +55,9 @@ class ZigzagDecoder:
         number of parity nodes.  ``1`` = ideal sequential scan;
         the IP core uses ``code.profile.parallelism`` (one segment per
         functional unit).
+    iteration_trace:
+        Optional :class:`~repro.obs.iteration.IterationTrace` hook
+        called once per iteration (read-only; results unchanged).
     """
 
     def __init__(
@@ -65,6 +68,7 @@ class ZigzagDecoder:
         offset: float = 0.0,
         segments: int = 1,
         record_trace: bool = False,
+        iteration_trace=None,
     ) -> None:
         if cn_kernel not in ("tanh", "minsum"):
             raise ValueError("cn_kernel must be 'tanh' or 'minsum'")
@@ -79,6 +83,7 @@ class ZigzagDecoder:
         self.offset = offset
         self.segments = segments
         self.record_trace = record_trace
+        self.iteration_trace = iteration_trace
         self._prepare()
 
     # ------------------------------------------------------------------
@@ -110,6 +115,7 @@ class ZigzagDecoder:
         channel_llrs: np.ndarray,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         early_stop: bool = True,
+        iteration_trace=None,
     ) -> DecodeResult:
         """Decode one frame of ``N`` channel LLRs."""
         channel_llrs = np.asarray(channel_llrs, dtype=np.float64)
@@ -128,12 +134,26 @@ class ZigzagDecoder:
         b_old = np.zeros(n_par + 1, dtype=np.float64)
         f_old = np.zeros(n_par, dtype=np.float64)
 
+        hook = (
+            iteration_trace
+            if iteration_trace is not None
+            else self.iteration_trace
+        )
         posteriors = channel_llrs.copy()
         bits = (posteriors < 0).astype(np.uint8)
         iterations = 0
         trace = []
         if self.record_trace:
             trace.append(int(syndrome(self.code.graph, bits).sum()))
+        if hook is not None:
+            prev_bits = bits
+            hook.record(
+                type(self).__name__,
+                0,
+                int(syndrome(self.code.graph, bits).sum()),
+                float(np.abs(posteriors).mean()),
+                0,
+            )
         converged = early_stop and not syndrome(self.code.graph, bits).any()
 
         while not converged and iterations < max_iterations:
@@ -156,6 +176,15 @@ class ZigzagDecoder:
             bits = (posteriors < 0).astype(np.uint8)
             if self.record_trace:
                 trace.append(int(syndrome(self.code.graph, bits).sum()))
+            if hook is not None:
+                hook.record(
+                    type(self).__name__,
+                    iterations,
+                    int(syndrome(self.code.graph, bits).sum()),
+                    float(np.abs(posteriors).mean()),
+                    int(np.count_nonzero(bits != prev_bits)),
+                )
+                prev_bits = bits
             if early_stop and not syndrome(self.code.graph, bits).any():
                 converged = True
 

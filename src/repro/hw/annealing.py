@@ -24,6 +24,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceRecorder
 from .conflicts import (
     DEFAULT_LATENCY,
     ConflictStats,
@@ -47,6 +49,8 @@ class AnnealingConfig:
     n_partitions: int = DEFAULT_PARTITIONS
     write_ports: int = DEFAULT_WRITE_PORTS
     include_vn_phase: bool = False
+    #: Emit one ``anneal_window`` trace event every this many proposals.
+    trace_every: int = 100
 
 
 @dataclass
@@ -90,10 +94,16 @@ class AddressingAnnealer:
     """Anneal a :class:`DecoderSchedule` for one code rate."""
 
     def __init__(
-        self, mapping: IpMapping, config: Optional[AnnealingConfig] = None
+        self,
+        mapping: IpMapping,
+        config: Optional[AnnealingConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.mapping = mapping
         self.config = config or AnnealingConfig()
+        self.trace = trace
+        self.registry = registry
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
@@ -102,7 +112,11 @@ class AddressingAnnealer:
         cfg = self.config
         current = DecoderSchedule.canonical(self.mapping)
         initial_stats = simulate_cn_phase(
-            current, cfg.latency, cfg.n_partitions, cfg.write_ports
+            current,
+            cfg.latency,
+            cfg.n_partitions,
+            cfg.write_ports,
+            registry=self.registry,
         )
         current_cost = self._cost(current)
         best = current
@@ -110,7 +124,9 @@ class AddressingAnnealer:
         temperature = cfg.initial_temperature
         trace: List[float] = [current_cost]
         accepted = 0
-        for _ in range(cfg.iterations):
+        window_accepted = 0
+        window = max(1, cfg.trace_every)
+        for move in range(1, cfg.iterations + 1):
             candidate = self._propose(current)
             cand_cost = self._cost(candidate)
             delta = cand_cost - current_cost
@@ -119,13 +135,45 @@ class AddressingAnnealer:
             ):
                 current, current_cost = candidate, cand_cost
                 accepted += 1
+                window_accepted += 1
                 if cand_cost < best_cost:
                     best, best_cost = candidate, cand_cost
             temperature *= cfg.cooling
             trace.append(current_cost)
+            if self.trace is not None and (
+                move % window == 0 or move == cfg.iterations
+            ):
+                span = window if move % window == 0 else move % window
+                self.trace.event(
+                    "anneal_window",
+                    move=move,
+                    temperature=float(temperature),
+                    accepted=window_accepted,
+                    window=span,
+                    acceptance_rate=window_accepted / span,
+                    current_cost=float(current_cost),
+                    best_cost=float(best_cost),
+                )
+                window_accepted = 0
+        if self.registry is not None and self.registry.enabled:
+            self.registry.counter("hw.anneal.proposed").inc(cfg.iterations)
+            self.registry.counter("hw.anneal.accepted").inc(accepted)
         final_stats = simulate_cn_phase(
-            best, cfg.latency, cfg.n_partitions, cfg.write_ports
+            best,
+            cfg.latency,
+            cfg.n_partitions,
+            cfg.write_ports,
+            registry=self.registry,
         )
+        if self.trace is not None:
+            self.trace.event(
+                "anneal_result",
+                proposed=cfg.iterations,
+                accepted=accepted,
+                initial_peak_buffer=initial_stats.peak_buffer,
+                final_peak_buffer=final_stats.peak_buffer,
+                best_cost=float(best_cost),
+            )
         return AnnealingResult(
             schedule=best,
             initial_stats=initial_stats,
@@ -181,7 +229,10 @@ class AddressingAnnealer:
 
 
 def optimize_rate(
-    mapping: IpMapping, config: Optional[AnnealingConfig] = None
+    mapping: IpMapping,
+    config: Optional[AnnealingConfig] = None,
+    trace: Optional[TraceRecorder] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> AnnealingResult:
     """Convenience wrapper: anneal the addressing for one code."""
-    return AddressingAnnealer(mapping, config).run()
+    return AddressingAnnealer(mapping, config, trace, registry).run()

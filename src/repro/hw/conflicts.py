@@ -19,16 +19,20 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
 from .memory import DEFAULT_PARTITIONS, DEFAULT_WRITE_PORTS
 from .schedule import DecoderSchedule
 
 #: Pipeline depth between reading a check's last input message and its
 #: first output message appearing at the shuffling network.
 DEFAULT_LATENCY = 3
+
+#: Write-buffer occupancy bucket bounds for the conflict histograms.
+BUFFER_OCCUPANCY_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
 
 
 @dataclass
@@ -66,6 +70,8 @@ def _simulate(
     emissions: Dict[int, List[int]],
     n_partitions: int,
     write_ports: int,
+    registry: Optional[MetricsRegistry] = None,
+    metric_prefix: str = "hw.conflicts",
 ) -> ConflictStats:
     """Generic one-FU phase simulation.
 
@@ -75,6 +81,12 @@ def _simulate(
         Physical address read at each cycle ``0..n-1``.
     emissions:
         ``cycle -> [write addresses]`` for results leaving the datapath.
+    registry:
+        Optional metrics sink.  When given, the per-cycle write-buffer
+        occupancy is recorded into ``<prefix>.buffer_occupancy`` and the
+        phase totals into ``<prefix>.*`` counters/histograms.  Opt-in
+        (not the global registry) so the annealer's inner loop, which
+        calls this thousands of times, stays unmetered.
     """
     n_reads = len(read_addrs)
     buffer: deque = deque()
@@ -82,6 +94,11 @@ def _simulate(
     total_deferred = 0
     blocked_cycles = 0
     cycle = 0
+    occupancy_hist = None
+    if registry is not None and registry.enabled:
+        occupancy_hist = registry.histogram(
+            f"{metric_prefix}.buffer_occupancy", BUFFER_OCCUPANCY_BUCKETS
+        )
     last_emission = max(emissions) if emissions else -1
     while cycle < n_reads or buffer or cycle <= last_emission:
         for addr in emissions.get(cycle, ()):  # fresh results arrive
@@ -109,10 +126,12 @@ def _simulate(
             blocked_cycles += 1
         peak = max(peak, len(buffer))
         total_deferred += len(buffer)
+        if occupancy_hist is not None:
+            occupancy_hist.observe(len(buffer))
         cycle += 1
         if cycle > 100 * (n_reads + 10):  # pragma: no cover - safety net
             raise RuntimeError("conflict simulation did not terminate")
-    return ConflictStats(
+    stats = ConflictStats(
         cycles=cycle,
         read_cycles=n_reads,
         peak_buffer=peak,
@@ -120,6 +139,19 @@ def _simulate(
         blocked_write_cycles=blocked_cycles,
         drain_cycles=cycle - n_reads,
     )
+    if registry is not None and registry.enabled:
+        registry.counter(f"{metric_prefix}.phases").inc()
+        registry.counter(f"{metric_prefix}.cycles").inc(stats.cycles)
+        registry.counter(
+            f"{metric_prefix}.blocked_write_cycles"
+        ).inc(stats.blocked_write_cycles)
+        registry.counter(
+            f"{metric_prefix}.drain_cycles"
+        ).inc(stats.drain_cycles)
+        registry.histogram(
+            f"{metric_prefix}.peak_buffer", BUFFER_OCCUPANCY_BUCKETS
+        ).observe(stats.peak_buffer)
+    return stats
 
 
 def cn_phase_emissions(
@@ -169,11 +201,15 @@ def simulate_cn_phase(
     latency: int = DEFAULT_LATENCY,
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ConflictStats:
     """Simulate the critical check-node phase of one half iteration."""
     read_addrs = schedule.address_rom()
     emissions = cn_phase_emissions(schedule, latency)
-    return _simulate(read_addrs, emissions, n_partitions, write_ports)
+    return _simulate(
+        read_addrs, emissions, n_partitions, write_ports,
+        registry=registry, metric_prefix="hw.conflicts.cn",
+    )
 
 
 def simulate_vn_phase(
@@ -181,12 +217,16 @@ def simulate_vn_phase(
     latency: int = DEFAULT_LATENCY,
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ConflictStats:
     """Simulate the variable-node phase (benign: reads rotate partitions)."""
     n = schedule.mapping.n_words
     read_addrs = np.arange(n)
     emissions = vn_phase_emissions(schedule, latency)
-    return _simulate(read_addrs, emissions, n_partitions, write_ports)
+    return _simulate(
+        read_addrs, emissions, n_partitions, write_ports,
+        registry=registry, metric_prefix="hw.conflicts.vn",
+    )
 
 
 def simulate_iteration(
@@ -194,9 +234,14 @@ def simulate_iteration(
     latency: int = DEFAULT_LATENCY,
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[ConflictStats, ConflictStats]:
     """Simulate one full iteration: ``(vn_stats, cn_stats)``."""
     return (
-        simulate_vn_phase(schedule, latency, n_partitions, write_ports),
-        simulate_cn_phase(schedule, latency, n_partitions, write_ports),
+        simulate_vn_phase(
+            schedule, latency, n_partitions, write_ports, registry
+        ),
+        simulate_cn_phase(
+            schedule, latency, n_partitions, write_ports, registry
+        ),
     )

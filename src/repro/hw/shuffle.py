@@ -10,10 +10,13 @@ dominated by the logic cells — our gate model reflects that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil, log2
+from typing import Optional
 
 import numpy as np
+
+from ..obs.registry import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -26,10 +29,26 @@ class ShuffleNetwork:
         Number of FU lanes ``P`` (360 for the full decoder).
     width_bits:
         Message width carried per lane (6 in the synthesized core).
+    registry:
+        Metrics registry receiving the traffic counters
+        (``hw.shuffle.calls`` / ``.messages`` / ``.nonzero_shifts``);
+        defaults to the process-wide registry.
     """
 
     lanes: int
     width_bits: int = 6
+    registry: Optional[MetricsRegistry] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def _count_traffic(self, shift: int) -> None:
+        registry = self.registry if self.registry is not None else get_registry()
+        if not registry.enabled:
+            return
+        registry.counter("hw.shuffle.calls").inc()
+        registry.counter("hw.shuffle.messages").inc(self.lanes)
+        if shift % self.lanes != 0:
+            registry.counter("hw.shuffle.nonzero_shifts").inc()
 
     def shuffle(self, messages: np.ndarray, shift: int) -> np.ndarray:
         """Cyclic shift: lane ``m`` input appears on lane ``(m+shift)%P``.
@@ -40,6 +59,7 @@ class ShuffleNetwork:
         messages = np.asarray(messages)
         if messages.shape[0] != self.lanes:
             raise ValueError(f"expected {self.lanes} lanes")
+        self._count_traffic(shift)
         return np.roll(messages, shift, axis=0)
 
     def unshuffle(self, messages: np.ndarray, shift: int) -> np.ndarray:
@@ -47,6 +67,7 @@ class ShuffleNetwork:
         messages = np.asarray(messages)
         if messages.shape[0] != self.lanes:
             raise ValueError(f"expected {self.lanes} lanes")
+        self._count_traffic(shift)
         return np.roll(messages, -shift, axis=0)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""repro.obs — zero-dependency observability for the whole stack.
+
+Three layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.registry` — process-wide counters/gauges/timers/
+  histograms, mergeable across worker processes,
+* :mod:`repro.obs.trace` — typed event records with a JSONL sink and a
+  version-stamped header,
+* :mod:`repro.obs.iteration` — the per-iteration decoder hook protocol
+  that makes convergence trajectories (and the paper's zigzag
+  iteration saving) directly observable.
+
+:mod:`repro.obs.export` reads the emitted JSONL back for the
+``repro obs`` CLI commands.
+"""
+
+from .iteration import IterationTrace, IterationTraceRecorder
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    Timer,
+    get_registry,
+    set_registry,
+)
+from .trace import TraceRecorder, package_versions, version_string
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "IterationTrace",
+    "IterationTraceRecorder",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "Timer",
+    "TraceRecorder",
+    "get_registry",
+    "package_versions",
+    "set_registry",
+    "version_string",
+]

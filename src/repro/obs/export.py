@@ -1,0 +1,148 @@
+"""Reading, summarizing and exporting JSONL telemetry.
+
+The ``repro obs`` CLI family is a thin shell over these functions:
+``read_events`` parses a JSONL trace back into dicts,
+``summarize_events`` renders the run-level digest, ``events_to_csv``
+flattens events for spreadsheet tooling, and ``format_snapshot``
+pretty-prints a :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import Counter as _TallyCounter
+from typing import Dict, IO, Iterable, List, Optional
+
+
+def read_events(path) -> List[dict]:
+    """Parse a JSONL trace file (skipping blank lines)."""
+    events: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def iteration_rows(
+    events: Iterable[dict], frame: Optional[int] = None
+) -> List[dict]:
+    """The ``decode_iteration`` events, optionally for one frame,
+    ordered by (frame, iteration)."""
+    rows = [
+        e for e in events
+        if e.get("type") == "decode_iteration"
+        and (frame is None or e.get("frame") == frame)
+    ]
+    rows.sort(key=lambda e: (e.get("frame", 0), e.get("iteration", 0)))
+    return rows
+
+
+def summarize_events(events: Iterable[dict]) -> str:
+    """Human-readable digest of a trace: header, event mix, convergence."""
+    events = list(events)
+    lines: List[str] = []
+    headers = [e for e in events if e.get("type") == "header"]
+    if headers:
+        h = headers[0]
+        lines.append(
+            f"trace header     : repro {h.get('repro_version', '?')}, "
+            f"numpy {h.get('numpy_version', '?')}"
+        )
+    tally = _TallyCounter(e.get("type", "?") for e in events)
+    lines.append(f"events           : {len(events)} total")
+    for etype, count in sorted(tally.items()):
+        lines.append(f"  {etype:<22} : {count}")
+
+    # Convergence digest over the iteration trace, if present.
+    per_frame: Dict[int, dict] = {}
+    for e in iteration_rows(events):
+        fr = e["frame"]
+        cur = per_frame.get(fr)
+        if cur is None or e["iteration"] >= cur["iteration"]:
+            per_frame[fr] = e
+    if per_frame:
+        finals = list(per_frame.values())
+        n = len(finals)
+        converged = sum(1 for e in finals if e["unsatisfied"] == 0)
+        iters = [e["iteration"] for e in finals]
+        lines.append(f"frames traced    : {n}")
+        lines.append(
+            f"  converged        : {converged}/{n} "
+            f"(final unsatisfied == 0)"
+        )
+        lines.append(
+            f"  iterations       : mean {sum(iters) / n:.1f}, "
+            f"max {max(iters)}"
+        )
+        residual = [e["unsatisfied"] for e in finals if e["unsatisfied"]]
+        if residual:
+            lines.append(
+                f"  residual checks  : mean "
+                f"{sum(residual) / len(residual):.1f} over "
+                f"{len(residual)} non-converged frame(s)"
+            )
+    return "\n".join(lines)
+
+
+def events_to_csv(events: Iterable[dict], stream: IO) -> int:
+    """Write events as CSV (union of keys as columns); returns row count."""
+    events = list(events)
+    columns: List[str] = []
+    for e in events:
+        for key in e:
+            if key not in columns:
+                columns.append(key)
+    writer = csv.DictWriter(stream, fieldnames=columns, restval="")
+    writer.writeheader()
+    for e in events:
+        writer.writerow(
+            {k: _csv_cell(v) for k, v in e.items()}
+        )
+    return len(events)
+
+
+def _csv_cell(value):
+    """Flatten nested values so they survive a CSV cell."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value)
+    return value
+
+
+def format_snapshot(snapshot: dict) -> str:
+    """Pretty-print a registry snapshot for terminal output."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<34} {value}")
+    gauges = {
+        n: g for n, g in snapshot.get("gauges", {}).items() if g["is_set"]
+    }
+    if gauges:
+        lines.append("gauges:")
+        for name, g in gauges.items():
+            lines.append(f"  {name:<34} {g['value']}")
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append("timers:")
+        for name, t in timers.items():
+            total_ms = t["total_ns"] / 1e6
+            mean_ms = total_ms / t["count"] if t["count"] else float("nan")
+            lines.append(
+                f"  {name:<34} n={t['count']} total={total_ms:.3f} ms "
+                f"mean={mean_ms:.3f} ms"
+            )
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, h in histograms.items():
+            mean = h["sum"] / h["count"] if h["count"] else float("nan")
+            lines.append(
+                f"  {name:<34} n={h['count']} mean={mean:.3f} "
+                f"buckets={h['counts']}"
+            )
+    return "\n".join(lines) if lines else "(empty registry)"

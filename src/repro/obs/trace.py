@@ -1,0 +1,154 @@
+"""Typed event/span recording with a JSONL sink.
+
+A :class:`TraceRecorder` turns instrumentation points into one JSON
+object per line, either written straight to a sink (file path, ``"-"``
+for stdout, or any file-like object) or buffered in memory (``sink=None``
+— the mode worker processes use so the parent can merge shard event
+streams in deterministic order).
+
+Every sink-backed trace starts with a ``header`` record carrying the
+resolved package version and the numpy version, so a trace file is
+self-describing for reproducibility.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from typing import IO, List, Optional, Union
+
+
+def package_versions() -> dict:
+    """Resolved ``repro`` and ``numpy`` versions.
+
+    Prefers the installed distribution metadata and falls back to the
+    package's ``__version__`` for in-tree (``PYTHONPATH=src``) runs.
+    """
+    import numpy
+
+    try:
+        from importlib.metadata import version
+
+        repro_version = version("repro")
+    except Exception:
+        from .. import __version__ as repro_version
+    return {
+        "repro_version": repro_version,
+        "numpy_version": numpy.__version__,
+    }
+
+
+def version_string() -> str:
+    """One-line version banner (used by ``repro --version``)."""
+    versions = package_versions()
+    return (
+        f"repro {versions['repro_version']} "
+        f"(numpy {versions['numpy_version']})"
+    )
+
+
+def _json_default(value):
+    """Serialize numpy scalars/arrays that leak into event fields."""
+    if hasattr(value, "tolist"):  # numpy scalars and arrays alike
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(
+        f"not JSON serializable: {type(value).__name__}"
+    )  # pragma: no cover - guards programming errors
+
+
+class TraceRecorder:
+    """Append-only recorder of typed events.
+
+    Parameters
+    ----------
+    sink:
+        ``None`` buffers events in :attr:`events` (workers use this);
+        ``"-"`` streams to stdout; a path string/``os.PathLike`` opens
+        (and owns) that file; any object with ``write`` is used as-is.
+    meta:
+        Extra fields merged into the header record.
+    """
+
+    def __init__(self, sink: Union[None, str, IO] = None, *,
+                 meta: Optional[dict] = None) -> None:
+        self.events: List[dict] = []
+        self.n_written = 0
+        self._file: Optional[IO] = None
+        self._owns_file = False
+        if sink is None:
+            pass
+        elif sink == "-":
+            self._file = sys.stdout
+        elif hasattr(sink, "write"):
+            self._file = sink
+        else:
+            self._file = open(sink, "w")
+            self._owns_file = True
+        if self._file is not None:
+            header = {
+                "type": "header",
+                "created_unix": round(time.time(), 3),
+                **package_versions(),
+            }
+            if meta:
+                header.update(meta)
+            self.emit(header)
+
+    # ------------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Record one pre-built event dict."""
+        if self._file is not None:
+            self._file.write(
+                json.dumps(record, default=_json_default) + "\n"
+            )
+        else:
+            self.events.append(record)
+        self.n_written += 1
+
+    def event(self, etype: str, **fields) -> None:
+        """Record a typed event; ``fields`` become the JSON payload."""
+        self.emit({"type": etype, **fields})
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Time a block and record it as one ``span`` event on exit."""
+        start = time.perf_counter_ns()
+        try:
+            yield self
+        finally:
+            self.event(
+                "span",
+                name=name,
+                dur_ns=time.perf_counter_ns() - start,
+                **fields,
+            )
+
+    def drain(self) -> List[dict]:
+        """Return and clear the in-memory event buffer."""
+        events, self.events = self.events, []
+        return events
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the sink, if any."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close an owned file sink."""
+        if self._file is not None:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -102,10 +102,20 @@ class BerResult:
 
 
 def merge_ber_results(results) -> BerResult:
-    """Merge an iterable of partial :class:`BerResult`\\ s into one."""
+    """Merge an iterable of partial :class:`BerResult`\\ s into one.
+
+    Raises
+    ------
+    ValueError
+        If the iterable is empty — an empty merge has no Eb/N0 point to
+        report and usually means every shard was discarded upstream.
+    """
     results = list(results)
     if not results:
-        raise ValueError("nothing to merge")
+        raise ValueError(
+            "merge_ber_results() received an empty iterable: nothing to "
+            "merge (no shards/points were produced)"
+        )
     merged = results[0]
     for result in results[1:]:
         merged = merged.merged(result)

@@ -15,6 +15,7 @@ import numpy as np
 from ..channel.awgn import AwgnChannel
 from ..codes.construction import LdpcCode
 from ..decode.batch import BatchMinSumDecoder, make_batch_decoder
+from ..obs.iteration import IterationTraceRecorder
 from .ber import BerResult
 
 
@@ -28,13 +29,18 @@ def fast_ber(
     batch_size: int = 32,
     decoder: Optional[BatchMinSumDecoder] = None,
     schedule: str = "flooding",
+    iteration_trace: Optional[IterationTraceRecorder] = None,
 ) -> BerResult:
     """All-zero-codeword BER measurement with batched decoding.
 
     Parameters mirror :func:`repro.sim.ber.measure_ber`; information-bit
     errors are counted (systematic prefix).  ``schedule="zigzag"``
     switches to the batched zigzag decoder (paper §2.2 serial schedule),
-    which converges in roughly half the iterations per frame.
+    which converges in roughly half the iterations per frame.  When an
+    ``iteration_trace`` recorder is given, each batch's per-iteration
+    convergence records are emitted with globally numbered frames (the
+    recorder's ``frame_offset`` is advanced per batch); tracing does not
+    change decoder outputs.
     """
     if frames < 1:
         raise ValueError("need at least one frame")
@@ -51,8 +57,13 @@ def fast_ber(
     while done < frames:
         size = min(batch_size, frames - done)
         llrs = channel.llrs_all_zero(n, size=size)
+        if iteration_trace is not None:
+            iteration_trace.frame_offset = done
         result = dec.decode_batch(
-            llrs, max_iterations=max_iterations, early_stop=True
+            llrs,
+            max_iterations=max_iterations,
+            early_stop=True,
+            iteration_trace=iteration_trace,
         )
         info = result.bits[:, :k]
         errs = np.count_nonzero(info, axis=1)

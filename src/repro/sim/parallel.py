@@ -29,7 +29,6 @@ serial loop with a warning (results are identical either way).
 from __future__ import annotations
 
 import os
-import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -40,6 +39,9 @@ import numpy as np
 from ..channel.awgn import AwgnChannel
 from ..codes.construction import LdpcCode
 from ..decode.batch import make_batch_decoder
+from ..obs.iteration import IterationTraceRecorder
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import TraceRecorder
 from .ber import BerResult, merge_ber_results
 from .stats import wilson_interval
 
@@ -93,6 +95,37 @@ class SimTelemetry:
             return float("nan")
         return sum(self.shard_wall_s) / (self.workers * self.elapsed_s)
 
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        *,
+        workers: int,
+        info_bits_per_frame: int,
+        coded_bits_per_frame: int,
+        shard_wall_s: Sequence[float] = (),
+    ) -> "SimTelemetry":
+        """Build telemetry from a run registry (or its snapshot).
+
+        Reads the engine's canonical metric names: ``sim.frames`` /
+        ``sim.shards.merged`` / ``sim.shards.discarded`` counters and the
+        ``sim.parallel.wall`` timer.
+        """
+        snap = registry.snapshot() if hasattr(registry, "snapshot") else registry
+        counters = snap.get("counters", {})
+        timers = snap.get("timers", {})
+        wall = timers.get("sim.parallel.wall", {})
+        return cls(
+            workers=workers,
+            frames=int(counters.get("sim.frames", 0)),
+            info_bits_per_frame=info_bits_per_frame,
+            coded_bits_per_frame=coded_bits_per_frame,
+            elapsed_s=wall.get("last_ns", 0) / 1e9,
+            shard_wall_s=list(shard_wall_s),
+            shards_merged=int(counters.get("sim.shards.merged", 0)),
+            shards_discarded=int(counters.get("sim.shards.discarded", 0)),
+        )
+
 
 @dataclass
 class ShardResult:
@@ -105,6 +138,10 @@ class ShardResult:
     total_iterations: int
     converged_frames: int
     wall_s: float
+    #: Registry snapshot of the worker-local metrics for this shard.
+    metrics: Optional[dict] = None
+    #: Buffered ``decode_iteration`` events (shard-local frame indices).
+    trace_events: Optional[list] = None
 
 
 @dataclass
@@ -113,6 +150,8 @@ class ParallelBerRun:
 
     result: BerResult
     telemetry: SimTelemetry
+    #: Merged metrics snapshot of the whole run (always populated).
+    metrics: Optional[dict] = None
 
 
 # ----------------------------------------------------------------------
@@ -141,26 +180,48 @@ def _decode_shard(
     n_frames: int,
     seed_seq: np.random.SeedSequence,
 ) -> ShardResult:
-    """Decode one shard of all-zero-codeword frames and count errors."""
-    t0 = time.perf_counter()
-    channel = AwgnChannel(
-        ebn0_db=params["ebn0_db"],
-        rate=float(code.profile.rate),
-        seed=seed_seq,
-    )
-    llrs = channel.llrs_all_zero(code.n, size=n_frames)
-    result = decoder.decode_batch(
-        llrs, max_iterations=params["max_iterations"], early_stop=True
-    )
+    """Decode one shard of all-zero-codeword frames and count errors.
+
+    Metrics are collected in a worker-local :class:`MetricsRegistry`
+    whose snapshot travels back in the (picklable) :class:`ShardResult`;
+    the parent merges the snapshots in shard order.
+    """
+    reg = MetricsRegistry()
+    wall = reg.timer("sim.shard.wall")
+    hook = IterationTraceRecorder() if params.get("trace_iterations") else None
+    with wall:
+        channel = AwgnChannel(
+            ebn0_db=params["ebn0_db"],
+            rate=float(code.profile.rate),
+            seed=seed_seq,
+        )
+        llrs = channel.llrs_all_zero(code.n, size=n_frames)
+        result = decoder.decode_batch(
+            llrs,
+            max_iterations=params["max_iterations"],
+            early_stop=True,
+            iteration_trace=hook,
+        )
     errs = np.count_nonzero(result.bits[:, : code.k], axis=1)
+    bit_errors = int(errs.sum())
+    frame_errors = int((errs > 0).sum())
+    total_iterations = int(result.iterations.sum())
+    converged_frames = int(result.converged.sum())
+    reg.counter("sim.frames").inc(n_frames)
+    reg.counter("sim.bit_errors").inc(bit_errors)
+    reg.counter("sim.frame_errors").inc(frame_errors)
+    reg.counter("sim.iterations").inc(total_iterations)
+    reg.counter("sim.converged_frames").inc(converged_frames)
     return ShardResult(
         shard=shard,
         frames=n_frames,
-        bit_errors=int(errs.sum()),
-        frame_errors=int((errs > 0).sum()),
-        total_iterations=int(result.iterations.sum()),
-        converged_frames=int(result.converged.sum()),
-        wall_s=time.perf_counter() - t0,
+        bit_errors=bit_errors,
+        frame_errors=frame_errors,
+        total_iterations=total_iterations,
+        converged_frames=converged_frames,
+        wall_s=wall.last_s,
+        metrics=reg.snapshot(),
+        trace_events=hook.drain() if hook is not None else None,
     )
 
 
@@ -236,6 +297,8 @@ def parallel_ber(
     normalization: float = 0.75,
     segments: Optional[int] = None,
     seed=0,
+    registry: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> ParallelBerRun:
     """Sharded, optionally multi-process BER measurement at one point.
 
@@ -258,6 +321,18 @@ def parallel_ber(
     seed:
         Base seed; shard ``i`` uses child ``i`` of
         ``np.random.SeedSequence(seed)`` regardless of worker count.
+    registry:
+        Metrics registry the merged run metrics are folded into; defaults
+        to the process-wide registry.  The run itself always meters into
+        a private, always-enabled registry (telemetry must work even when
+        global metrics are off); the merge is skipped only if the target
+        is disabled.
+    trace:
+        Trace recorder.  When given, every decoded frame's per-iteration
+        convergence record is written (workers buffer events; the parent
+        rewrites frame indices to global frame numbers and writes them in
+        deterministic shard-merge order), followed by one ``ber_result``
+        event.  Tracing does not change decoder outputs.
     """
     if max_frames < 1:
         raise ValueError("need at least one frame")
@@ -274,6 +349,7 @@ def parallel_ber(
         "schedule": schedule,
         "normalization": float(normalization),
         "segments": segments,
+        "trace_iterations": trace is not None,
     }
     # Validate the schedule/segments combination up front, in-process.
     make_batch_decoder(
@@ -297,35 +373,76 @@ def parallel_ber(
         )
         workers = 1
 
-    t_start = time.perf_counter()
-    if workers == 1:
-        merged, discarded = _serial_loop(
-            code, params, sizes, children,
-            target_frame_errors, ci_halfwidth,
-        )
-    else:
-        merged, discarded = _parallel_loop(
-            code, params, sizes, children,
-            target_frame_errors, ci_halfwidth,
-            workers, mp_context,
-        )
-    elapsed = time.perf_counter() - t_start
+    run_reg = MetricsRegistry()
+    with run_reg.timer("sim.parallel.wall"):
+        if workers == 1:
+            merged, discarded = _serial_loop(
+                code, params, sizes, children,
+                target_frame_errors, ci_halfwidth,
+            )
+        else:
+            merged, discarded = _parallel_loop(
+                code, params, sizes, children,
+                target_frame_errors, ci_halfwidth,
+                workers, mp_context,
+            )
 
     k = code.k
     result = merge_ber_results(
         [_shard_to_result(s, float(ebn0_db), k) for s in merged]
     )
-    telemetry = SimTelemetry(
+    # Fold the worker-local registries in strict shard-merge order; the
+    # merge is associative, so any grouping yields the same totals.
+    for shard_result in merged:
+        if shard_result.metrics is not None:
+            run_reg.merge(shard_result.metrics)
+    run_reg.counter("sim.shards.merged").inc(len(merged))
+    run_reg.counter("sim.shards.discarded").inc(discarded)
+    telemetry = SimTelemetry.from_registry(
+        run_reg,
         workers=workers,
-        frames=result.frames,
         info_bits_per_frame=k,
         coded_bits_per_frame=code.n,
-        elapsed_s=elapsed,
         shard_wall_s=[s.wall_s for s in merged],
-        shards_merged=len(merged),
-        shards_discarded=discarded,
     )
-    return ParallelBerRun(result=result, telemetry=telemetry)
+    if trace is not None:
+        _write_trace(trace, merged, result, telemetry)
+    target = registry if registry is not None else get_registry()
+    if target.enabled:
+        target.merge(run_reg)
+    return ParallelBerRun(
+        result=result, telemetry=telemetry, metrics=run_reg.snapshot()
+    )
+
+
+def _write_trace(
+    trace: TraceRecorder,
+    merged: Sequence[ShardResult],
+    result: BerResult,
+    telemetry: SimTelemetry,
+) -> None:
+    """Write buffered shard trace events with globalized frame indices."""
+    offset = 0
+    for shard_result in merged:
+        for event in shard_result.trace_events or ():
+            event = dict(event)
+            event["frame"] = int(event["frame"]) + offset
+            event["shard"] = shard_result.shard
+            trace.emit(event)
+        offset += shard_result.frames
+    trace.event(
+        "ber_result",
+        ebn0_db=result.ebn0_db,
+        frames=result.frames,
+        ber=result.ber,
+        fer=result.fer,
+        bit_errors=result.bit_errors,
+        frame_errors=result.frame_errors,
+        shards_merged=telemetry.shards_merged,
+        shards_discarded=telemetry.shards_discarded,
+        elapsed_s=telemetry.elapsed_s,
+        frames_per_sec=telemetry.frames_per_sec,
+    )
 
 
 def _serial_loop(

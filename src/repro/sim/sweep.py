@@ -60,6 +60,8 @@ def parallel_snr_sweep(
     ci_halfwidth: Optional[float] = None,
     schedule: str = "zigzag",
     normalization: float = 0.75,
+    registry=None,
+    trace=None,
 ) -> List[SweepPoint]:
     """Waterfall curve measured with the parallel Monte-Carlo engine.
 
@@ -67,7 +69,10 @@ def parallel_snr_sweep(
     with a point-specific base seed derived from ``(seed, point index)``
     via ``SeedSequence``, so the whole sweep is reproducible for any
     worker count and each point's noise is independent.  Engine
-    telemetry is attached to each :class:`SweepPoint`.
+    telemetry is attached to each :class:`SweepPoint`.  ``registry`` and
+    ``trace`` are forwarded to every point's engine run (one shared
+    recorder: each point contributes its frames' iteration records and a
+    ``ber_result`` event).
     """
     from .parallel import DEFAULT_SHARD_FRAMES, parallel_ber
 
@@ -87,6 +92,8 @@ def parallel_snr_sweep(
             schedule=schedule,
             normalization=normalization,
             seed=np.random.SeedSequence(entropy=(seed, index)),
+            registry=registry,
+            trace=trace,
         )
         points.append(
             SweepPoint(

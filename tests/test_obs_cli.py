@@ -1,0 +1,91 @@
+"""Tests for the observability-facing CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import version_string
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip() == version_string()
+    assert "repro" in out and "numpy" in out
+
+
+def test_ber_trace_and_metrics(capsys, tmp_path):
+    trace_path = tmp_path / "run.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    code, out = run(
+        capsys, "ber", "--parallelism", "12", "--frames", "4",
+        "--schedule", "zigzag",
+        "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+    )
+    assert code == 0
+    assert str(trace_path) in out
+    events = [json.loads(l) for l in trace_path.read_text().splitlines()]
+    assert events[0]["type"] == "header"
+    assert "repro_version" in events[0] and "numpy_version" in events[0]
+    iteration_events = [
+        e for e in events if e["type"] == "decode_iteration"
+    ]
+    assert {e["frame"] for e in iteration_events} == {0, 1, 2, 3}
+    assert all("unsatisfied" in e for e in iteration_events)
+    assert events[-1]["type"] == "ber_result"
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["sim.frames"] == 4
+
+
+def test_obs_summary_and_trace(capsys, tmp_path):
+    trace_path = tmp_path / "run.jsonl"
+    run(capsys, "ber", "--parallelism", "12", "--frames", "3",
+        "--schedule", "zigzag", "--trace", str(trace_path))
+    code, out = run(capsys, "obs", "summary", str(trace_path))
+    assert code == 0
+    assert "frames traced" in out and "3" in out
+    code, out = run(capsys, "obs", "trace", str(trace_path),
+                    "--frame", "0")
+    assert code == 0
+    assert "unsat" in out.splitlines()[0]
+
+
+def test_obs_export_csv(capsys, tmp_path):
+    trace_path = tmp_path / "run.jsonl"
+    run(capsys, "ber", "--parallelism", "12", "--frames", "2",
+        "--schedule", "zigzag", "--trace", str(trace_path))
+    out_path = tmp_path / "run.csv"
+    code, out = run(capsys, "obs", "export", str(trace_path),
+                    "--format", "csv", "--output", str(out_path))
+    assert code == 0
+    lines = out_path.read_text().splitlines()
+    assert "type" in lines[0]
+    assert len(lines) > 2
+
+
+def test_anneal_trace(capsys, tmp_path):
+    trace_path = tmp_path / "anneal.jsonl"
+    metrics_path = tmp_path / "anneal_metrics.json"
+    code, out = run(
+        capsys, "anneal", "--parallelism", "12", "--moves", "40",
+        "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+    )
+    assert code == 0
+    events = [json.loads(l) for l in trace_path.read_text().splitlines()]
+    types = [e["type"] for e in events]
+    assert "anneal_window" in types
+    assert types[-1] == "anneal_result"
+    windows = [e for e in events if e["type"] == "anneal_window"]
+    assert all(0.0 <= w["acceptance_rate"] <= 1.0 for w in windows)
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["hw.anneal.proposed"] == 40
+    assert "hw.conflicts.cn.buffer_occupancy" in metrics["histograms"]
