@@ -47,13 +47,16 @@ def save_bench_json(name: str, payload: dict) -> str:
     """Persist a benchmark's headline numbers to ``BENCH_<name>.json``.
 
     The file lands next to this directory's modules so successive runs
-    can be diffed; returns the path written.
+    can be diffed; returns the path written.  Setting ``BENCH_OUT``
+    redirects the file (the smoke-mode tier-1 tests use this so quick
+    runs never clobber the committed full-run artifacts).
     """
     import json
     import os
 
+    out_dir = os.environ.get("BENCH_OUT")
     path = os.path.join(
-        os.path.dirname(os.path.abspath(__file__)),
+        out_dir or os.path.dirname(os.path.abspath(__file__)),
         f"BENCH_{name}.json",
     )
     with open(path, "w") as handle:

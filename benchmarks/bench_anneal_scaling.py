@@ -1,0 +1,178 @@
+"""Extension bench — fast annealing engine throughput and scaling.
+
+Measures the three layers of the annealing speedup on the paper's
+Section 4 workload (addressing optimization of the scaled rate-1/2
+code):
+
+* single-chain proposal throughput of the seed ``kernel="reference"``
+  path (clone + rebuild + deque simulation per proposal) versus the
+  incremental ``kernel="fast"`` path (in-place swaps + vectorized
+  Lindley-recurrence cost kernel) — the headline >= 10x claim;
+* a trajectory-identity check: both kernels must reach the same best
+  cost and final stats from the same seed;
+* multi-chain fan-out through :func:`repro.hw.parallel_anneal` at 1, 2
+  and 4 workers.  On a single-core host the worker sweep degenerates
+  (process overhead, no parallel gain), so — as in
+  ``bench_parallel_scaling.py`` — the scaling assertion is conditioned
+  on the detected CPU count while determinism is asserted everywhere.
+
+``BENCH_SMOKE=1`` shrinks the move budgets so the whole file finishes
+in a few seconds (the tier-1 suite runs it that way, with ``BENCH_OUT``
+pointed at a temp dir so the committed JSON survives).
+"""
+
+import os
+import time
+
+from repro.core.report import format_table
+from repro.hw.annealing import AddressingAnnealer, AnnealingConfig
+from repro.hw.mapping import IpMapping
+from repro.hw.parallel_anneal import anneal_chains
+
+from _helpers import cached_small_code, print_banner, save_bench_json
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+RATE = "1/2"
+SEED = 1
+#: Moves per single-chain timing run (reference kept smaller — it is
+#: the slow path being measured, not stressed).
+FAST_MOVES = 600 if SMOKE else 5000
+REFERENCE_MOVES = 120 if SMOKE else 1000
+#: Moves per chain in the multi-chain worker sweep.
+CHAIN_MOVES = 150 if SMOKE else 1000
+CHAINS = 4
+WORKER_COUNTS = (1, 2, 4)
+#: Required fast-vs-reference proposal-throughput ratio.
+MIN_SPEEDUP = 4.0 if SMOKE else 10.0
+
+
+def _timed_anneal(mapping, kernel, moves):
+    config = AnnealingConfig(iterations=moves, seed=SEED, kernel=kernel)
+    t0 = time.perf_counter()
+    result = AddressingAnnealer(mapping, config).run()
+    elapsed = time.perf_counter() - t0
+    return result, moves / elapsed, elapsed
+
+
+def test_anneal_engine_scaling(once):
+    mapping = IpMapping(cached_small_code(RATE))
+
+    def run():
+        ref_result, ref_pps, _ = _timed_anneal(
+            mapping, "reference", REFERENCE_MOVES
+        )
+        fast_result, fast_pps, _ = _timed_anneal(mapping, "fast", FAST_MOVES)
+        # Trajectory identity: same seed and move budget must give the
+        # same best cost/stats on both kernels.
+        fast_check, _, _ = _timed_anneal(mapping, "fast", REFERENCE_MOVES)
+        kernel_rows = [
+            ("reference", REFERENCE_MOVES, ref_pps, 1.0, ref_result),
+            ("fast", FAST_MOVES, fast_pps, fast_pps / ref_pps, fast_result),
+        ]
+        sweep = {}
+        for workers in WORKER_COUNTS:
+            t0 = time.perf_counter()
+            sweep[workers] = anneal_chains(
+                mapping,
+                AnnealingConfig(iterations=CHAIN_MOVES, seed=SEED),
+                chains=CHAINS,
+                workers=workers,
+                rate=RATE,
+            )
+            sweep[workers] = (sweep[workers], time.perf_counter() - t0)
+        return kernel_rows, (ref_result, fast_check), sweep
+
+    kernel_rows, (ref_result, fast_check), sweep = once(run)
+
+    print_banner(
+        f"Annealing engine throughput (rate {RATE} scaled code, seed {SEED}"
+        f"{', smoke mode' if SMOKE else ''})"
+    )
+    print(
+        format_table(
+            ("kernel", "moves", "proposals/s", "speedup", "peak",
+             "best cost"),
+            [
+                (k, m, f"{pps:.0f}", f"{x:.2f}x",
+                 f"{r.initial_stats.peak_buffer}->"
+                 f"{r.final_stats.peak_buffer}", f"{r.best_cost:.0f}")
+                for k, m, pps, x, r in kernel_rows
+            ],
+        )
+    )
+    cpus = os.cpu_count() or 1
+    print(f"(host CPU count: {cpus})")
+    print_banner(
+        f"Multi-chain sweep ({CHAINS} chains x {CHAIN_MOVES} moves)"
+    )
+    chain_rows = []
+    for workers in WORKER_COUNTS:
+        result, elapsed = sweep[workers]
+        chain_rows.append(
+            (workers, CHAINS / elapsed,
+             sweep[1][1] / elapsed, result.best_chain,
+             result.best.best_cost)
+        )
+    print(
+        format_table(
+            ("workers", "chains/s", "speedup", "best chain", "best cost"),
+            [
+                (w, f"{cps:.2f}", f"{x:.2f}x", b, f"{c:.0f}")
+                for w, cps, x, b, c in chain_rows
+            ],
+        )
+    )
+    save_bench_json(
+        "anneal_scaling",
+        {
+            "rate": RATE,
+            "seed": SEED,
+            "smoke": SMOKE,
+            "cpu_count": cpus,
+            "kernels": [
+                {
+                    "kernel": k,
+                    "moves": m,
+                    "proposals_per_sec": pps,
+                    "speedup_vs_reference": x,
+                    "initial_peak": r.initial_stats.peak_buffer,
+                    "final_peak": r.final_stats.peak_buffer,
+                    "best_cost": r.best_cost,
+                }
+                for k, m, pps, x, r in kernel_rows
+            ],
+            "multi_chain": [
+                {
+                    "workers": w,
+                    "chains": CHAINS,
+                    "moves_per_chain": CHAIN_MOVES,
+                    "chains_per_sec": cps,
+                    "speedup_vs_1_worker": x,
+                    "best_chain": b,
+                    "best_cost": c,
+                }
+                for w, cps, x, b, c in chain_rows
+            ],
+        },
+    )
+
+    # The fast kernel must walk the reference trajectory exactly ...
+    assert fast_check.best_cost == ref_result.best_cost
+    assert fast_check.final_stats == ref_result.final_stats
+    assert fast_check.accepted_moves == ref_result.accepted_moves
+    assert fast_check.cost_trace == ref_result.cost_trace
+    # ... and clear the headline throughput bar (>= 10x full mode).
+    assert kernel_rows[1][3] >= MIN_SPEEDUP
+    # The multi-chain sweep must be bit-identical across worker counts.
+    results = [sweep[w][0] for w in WORKER_COUNTS]
+    assert all(r.chain_costs == results[0].chain_costs for r in results[1:])
+    assert all(r.best_chain == results[0].best_chain for r in results[1:])
+    assert all(
+        r.best.final_stats == results[0].best.final_stats
+        for r in results[1:]
+    )
+    # Near-linear scaling only holds when the cores exist.
+    if cpus >= 4 and not SMOKE:
+        speedups = {w: x for w, _, x, _, _ in chain_rows}
+        assert speedups[4] >= 2.5

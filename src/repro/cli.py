@@ -143,38 +143,86 @@ def _cmd_ber(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_anneal(args: argparse.Namespace) -> int:
-    from .codes import build_code, build_small_code
-    from .hw.annealing import AnnealingConfig, optimize_rate
-    from .hw.mapping import IpMapping
-    from .obs.registry import MetricsRegistry
-
-    if args.parallelism == 360:
-        code = build_code(args.rate)
-    else:
-        code = build_small_code(args.rate, parallelism=args.parallelism)
-    mapping = IpMapping(code)
-    registry = MetricsRegistry() if args.metrics_out is not None else None
-    trace = _open_trace(args.trace) if args.trace is not None else None
-    try:
-        result = optimize_rate(
-            mapping,
-            AnnealingConfig(iterations=args.moves, seed=args.seed),
-            trace=trace,
-            registry=registry,
-        )
-    finally:
-        if trace is not None:
-            trace.close()
-    if args.metrics_out is not None and registry is not None:
-        _write_metrics(args.metrics_out, registry.snapshot())
-    print(f"rate {args.rate}: annealed addressing over {args.moves} moves")
+def _print_anneal_result(label: str, moves: int, result, extra: str = "") -> None:
+    print(f"rate {label}: annealed addressing over {moves} moves{extra}")
     print(f"  peak write buffer : {result.initial_stats.peak_buffer} -> "
           f"{result.final_stats.peak_buffer}")
     print(f"  buffer pressure   : {result.initial_stats.total_deferred} "
           f"-> {result.final_stats.total_deferred}")
     print(f"  accepted moves    : {result.accepted_moves}"
           f"/{result.proposed_moves}")
+
+
+def _cmd_anneal(args: argparse.Namespace) -> int:
+    from .codes import build_code, build_small_code
+    from .hw.annealing import AnnealingConfig, optimize_rate
+    from .hw.mapping import IpMapping
+    from .hw.parallel_anneal import anneal_chains, optimize_all_rates
+    from .obs.registry import MetricsRegistry
+
+    config = AnnealingConfig(
+        iterations=args.moves, seed=args.seed, kernel=args.kernel
+    )
+    registry = MetricsRegistry() if args.metrics_out is not None else None
+    trace = _open_trace(args.trace) if args.trace is not None else None
+    try:
+        if args.all_rates:
+            sweep = optimize_all_rates(
+                parallelism=args.parallelism,
+                config=config,
+                chains=args.chains,
+                workers=args.workers,
+                registry=registry,
+                trace=trace,
+            )
+            print(f"all-rates annealing sweep (P={args.parallelism}, "
+                  f"{args.chains} chains/rate, {args.moves} moves/chain, "
+                  f"kernel={args.kernel}):")
+            print(f"  {'rate':>5} {'peak':>9} {'deferred':>8} "
+                  f"{'drain':>5} {'best cost':>10} {'chain':>5}")
+            for row in sweep.table():
+                peaks = f"{row['initial_peak']} -> {row['final_peak']}"
+                print(f"  {row['rate']:>5} {peaks:>9} "
+                      f"{row['total_deferred']:>8} "
+                      f"{row['drain_cycles']:>5} {row['best_cost']:>10.1f} "
+                      f"{row['best_chain']:>5}")
+            print(f"  worst annealed peak across rates: "
+                  f"{sweep.max_final_peak} "
+                  f"(one write buffer of that depth serves every rate)")
+        else:
+            if args.parallelism == 360:
+                code = build_code(args.rate)
+            else:
+                code = build_small_code(
+                    args.rate, parallelism=args.parallelism
+                )
+            mapping = IpMapping(code)
+            if args.chains > 1:
+                multi = anneal_chains(
+                    mapping,
+                    config,
+                    chains=args.chains,
+                    workers=args.workers,
+                    registry=registry,
+                    trace=trace,
+                    rate=args.rate,
+                )
+                result = multi.best
+                _print_anneal_result(
+                    args.rate, args.moves, result,
+                    extra=(f" x {args.chains} chains "
+                           f"(best: chain {multi.best_chain})"),
+                )
+            else:
+                result = optimize_rate(
+                    mapping, config, trace=trace, registry=registry
+                )
+                _print_anneal_result(args.rate, args.moves, result)
+    finally:
+        if trace is not None:
+            trace.close()
+    if args.metrics_out is not None and registry is not None:
+        _write_metrics(args.metrics_out, registry.snapshot())
     if args.trace is not None and args.trace != "-":
         print(f"  trace             : {args.trace}")
     if args.metrics_out is not None:
@@ -350,6 +398,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--moves", type=int, default=500)
     p.add_argument("--parallelism", type=int, default=360)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--kernel", choices=("fast", "reference"),
+                   default="fast",
+                   help="conflict-simulation kernel driving proposals")
+    p.add_argument("--chains", type=int, default=1,
+                   help="independent annealing chains (best one kept; "
+                        "deterministic for any worker count)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for multi-chain/all-rates "
+                        "runs (default: CPU count)")
+    p.add_argument("--all-rates", action="store_true",
+                   help="anneal every DVB-S2 rate and print the "
+                        "peak-buffer table (ignores --rate)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a JSONL trace with windowed acceptance "
                         "events ('-' for stdout)")

@@ -15,6 +15,19 @@ The search space is exactly the freedom the architecture leaves open
 The objective is lexicographic: first the peak write-buffer depth of the
 critical check-node phase, then total buffer pressure, then drain cycles —
 encoded as a weighted scalar.
+
+Two proposal engines drive the same annealing loop (identical RNG
+stream, identical trajectory — enforced by tests):
+
+* ``kernel="reference"`` — the seed implementation: every proposal
+  clones the schedule, runs the full ``_rebuild``, and simulates with
+  the reference deque walk of :mod:`repro.hw.conflicts`.
+* ``kernel="fast"`` (default) — incremental moves: proposals are
+  applied in place as involutive swaps (undo = re-apply), only the
+  affected address-ROM entries are patched, degenerate no-op proposals
+  skip evaluation entirely, and the cost comes from the vectorized
+  :meth:`repro.hw.fast_conflicts.CnKernelContext.cost_components` pass
+  (scalar fast kernel as fallback when the write-port limit binds).
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from ..obs.trace import TraceRecorder
 from .conflicts import (
     DEFAULT_LATENCY,
     ConflictStats,
+    _check_kernel,
     simulate_cn_phase,
     simulate_vn_phase,
 )
@@ -44,13 +58,19 @@ class AnnealingConfig:
     iterations: int = 1500
     initial_temperature: float = 4.0
     cooling: float = 0.995
-    seed: int = 1
+    #: Seed for the proposal RNG; accepts anything
+    #: :func:`numpy.random.default_rng` does (ints, ``SeedSequence`` —
+    #: the multi-chain engine passes spawned sequences).
+    seed: object = 1
     latency: int = DEFAULT_LATENCY
     n_partitions: int = DEFAULT_PARTITIONS
     write_ports: int = DEFAULT_WRITE_PORTS
     include_vn_phase: bool = False
     #: Emit one ``anneal_window`` trace event every this many proposals.
     trace_every: int = 100
+    #: Proposal engine: ``"fast"`` (incremental, default) or
+    #: ``"reference"`` (clone + rebuild + deque simulation).
+    kernel: str = "fast"
 
 
 @dataclass
@@ -63,11 +83,34 @@ class AnnealingResult:
     cost_trace: List[float] = field(default_factory=list)
     accepted_moves: int = 0
     proposed_moves: int = 0
+    #: Cost of :attr:`schedule` (the best visited state).
+    best_cost: float = float("nan")
 
     @property
     def buffer_reduction(self) -> int:
         """Peak-buffer depth saved versus the canonical schedule."""
         return self.initial_stats.peak_buffer - self.final_stats.peak_buffer
+
+
+def _cn_phase_cost(peak: int, total_deferred: int, drain: int) -> float:
+    """CN-phase share of the lexicographic objective."""
+    return 1000.0 * peak + 1.0 * total_deferred + 10.0 * drain
+
+
+def _vn_phase_cost(peak: int, total_deferred: int) -> float:
+    """VN-phase share (only with ``include_vn_phase``)."""
+    return 100.0 * peak + 0.1 * total_deferred
+
+
+def _accept_prob(delta: float, temperature: float) -> float:
+    """Metropolis acceptance probability, overflow-safe.
+
+    The exponent is clamped to ``<= 0`` so a negative ``delta`` reaching
+    this (it normally short-circuits to acceptance) cannot overflow
+    ``exp`` at tiny temperatures; for the evaluated ``delta > 0`` path
+    the clamp is exact (a no-op).
+    """
+    return float(np.exp(min(0.0, -delta / max(temperature, 1e-9))))
 
 
 def schedule_cost(
@@ -76,18 +119,253 @@ def schedule_cost(
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
     include_vn_phase: bool = False,
+    kernel: str = "fast",
 ) -> float:
     """Scalarized objective (lower is better)."""
-    cn = simulate_cn_phase(schedule, latency, n_partitions, write_ports)
-    cost = (
-        1000.0 * cn.peak_buffer
-        + 1.0 * cn.total_deferred
-        + 10.0 * cn.drain_cycles
+    cn = simulate_cn_phase(
+        schedule, latency, n_partitions, write_ports, kernel=kernel
     )
+    cost = _cn_phase_cost(cn.peak_buffer, cn.total_deferred, cn.drain_cycles)
     if include_vn_phase:
-        vn = simulate_vn_phase(schedule, latency, n_partitions, write_ports)
-        cost += 100.0 * vn.peak_buffer + 0.1 * vn.total_deferred
+        vn = simulate_vn_phase(
+            schedule, latency, n_partitions, write_ports, kernel=kernel
+        )
+        cost += _vn_phase_cost(vn.peak_buffer, vn.total_deferred)
     return cost
+
+
+class _ReferenceEngine:
+    """Seed proposal engine: clone + full rebuild + reference simulator."""
+
+    def __init__(self, mapping: IpMapping, config: AnnealingConfig) -> None:
+        self.mapping = mapping
+        self.config = config
+        self.current = DecoderSchedule.canonical(mapping)
+        self._candidate: Optional[DecoderSchedule] = None
+        self._best = self.current
+
+    def current_schedule(self) -> DecoderSchedule:
+        return self.current
+
+    def cost_of_current(self) -> float:
+        return self._cost(self.current)
+
+    def _cost(self, schedule: DecoderSchedule) -> float:
+        cfg = self.config
+        return schedule_cost(
+            schedule,
+            cfg.latency,
+            cfg.n_partitions,
+            cfg.write_ports,
+            cfg.include_vn_phase,
+            kernel="reference",
+        )
+
+    def propose(self, rng: np.random.Generator) -> float:
+        """Draw a random neighbour; returns its cost (never skips)."""
+        schedule = self.current
+        move = rng.integers(0, 3)
+        layout = schedule.layout
+        cn = schedule.cn_schedule
+        if move == 0:
+            # Swap the within-check read order of one check.
+            cn = cn.clone()
+            r = int(rng.integers(0, self.mapping.q))
+            order = cn.within_check_orders[r]
+            if len(order) >= 2:
+                i, j = rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            cn._rebuild()
+        elif move == 1:
+            # Swap two words within one group in the layout.
+            layout = layout.clone()
+            g = int(rng.integers(0, len(layout.slot_orders)))
+            order = layout.slot_orders[g]
+            if len(order) >= 2:
+                i, j = rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            layout._rebuild()
+        else:
+            # Swap two groups in the layout.
+            layout = layout.clone()
+            order = layout.group_order
+            if len(order) >= 2:
+                i, j = rng.choice(len(order), size=2, replace=False)
+                order[i], order[j] = order[j], order[i]
+            layout._rebuild()
+        self._candidate = DecoderSchedule(layout=layout, cn_schedule=cn)
+        return self._cost(self._candidate)
+
+    def commit(self) -> None:
+        self.current = self._candidate
+        self._candidate = None
+
+    def reject(self) -> None:
+        self._candidate = None
+
+    def snapshot_best(self) -> None:
+        self._best = self.current
+
+    def best_schedule(self) -> DecoderSchedule:
+        return self._best
+
+
+class _FastEngine:
+    """Incremental proposal engine: in-place involutive swap moves.
+
+    The working schedule state lives in mutable arrays (``read_order``,
+    ``word_at``/``phys``, the address ROM and its inverse); a proposal
+    applies one swap, patches only the affected ROM entries, and
+    evaluates through :meth:`CnKernelContext.cost_components`.  A
+    rejected proposal is undone by re-applying the same swap.  Draws
+    from the RNG in exactly the reference engine's order, so both
+    engines walk identical trajectories for a given seed.
+    """
+
+    def __init__(self, mapping: IpMapping, config: AnnealingConfig) -> None:
+        from .fast_conflicts import CnKernelContext, simulate_vn_phase_fast
+
+        self.mapping = mapping
+        self.config = config
+        self.layout = MemoryLayout.canonical(mapping)
+        self.cn = CnPhaseSchedule.canonical(mapping)
+        self.ctx = CnKernelContext(
+            self.cn.check_bounds,
+            config.latency,
+            config.n_partitions,
+            config.write_ports,
+        )
+        self._simulate_vn = simulate_vn_phase_fast
+        n = mapping.n_words
+        self.rom = self.layout.phys[self.cn.read_order]
+        self.pos_of_word = np.empty(n, dtype=np.int64)
+        self.pos_of_word[self.cn.read_order] = np.arange(n)
+        self.q = mapping.q
+        self.n_groups = len(self.layout.slot_orders)
+        self._vn_cost = (
+            self._eval_vn() if config.include_vn_phase else 0.0
+        )
+        self._pending = None
+        self._pending_vn_cost = self._vn_cost
+        self._best = None
+        self.snapshot_best()
+
+    # -- evaluation ----------------------------------------------------
+    def _eval_cn(self) -> float:
+        components = self.ctx.cost_components(self.rom)
+        if components is None:  # write-port limit binds: exact fallback
+            stats = self.ctx.stats(self.rom)
+            components = (
+                stats.peak_buffer, stats.total_deferred, stats.drain_cycles
+            )
+        return _cn_phase_cost(*components)
+
+    def _eval_vn(self) -> float:
+        cfg = self.config
+        stats = self._simulate_vn(
+            DecoderSchedule(layout=self.layout, cn_schedule=self.cn),
+            cfg.latency, cfg.n_partitions, cfg.write_ports,
+        )
+        return _vn_phase_cost(stats.peak_buffer, stats.total_deferred)
+
+    def current_schedule(self) -> DecoderSchedule:
+        return DecoderSchedule(layout=self.layout, cn_schedule=self.cn)
+
+    def cost_of_current(self) -> float:
+        return self._eval_cn() + self._vn_cost
+
+    # -- move application ----------------------------------------------
+    def _swap_read_positions(self, a: int, b: int) -> None:
+        rom = self.rom
+        rom[a], rom[b] = rom[b], rom[a]
+        read_order = self.cn.read_order
+        self.pos_of_word[read_order[a]] = a
+        self.pos_of_word[read_order[b]] = b
+
+    def _apply_cn_swap(self, r: int, i: int, j: int) -> None:
+        a, b = self.cn.swap_within_check(r, i, j)
+        self._swap_read_positions(a, b)
+
+    def _apply_slot_swap(self, g: int, i: int, j: int) -> None:
+        w1, w2 = self.layout.swap_slots(g, i, j)
+        p1, p2 = self.pos_of_word[w1], self.pos_of_word[w2]
+        rom = self.rom
+        rom[p1], rom[p2] = rom[p2], rom[p1]
+
+    def _apply_group_swap(self, pi: int, pj: int) -> None:
+        for start, end in self.layout.swap_groups(pi, pj):
+            words = self.layout.word_at[start:end]
+            self.rom[self.pos_of_word[words]] = np.arange(start, end)
+
+    def propose(self, rng: np.random.Generator) -> Optional[float]:
+        """Apply a random neighbour move in place; ``None`` if no-op.
+
+        The RNG draw order matches :class:`_ReferenceEngine.propose`
+        draw for draw; degenerate proposals (an order too short to
+        swap) consume the same draws but skip the evaluation — the
+        reference engine evaluates an identical schedule there and gets
+        ``delta == 0``, accepted without a further draw either way.
+        """
+        move = rng.integers(0, 3)
+        if move == 0:
+            r = int(rng.integers(0, self.q))
+            order = self.cn.within_check_orders[r]
+            if len(order) < 2:
+                return None
+            i, j = rng.choice(len(order), size=2, replace=False)
+            self._pending = ("cn", r, int(i), int(j))
+            self._apply_cn_swap(r, int(i), int(j))
+        elif move == 1:
+            g = int(rng.integers(0, self.n_groups))
+            order = self.layout.slot_orders[g]
+            if len(order) < 2:
+                return None
+            i, j = rng.choice(len(order), size=2, replace=False)
+            self._pending = ("slot", g, int(i), int(j))
+            self._apply_slot_swap(g, int(i), int(j))
+        else:
+            if self.n_groups < 2:
+                return None
+            i, j = rng.choice(self.n_groups, size=2, replace=False)
+            self._pending = ("group", int(i), int(j))
+            self._apply_group_swap(int(i), int(j))
+        if self.config.include_vn_phase and self._pending[0] == "group":
+            # Only group placement changes the VN-phase node bounds.
+            self._pending_vn_cost = self._eval_vn()
+        else:
+            self._pending_vn_cost = self._vn_cost
+        return self._eval_cn() + self._pending_vn_cost
+
+    def commit(self) -> None:
+        self._vn_cost = self._pending_vn_cost
+        self._pending = None
+
+    def reject(self) -> None:
+        """Undo the pending move (every move is an involutive swap)."""
+        pending = self._pending
+        if pending[0] == "cn":
+            self._apply_cn_swap(*pending[1:])
+        elif pending[0] == "slot":
+            self._apply_slot_swap(*pending[1:])
+        else:
+            self._apply_group_swap(*pending[1:])
+        self._pending = None
+
+    # -- best tracking -------------------------------------------------
+    def snapshot_best(self) -> None:
+        """Record the current state as cheap array copies."""
+        self._best = (
+            self.layout.group_order.copy(),
+            [o.copy() for o in self.layout.slot_orders],
+            [o.copy() for o in self.cn.within_check_orders],
+        )
+
+    def best_schedule(self) -> DecoderSchedule:
+        group_order, slot_orders, within_orders = self._best
+        return DecoderSchedule(
+            layout=MemoryLayout(self.mapping, group_order, slot_orders),
+            cn_schedule=CnPhaseSchedule(self.mapping, within_orders),
+        )
 
 
 class AddressingAnnealer:
@@ -102,6 +380,7 @@ class AddressingAnnealer:
     ) -> None:
         self.mapping = mapping
         self.config = config or AnnealingConfig()
+        _check_kernel(self.config.kernel)
         self.trace = trace
         self.registry = registry
         self._rng = np.random.default_rng(self.config.seed)
@@ -110,34 +389,49 @@ class AddressingAnnealer:
     def run(self) -> AnnealingResult:
         """Anneal from the canonical schedule; deterministic given seed."""
         cfg = self.config
-        current = DecoderSchedule.canonical(self.mapping)
+        engine = (
+            _FastEngine(self.mapping, cfg)
+            if cfg.kernel == "fast"
+            else _ReferenceEngine(self.mapping, cfg)
+        )
         initial_stats = simulate_cn_phase(
-            current,
+            engine.current_schedule(),
             cfg.latency,
             cfg.n_partitions,
             cfg.write_ports,
             registry=self.registry,
+            kernel=cfg.kernel,
         )
-        current_cost = self._cost(current)
-        best = current
+        current_cost = engine.cost_of_current()
         best_cost = current_cost
+        engine.snapshot_best()
         temperature = cfg.initial_temperature
         trace: List[float] = [current_cost]
         accepted = 0
         window_accepted = 0
         window = max(1, cfg.trace_every)
         for move in range(1, cfg.iterations + 1):
-            candidate = self._propose(current)
-            cand_cost = self._cost(candidate)
-            delta = cand_cost - current_cost
-            if delta <= 0 or self._rng.random() < np.exp(
-                -delta / max(temperature, 1e-9)
-            ):
-                current, current_cost = candidate, cand_cost
+            cand_cost = engine.propose(self._rng)
+            if cand_cost is None:
+                # Degenerate no-op proposal: the reference engine would
+                # evaluate an unchanged schedule, see delta == 0, and
+                # accept without drawing the acceptance uniform.
                 accepted += 1
                 window_accepted += 1
-                if cand_cost < best_cost:
-                    best, best_cost = candidate, cand_cost
+            else:
+                delta = cand_cost - current_cost
+                if delta <= 0 or self._rng.random() < _accept_prob(
+                    delta, temperature
+                ):
+                    engine.commit()
+                    current_cost = cand_cost
+                    accepted += 1
+                    window_accepted += 1
+                    if cand_cost < best_cost:
+                        best_cost = cand_cost
+                        engine.snapshot_best()
+                else:
+                    engine.reject()
             temperature *= cfg.cooling
             trace.append(current_cost)
             if self.trace is not None and (
@@ -158,12 +452,14 @@ class AddressingAnnealer:
         if self.registry is not None and self.registry.enabled:
             self.registry.counter("hw.anneal.proposed").inc(cfg.iterations)
             self.registry.counter("hw.anneal.accepted").inc(accepted)
+        best = engine.best_schedule()
         final_stats = simulate_cn_phase(
             best,
             cfg.latency,
             cfg.n_partitions,
             cfg.write_ports,
             registry=self.registry,
+            kernel=cfg.kernel,
         )
         if self.trace is not None:
             self.trace.event(
@@ -181,51 +477,8 @@ class AddressingAnnealer:
             cost_trace=trace,
             accepted_moves=accepted,
             proposed_moves=cfg.iterations,
+            best_cost=float(best_cost),
         )
-
-    # ------------------------------------------------------------------
-    def _cost(self, schedule: DecoderSchedule) -> float:
-        cfg = self.config
-        return schedule_cost(
-            schedule,
-            cfg.latency,
-            cfg.n_partitions,
-            cfg.write_ports,
-            cfg.include_vn_phase,
-        )
-
-    def _propose(self, schedule: DecoderSchedule) -> DecoderSchedule:
-        """Random neighbour: one of the three legal move types."""
-        move = self._rng.integers(0, 3)
-        layout = schedule.layout
-        cn = schedule.cn_schedule
-        if move == 0:
-            # Swap the within-check read order of one check.
-            cn = cn.clone()
-            r = int(self._rng.integers(0, self.mapping.q))
-            order = cn.within_check_orders[r]
-            if len(order) >= 2:
-                i, j = self._rng.choice(len(order), size=2, replace=False)
-                order[i], order[j] = order[j], order[i]
-            cn._rebuild()
-        elif move == 1:
-            # Swap two words within one group in the layout.
-            layout = layout.clone()
-            g = int(self._rng.integers(0, len(layout.slot_orders)))
-            order = layout.slot_orders[g]
-            if len(order) >= 2:
-                i, j = self._rng.choice(len(order), size=2, replace=False)
-                order[i], order[j] = order[j], order[i]
-            layout._rebuild()
-        else:
-            # Swap two groups in the layout.
-            layout = layout.clone()
-            order = layout.group_order
-            if len(order) >= 2:
-                i, j = self._rng.choice(len(order), size=2, replace=False)
-                order[i], order[j] = order[j], order[i]
-            layout._rebuild()
-        return DecoderSchedule(layout=layout, cn_schedule=cn)
 
 
 def optimize_rate(

@@ -35,6 +35,12 @@ DEFAULT_LATENCY = 3
 BUFFER_OCCUPANCY_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
 
 
+#: Selectable simulation kernels: the reference deque walk of
+#: :func:`_simulate` and the vectorized kernel of
+#: :mod:`repro.hw.fast_conflicts` (bit-identical statistics).
+KERNELS = ("reference", "fast")
+
+
 @dataclass
 class ConflictStats:
     """Result of simulating one memory phase.
@@ -109,19 +115,24 @@ def _simulate(
         # Accept up to write_ports writes to distinct partitions, none of
         # which may collide with the partition being read.
         used_parts = set()
-        accepted: List[int] = []
+        accepted_idx: List[int] = []
         blocked = False
-        for addr in list(buffer):
-            if len(accepted) >= write_ports:
+        for idx, addr in enumerate(buffer):
+            if len(accepted_idx) >= write_ports:
                 break
             part = addr % n_partitions
             if part == read_part or part in used_parts:
                 blocked = True
                 continue
             used_parts.add(part)
-            accepted.append(addr)
-        for addr in accepted:
-            buffer.remove(addr)
+            accepted_idx.append(idx)
+        if accepted_idx:
+            # Drain accepted writes by index (one linear rebuild) rather
+            # than value-scanning removal, which was O(n^2) per cycle.
+            drop = set(accepted_idx)
+            buffer = deque(
+                addr for idx, addr in enumerate(buffer) if idx not in drop
+            )
         if blocked and buffer:
             blocked_cycles += 1
         peak = max(peak, len(buffer))
@@ -139,19 +150,29 @@ def _simulate(
         blocked_write_cycles=blocked_cycles,
         drain_cycles=cycle - n_reads,
     )
-    if registry is not None and registry.enabled:
-        registry.counter(f"{metric_prefix}.phases").inc()
-        registry.counter(f"{metric_prefix}.cycles").inc(stats.cycles)
-        registry.counter(
-            f"{metric_prefix}.blocked_write_cycles"
-        ).inc(stats.blocked_write_cycles)
-        registry.counter(
-            f"{metric_prefix}.drain_cycles"
-        ).inc(stats.drain_cycles)
-        registry.histogram(
-            f"{metric_prefix}.peak_buffer", BUFFER_OCCUPANCY_BUCKETS
-        ).observe(stats.peak_buffer)
+    _record_phase_metrics(registry, metric_prefix, stats)
     return stats
+
+
+def _record_phase_metrics(
+    registry: Optional[MetricsRegistry],
+    metric_prefix: str,
+    stats: ConflictStats,
+) -> None:
+    """Fold one phase's totals into the registry (shared by kernels)."""
+    if registry is None or not registry.enabled:
+        return
+    registry.counter(f"{metric_prefix}.phases").inc()
+    registry.counter(f"{metric_prefix}.cycles").inc(stats.cycles)
+    registry.counter(
+        f"{metric_prefix}.blocked_write_cycles"
+    ).inc(stats.blocked_write_cycles)
+    registry.counter(
+        f"{metric_prefix}.drain_cycles"
+    ).inc(stats.drain_cycles)
+    registry.histogram(
+        f"{metric_prefix}.peak_buffer", BUFFER_OCCUPANCY_BUCKETS
+    ).observe(stats.peak_buffer)
 
 
 def cn_phase_emissions(
@@ -196,14 +217,29 @@ def vn_phase_emissions(
     return emissions
 
 
+def _check_kernel(kernel: str) -> None:
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown conflict kernel {kernel!r}; choose from {KERNELS}"
+        )
+
+
 def simulate_cn_phase(
     schedule: DecoderSchedule,
     latency: int = DEFAULT_LATENCY,
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
     registry: Optional[MetricsRegistry] = None,
+    kernel: str = "reference",
 ) -> ConflictStats:
     """Simulate the critical check-node phase of one half iteration."""
+    _check_kernel(kernel)
+    if kernel == "fast":
+        from .fast_conflicts import simulate_cn_phase_fast
+
+        return simulate_cn_phase_fast(
+            schedule, latency, n_partitions, write_ports, registry=registry
+        )
     read_addrs = schedule.address_rom()
     emissions = cn_phase_emissions(schedule, latency)
     return _simulate(
@@ -218,8 +254,16 @@ def simulate_vn_phase(
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
     registry: Optional[MetricsRegistry] = None,
+    kernel: str = "reference",
 ) -> ConflictStats:
     """Simulate the variable-node phase (benign: reads rotate partitions)."""
+    _check_kernel(kernel)
+    if kernel == "fast":
+        from .fast_conflicts import simulate_vn_phase_fast
+
+        return simulate_vn_phase_fast(
+            schedule, latency, n_partitions, write_ports, registry=registry
+        )
     n = schedule.mapping.n_words
     read_addrs = np.arange(n)
     emissions = vn_phase_emissions(schedule, latency)
@@ -235,13 +279,14 @@ def simulate_iteration(
     n_partitions: int = DEFAULT_PARTITIONS,
     write_ports: int = DEFAULT_WRITE_PORTS,
     registry: Optional[MetricsRegistry] = None,
+    kernel: str = "reference",
 ) -> Tuple[ConflictStats, ConflictStats]:
     """Simulate one full iteration: ``(vn_stats, cn_stats)``."""
     return (
         simulate_vn_phase(
-            schedule, latency, n_partitions, write_ports, registry
+            schedule, latency, n_partitions, write_ports, registry, kernel
         ),
         simulate_cn_phase(
-            schedule, latency, n_partitions, write_ports, registry
+            schedule, latency, n_partitions, write_ports, registry, kernel
         ),
     )

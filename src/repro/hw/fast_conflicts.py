@@ -1,0 +1,530 @@
+"""Vectorized RAM write-conflict kernel (fast path of :mod:`.conflicts`).
+
+The reference simulator (:func:`repro.hw.conflicts._simulate`) walks a
+``deque`` cycle by cycle, re-deriving partitions with Python modulos and
+scanning the buffer per accept — fine for one phase, ruinous inside the
+annealer, which evaluates thousands of candidate schedules.  This module
+produces **bit-identical** :class:`~repro.hw.conflicts.ConflictStats`
+from a reformulated simulation:
+
+* all per-cycle inputs (read partitions, emission partitions, emission
+  arrival offsets) are precomputed as numpy array passes;
+* the write buffer is represented as one FIFO *per partition* holding
+  arrival sequence numbers.  Because the reference arbiter accepts the
+  first ``write_ports`` distinct eligible partitions in FIFO order, and
+  the first occurrence of a partition in the FIFO is exactly that
+  partition's oldest element, acceptance reduces to "pop the
+  ``write_ports`` eligible partitions with the smallest head arrival";
+* the reference's *blocked* flag (some pending write examined but
+  skipped) is recovered without traversing the buffer: with ``A`` the
+  largest accepted arrival, a skip happened iff the read partition's
+  head or an accepted partition's successor element is older than ``A``
+  (non-accepted eligible heads are provably younger than ``A``), and in
+  the undersubscribed case iff anything at all remains buffered.
+
+The cycle recurrence itself is inherently sequential (the buffer feeds
+back), so the remaining loop runs over plain Python ints on
+pre-extracted lists — ~30x faster than the deque walk and, much more
+importantly for annealing, reusable: :class:`CnKernelContext` freezes
+everything that does not depend on the addressing (emission timing,
+arrival order) so evaluating a candidate schedule is two vectorized
+array passes plus the scalar recurrence.
+
+Equivalence with the reference is enforced by
+``tests/test_fast_conflicts.py`` across randomized schedules and
+synthetic traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry
+from .conflicts import (
+    BUFFER_OCCUPANCY_BUCKETS,
+    DEFAULT_LATENCY,
+    ConflictStats,
+    _record_phase_metrics,
+)
+from .memory import DEFAULT_PARTITIONS, DEFAULT_WRITE_PORTS
+from .schedule import DecoderSchedule
+
+
+#: Arrival sentinel for "partition queue empty" in the scalar recurrence.
+_INF = 1 << 62
+
+
+def _fast_core(
+    read_parts: List[int],
+    emit_parts: List[int],
+    emit_bounds: List[int],
+    last_emission: int,
+    n_partitions: int,
+    write_ports: int,
+    occupancy=None,
+    skip: Optional[List[int]] = None,
+) -> ConflictStats:
+    """The sequential recurrence over precomputed per-cycle inputs.
+
+    Parameters
+    ----------
+    read_parts:
+        Partition read at each read cycle (plain ints).
+    emit_parts:
+        Partition of every emitted write, in arrival (cycle, FIFO) order.
+    emit_bounds:
+        ``emit_bounds[c]:emit_bounds[c+1]`` slices the arrivals of cycle
+        ``c``; length ``last_emission + 2`` (empty when no emissions).
+    occupancy:
+        Optional histogram observing the end-of-cycle buffer depth
+        (metric parity with the reference simulator).
+    skip:
+        Optional jump table from :func:`_skip_table`: ``skip[c]`` is the
+        first cycle ``>= c`` that can do *anything* to an empty buffer.
+        Runs of trivial cycles (no arrival, or arrivals that the ports
+        accept on the spot) are then jumped over in one step — they
+        leave every statistic untouched.  Mutually exclusive with
+        ``occupancy``, which needs one observation per cycle.
+    """
+    n_reads = len(read_parts)
+    end_pad = n_reads if n_reads > last_emission + 1 else last_emission + 1
+    queues: List[List[int]] = [[] for _ in range(n_partitions)]
+    heads = [0] * n_partitions
+    head_val = [_INF] * n_partitions
+    used = [False] * n_partitions
+    accepted = [0] * (write_ports if write_ports > 0 else 1)
+    buffer_size = 0
+    peak = 0
+    total_deferred = 0
+    blocked_cycles = 0
+    cycle = 0
+    limit = 100 * (n_reads + 10)
+    while cycle < n_reads or buffer_size or cycle <= last_emission:
+        if skip is not None and buffer_size == 0:
+            nxt = skip[cycle] if cycle < end_pad else end_pad
+            if nxt != cycle:
+                cycle = nxt
+                continue
+        if cycle <= last_emission:
+            e0 = emit_bounds[cycle]
+            e1 = emit_bounds[cycle + 1]
+            if e1 > e0:
+                buffer_size += e1 - e0
+                while e0 < e1:
+                    part = emit_parts[e0]
+                    queue = queues[part]
+                    if heads[part] == len(queue):
+                        head_val[part] = e0
+                    queue.append(e0)
+                    e0 += 1
+        read_part = read_parts[cycle] if cycle < n_reads else -1
+        if buffer_size and write_ports > 0:
+            # Accept the up-to-write_ports oldest heads of distinct
+            # eligible partitions (== the reference's FIFO traversal).
+            n_accepted = 0
+            newest = -1
+            for _ in range(write_ports):
+                best = _INF
+                best_part = -1
+                for part in range(n_partitions):
+                    value = head_val[part]
+                    if value < best and part != read_part and not used[part]:
+                        best = value
+                        best_part = part
+                if best_part < 0:
+                    break
+                used[best_part] = True
+                queue = queues[best_part]
+                head = heads[best_part] + 1
+                heads[best_part] = head
+                head_val[best_part] = (
+                    queue[head] if head < len(queue) else _INF
+                )
+                accepted[n_accepted] = best_part
+                n_accepted += 1
+                if best > newest:
+                    newest = best
+            buffer_size -= n_accepted
+            if n_accepted == write_ports:
+                # Ports saturated: the reference stops examining the
+                # FIFO right after its write_ports-th accept, so a skip
+                # happened iff something older than the newest accepted
+                # arrival was passed over — the read partition's head or
+                # an accepted partition's successor (non-accepted
+                # eligible heads are provably newer).
+                blocked = (
+                    read_part >= 0 and head_val[read_part] < newest
+                )
+                if not blocked:
+                    for slot in range(n_accepted):
+                        if head_val[accepted[slot]] < newest:
+                            blocked = True
+                            break
+            else:
+                # Undersubscribed: the whole FIFO was examined, so any
+                # remaining element was a skip.
+                blocked = buffer_size > 0
+            for slot in range(n_accepted):
+                used[accepted[slot]] = False
+            if blocked:
+                blocked_cycles += 1
+        if buffer_size > peak:
+            peak = buffer_size
+        total_deferred += buffer_size
+        if occupancy is not None:
+            occupancy.observe(buffer_size)
+        cycle += 1
+        if cycle > limit:  # pragma: no cover - safety net
+            raise RuntimeError("conflict simulation did not terminate")
+    return ConflictStats(
+        cycles=cycle,
+        read_cycles=n_reads,
+        peak_buffer=peak,
+        total_deferred=total_deferred,
+        blocked_write_cycles=blocked_cycles,
+        drain_cycles=cycle - n_reads,
+    )
+
+
+def _skip_table(
+    read_parts: np.ndarray,
+    emit_parts: np.ndarray,
+    emit_bounds: np.ndarray,
+    last_emission: int,
+    n_partitions: int,
+    write_ports: int,
+) -> List[int]:
+    """Jump table over *trivial* cycles, built in pure array passes.
+
+    A cycle is trivial for an **empty** buffer when it has no arrivals,
+    or when its arrivals are accepted on the spot: one arrival to a
+    partition other than the one being read, or two arrivals to two
+    distinct such partitions with two write ports.  Such cycles change
+    no statistic, so the recurrence may hop straight to ``skip[c]``, the
+    next non-trivial cycle.
+    """
+    n_reads = len(read_parts)
+    end_pad = max(n_reads, last_emission + 1)
+    counts = np.zeros(end_pad, dtype=np.int64)
+    if last_emission >= 0:
+        counts[: last_emission + 1] = np.diff(emit_bounds)
+    reads = np.full(end_pad, -1, dtype=np.int64)
+    reads[:n_reads] = read_parts
+    first = np.full(end_pad, -2, dtype=np.int64)
+    second = np.full(end_pad, -3, dtype=np.int64)
+    if last_emission >= 0:
+        has1 = counts >= 1
+        has2 = counts >= 2
+        first[has1] = emit_parts[emit_bounds[:-1][has1[: last_emission + 1]]]
+        second[has2] = emit_parts[
+            emit_bounds[:-1][has2[: last_emission + 1]] + 1
+        ]
+    trivial = counts == 0
+    if write_ports >= 1:
+        trivial |= (counts == 1) & (first != reads)
+    if write_ports >= 2:
+        trivial |= (
+            (counts == 2)
+            & (first != reads)
+            & (second != reads)
+            & (first != second)
+        )
+    nxt = np.arange(end_pad, dtype=np.int64)
+    nxt[trivial] = end_pad
+    return np.minimum.accumulate(nxt[::-1])[::-1].tolist()
+
+
+def _arrival_arrays(
+    emit_cycles: np.ndarray,
+) -> Tuple[np.ndarray, List[int], int]:
+    """Sort emissions into arrival order and bucket them by cycle.
+
+    Returns ``(order, emit_bounds, last_emission)`` where ``order``
+    permutes emission-insertion order into arrival order.  The stable
+    sort preserves insertion order within a cycle — exactly the FIFO
+    order the reference's ``setdefault(...).append`` produces.
+    """
+    if emit_cycles.size == 0:
+        return np.empty(0, dtype=np.int64), [0], -1
+    order = np.argsort(emit_cycles, kind="stable")
+    last_emission = int(emit_cycles[order[-1]])
+    counts = np.bincount(emit_cycles, minlength=last_emission + 1)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    return order, bounds.tolist(), last_emission
+
+
+def _emissions_from_dict(
+    emissions: Dict[int, List[int]]
+) -> Tuple[np.ndarray, List[int], int]:
+    """Flatten a reference-style ``cycle -> [addr]`` emission dict."""
+    if not emissions:
+        return np.empty(0, dtype=np.int64), [0], -1
+    addrs: List[int] = []
+    cycles: List[int] = []
+    for cycle in sorted(emissions):
+        row = emissions[cycle]
+        addrs.extend(row)
+        cycles.extend([cycle] * len(row))
+    order, bounds, last = _arrival_arrays(np.asarray(cycles, dtype=np.int64))
+    return np.asarray(addrs, dtype=np.int64)[order], bounds, last
+
+
+def simulate_phase_fast(
+    read_addrs: np.ndarray,
+    emissions: Dict[int, List[int]],
+    n_partitions: int,
+    write_ports: int,
+    registry: Optional[MetricsRegistry] = None,
+    metric_prefix: str = "hw.conflicts",
+) -> ConflictStats:
+    """Drop-in fast equivalent of :func:`repro.hw.conflicts._simulate`."""
+    read_addrs = np.asarray(read_addrs, dtype=np.int64)
+    emit_addrs, emit_bounds, last_emission = _emissions_from_dict(emissions)
+    read_parts = read_addrs % n_partitions
+    emit_parts = emit_addrs % n_partitions
+    occupancy = None
+    skip = None
+    if registry is not None and registry.enabled:
+        occupancy = registry.histogram(
+            f"{metric_prefix}.buffer_occupancy", BUFFER_OCCUPANCY_BUCKETS
+        )
+    else:
+        skip = _skip_table(
+            read_parts, emit_parts, np.asarray(emit_bounds),
+            last_emission, n_partitions, write_ports,
+        )
+    stats = _fast_core(
+        read_parts.tolist(),
+        emit_parts.tolist(),
+        emit_bounds,
+        last_emission,
+        n_partitions,
+        write_ports,
+        occupancy=occupancy,
+        skip=skip,
+    )
+    _record_phase_metrics(registry, metric_prefix, stats)
+    return stats
+
+
+def _phase_emission_cycles(bounds: np.ndarray, latency: int) -> np.ndarray:
+    """Emission cycle of every read position, in read order.
+
+    Both phases obey the same law (see
+    :func:`repro.hw.conflicts.cn_phase_emissions`): the ``j``-th output
+    of a node/check whose reads span ``[start, end)`` leaves at cycle
+    ``(end - 1) + latency + j``.
+    """
+    widths = np.diff(bounds)
+    starts = np.repeat(bounds[:-1], widths)
+    ends = np.repeat(bounds[1:], widths)
+    idx = np.arange(int(bounds[-1]))
+    return (ends - 1) + latency + (idx - starts)
+
+
+class CnKernelContext:
+    """Frozen CN-phase timing for repeated candidate evaluation.
+
+    Everything here depends only on the check bounds (fixed across every
+    annealing move — within-check orders permute reads inside a check
+    without changing its span) and on the latency/partition/port
+    configuration.  A candidate schedule is then characterized entirely
+    by its address ROM, and :meth:`stats` is two vectorized passes plus
+    the scalar recurrence.
+    """
+
+    def __init__(
+        self,
+        check_bounds: np.ndarray,
+        latency: int = DEFAULT_LATENCY,
+        n_partitions: int = DEFAULT_PARTITIONS,
+        write_ports: int = DEFAULT_WRITE_PORTS,
+    ) -> None:
+        self.latency = latency
+        self.n_partitions = n_partitions
+        self.write_ports = write_ports
+        cycles = _phase_emission_cycles(
+            np.asarray(check_bounds, dtype=np.int64), latency
+        )
+        order, bounds, last = _arrival_arrays(cycles)
+        #: Read position feeding the i-th arriving write-back.
+        self.emit_src = order
+        self.emit_bounds = bounds
+        self.last_emission = last
+        self._emit_bounds_np = np.asarray(bounds, dtype=np.int64)
+        #: Emission cycle per read position (insertion order).
+        self._ins_cycles = cycles
+        n_reads = int(check_bounds[-1])
+        self._end_pad = max(n_reads, last + 1)
+        self._read_idx = np.arange(n_reads)
+
+    @classmethod
+    def for_schedule(
+        cls,
+        schedule: DecoderSchedule,
+        latency: int = DEFAULT_LATENCY,
+        n_partitions: int = DEFAULT_PARTITIONS,
+        write_ports: int = DEFAULT_WRITE_PORTS,
+    ) -> "CnKernelContext":
+        return cls(
+            schedule.cn_schedule.check_bounds, latency, n_partitions,
+            write_ports,
+        )
+
+    def cost_components(
+        self, address_rom: np.ndarray
+    ) -> Optional[Tuple[int, int, int]]:
+        """``(peak_buffer, total_deferred, drain_cycles)`` without a loop.
+
+        As long as the write-port limit never binds, each partition's
+        queue evolves independently under the Lindley recurrence
+        ``L = max(0, L + arrivals - service)`` (service opportunity every
+        cycle except when that partition is being read), which vectorizes
+        as a cumulative sum minus its running minimum.  The port limit
+        binds only when more than ``write_ports`` distinct partitions
+        hold pending writes in one cycle — checked exactly from the
+        unconstrained solution (the first violating cycle is computed
+        from pre-violation state, so it cannot be masked).  Returns
+        ``None`` when the limit binds anywhere (including the drain
+        tail); callers then fall back to :meth:`stats`.
+
+        These are exactly the components :func:`repro.hw.annealing
+        .schedule_cost` consumes, so the annealer's inner loop can use
+        this pass and reserve the scalar recurrence for full
+        :class:`ConflictStats` (which additionally needs the blocked
+        flag's FIFO traversal semantics).
+        """
+        n_partitions = self.n_partitions
+        write_ports = self.write_ports
+        end_pad = self._end_pad
+        if write_ports <= 0 or end_pad == 0:
+            return None
+        read_parts = address_rom % n_partitions
+        n_reads = read_parts.size
+        # Arrival counts per (partition, cycle): the write sourced from
+        # read position i lands in partition read_parts[i] at the fixed
+        # cycle _ins_cycles[i] (bincount needs no arrival ordering).
+        arrivals = np.bincount(
+            read_parts * end_pad + self._ins_cycles,
+            minlength=n_partitions * end_pad,
+        ).reshape(n_partitions, end_pad)
+        service = np.ones((n_partitions, end_pad), dtype=np.int64)
+        service[read_parts, self._read_idx] = 0
+        walk = np.cumsum(arrivals - service, axis=1)
+        floor = np.minimum.accumulate(walk, axis=1)
+        np.minimum(floor, 0, out=floor)
+        occupancy = walk - floor  # per-partition end-of-cycle queue depth
+        # Exact port-binding check: eligible pending partitions per cycle.
+        pending = np.empty_like(occupancy)
+        pending[:, 0] = arrivals[:, 0]
+        np.add(occupancy[:, :-1], arrivals[:, 1:], out=pending[:, 1:])
+        nonzero = pending > 0
+        eligible = nonzero.sum(axis=0)
+        eligible[:n_reads] -= nonzero[read_parts, self._read_idx]
+        if int(eligible.max(initial=0)) > write_ports:
+            return None
+        residual = occupancy[:, -1]
+        if int(np.count_nonzero(residual)) > write_ports:
+            return None
+        total = occupancy.sum(axis=0)
+        peak = int(total.max(initial=0))
+        # Past end_pad no reads or arrivals remain and at most
+        # write_ports partitions hold writes, so each drains one per
+        # cycle: a closed-form tail.
+        deferred = int(total.sum() + (residual * (residual - 1) // 2).sum())
+        drain = end_pad + int(residual.max(initial=0)) - n_reads
+        return peak, deferred, drain
+
+    def stats(
+        self,
+        address_rom: np.ndarray,
+        registry: Optional[MetricsRegistry] = None,
+        metric_prefix: str = "hw.conflicts.cn",
+    ) -> ConflictStats:
+        """Conflict statistics of the schedule with this address ROM."""
+        read_parts = address_rom % self.n_partitions
+        emit_parts = read_parts[self.emit_src]
+        occupancy = None
+        skip = None
+        if registry is not None and registry.enabled:
+            occupancy = registry.histogram(
+                f"{metric_prefix}.buffer_occupancy",
+                BUFFER_OCCUPANCY_BUCKETS,
+            )
+        else:
+            skip = _skip_table(
+                read_parts, emit_parts, self._emit_bounds_np,
+                self.last_emission, self.n_partitions, self.write_ports,
+            )
+        stats = _fast_core(
+            read_parts.tolist(),
+            emit_parts.tolist(),
+            self.emit_bounds,
+            self.last_emission,
+            self.n_partitions,
+            self.write_ports,
+            occupancy=occupancy,
+            skip=skip,
+        )
+        _record_phase_metrics(registry, metric_prefix, stats)
+        return stats
+
+
+def simulate_cn_phase_fast(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+    registry: Optional[MetricsRegistry] = None,
+) -> ConflictStats:
+    """Fast equivalent of :func:`repro.hw.conflicts.simulate_cn_phase`."""
+    ctx = CnKernelContext.for_schedule(
+        schedule, latency, n_partitions, write_ports
+    )
+    return ctx.stats(schedule.address_rom(), registry=registry)
+
+
+def simulate_vn_phase_fast(
+    schedule: DecoderSchedule,
+    latency: int = DEFAULT_LATENCY,
+    n_partitions: int = DEFAULT_PARTITIONS,
+    write_ports: int = DEFAULT_WRITE_PORTS,
+    registry: Optional[MetricsRegistry] = None,
+) -> ConflictStats:
+    """Fast equivalent of :func:`repro.hw.conflicts.simulate_vn_phase`.
+
+    VN-phase reads increment through the RAM and every output writes
+    back to the address it was read from, so both the read trace and the
+    emission addresses are the identity — only the node bounds (layout
+    group sizes in placement order) shape the timing.
+    """
+    n = schedule.mapping.n_words
+    cycles = _phase_emission_cycles(schedule.vn_node_bounds(), latency)
+    order, emit_bounds, last_emission = _arrival_arrays(cycles)
+    reads = np.arange(n, dtype=np.int64) % n_partitions
+    emit_parts = order % n_partitions
+    occupancy = None
+    skip = None
+    if registry is not None and registry.enabled:
+        occupancy = registry.histogram(
+            "hw.conflicts.vn.buffer_occupancy", BUFFER_OCCUPANCY_BUCKETS
+        )
+    else:
+        skip = _skip_table(
+            reads, emit_parts, np.asarray(emit_bounds),
+            last_emission, n_partitions, write_ports,
+        )
+    stats = _fast_core(
+        reads.tolist(),
+        emit_parts.tolist(),
+        emit_bounds,
+        last_emission,
+        n_partitions,
+        write_ports,
+        occupancy=occupancy,
+        skip=skip,
+    )
+    _record_phase_metrics(registry, "hw.conflicts.vn", stats)
+    return stats

@@ -1,0 +1,343 @@
+"""Parallel multi-chain annealing of the RAM addressing, across rates.
+
+The paper's memory claim (Section 4) is an *all-rates* statement: one
+small write buffer suffices for every DVB-S2 code rate because each
+rate's addressing scheme is annealed offline.  This module makes that
+sweep a first-class, fast workload on top of the incremental annealer:
+
+* **multi-chain** — ``chains`` independent annealing runs per rate,
+  seeded from the children of one :class:`numpy.random.SeedSequence`,
+  with the best chain (ties broken by chain index) kept.  Chain ``c`` of
+  rate ``i`` always gets the same seed, so the merged outcome is
+  bit-identical for *any* worker count;
+* **process fan-out** — chains run as tasks on the shared worker pool of
+  :mod:`repro.sim.pool` (fork context, serial fallback, ``workers=1`` is
+  the same loop in-process);
+* **observability** — each chain anneals against a worker-local
+  :class:`~repro.obs.registry.MetricsRegistry` and an in-memory
+  :class:`~repro.obs.trace.TraceRecorder`; the parent merges registries
+  and re-emits buffered events tagged with ``rate``/``chain`` in
+  deterministic task order, then emits one ``anneal_sweep`` summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..codes import RATE_NAMES, build_small_code
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import TraceRecorder
+from ..sim.pool import map_ordered, spawn_seeds
+from .annealing import AnnealingConfig, AnnealingResult, AddressingAnnealer
+from .conflicts import ConflictStats
+from .mapping import IpMapping
+from .schedule import CnPhaseSchedule, DecoderSchedule, MemoryLayout
+
+#: Default number of independent chains per rate.
+DEFAULT_CHAINS = 4
+
+#: Default scaled-code parallelism for rate sweeps (matches the CLI).
+DEFAULT_PARALLELISM = 36
+
+
+@dataclass
+class ChainOutcome:
+    """Picklable result of one annealing chain (worker return value).
+
+    Carries the best schedule as its three defining order arrays rather
+    than a :class:`DecoderSchedule` — the parent reconstructs the
+    winner against its own mapping, and losers never pay a rebuild.
+    """
+
+    rate: str
+    chain: int
+    best_cost: float
+    accepted_moves: int
+    proposed_moves: int
+    initial_stats: ConflictStats
+    final_stats: ConflictStats
+    group_order: np.ndarray
+    slot_orders: List[np.ndarray]
+    within_check_orders: List[np.ndarray]
+    cost_trace: List[float] = field(default_factory=list)
+    #: Worker-local registry snapshot for this chain.
+    metrics: Optional[dict] = None
+    #: Buffered trace events (``anneal_window``/``anneal_result``).
+    trace_events: Optional[list] = None
+
+
+@dataclass
+class MultiChainResult:
+    """Best-of-``chains`` outcome for one rate."""
+
+    rate: str
+    best: AnnealingResult
+    best_chain: int
+    chain_costs: List[float]
+    outcomes: List[ChainOutcome]
+
+
+@dataclass
+class AllRatesResult:
+    """Outcome of one all-rates annealing sweep."""
+
+    results: Dict[str, MultiChainResult]
+    parallelism: int
+    config: AnnealingConfig
+
+    @property
+    def max_final_peak(self) -> int:
+        """Worst annealed peak-buffer depth across rates — the paper's
+        "one buffer suffices for all rates" figure of merit."""
+        return max(
+            r.best.final_stats.peak_buffer for r in self.results.values()
+        )
+
+    def table(self) -> List[dict]:
+        """One row per rate for reports and the CLI."""
+        rows = []
+        for rate, res in self.results.items():
+            best = res.best
+            rows.append(
+                {
+                    "rate": rate,
+                    "initial_peak": best.initial_stats.peak_buffer,
+                    "final_peak": best.final_stats.peak_buffer,
+                    "total_deferred": best.final_stats.total_deferred,
+                    "drain_cycles": best.final_stats.drain_cycles,
+                    "best_cost": best.best_cost,
+                    "best_chain": res.best_chain,
+                    "chains": len(res.outcomes),
+                }
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (fork-inherited or pickled once per worker).
+_ANNEAL_STATE: dict = {}
+
+
+def _init_anneal_worker(
+    config: AnnealingConfig,
+    want_trace: bool,
+    parallelism: int,
+    preload: dict,
+) -> None:
+    _ANNEAL_STATE["config"] = config
+    _ANNEAL_STATE["want_trace"] = want_trace
+    _ANNEAL_STATE["parallelism"] = parallelism
+    _ANNEAL_STATE["mappings"] = dict(preload)
+
+
+def _worker_mapping(rate: str) -> IpMapping:
+    """The worker's mapping for ``rate`` (built once, then cached)."""
+    cache = _ANNEAL_STATE["mappings"]
+    if rate not in cache:
+        cache[rate] = IpMapping(
+            build_small_code(rate, parallelism=_ANNEAL_STATE["parallelism"])
+        )
+    return cache[rate]
+
+
+def _run_chain(task) -> ChainOutcome:
+    """Pool entry point: anneal one chain with its spawned seed."""
+    rate, chain, seed_seq = task
+    config = replace(_ANNEAL_STATE["config"], seed=seed_seq)
+    registry = MetricsRegistry()
+    recorder = TraceRecorder(sink=None) if _ANNEAL_STATE["want_trace"] else None
+    mapping = _worker_mapping(rate)
+    result = AddressingAnnealer(
+        mapping, config, trace=recorder, registry=registry
+    ).run()
+    schedule = result.schedule
+    return ChainOutcome(
+        rate=rate,
+        chain=chain,
+        best_cost=result.best_cost,
+        accepted_moves=result.accepted_moves,
+        proposed_moves=result.proposed_moves,
+        initial_stats=result.initial_stats,
+        final_stats=result.final_stats,
+        group_order=schedule.layout.group_order,
+        slot_orders=list(schedule.layout.slot_orders),
+        within_check_orders=list(schedule.cn_schedule.within_check_orders),
+        cost_trace=result.cost_trace,
+        metrics=registry.snapshot(),
+        trace_events=recorder.drain() if recorder is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+def _rebuild_result(mapping: IpMapping, outcome: ChainOutcome) -> AnnealingResult:
+    """Reconstruct the winning chain's schedule against ``mapping``."""
+    schedule = DecoderSchedule(
+        layout=MemoryLayout(
+            mapping,
+            outcome.group_order.copy(),
+            [o.copy() for o in outcome.slot_orders],
+        ),
+        cn_schedule=CnPhaseSchedule(
+            mapping, [o.copy() for o in outcome.within_check_orders]
+        ),
+    )
+    return AnnealingResult(
+        schedule=schedule,
+        initial_stats=outcome.initial_stats,
+        final_stats=outcome.final_stats,
+        cost_trace=outcome.cost_trace,
+        accepted_moves=outcome.accepted_moves,
+        proposed_moves=outcome.proposed_moves,
+        best_cost=outcome.best_cost,
+    )
+
+
+def _pick_best(outcomes: Sequence[ChainOutcome]) -> int:
+    """Index of the winning chain: lowest cost, ties to the lowest chain.
+
+    Chain indices are globally unique keys, so the argmin — and with it
+    the merged result — is independent of worker count and merge order.
+    """
+    return min(
+        range(len(outcomes)),
+        key=lambda i: (outcomes[i].best_cost, outcomes[i].chain),
+    )
+
+
+def _merge_observability(
+    outcomes: Sequence[ChainOutcome],
+    registry: Optional[MetricsRegistry],
+    trace: Optional[TraceRecorder],
+) -> None:
+    """Fold chain registries/events into the parent in task order."""
+    target = registry if registry is not None else get_registry()
+    for outcome in outcomes:
+        if target.enabled and outcome.metrics is not None:
+            target.merge(outcome.metrics)
+        if trace is not None:
+            for event in outcome.trace_events or ():
+                trace.emit(
+                    {**event, "rate": outcome.rate, "chain": outcome.chain}
+                )
+    if target.enabled:
+        target.counter("hw.anneal.chains").inc(len(outcomes))
+
+
+def anneal_chains(
+    mapping: IpMapping,
+    config: Optional[AnnealingConfig] = None,
+    *,
+    chains: int = DEFAULT_CHAINS,
+    workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceRecorder] = None,
+    rate: str = "?",
+) -> MultiChainResult:
+    """Best-of-``chains`` annealing for one mapping.
+
+    Chain ``c`` anneals with the ``c``-th child of
+    ``SeedSequence(config.seed)``; the returned best is bit-identical
+    for any ``workers`` value (including the serial ``workers=1``).
+    """
+    if chains < 1:
+        raise ValueError("need at least one chain")
+    config = config or AnnealingConfig()
+    seeds = spawn_seeds(config.seed, chains)
+    tasks = [(rate, c, seeds[c]) for c in range(chains)]
+    outcomes = map_ordered(
+        _run_chain,
+        tasks,
+        workers=workers,
+        initializer=_init_anneal_worker,
+        initargs=(config, trace is not None, 0, {rate: mapping}),
+        label="annealing engine",
+    )
+    _merge_observability(outcomes, registry, trace)
+    best_idx = _pick_best(outcomes)
+    result = MultiChainResult(
+        rate=rate,
+        best=_rebuild_result(mapping, outcomes[best_idx]),
+        best_chain=outcomes[best_idx].chain,
+        chain_costs=[o.best_cost for o in outcomes],
+        outcomes=list(outcomes),
+    )
+    if trace is not None:
+        trace.event(
+            "anneal_sweep",
+            rates=[rate],
+            chains=chains,
+            best_costs={rate: result.best.best_cost},
+            final_peaks={rate: result.best.final_stats.peak_buffer},
+        )
+    return result
+
+
+def optimize_all_rates(
+    rates: Optional[Sequence[str]] = None,
+    *,
+    parallelism: int = DEFAULT_PARALLELISM,
+    config: Optional[AnnealingConfig] = None,
+    chains: int = DEFAULT_CHAINS,
+    workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> AllRatesResult:
+    """Anneal the addressing of every configured code rate.
+
+    The paper's Section 4 sweep: each rate gets ``chains`` independent
+    chains (seeded from per-rate children of ``config.seed``), all
+    ``rates × chains`` tasks share one worker pool, and the per-rate
+    best is kept.  Deterministic for any worker count.
+    """
+    if chains < 1:
+        raise ValueError("need at least one chain")
+    rates = list(rates) if rates is not None else list(RATE_NAMES)
+    if not rates:
+        raise ValueError("need at least one rate")
+    config = config or AnnealingConfig()
+    rate_seeds = spawn_seeds(config.seed, len(rates))
+    tasks = []
+    for i, rate in enumerate(rates):
+        for c, seed in enumerate(rate_seeds[i].spawn(chains)):
+            tasks.append((rate, c, seed))
+    outcomes = map_ordered(
+        _run_chain,
+        tasks,
+        workers=workers,
+        initializer=_init_anneal_worker,
+        initargs=(config, trace is not None, parallelism, {}),
+        label="annealing engine",
+    )
+    _merge_observability(outcomes, registry, trace)
+    results: Dict[str, MultiChainResult] = {}
+    for i, rate in enumerate(rates):
+        rate_outcomes = outcomes[i * chains:(i + 1) * chains]
+        mapping = IpMapping(build_small_code(rate, parallelism=parallelism))
+        best_idx = _pick_best(rate_outcomes)
+        results[rate] = MultiChainResult(
+            rate=rate,
+            best=_rebuild_result(mapping, rate_outcomes[best_idx]),
+            best_chain=rate_outcomes[best_idx].chain,
+            chain_costs=[o.best_cost for o in rate_outcomes],
+            outcomes=list(rate_outcomes),
+        )
+    sweep = AllRatesResult(
+        results=results, parallelism=parallelism, config=config
+    )
+    if trace is not None:
+        trace.event(
+            "anneal_sweep",
+            rates=list(rates),
+            chains=chains,
+            best_costs={
+                rate: res.best.best_cost for rate, res in results.items()
+            },
+            final_peaks={
+                rate: res.best.final_stats.peak_buffer
+                for rate, res in results.items()
+            },
+        )
+    return sweep

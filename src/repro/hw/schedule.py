@@ -66,14 +66,19 @@ class MemoryLayout:
         for g in range(n_groups):
             words_of_group.append(np.nonzero(groups == g)[0])
         order: List[int] = []
+        bases = np.zeros(n_groups, dtype=np.int64)
         for g in self.group_order:
             base = words_of_group[g]
+            bases[g] = len(order)
             order.extend(int(base[s]) for s in self.slot_orders[g])
         self.word_at = np.array(order, dtype=np.int64)
         if self.word_at.size != n_words:
             raise ValueError("layout does not place every word exactly once")
         self.phys = np.empty(n_words, dtype=np.int64)
         self.phys[self.word_at] = np.arange(n_words)
+        # Caches for the in-place annealing moves below.
+        self._words_of_group = words_of_group
+        self._group_base = bases
 
     def clone(self) -> "MemoryLayout":
         """Deep copy (for annealing moves)."""
@@ -82,6 +87,60 @@ class MemoryLayout:
             group_order=self.group_order.copy(),
             slot_orders=[s.copy() for s in self.slot_orders],
         )
+
+    # ------------------------------------------------------------------
+    # In-place annealing moves.  Each is an involutive swap (undo =
+    # re-apply) that keeps ``word_at``/``phys`` and the caches consistent
+    # while touching only the affected physical slice — the incremental
+    # alternative to ``clone()`` + full ``_rebuild()`` per proposal.
+    # ------------------------------------------------------------------
+    def swap_slots(self, g: int, i: int, j: int) -> tuple:
+        """Swap two words inside group ``g``; returns the words moved."""
+        order = self.slot_orders[g]
+        order[i], order[j] = order[j], order[i]
+        base = int(self._group_base[g])
+        a, b = base + i, base + j
+        w1, w2 = int(self.word_at[a]), int(self.word_at[b])
+        self.word_at[a], self.word_at[b] = w2, w1
+        self.phys[w1], self.phys[w2] = b, a
+        return w1, w2
+
+    def swap_groups(self, pi: int, pj: int) -> List[tuple]:
+        """Swap the groups at placement positions ``pi``/``pj``.
+
+        Rebuilds only the physical spans of the two groups — plus, when
+        their sizes differ, everything placed between them (whose bases
+        shift).  Returns the rebuilt ``(start, end)`` spans.
+        """
+        if pi > pj:
+            pi, pj = pj, pi
+        go = self.group_order
+        gi, gj = int(go[pi]), int(go[pj])
+        go[pi], go[pj] = gj, gi
+        start = int(self._group_base[gi])
+        if len(self.slot_orders[gi]) == len(self.slot_orders[gj]):
+            # Equal sizes: the two spans trade content, bases between
+            # are untouched.
+            spans = []
+            for g, base in ((gj, start), (gi, int(self._group_base[gj]))):
+                words = self._words_of_group[g][self.slot_orders[g]]
+                end = base + len(words)
+                self.word_at[base:end] = words
+                self.phys[words] = np.arange(base, end)
+                self._group_base[g] = base
+                spans.append((base, end))
+            return spans
+        pos = start
+        for p in range(pi, pj + 1):
+            g = int(go[p])
+            words = self._words_of_group[g][self.slot_orders[g]]
+            size = len(words)
+            self.word_at[pos:pos + size] = words
+            self._group_base[g] = pos
+            pos += size
+        end = pos
+        self.phys[self.word_at[start:end]] = np.arange(start, end)
+        return [(start, end)]
 
     def partition_of_word(self, w: int, n_partitions: int) -> int:
         """RAM partition (Fig. 5) holding word ``w``: address LSBs."""
@@ -135,6 +194,22 @@ class CnPhaseSchedule:
             mapping=self.mapping,
             within_check_orders=[o.copy() for o in self.within_check_orders],
         )
+
+    def swap_within_check(self, r: int, i: int, j: int) -> tuple:
+        """In-place involutive swap of check ``r``'s read positions.
+
+        Updates ``read_order`` directly (check spans are fixed, so two
+        entries change) instead of a full ``_rebuild``.  Returns the two
+        affected read positions.
+        """
+        order = self.within_check_orders[r]
+        order[i], order[j] = order[j], order[i]
+        s = int(self.check_bounds[r])
+        a, b = s + i, s + j
+        self.read_order[a], self.read_order[b] = (
+            self.read_order[b], self.read_order[a],
+        )
+        return a, b
 
 
 @dataclass

@@ -28,7 +28,6 @@ serial loop with a warning (results are identical either way).
 
 from __future__ import annotations
 
-import os
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -43,6 +42,8 @@ from ..obs.iteration import IterationTraceRecorder
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.trace import TraceRecorder
 from .ber import BerResult, merge_ber_results
+from .pool import ensure_seed_sequence, resolve_workers
+from .pool import fork_context as _fork_context
 from .stats import wilson_interval
 
 #: Default shard size: the measured sweet spot where the batched check
@@ -238,15 +239,6 @@ def _run_shard(task) -> ShardResult:
     )
 
 
-def _fork_context():
-    """The fork multiprocessing context, or ``None`` where unavailable."""
-    import multiprocessing
-
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return None
-
-
 def _should_stop(
     frames: int,
     frame_errors: int,
@@ -338,10 +330,7 @@ def parallel_ber(
         raise ValueError("need at least one frame")
     if shard_frames < 1:
         raise ValueError("shard_frames must be positive")
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ValueError("workers must be positive")
+    workers = resolve_workers(workers)
 
     params = {
         "ebn0_db": float(ebn0_db),
@@ -359,9 +348,7 @@ def parallel_ber(
         segments=segments,
     )
     sizes = _shard_sizes(max_frames, shard_frames)
-    if not isinstance(seed, np.random.SeedSequence):
-        seed = np.random.SeedSequence(seed)
-    children = seed.spawn(len(sizes))
+    children = ensure_seed_sequence(seed).spawn(len(sizes))
 
     mp_context = _fork_context() if workers > 1 else None
     if workers > 1 and mp_context is None:

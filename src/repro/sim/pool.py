@@ -1,0 +1,95 @@
+"""Reusable worker-pool and seed-spawning helpers.
+
+The sharded Monte-Carlo engine (:mod:`repro.sim.parallel`) and the
+multi-chain annealing engine (:mod:`repro.hw.parallel_anneal`) share the
+same process-level fan-out pattern:
+
+* deterministic task seeding — task ``i`` draws from the ``i``-th child
+  of one root :class:`numpy.random.SeedSequence`, so results depend only
+  on ``(base_seed, task_index)`` and never on the worker count;
+* a ``fork``-context :class:`~concurrent.futures.ProcessPoolExecutor`
+  with a one-time per-worker initializer, degrading to the identical
+  serial loop (with a :class:`RuntimeWarning`) where ``fork`` is
+  unavailable;
+* ``workers=1`` *is* the serial loop — one code path, not two.
+
+This module holds that shared machinery so both engines stay thin.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+def fork_context():
+    """The fork multiprocessing context, or ``None`` where unavailable."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count (``None`` means the machine's CPUs)."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return workers
+
+
+def ensure_seed_sequence(seed) -> np.random.SeedSequence:
+    """Coerce an entropy-like value into a :class:`SeedSequence`."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def spawn_seeds(seed, n: int) -> List[np.random.SeedSequence]:
+    """The first ``n`` children of ``seed`` — one per task, index-stable."""
+    return ensure_seed_sequence(seed).spawn(n)
+
+
+def map_ordered(
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    workers: Optional[int] = None,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+    label: str = "parallel engine",
+) -> list:
+    """Run ``fn`` over ``tasks``, returning results in task order.
+
+    With ``workers == 1`` (or when ``fork`` is unavailable — warned) the
+    initializer and tasks run inline in this process, which is exactly
+    what one pool worker would have done.  ``fn``, the tasks, and the
+    results must be picklable for the multi-process path.
+    """
+    workers = resolve_workers(workers)
+    mp_context = fork_context() if workers > 1 else None
+    if workers > 1 and mp_context is None:
+        warnings.warn(
+            f"fork start method unavailable on this platform; "
+            f"running the {label} serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = 1
+    if workers == 1 or len(tasks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        mp_context=mp_context,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(fn, tasks))

@@ -70,6 +70,41 @@ def test_anneal_small(capsys):
     assert "peak write buffer" in out
 
 
+def test_anneal_reference_kernel(capsys):
+    code, out = run(
+        capsys, "anneal", "--rate", "1/2", "--moves", "20",
+        "--parallelism", "36", "--kernel", "reference",
+    )
+    assert code == 0
+    assert "peak write buffer" in out
+
+
+def test_anneal_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["anneal", "--kernel", "warp"])
+
+
+def test_anneal_multi_chain(capsys):
+    code, out = run(
+        capsys, "anneal", "--rate", "1/2", "--moves", "30",
+        "--parallelism", "36", "--chains", "2", "--workers", "1",
+    )
+    assert code == 0
+    assert "x 2 chains" in out
+    assert "best: chain" in out
+
+
+def test_anneal_all_rates(capsys):
+    code, out = run(
+        capsys, "anneal", "--all-rates", "--moves", "10",
+        "--parallelism", "12", "--chains", "1", "--workers", "1",
+    )
+    assert code == 0
+    assert "all-rates annealing sweep" in out
+    assert "9/10" in out
+    assert "worst annealed peak across rates" in out
+
+
 def test_rtl_stdout(capsys):
     code, out = run(capsys, "rtl", "--lanes", "8", "--width", "4",
                     "--ram-depth", "16")

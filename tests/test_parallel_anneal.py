@@ -1,0 +1,228 @@
+"""Tests for repro.hw.parallel_anneal and the fast annealing engine.
+
+Covers the three layers of the PR: fast-kernel trajectory identity with
+the reference engine, worker-count-independent multi-chain merging, and
+the overflow-guarded acceptance probability.  The bench smoke test at
+the bottom keeps ``benchmarks/bench_anneal_scaling.py`` runnable (and
+its >= 4x smoke-mode speedup bar honest) inside the tier-1 suite.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.hw.annealing import (
+    AddressingAnnealer,
+    AnnealingConfig,
+    _accept_prob,
+)
+from repro.hw.mapping import IpMapping
+from repro.hw.parallel_anneal import (
+    ChainOutcome,
+    _pick_best,
+    anneal_chains,
+    optimize_all_rates,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return IpMapping(build_small_code("1/2", parallelism=36))
+
+
+# ----------------------------------------------------------------------
+# Fast engine vs reference engine: identical trajectories.
+@pytest.mark.parametrize("include_vn", [False, True])
+def test_kernels_walk_identical_trajectories(mapping, include_vn):
+    results = {}
+    for kernel in ("reference", "fast"):
+        cfg = AnnealingConfig(
+            iterations=150, seed=5, kernel=kernel,
+            include_vn_phase=include_vn,
+        )
+        results[kernel] = AddressingAnnealer(mapping, cfg).run()
+    ref, fast = results["reference"], results["fast"]
+    assert fast.cost_trace == ref.cost_trace
+    assert fast.accepted_moves == ref.accepted_moves
+    assert fast.best_cost == ref.best_cost
+    assert fast.initial_stats == ref.initial_stats
+    assert fast.final_stats == ref.final_stats
+    assert np.array_equal(
+        fast.schedule.layout.word_at, ref.schedule.layout.word_at
+    )
+    assert np.array_equal(
+        fast.schedule.cn_schedule.read_order,
+        ref.schedule.cn_schedule.read_order,
+    )
+
+
+def test_fast_default_matches_seed_behaviour(mapping):
+    """The default config must reproduce the seed's annealed peak."""
+    cfg = AnnealingConfig(iterations=200, seed=3)
+    assert cfg.kernel == "fast"
+    result = AddressingAnnealer(mapping, cfg).run()
+    reference = AddressingAnnealer(
+        mapping, AnnealingConfig(iterations=200, seed=3, kernel="reference")
+    ).run()
+    assert result.final_stats == reference.final_stats
+
+
+# ----------------------------------------------------------------------
+# Overflow-guarded acceptance (satellite: np.exp safety).
+def test_accept_prob_never_warns_or_overflows():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert _accept_prob(1e9, 1e-12) == 0.0
+        assert _accept_prob(5.0, 0.0) == 0.0
+        assert _accept_prob(-1e9, 1e-12) == 1.0  # clamped, not inf
+        assert 0.0 < _accept_prob(1.0, 1.0) < 1.0
+
+
+def test_annealer_never_warns_at_tiny_temperature(mapping):
+    cfg = AnnealingConfig(
+        iterations=80, seed=2, initial_temperature=1e-12, cooling=0.5
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        AddressingAnnealer(mapping, cfg).run()
+
+
+# ----------------------------------------------------------------------
+# Multi-chain engine.
+def _chain_fingerprint(result):
+    return (
+        result.chain_costs,
+        result.best_chain,
+        result.best.best_cost,
+        result.best.final_stats,
+        result.best.schedule.layout.word_at.tolist(),
+        result.best.schedule.cn_schedule.read_order.tolist(),
+    )
+
+
+def test_multi_chain_is_worker_count_invariant(mapping):
+    cfg = AnnealingConfig(iterations=100, seed=9)
+    fingerprints = []
+    snapshots = []
+    events = []
+    for workers in (1, 4):
+        registry = MetricsRegistry()
+        trace = TraceRecorder(sink=None)
+        result = anneal_chains(
+            mapping, cfg, chains=3, workers=workers,
+            registry=registry, trace=trace, rate="1/2",
+        )
+        fingerprints.append(_chain_fingerprint(result))
+        snapshots.append(registry.snapshot())
+        events.append(trace.drain())
+    assert fingerprints[0] == fingerprints[1]
+    assert snapshots[0] == snapshots[1]
+    assert events[0] == events[1]
+
+
+def test_multi_chain_beats_or_matches_single_chain(mapping):
+    cfg = AnnealingConfig(iterations=100, seed=9)
+    multi = anneal_chains(mapping, cfg, chains=3, workers=1, rate="1/2")
+    assert multi.best.best_cost == min(multi.chain_costs)
+    assert len(multi.outcomes) == 3
+    assert [o.chain for o in multi.outcomes] == [0, 1, 2]
+    multi.best.schedule.validate()
+
+
+def test_multi_chain_observability_merge(mapping):
+    cfg = AnnealingConfig(iterations=60, seed=1)
+    registry = MetricsRegistry()
+    trace = TraceRecorder(sink=None)
+    anneal_chains(
+        mapping, cfg, chains=2, workers=1,
+        registry=registry, trace=trace, rate="1/2",
+    )
+    snap = registry.snapshot()
+    assert snap["counters"]["hw.anneal.chains"] == 2
+    assert snap["counters"]["hw.anneal.proposed"] == 2 * 60
+    events = trace.drain()
+    kinds = [e["type"] for e in events]
+    assert "anneal_sweep" in kinds
+    tagged = [e for e in events if e["type"] == "anneal_result"]
+    assert sorted(e["chain"] for e in tagged) == [0, 1]
+    assert all(e["rate"] == "1/2" for e in tagged)
+
+
+def test_pick_best_breaks_ties_by_chain_index():
+    def outcome(chain, cost):
+        return ChainOutcome(
+            rate="1/2", chain=chain, best_cost=cost,
+            accepted_moves=0, proposed_moves=0,
+            initial_stats=None, final_stats=None,
+            group_order=None, slot_orders=[], within_check_orders=[],
+        )
+
+    outcomes = [outcome(2, 5.0), outcome(0, 5.0), outcome(1, 7.0)]
+    assert _pick_best(outcomes) == 1  # cost tie -> lowest chain wins
+
+
+def test_chain_count_validation(mapping):
+    with pytest.raises(ValueError, match="at least one chain"):
+        anneal_chains(mapping, chains=0)
+    with pytest.raises(ValueError, match="at least one rate"):
+        optimize_all_rates(rates=[])
+
+
+# ----------------------------------------------------------------------
+# All-rates sweep.
+def test_optimize_all_rates_subset(mapping):
+    cfg = AnnealingConfig(iterations=60, seed=4)
+    sweep = optimize_all_rates(
+        rates=["1/4", "1/2"], parallelism=12, config=cfg,
+        chains=2, workers=1,
+    )
+    assert sorted(sweep.results) == ["1/4", "1/2"] or (
+        list(sweep.results) == ["1/4", "1/2"]
+    )
+    rows = sweep.table()
+    assert [row["rate"] for row in rows] == ["1/4", "1/2"]
+    for row in rows:
+        assert row["final_peak"] <= row["initial_peak"]
+        assert row["chains"] == 2
+    assert sweep.max_final_peak == max(
+        row["final_peak"] for row in rows
+    )
+    # Deterministic across worker counts too.
+    again = optimize_all_rates(
+        rates=["1/4", "1/2"], parallelism=12, config=cfg,
+        chains=2, workers=4,
+    )
+    for rate in sweep.results:
+        assert (
+            _chain_fingerprint(again.results[rate])
+            == _chain_fingerprint(sweep.results[rate])
+        )
+
+
+# ----------------------------------------------------------------------
+# Bench smoke (satellite: the scaling benchmark stays green and fast).
+def test_bench_anneal_scaling_smoke(tmp_path):
+    env = dict(os.environ)
+    env["BENCH_SMOKE"] = "1"
+    env["BENCH_OUT"] = str(tmp_path)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "pytest",
+            os.path.join(REPO_ROOT, "benchmarks", "bench_anneal_scaling.py"),
+            "--benchmark-only", "-q", "--no-header", "-p", "no:cacheprovider",
+        ],
+        env=env, capture_output=True, text=True, timeout=120,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert (tmp_path / "BENCH_anneal_scaling.json").exists()
