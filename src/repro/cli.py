@@ -71,6 +71,23 @@ def _write_metrics(path: str, snapshot: dict) -> None:
         handle.write("\n")
 
 
+def _resolve_fmt(args: argparse.Namespace):
+    """Fixed-point format for the quantized schedules (else ``None``).
+
+    ``--wordlength`` picks the word width; ``--frac-bits`` the binary
+    point, defaulting to the paper's reference formats (6-bit: 2
+    fractional bits, 5-bit: 1) and to 2 elsewhere.
+    """
+    if not args.schedule.startswith("quantized"):
+        return None
+    from .quantize import FixedPointFormat
+
+    frac = args.frac_bits
+    if frac is None:
+        frac = {6: 2, 5: 1}.get(args.wordlength, 2)
+    return FixedPointFormat(total_bits=args.wordlength, frac_bits=frac)
+
+
 def _cmd_ber(args: argparse.Namespace) -> int:
     from .codes import build_code, build_small_code
     from .sim import fast_ber, parallel_ber
@@ -79,6 +96,14 @@ def _cmd_ber(args: argparse.Namespace) -> int:
         code = build_code(args.rate)
     else:
         code = build_small_code(args.rate, parallelism=args.parallelism)
+    fmt = _resolve_fmt(args)
+    if fmt is None and args.channel_scale != 1.0:
+        print(
+            "error: --channel-scale applies only to the quantized-* "
+            "schedules",
+            file=sys.stderr,
+        )
+        return 2
     adaptive = (
         args.target_frame_errors is not None
         or args.ci_halfwidth is not None
@@ -103,6 +128,8 @@ def _cmd_ber(args: argparse.Namespace) -> int:
                 ci_halfwidth=args.ci_halfwidth,
                 max_iterations=args.iterations,
                 schedule=args.schedule,
+                fmt=fmt,
+                channel_scale=args.channel_scale,
                 seed=args.seed,
                 trace=trace,
             )
@@ -124,6 +151,10 @@ def _cmd_ber(args: argparse.Namespace) -> int:
     lo, hi = result.ber_estimate.interval
     print(f"rate {args.rate} (P={args.parallelism}, n={code.n}) "
           f"at Eb/N0 = {args.ebn0} dB:")
+    if fmt is not None:
+        print(f"  fixed point     : {fmt.total_bits}-bit "
+              f"({fmt.frac_bits} fractional), "
+              f"channel scale {args.channel_scale}")
     print(f"  frames          : {result.frames}")
     print(f"  BER             : {result.ber:.3e} "
           f"[{lo:.2e}, {hi:.2e}] (95% Wilson)")
@@ -383,9 +414,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ci-halfwidth", type=float, default=None,
                    help="stop once the 95%% Wilson FER interval "
                         "half-width drops below this")
-    p.add_argument("--schedule", choices=("flooding", "zigzag"),
+    p.add_argument("--schedule",
+                   choices=("flooding", "zigzag", "quantized-zigzag",
+                            "quantized-minsum"),
                    default="flooding",
-                   help="batched decoder schedule")
+                   help="batched decoder schedule (quantized-* run the "
+                        "paper's fixed-point arithmetic)")
+    p.add_argument("--wordlength", type=int, default=6,
+                   help="fixed-point word width incl. sign for the "
+                        "quantized-* schedules (paper: 6)")
+    p.add_argument("--frac-bits", type=int, default=None,
+                   help="fractional bits of the fixed-point format "
+                        "(default: the paper's 2 for 6-bit, 1 for 5-bit)")
+    p.add_argument("--channel-scale", type=float, default=1.0,
+                   help="LLR input scaling before quantization "
+                        "(hardware input conditioning; 0.5 keeps 2 dB "
+                        "LLRs inside the 6-bit range)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a JSONL trace with per-iteration "
                         "convergence records ('-' for stdout)")

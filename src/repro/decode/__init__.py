@@ -2,6 +2,10 @@
 fixed-point implementations."""
 
 from .batch import BatchDecodeResult, BatchMinSumDecoder, BatchZigzagDecoder
+from .batch_quantized import (
+    BatchQuantizedMinSumDecoder,
+    BatchQuantizedZigzagDecoder,
+)
 from .bp import BeliefPropagationDecoder
 from .hard import BitFlippingDecoder, GallagerBDecoder
 from .layered import LayeredMinSumDecoder, sequential_block_layers
@@ -17,6 +21,8 @@ from .zigzag import ZigzagDecoder
 __all__ = [
     "BatchDecodeResult",
     "BatchMinSumDecoder",
+    "BatchQuantizedMinSumDecoder",
+    "BatchQuantizedZigzagDecoder",
     "BatchZigzagDecoder",
     "BeliefPropagationDecoder",
     "BitFlippingDecoder",

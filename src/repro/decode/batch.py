@@ -196,13 +196,12 @@ class BatchMinSumDecoder:
         is_min = mags == expanded
         positions = np.where(is_min, np.arange(n_edges), n_edges)
         argmin = np.minimum.reduceat(positions, self._cn_starts, axis=1)
-        masked = mags.copy()
-        rows = np.repeat(
-            np.arange(frames), argmin.shape[1]
-        ).reshape(frames, -1)
-        masked[rows, argmin] = np.inf
-        min2 = np.minimum.reduceat(masked, self._cn_starts, axis=1)
-        out = expanded.copy()
+        rows = np.arange(frames)[:, None]
+        # mags is scratch from here on: mask the first minimum in place
+        # instead of copying the whole (frames, edges) array.
+        mags[rows, argmin] = np.inf
+        min2 = np.minimum.reduceat(mags, self._cn_starts, axis=1)
+        out = expanded  # fancy-indexed copy above, safe to overwrite
         out[rows, argmin] = min2
         out *= self.normalization
         negs = (sorted_vals < 0).astype(np.int64)
@@ -566,7 +565,9 @@ class BatchZigzagDecoder:
 
 
 #: Batched decoding schedules available to the Monte-Carlo paths.
-BATCH_SCHEDULES = ("flooding", "zigzag")
+BATCH_SCHEDULES = (
+    "flooding", "zigzag", "quantized-zigzag", "quantized-minsum"
+)
 
 
 def make_batch_decoder(
@@ -574,13 +575,48 @@ def make_batch_decoder(
     schedule: str = "flooding",
     normalization: float = 0.75,
     segments: Optional[int] = None,
+    fmt=None,
+    channel_scale: float = 1.0,
 ):
     """Build a batched decoder for a schedule name.
 
     ``"flooding"`` gives the two-phase :class:`BatchMinSumDecoder`;
     ``"zigzag"`` the paper-schedule :class:`BatchZigzagDecoder` (min-sum
-    kernel).  Both expose the same ``decode_batch`` interface.
+    kernel); ``"quantized-zigzag"`` / ``"quantized-minsum"`` the
+    fixed-point decoders of :mod:`repro.decode.batch_quantized` (6-bit
+    messages by default — the arithmetic behind the paper's Table 3).
+    All four expose the same ``decode_batch`` interface.
+
+    ``fmt`` (a :class:`~repro.quantize.fixed_point.FixedPointFormat`)
+    and ``channel_scale`` configure the quantized schedules only;
+    passing either with a float schedule is an error.
     """
+    if schedule in ("quantized-zigzag", "quantized-minsum"):
+        from .batch_quantized import (
+            BatchQuantizedMinSumDecoder,
+            BatchQuantizedZigzagDecoder,
+        )
+        from ..quantize.fixed_point import MESSAGE_6BIT
+
+        fmt = MESSAGE_6BIT if fmt is None else fmt
+        if schedule == "quantized-zigzag":
+            return BatchQuantizedZigzagDecoder(
+                code,
+                fmt=fmt,
+                normalization=normalization,
+                channel_scale=channel_scale,
+                segments=segments,
+            )
+        return BatchQuantizedMinSumDecoder(
+            code,
+            fmt=fmt,
+            normalization=normalization,
+            channel_scale=channel_scale,
+        )
+    if fmt is not None or channel_scale != 1.0:
+        raise ValueError(
+            "fmt/channel_scale apply only to the quantized-* schedules"
+        )
     if schedule == "flooding":
         return BatchMinSumDecoder(code, normalization=normalization)
     if schedule == "zigzag":

@@ -32,16 +32,26 @@ _SENTINEL = np.int64(1 << 40)
 
 
 def _int_min1_min2(
-    mags: np.ndarray, width: int
+    mags: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Row-wise first/second minimum and first-min column of an int array
-    shaped ``(rows, width)``."""
-    argmin_col = np.argmin(mags, axis=1)
-    rows = np.arange(mags.shape[0])
-    min1 = mags[rows, argmin_col]
-    masked = mags.copy()
-    masked[rows, argmin_col] = _SENTINEL
-    min2 = masked.min(axis=1)
+    """First/second minimum and first-min index along the last axis.
+
+    Works on any leading batch shape — ``(rows, width)`` for the
+    single-frame decoders, ``(frames, rows, width)`` for the batched
+    ones — and any signed integer dtype: the batched decoders store
+    messages in the narrowest dtype that holds them, so the first-min
+    mask value is the dtype's own maximum (an upper bound on every
+    magnitude, which is all the ``min2`` reduction needs).  ``mags`` is
+    treated as scratch: instead of copying the whole array to mask out
+    the first minimum (a hot-path allocation), the first-min positions
+    are overwritten in place.  All callers pass a fresh ``np.abs``
+    result that is not read afterwards.
+    """
+    argmin_col = np.argmin(mags, axis=-1)
+    idx = argmin_col[..., None]
+    min1 = np.take_along_axis(mags, idx, axis=-1)[..., 0]
+    np.put_along_axis(mags, idx, np.iinfo(mags.dtype).max, axis=-1)
+    min2 = mags.min(axis=-1)
     return min1, min2, argmin_col
 
 
@@ -73,7 +83,12 @@ class QuantizedMinSumDecoder:
 
     # ------------------------------------------------------------------
     def quantize_channel(self, channel_llrs: np.ndarray) -> np.ndarray:
-        """Scale and quantize float channel LLRs into the message format."""
+        """Scale and quantize float channel LLRs into the message format.
+
+        Vectorized over any leading batch shape: ``(n,)`` frames and
+        ``(frames, n)`` batches quantize elementwise identically.
+        Non-finite LLRs raise (see :meth:`FixedPointFormat.quantize`).
+        """
         return self.fmt.quantize(
             np.asarray(channel_llrs, dtype=np.float64) * self.channel_scale
         )
@@ -213,7 +228,12 @@ class QuantizedZigzagDecoder:
 
     # ------------------------------------------------------------------
     def quantize_channel(self, channel_llrs: np.ndarray) -> np.ndarray:
-        """Scale and quantize float channel LLRs into the message format."""
+        """Scale and quantize float channel LLRs into the message format.
+
+        Vectorized over any leading batch shape: ``(n,)`` frames and
+        ``(frames, n)`` batches quantize elementwise identically.
+        Non-finite LLRs raise (see :meth:`FixedPointFormat.quantize`).
+        """
         return self.fmt.quantize(
             np.asarray(channel_llrs, dtype=np.float64) * self.channel_scale
         )
@@ -314,7 +334,7 @@ class QuantizedZigzagDecoder:
         row_sign = np.where(rows < 0, -1, 1).astype(np.int64)
         parity = np.prod(row_sign, axis=1)
         mags = np.abs(rows)
-        min1, min2, argmin_col = _int_min1_min2(mags, width)
+        min1, min2, argmin_col = _int_min1_min2(mags)
 
         c_in = self.fmt.add(ch_pn, b_old[1 : n_par + 1]).astype(np.int64)
         c_sign = np.where(c_in < 0, -1, 1).astype(np.int64)

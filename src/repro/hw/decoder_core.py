@@ -104,6 +104,19 @@ class DecoderIpCore:
             [int(w) for w in reads[bounds[r] : bounds[r + 1]]]
             for r in range(self.q)
         ]
+        # Posterior program: RAM columns per information group, built
+        # once here (the per-decision scan over ``mapping.groups`` was
+        # quadratic in the number of words).  One stable argsort keeps
+        # the ascending word order of the original scan.
+        n_groups = self.code.k // self.p
+        by_group = np.argsort(mapping.groups, kind="stable")
+        group_bounds = np.searchsorted(
+            mapping.groups[by_group], np.arange(n_groups + 1)
+        )
+        self._group_phys = [
+            self._phys[by_group[group_bounds[g] : group_bounds[g + 1]]]
+            for g in range(n_groups)
+        ]
 
     # ------------------------------------------------------------------
     def decode(
@@ -271,13 +284,7 @@ class DecoderIpCore:
         n_groups = ch_in.shape[0]
         post = np.empty((n_groups, self.p), dtype=np.int64)
         for g in range(n_groups):
-            words = [
-                w for w, grp in enumerate(self.mapping.groups) if grp == g
-            ]
-            total = ch_in[g].astype(np.int64).copy()
-            for w in words:
-                total += in_ram[:, self._phys[w]]
-            post[g] = total
+            post[g] = ch_in[g] + in_ram[:, self._group_phys[g]].sum(axis=1)
         return post
 
     def _decisions(self, in_ram, ch_in, ch_pn, f_mat, b_ram) -> np.ndarray:

@@ -65,8 +65,20 @@ class FixedPointFormat:
 
     # ------------------------------------------------------------------
     def quantize(self, values: np.ndarray) -> np.ndarray:
-        """Real values → saturated integer representation (int32)."""
-        scaled = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        """Real values → saturated integer representation (int32).
+
+        Vectorized over any input shape (single frames and
+        ``(frames, n)`` batches alike).  NaN/infinite inputs raise: a
+        NaN would otherwise survive ``clip`` and wrap to an arbitrary
+        integer in the ``astype``, silently corrupting the decode.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(values).all():
+            raise ValueError(
+                "channel LLRs must be finite; got NaN or infinity "
+                "(int conversion would silently wrap)"
+            )
+        scaled = np.round(values / self.scale)
         return np.clip(scaled, self.min_int, self.max_int).astype(np.int32)
 
     def dequantize(self, ints: np.ndarray) -> np.ndarray:

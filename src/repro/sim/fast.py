@@ -29,6 +29,8 @@ def fast_ber(
     batch_size: int = 32,
     decoder: Optional[BatchMinSumDecoder] = None,
     schedule: str = "flooding",
+    fmt=None,
+    channel_scale: float = 1.0,
     iteration_trace: Optional[IterationTraceRecorder] = None,
 ) -> BerResult:
     """All-zero-codeword BER measurement with batched decoding.
@@ -36,16 +38,23 @@ def fast_ber(
     Parameters mirror :func:`repro.sim.ber.measure_ber`; information-bit
     errors are counted (systematic prefix).  ``schedule="zigzag"``
     switches to the batched zigzag decoder (paper §2.2 serial schedule),
-    which converges in roughly half the iterations per frame.  When an
-    ``iteration_trace`` recorder is given, each batch's per-iteration
-    convergence records are emitted with globally numbered frames (the
-    recorder's ``frame_offset`` is advanced per batch); tracing does not
-    change decoder outputs.
+    which converges in roughly half the iterations per frame;
+    ``"quantized-zigzag"`` / ``"quantized-minsum"`` run the fixed-point
+    decoders (``fmt`` selects the word format, 6-bit by default, and
+    ``channel_scale`` the input conditioning — both quantized-only).
+    When an ``iteration_trace`` recorder is given, each batch's
+    per-iteration convergence records are emitted with globally numbered
+    frames (the recorder's ``frame_offset`` is advanced per batch);
+    tracing does not change decoder outputs.
     """
     if frames < 1:
         raise ValueError("need at least one frame")
     dec = decoder or make_batch_decoder(
-        code, schedule=schedule, normalization=normalization
+        code,
+        schedule=schedule,
+        normalization=normalization,
+        fmt=fmt,
+        channel_scale=channel_scale,
     )
     channel = AwgnChannel(
         ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed

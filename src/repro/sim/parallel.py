@@ -162,15 +162,22 @@ class ParallelBerRun:
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(code: LdpcCode, params: dict) -> None:
-    _WORKER_STATE["code"] = code
-    _WORKER_STATE["params"] = params
-    _WORKER_STATE["decoder"] = make_batch_decoder(
+def _build_decoder(code: LdpcCode, params: dict):
+    """Construct the shard decoder from the engine's params dict."""
+    return make_batch_decoder(
         code,
         schedule=params["schedule"],
         normalization=params["normalization"],
         segments=params["segments"],
+        fmt=params.get("fmt"),
+        channel_scale=params.get("channel_scale", 1.0),
     )
+
+
+def _init_worker(code: LdpcCode, params: dict) -> None:
+    _WORKER_STATE["code"] = code
+    _WORKER_STATE["params"] = params
+    _WORKER_STATE["decoder"] = _build_decoder(code, params)
 
 
 def _decode_shard(
@@ -288,6 +295,8 @@ def parallel_ber(
     schedule: str = "zigzag",
     normalization: float = 0.75,
     segments: Optional[int] = None,
+    fmt=None,
+    channel_scale: float = 1.0,
     seed=0,
     registry: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
@@ -309,7 +318,13 @@ def parallel_ber(
         interval on the FER has at most this half-width.  Either, both,
         or neither may be given.
     schedule:
-        ``"zigzag"`` (default, fastest) or ``"flooding"``.
+        ``"zigzag"`` (default, fastest), ``"flooding"``, or the
+        fixed-point paths ``"quantized-zigzag"`` / ``"quantized-minsum"``
+        (paper Table 3 arithmetic; bit-identical to the single-frame
+        golden models for every frame).
+    fmt, channel_scale:
+        Fixed-point word format (6-bit messages by default) and channel
+        input conditioning, forwarded to the quantized schedules only.
     seed:
         Base seed; shard ``i`` uses child ``i`` of
         ``np.random.SeedSequence(seed)`` regardless of worker count.
@@ -338,15 +353,13 @@ def parallel_ber(
         "schedule": schedule,
         "normalization": float(normalization),
         "segments": segments,
+        "fmt": fmt,
+        "channel_scale": float(channel_scale),
         "trace_iterations": trace is not None,
     }
-    # Validate the schedule/segments combination up front, in-process.
-    make_batch_decoder(
-        code,
-        schedule=schedule,
-        normalization=normalization,
-        segments=segments,
-    )
+    # Validate the schedule/segments/format combination up front,
+    # in-process.
+    _build_decoder(code, params)
     sizes = _shard_sizes(max_frames, shard_frames)
     children = ensure_seed_sequence(seed).spawn(len(sizes))
 
@@ -441,12 +454,7 @@ def _serial_loop(
     ci_halfwidth: Optional[float],
 ):
     """The ``workers=1`` special case: same shards, same order, no pool."""
-    decoder = make_batch_decoder(
-        code,
-        schedule=params["schedule"],
-        normalization=params["normalization"],
-        segments=params["segments"],
-    )
+    decoder = _build_decoder(code, params)
     merged: List[ShardResult] = []
     frames = frame_errors = 0
     for shard, (n_frames, seed_seq) in enumerate(zip(sizes, children)):

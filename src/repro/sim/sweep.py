@@ -60,6 +60,8 @@ def parallel_snr_sweep(
     ci_halfwidth: Optional[float] = None,
     schedule: str = "zigzag",
     normalization: float = 0.75,
+    fmt=None,
+    channel_scale: float = 1.0,
     registry=None,
     trace=None,
 ) -> List[SweepPoint]:
@@ -69,7 +71,9 @@ def parallel_snr_sweep(
     with a point-specific base seed derived from ``(seed, point index)``
     via ``SeedSequence``, so the whole sweep is reproducible for any
     worker count and each point's noise is independent.  Engine
-    telemetry is attached to each :class:`SweepPoint`.  ``registry`` and
+    telemetry is attached to each :class:`SweepPoint`.  ``fmt`` and
+    ``channel_scale`` configure the ``quantized-*`` schedules (see
+    :func:`~repro.sim.parallel.parallel_ber`).  ``registry`` and
     ``trace`` are forwarded to every point's engine run (one shared
     recorder: each point contributes its frames' iteration records and a
     ``ber_result`` event).
@@ -91,6 +95,8 @@ def parallel_snr_sweep(
             max_iterations=max_iterations,
             schedule=schedule,
             normalization=normalization,
+            fmt=fmt,
+            channel_scale=channel_scale,
             seed=np.random.SeedSequence(entropy=(seed, index)),
             registry=registry,
             trace=trace,

@@ -61,6 +61,38 @@ def test_ber_small(capsys):
     assert "frames          : 4" in out
 
 
+def test_ber_quantized_schedule(capsys):
+    code, out = run(
+        capsys, "ber", "--rate", "1/2", "--ebn0", "3.0",
+        "--frames", "4", "--parallelism", "12",
+        "--schedule", "quantized-zigzag", "--channel-scale", "0.5",
+    )
+    assert code == 0
+    assert "fixed point     : 6-bit (2 fractional), channel scale 0.5" in out
+    assert "frames          : 4" in out
+
+
+def test_ber_quantized_wordlength_5(capsys):
+    code, out = run(
+        capsys, "ber", "--rate", "1/2", "--ebn0", "3.5",
+        "--frames", "2", "--parallelism", "12",
+        "--schedule", "quantized-minsum", "--wordlength", "5",
+        "--channel-scale", "0.25",
+    )
+    assert code == 0
+    assert "fixed point     : 5-bit (1 fractional)" in out
+
+
+def test_ber_channel_scale_requires_quantized(capsys):
+    code = main([
+        "ber", "--rate", "1/2", "--ebn0", "3.0", "--frames", "2",
+        "--parallelism", "12", "--channel-scale", "0.5",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "quantized" in err
+
+
 def test_anneal_small(capsys):
     code, out = run(
         capsys, "anneal", "--rate", "1/2", "--moves", "30",

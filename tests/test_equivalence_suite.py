@@ -47,6 +47,7 @@ def _code(rate, parallelism):
     return _CODES[key]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize(
     "rate,parallelism,fmt,norm,scale,ebn0", CONFIGS
 )
@@ -88,6 +89,7 @@ def test_core_equivalence(rate, parallelism, fmt, norm, scale, ebn0):
     assert np.allclose(rg.posteriors, rc.posteriors)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", range(6))
 def test_core_equivalence_many_seeds(seed):
     """Depth on one configuration: six independent noisy frames."""
