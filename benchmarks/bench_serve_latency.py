@@ -1,0 +1,203 @@
+"""Extension bench — serving latency and throughput under offered load.
+
+Drives the ``repro.serve`` micro-batching decode service with the
+closed-loop load generator at several offered rates and records the
+latency distribution (p50/p95/p99), sustained frames/s, and the
+degradation counters (shed iterations, typed rejects) per rate.
+
+Two properties are asserted, matching the subsystem's acceptance bar:
+
+* **batching pays**: at saturation the service must sustain at least
+  3x the serial single-frame decode throughput on the same host —
+  that is the dynamic micro-batcher recovering the batched decoder's
+  vectorization gain (PR 4 measured ~7x for full batches) for online
+  traffic;
+* **degradation is graceful and honest**: past saturation the service
+  sheds iterations and/or rejects with reasons — every offered frame
+  is accounted for, and a calm service decodes bit-identically to the
+  offline batch decoder (batching must never change results).
+
+``BENCH_SMOKE=1`` shrinks durations so the file finishes quickly in
+tier-1; full runs write ``BENCH_serve_latency.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.report import format_table
+from repro.decode.batch import make_batch_decoder
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    DecodeService,
+    ServeConfig,
+    make_frame_pool,
+    run_loadgen,
+)
+
+from _helpers import cached_small_code, print_banner, save_bench_json
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+EBN0_DB = 3.0
+SEED = 77
+BASELINE_FRAMES = 16 if SMOKE else 48
+DURATION_S = 0.25 if SMOKE else 1.0
+MAX_BATCH = 32
+#: Offered rates as multiples of the measured batched capacity.
+LOAD_FACTORS = (0.5, 1.0, 2.0)
+
+
+def _serial_single_frame_fps(code, pool):
+    """Frames/s of the pre-serve path: one frame per decode call."""
+    decoder = make_batch_decoder(
+        code, schedule="quantized-zigzag", normalization=0.75
+    )
+    decoder.decode_batch(pool.llrs[:1], max_iterations=30)  # warm up
+    t0 = time.perf_counter()
+    for i in range(BASELINE_FRAMES):
+        decoder.decode_batch(
+            pool.llrs[i % len(pool) : i % len(pool) + 1],
+            max_iterations=30,
+        )
+    return BASELINE_FRAMES / (time.perf_counter() - t0)
+
+
+def _batched_capacity_fps(code, pool):
+    """Frames/s of one full offline batch (the service's ceiling)."""
+    decoder = make_batch_decoder(
+        code, schedule="quantized-zigzag", normalization=0.75
+    )
+    llrs = pool.llrs[np.arange(MAX_BATCH) % len(pool)]
+    decoder.decode_batch(llrs, max_iterations=30)  # warm up
+    t0 = time.perf_counter()
+    decoder.decode_batch(llrs, max_iterations=30)
+    return MAX_BATCH / (time.perf_counter() - t0)
+
+
+def _calm_service_is_bit_identical(code, pool):
+    """Batching through the service must not change decode results."""
+    offline = make_batch_decoder(
+        code, schedule="quantized-zigzag", normalization=0.75
+    ).decode_batch(pool.llrs[:8], max_iterations=30)
+    service = DecodeService(
+        code,
+        ServeConfig(max_batch=8, max_linger_ms=0.0, max_iterations=30),
+        registry=MetricsRegistry(),
+    )
+    with service:
+        for frame in pool.llrs[:8]:
+            service.submit(frame)
+        service.flush()
+        results = sorted(service.poll(), key=lambda r: r.request_id)
+    for i, result in enumerate(results):
+        np.testing.assert_array_equal(result.bits, offline.bits[i])
+        assert result.iterations == int(offline.iterations[i])
+    return True
+
+
+def test_serve_latency_under_load(once):
+    code = cached_small_code("1/2")
+    pool = make_frame_pool(
+        code, pool_size=64, ebn0_db=EBN0_DB, seed=SEED
+    )
+
+    def run():
+        serial_fps = _serial_single_frame_fps(code, pool)
+        capacity_fps = _batched_capacity_fps(code, pool)
+        identical = _calm_service_is_bit_identical(code, pool)
+        sweeps = []
+        for factor in LOAD_FACTORS:
+            offered = factor * capacity_fps
+            result = run_loadgen(
+                code,
+                ServeConfig(
+                    max_batch=MAX_BATCH,
+                    max_linger_ms=5.0,
+                    queue_capacity=4 * MAX_BATCH,
+                    max_iterations=30,
+                    min_iterations=10,
+                    shed_start=0.5,
+                ),
+                offered_fps=offered,
+                duration_s=DURATION_S,
+                frame_pool=pool,
+                seed=SEED,
+            )
+            sweeps.append((factor, offered, result))
+        return serial_fps, capacity_fps, identical, sweeps
+
+    serial_fps, capacity_fps, identical, sweeps = once(run)
+
+    print_banner(
+        f"serve latency under offered load (n={cached_small_code('1/2').n}, "
+        f"max_batch={MAX_BATCH}, {DURATION_S}s per point)"
+    )
+    rows = []
+    for factor, offered, result in sweeps:
+        rep = result.report
+        rows.append((
+            f"{factor:.1f}x", f"{offered:.0f}",
+            f"{rep.frames_per_s:.0f}",
+            f"{rep.latency_p50_ms:.1f}", f"{rep.latency_p95_ms:.1f}",
+            f"{rep.latency_p99_ms:.1f}",
+            f"{rep.mean_occupancy:.1f}", f"{rep.iterations_shed}",
+            f"{rep.rejected}",
+        ))
+    print(format_table(
+        ("load", "offered/s", "served/s", "p50 ms", "p95 ms",
+         "p99 ms", "occup", "shed", "rej"),
+        rows,
+    ))
+    print(f"serial single-frame baseline : {serial_fps:.1f} frames/s")
+    print(f"offline full-batch ceiling   : {capacity_fps:.1f} frames/s")
+    best_served = max(r.report.frames_per_s for _, _, r in sweeps)
+    print(f"best sustained through serve : {best_served:.1f} frames/s "
+          f"({best_served / serial_fps:.2f}x serial)")
+
+    save_bench_json(
+        "serve_latency",
+        {
+            "ebn0_db": EBN0_DB,
+            "max_batch": MAX_BATCH,
+            "duration_s": DURATION_S,
+            "smoke": SMOKE,
+            "serial_single_frame_fps": serial_fps,
+            "offline_batch_capacity_fps": capacity_fps,
+            "best_served_fps": best_served,
+            "batching_speedup_vs_serial": best_served / serial_fps,
+            "calm_service_bit_identical": identical,
+            "sweep": [
+                {
+                    "load_factor": factor,
+                    "offered_fps": offered,
+                    "served_fps": r.report.frames_per_s,
+                    "latency_p50_ms": r.report.latency_p50_ms,
+                    "latency_p95_ms": r.report.latency_p95_ms,
+                    "latency_p99_ms": r.report.latency_p99_ms,
+                    "queue_p50_ms": r.report.queue_p50_ms,
+                    "mean_occupancy": r.report.mean_occupancy,
+                    "mean_iterations": r.report.mean_iterations,
+                    "iterations_shed": r.report.iterations_shed,
+                    "rejected": r.report.rejected,
+                    "expired": r.report.expired,
+                    "frame_errors": r.frame_errors,
+                    "checked": r.checked,
+                }
+                for factor, offered, r in sweeps
+            ],
+        },
+    )
+
+    # Acceptance: batching through the service beats serial
+    # single-frame decode by >= 3x, with results provably unchanged.
+    assert identical
+    assert best_served >= 3.0 * serial_fps
+    # Past saturation the service degrades visibly instead of queueing
+    # without bound: shed iterations and/or typed rejects show up, and
+    # the books balance (nothing vanishes).
+    overload = sweeps[-1][2]
+    rep = overload.report
+    assert rep.iterations_shed > 0 or rep.rejected > 0
+    assert rep.completed + rep.rejected + rep.expired == rep.submitted

@@ -261,6 +261,152 @@ def _cmd_anneal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_serve_code(args: argparse.Namespace):
+    from .codes import build_code, build_small_code
+
+    if args.parallelism == 360:
+        return build_code(args.rate)
+    return build_small_code(args.rate, parallelism=args.parallelism)
+
+
+def _serve_config(args: argparse.Namespace):
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        max_batch=args.max_batch,
+        max_linger_ms=args.max_linger_ms,
+        queue_capacity=args.queue_capacity,
+        deadline_ms=args.deadline_ms,
+        max_iterations=args.iterations,
+        min_iterations=args.min_iterations,
+        shed_start=args.shed_start,
+        schedule=args.schedule,
+        fmt=_resolve_fmt(args),
+        channel_scale=args.channel_scale,
+        workers=args.workers,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.registry import MetricsRegistry
+    from .serve import ByteStreamGateway, DecodeService, ServiceReport
+
+    code = _build_serve_code(args)
+    config = _serve_config(args)
+    if args.input == "-":
+        data = sys.stdin.buffer.read()
+    else:
+        with open(args.input, "rb") as handle:
+            data = handle.read()
+    if not data:
+        print("error: empty input stream", file=sys.stderr)
+        return 2
+    gateway = ByteStreamGateway(
+        code, ebn0_db=args.ebn0, seed=args.seed
+    )
+    llrs = gateway.llr_frames(data)
+    registry = MetricsRegistry()
+    trace = _open_trace(args.trace) if args.trace is not None else None
+    import time as _time
+
+    start = _time.monotonic()
+    try:
+        with DecodeService(
+            code, config, registry=registry, trace=trace
+        ) as service:
+            results = []
+            for frame in llrs:
+                # File mode: the queue paces us instead of rejecting.
+                while service.queue.full:
+                    if not service.pump():
+                        service.flush()
+                    results.extend(service.poll())
+                service.submit(frame)
+                service.pump()
+                results.extend(service.poll())
+            service.flush()
+            results.extend(service.poll())
+        wall = _time.monotonic() - start
+    finally:
+        if trace is not None:
+            trace.close()
+    results.sort(key=lambda r: r.request_id)
+    decoded, outcomes = gateway.reassemble(results)
+    if args.output == "-":
+        sys.stdout.buffer.write(decoded)
+        sys.stdout.buffer.flush()
+    else:
+        with open(args.output, "wb") as handle:
+            handle.write(decoded)
+    crc_bad = sum(1 for o in outcomes if o.status == "ok" and not o.crc_ok)
+    dropped = sum(1 for o in outcomes if o.status != "ok")
+    report = ServiceReport.from_snapshot(
+        code, registry.snapshot(), wall, max_batch=config.max_batch
+    )
+    print(f"served {len(outcomes)} BBFRAMEs "
+          f"({len(data)} bytes in, {len(decoded)} bytes out) "
+          f"at Eb/N0 = {args.ebn0} dB", file=sys.stderr)
+    if dropped or crc_bad:
+        print(f"  degraded frames : {dropped} dropped, "
+              f"{crc_bad} CRC-damaged", file=sys.stderr)
+    print(report.format(), file=sys.stderr)
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, registry.snapshot())
+        print(f"  metrics   : {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs.registry import MetricsRegistry
+    from .serve import sweep_offered_rates
+
+    code = _build_serve_code(args)
+    config = _serve_config(args)
+    trace = _open_trace(args.trace) if args.trace is not None else None
+    try:
+        results = sweep_offered_rates(
+            code,
+            config,
+            rates_fps=args.offered_fps,
+            duration_s=args.duration,
+            ebn0_db=args.ebn0,
+            seed=args.seed,
+            trace=trace,
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    print(f"loadgen rate {args.rate} (P={args.parallelism}, "
+          f"n={code.n}) at Eb/N0 = {args.ebn0} dB, "
+          f"{args.duration}s per point:")
+    print(f"  {'offered':>9} {'served':>9} {'p50 ms':>8} "
+          f"{'p99 ms':>8} {'occup':>6} {'it/frame':>8} "
+          f"{'shed':>6} {'rej%':>6} {'FER':>9}")
+    for r in results:
+        rep = r.report
+        rej = (
+            rep.rejected / rep.submitted * 100 if rep.submitted else 0.0
+        )
+        fer = r.frame_errors / r.checked if r.checked else float("nan")
+        print(f"  {r.offered_fps:>9.1f} {rep.frames_per_s:>9.1f} "
+              f"{rep.latency_p50_ms:>8.2f} {rep.latency_p99_ms:>8.2f} "
+              f"{rep.mean_occupancy:>6.2f} {rep.mean_iterations:>8.2f} "
+              f"{rep.iterations_shed:>6} {rej:>6.1f} {fer:>9.3e}")
+    last = results[-1].report
+    print(f"  eq7/8 hw model at measured iterations: "
+          f"{last.model_frames_per_s:.1f} frames/s "
+          f"({last.model_info_bps / 1e6:.1f} info Mbit/s)")
+    if args.metrics_out is not None:
+        merged = MetricsRegistry()
+        for r in results:
+            merged.merge(r.snapshot)
+        _write_metrics(args.metrics_out, merged.snapshot())
+        print(f"  metrics: {args.metrics_out}")
+    if args.trace is not None and args.trace != "-":
+        print(f"  trace  : {args.trace}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
@@ -460,6 +606,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write annealing metrics snapshot as JSON")
     p.set_defaults(func=_cmd_anneal)
+
+    def add_serve_flags(p: argparse.ArgumentParser) -> None:
+        """Flags shared by ``serve`` and ``loadgen``."""
+        p.add_argument("--rate", default="1/2")
+        p.add_argument("--parallelism", type=int, default=36)
+        p.add_argument("--ebn0", type=float, default=2.0,
+                       help="AWGN operating point of the simulated "
+                            "channel feeding the service")
+        p.add_argument("--seed", type=int, default=2005)
+        p.add_argument("--max-batch", type=int, default=32,
+                       help="frames packed per decode call")
+        p.add_argument("--max-linger-ms", type=float, default=5.0,
+                       help="longest a partial batch may wait to fill")
+        p.add_argument("--queue-capacity", type=int, default=128,
+                       help="bounded request queue size (backpressure)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; expired requests "
+                            "are dropped, not decoded")
+        p.add_argument("--iterations", type=int, default=30,
+                       help="iteration budget while the queue is calm")
+        p.add_argument("--min-iterations", type=int, default=10,
+                       help="budget floor under full queue pressure "
+                            "(paper Sec. 2.2's saved iterations)")
+        p.add_argument("--shed-start", type=float, default=0.5,
+                       help="queue fill fraction where shedding begins")
+        p.add_argument("--schedule",
+                       choices=("flooding", "zigzag", "quantized-zigzag",
+                                "quantized-minsum"),
+                       default="quantized-zigzag")
+        p.add_argument("--wordlength", type=int, default=6)
+        p.add_argument("--frac-bits", type=int, default=None)
+        p.add_argument("--channel-scale", type=float, default=1.0)
+        p.add_argument("--workers", type=int, default=1,
+                       help="decode batches on a persistent process "
+                            "pool (order stays deterministic)")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write serve_batch/serve_drop JSONL events")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the serving metrics snapshot as JSON")
+
+    p = sub.add_parser(
+        "serve",
+        help="decode a byte stream through the batching service",
+        description=(
+            "Slice bytes into BBFRAMEs, encode, pass through AWGN, "
+            "decode through the micro-batching service, and emit the "
+            "recovered bytes (report on stderr)."
+        ),
+    )
+    p.add_argument("input", help="input byte stream ('-' for stdin)")
+    p.add_argument("--output", default="-",
+                   help="recovered byte stream ('-' for stdout)")
+    add_serve_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator against the serve engine",
+        description=(
+            "Offer synthetic frames at fixed rates and report "
+            "latency percentiles, shedding, rejects, and the Eq. 7/8 "
+            "hardware comparison per offered rate."
+        ),
+    )
+    p.add_argument("--offered-fps", type=float, nargs="+",
+                   default=[200.0],
+                   help="offered rates to sweep (frames per second)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of offered load per sweep point")
+    add_serve_flags(p)
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser(
         "obs", help="inspect JSONL traces written by --trace"

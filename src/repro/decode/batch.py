@@ -42,6 +42,31 @@ def _batch_syndromes_ok(
     return ~parities.any(axis=1)
 
 
+def _normalize_iteration_budgets(max_iterations, frames: int):
+    """Normalize ``max_iterations`` into per-frame budgets plus a cap.
+
+    Decoders with ``supports_frame_budgets`` accept either a scalar
+    budget (the classic meaning) or a ``(frames,)`` array of per-frame
+    budgets — the deadline-aware serve path uses the latter to stop
+    iterating on frames whose time is up while the rest of the batch
+    keeps going.  Returns the broadcast ``(frames,)`` int64 array and
+    the largest budget (the outer loop bound).
+    """
+    budgets = np.asarray(max_iterations, dtype=np.int64)
+    if budgets.ndim == 0:
+        budgets = np.full(frames, int(budgets), dtype=np.int64)
+    elif budgets.shape != (frames,):
+        raise ValueError(
+            f"max_iterations must be a scalar or shape ({frames},)"
+        )
+    else:
+        budgets = budgets.copy()
+    if frames and budgets.min() < 0:
+        raise ValueError("iteration budgets must be non-negative")
+    limit = int(budgets.max()) if frames else 0
+    return budgets, limit
+
+
 def _batch_unsatisfied_counts(
     bits: np.ndarray,
     edge_vn_sorted: np.ndarray,

@@ -44,6 +44,7 @@ from .batch import (
     BatchDecodeResult,
     _batch_syndromes_ok,
     _batch_unsatisfied_counts,
+    _normalize_iteration_budgets,
 )
 
 
@@ -73,6 +74,12 @@ def _mask_into(cond: np.ndarray, out: np.ndarray) -> np.ndarray:
 
 class _QuantizedBatchBase:
     """Format plumbing shared by both batched fixed-point decoders."""
+
+    #: Both decoders accept a ``(frames,)`` array of per-frame iteration
+    #: budgets wherever ``max_iterations`` is taken (deadline-aware
+    #: serving); a scalar budget reproduces the classic behaviour
+    #: bit-identically.
+    supports_frame_budgets = True
 
     def __init__(
         self,
@@ -170,15 +177,21 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
         """Decode a ``(frames, N)`` batch of float channel LLRs.
 
         LLRs are quantized internally exactly as the single-frame
-        decoder does.  ``iteration_trace`` is the optional read-only
-        per-iteration hook (see :mod:`repro.obs.iteration`); observables
-        come from the integer posteriors, de-scaled by the format's LSB.
+        decoder does.  ``max_iterations`` may be a scalar or a
+        ``(frames,)`` array of per-frame budgets; a frame is frozen once
+        its own budget is spent.  ``iteration_trace`` is the optional
+        read-only per-iteration hook (see :mod:`repro.obs.iteration`);
+        observables come from the integer posteriors, de-scaled by the
+        format's LSB.
         """
         graph = self.code.graph
         llrs = np.asarray(channel_llrs, dtype=np.float64)
         if llrs.ndim != 2 or llrs.shape[1] != graph.n_vns:
             raise ValueError(f"expected shape (frames, {graph.n_vns})")
         frames = llrs.shape[0]
+        budgets, limit = _normalize_iteration_budgets(
+            max_iterations, frames
+        )
         ch = self.quantize_channel(llrs).astype(self._mdt)
         c2v = np.zeros((frames, graph.n_edges), dtype=self._mdt)
         bits = (ch < 0).astype(np.uint8)
@@ -197,8 +210,8 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
             if early_stop
             else np.zeros(frames, dtype=bool)
         )
-        active = ~converged
-        for it in range(1, max_iterations + 1):
+        active = (iterations < budgets) & ~converged
+        for it in range(1, limit + 1):
             if not active.any():
                 break
             idx = np.nonzero(active)[0]
@@ -243,7 +256,7 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
             if early_stop:
                 ok = self._syndromes_ok(sub_bits)
                 converged[idx[ok]] = True
-                active = ~converged
+            active = (iterations < budgets) & ~converged
         return BatchDecodeResult(
             bits=bits, converged=converged, iterations=iterations
         )
@@ -425,7 +438,11 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
         early_stop: bool = True,
         iteration_trace=None,
     ) -> BatchDecodeResult:
-        """Decode a ``(frames, N)`` batch of already-quantized integers."""
+        """Decode a ``(frames, N)`` batch of already-quantized integers.
+
+        ``max_iterations`` may be a scalar or a ``(frames,)`` array of
+        per-frame budgets; a frame freezes once its budget is spent.
+        """
         ch = np.asarray(ch)
         if ch.ndim != 2 or ch.shape[1] != self.code.n:
             raise ValueError(
@@ -433,6 +450,9 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
             )
         ch = ch.astype(self._mdt)
         frames = ch.shape[0]
+        budgets, limit = _normalize_iteration_budgets(
+            max_iterations, frames
+        )
         k, n_par, e_in = self._k, self._n_parity, self._e_in
         ch_in = ch[:, :k]
         ch_pn = np.ascontiguousarray(ch[:, k:])
@@ -460,7 +480,7 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
             if early_stop
             else np.zeros(frames, dtype=bool)
         )
-        active = ~converged
+        active = (iterations < budgets) & ~converged
         # Posterior pipeline (narrow path): the decision pass of
         # iteration i leaves the clipped, edge-expanded info posteriors
         # in ``gbuf`` — exactly what the VN phase of iteration i+1
@@ -475,7 +495,7 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
             np.take(ch_in, self._in_vn_sorted, axis=1, out=gbuf)
         g_rows_full = True
         g_rows = None  # global frame ids of gbuf rows once subsetting
-        for it in range(1, max_iterations + 1):
+        for it in range(1, limit + 1):
             if not active.any():
                 break
             all_active = bool(active.all())
@@ -601,7 +621,7 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
                     converged = ok
                 else:
                     converged[idx[ok]] = True
-                active = ~converged
+            active = (iterations < budgets) & ~converged
         return BatchDecodeResult(
             bits=bits, converged=converged, iterations=iterations
         )

@@ -84,6 +84,37 @@ def summarize_events(events: Iterable[dict]) -> str:
                 f"{sum(residual) / len(residual):.1f} over "
                 f"{len(residual)} non-converged frame(s)"
             )
+
+    # Serving digest over serve_batch / serve_drop events, if present.
+    batches = [e for e in events if e.get("type") == "serve_batch"]
+    drops = [e for e in events if e.get("type") == "serve_drop"]
+    if batches:
+        n = len(batches)
+        occ = [e.get("occupancy", 0) for e in batches]
+        budgets = [e.get("budget", 0) for e in batches]
+        frames = sum(occ)
+        decode_s = sum(e.get("decode_s", 0.0) for e in batches)
+        lines.append(f"serve batches    : {n} ({frames} frames)")
+        lines.append(
+            f"  occupancy        : mean {sum(occ) / n:.2f}, "
+            f"max {max(occ)}"
+        )
+        lines.append(
+            f"  budget           : min {min(budgets)}, "
+            f"max {max(budgets)}"
+        )
+        if decode_s > 0:
+            lines.append(
+                f"  decode service   : {frames / decode_s:.1f} frames/s "
+                f"busy-rate across {decode_s:.3f}s"
+            )
+    if drops:
+        reasons = _TallyCounter(
+            f"{e.get('status', '?')}/{e.get('reason', '?')}" for e in drops
+        )
+        lines.append(f"serve drops      : {len(drops)}")
+        for reason, count in sorted(reasons.items()):
+            lines.append(f"  {reason:<22} : {count}")
     return "\n".join(lines)
 
 

@@ -157,6 +157,30 @@ class Histogram:
             return float("nan")
         return self.sum / self.count
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0–100) from the buckets.
+
+        Linear interpolation inside the bucket containing the target
+        rank; the overflow bucket reports the last bound.  NaN when
+        empty.  Accuracy is bounded by the bucket layout — pick bounds
+        to bracket the latencies you care about.
+        """
+        if self.count == 0:
+            return float("nan")
+        target = q / 100.0 * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= target:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                return lo + (hi - lo) * (target - seen) / c
+            seen += c
+        return self.bounds[-1]
+
 
 class _NullMetric:
     """Shared no-op standing in for every metric type when disabled."""
@@ -178,6 +202,9 @@ class _NullMetric:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
 
     def record_ns(self, dur_ns: int) -> None:
         pass

@@ -1,0 +1,148 @@
+"""Request/result types and configuration of the decode service.
+
+The service's unit of work is one noisy frame: a caller submits the
+``(n,)`` channel-LLR vector of a received codeword as a
+:class:`DecodeRequest` and gets a :class:`DecodeResult` carrying the
+hard-decision codeword bits (or a typed rejection).  Everything that
+shapes batching, deadlines and degradation lives in one
+:class:`ServeConfig` value object so a service instance is fully
+described by ``(code, config)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+# -- request lifecycle states ------------------------------------------
+#: Decoded; ``bits``/``converged``/``iterations`` are populated.
+STATUS_OK = "ok"
+#: Never queued; ``reason`` says why (e.g. :data:`REASON_QUEUE_FULL`).
+STATUS_REJECTED = "rejected"
+#: Queued but dropped before decode because its deadline passed.
+STATUS_EXPIRED = "expired"
+
+# -- rejection / drop reasons ------------------------------------------
+REASON_QUEUE_FULL = "queue_full"
+REASON_DEADLINE = "deadline_expired"
+REASON_SHUTDOWN = "shutdown"
+REASON_BAD_FRAME = "bad_frame"
+
+
+@dataclass
+class ServeConfig:
+    """All serving knobs in one place.
+
+    Batching
+    --------
+    ``max_batch`` frames are packed per decode call; a partial batch is
+    flushed once its oldest request has lingered ``max_linger_ms``
+    (fill-or-timeout).  ``queue_capacity`` bounds the request queue —
+    a full queue rejects new work with :data:`REASON_QUEUE_FULL`
+    (backpressure) instead of growing without bound.
+
+    Degradation
+    -----------
+    ``deadline_ms`` is the default per-request deadline (``None`` means
+    no deadline).  The iteration-budget controller runs every batch with
+    the full ``max_iterations`` while the queue is below
+    ``shed_start`` × capacity and sheds linearly down to
+    ``min_iterations`` as the queue fills — the paper's §2.2 observation
+    that the zigzag schedule "saves about 10 iterations" turned into a
+    live load-shedding knob (fewer iterations per frame = more frames
+    per second, at a graceful BER cost).
+
+    Decoder
+    -------
+    ``schedule`` / ``normalization`` / ``fmt`` / ``channel_scale`` /
+    ``segments`` are forwarded to
+    :func:`repro.decode.batch.make_batch_decoder`; the default is the
+    paper's 6-bit fixed-point zigzag path.  ``workers > 1`` decodes
+    batches on a persistent process pool (batch order deterministic).
+    """
+
+    max_batch: int = 32
+    max_linger_ms: float = 5.0
+    queue_capacity: int = 128
+    deadline_ms: Optional[float] = None
+    max_iterations: int = 30
+    min_iterations: int = 10
+    shed_start: float = 0.5
+    schedule: str = "quantized-zigzag"
+    normalization: float = 0.75
+    fmt: Optional[object] = None
+    channel_scale: float = 1.0
+    segments: Optional[int] = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_linger_ms < 0:
+            raise ValueError("max_linger_ms must be non-negative")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive when set")
+        if not 0 < self.min_iterations <= self.max_iterations:
+            raise ValueError(
+                "need 0 < min_iterations <= max_iterations"
+            )
+        if not 0.0 <= self.shed_start <= 1.0:
+            raise ValueError("shed_start must be in [0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    @property
+    def max_linger_s(self) -> float:
+        """Linger bound in seconds."""
+        return self.max_linger_ms / 1e3
+
+
+@dataclass
+class DecodeRequest:
+    """One queued frame awaiting decode."""
+
+    request_id: int
+    llrs: np.ndarray
+    #: Arrival timestamp on the service clock (seconds).
+    arrival_s: float
+    #: Absolute deadline on the service clock, or ``None``.
+    deadline_s: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self.deadline_s is not None and now >= self.deadline_s
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of one request — decoded bits or a typed drop.
+
+    ``status`` is one of :data:`STATUS_OK` / :data:`STATUS_REJECTED` /
+    :data:`STATUS_EXPIRED`; only :data:`STATUS_OK` results carry bits.
+    ``iteration_budget`` records the (possibly shed) budget the batch
+    ran with, so callers can tell a full-quality decode from a degraded
+    one even when both converge.
+    """
+
+    request_id: int
+    status: str
+    reason: Optional[str] = None
+    bits: Optional[np.ndarray] = None
+    converged: bool = False
+    iterations: int = 0
+    iteration_budget: int = 0
+    batch_seq: int = -1
+    batch_occupancy: int = 0
+    #: Submit-to-completion latency on the service clock (seconds).
+    latency_s: float = float("nan")
+    #: Time spent queued before the batch formed (seconds).
+    queued_s: float = float("nan")
+
+    @property
+    def ok(self) -> bool:
+        """True for a decoded (possibly non-converged) frame."""
+        return self.status == STATUS_OK

@@ -1,0 +1,86 @@
+"""Dynamic micro-batching: the fill-or-timeout policy.
+
+The batched decoders amortize their per-call overhead over the frames
+axis, so serving wants batches as full as possible — but a frame that
+arrives into an idle service must not wait forever for company.  The
+classic resolution (used by every batching inference server) is
+*fill-or-timeout*:
+
+* **fill** — the moment ``max_batch`` requests are queued, a batch is
+  due immediately;
+* **timeout** — otherwise a non-empty queue becomes due once its oldest
+  request has lingered ``max_linger`` seconds.
+
+The batcher is a pure policy object: given the queue and a clock value
+it answers "is a batch due?", "when will one be due?" and "take it" —
+it never reads the clock itself, which makes the policy exactly
+reproducible under the tests' manual clock (deterministic under seeded
+arrival order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .api import DecodeRequest
+from .queue import BoundedRequestQueue
+
+
+@dataclass(frozen=True)
+class MicroBatcher:
+    """Fill-or-timeout batch former over a :class:`BoundedRequestQueue`.
+
+    Parameters
+    ----------
+    max_batch:
+        Hard upper bound on frames per decode call.
+    max_linger_s:
+        Longest time the oldest queued request may wait before a
+        partial batch is flushed.  ``0`` degrades to decode-on-arrival
+        (every pump flushes whatever is queued).
+    """
+
+    max_batch: int
+    max_linger_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.max_linger_s < 0:
+            raise ValueError("max_linger_s must be non-negative")
+
+    # ------------------------------------------------------------------
+    def due(self, queue: BoundedRequestQueue, now: float) -> bool:
+        """True when a batch should be formed at time ``now``."""
+        depth = len(queue)
+        if depth >= self.max_batch:
+            return True
+        oldest = queue.oldest_arrival()
+        if oldest is None:
+            return False
+        # Same expression as next_due() (not `now - oldest >= linger`):
+        # float addition is not associative, so mixing the two forms
+        # lets a caller step the clock exactly to next_due() and still
+        # find nothing due — an infinite loop in event-driven callers.
+        return now >= oldest + self.max_linger_s
+
+    def next_due(
+        self, queue: BoundedRequestQueue, now: float
+    ) -> Optional[float]:
+        """Earliest time a batch will be due without new arrivals.
+
+        ``None`` for an empty queue; ``now`` when already due.  The
+        engine's pump loop sleeps until this moment (or the next
+        arrival, whichever is sooner).
+        """
+        if self.due(queue, now):
+            return now
+        oldest = queue.oldest_arrival()
+        if oldest is None:
+            return None
+        return oldest + self.max_linger_s
+
+    def take(self, queue: BoundedRequestQueue) -> List[DecodeRequest]:
+        """Form one batch: up to ``max_batch`` requests, FIFO order."""
+        return queue.take(self.max_batch)

@@ -1,0 +1,130 @@
+"""BBFRAME-aware byte gateway: bytes → noisy LLR frames → bytes.
+
+``repro serve`` speaks bytes at both ends.  On the way in, the gateway
+slices the input stream into BBFRAMEs (:mod:`repro.stream.bbframe`),
+encodes each payload with the systematic IRA encoder, and passes the
+codewords through a seeded AWGN channel — producing exactly the
+``(n,)`` channel-LLR vectors the decode service consumes.  On the way
+out, it takes the service's :class:`~repro.serve.api.DecodeResult`\\ s,
+re-parses the decoded payloads with :meth:`BbFramer.try_deframe`
+(corruption is *data* on the serve path, never an exception), and
+reassembles the surviving data fields into the output byte stream.
+
+Each direction returns per-frame records alongside the payload so the
+CLI can report what happened to every frame — decoded/expired/rejected,
+CRC intact or not — instead of silently dropping bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..channel.awgn import AwgnChannel
+from ..codes.construction import LdpcCode
+from ..encode.encoder import IraEncoder
+from ..stream.bbframe import BbFramer
+from .api import REASON_BAD_FRAME, STATUS_OK, DecodeResult
+
+
+@dataclass(frozen=True)
+class FrameOutcome:
+    """What became of one submitted frame on the way back to bytes."""
+
+    request_id: int
+    status: str  #: Service status (``ok`` / ``rejected`` / ``expired``).
+    reason: Optional[str]  #: Drop reason, or framing error text.
+    crc_ok: bool  #: BBHEADER CRC-8 matched after decode.
+    data_bits: int  #: Data-field bits contributed to the output.
+    iterations: int
+    converged: bool
+
+
+class ByteStreamGateway:
+    """Bytes → BBFRAME → encode → AWGN on submit; the reverse on poll.
+
+    Parameters
+    ----------
+    code:
+        The LDPC code; BBFRAMEs are sized to its ``k`` info bits
+        (``K_ldpc`` payloads — no outer BCH in this reproduction).
+    ebn0_db:
+        AWGN operating point for the simulated channel.
+    seed:
+        Channel noise seed (``None`` draws OS entropy).
+    matype:
+        MATYPE header field stamped on every frame.
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        *,
+        ebn0_db: float = 2.0,
+        seed: Optional[int] = 2005,
+        matype: int = 0x7200,
+    ) -> None:
+        self.code = code
+        self.framer = BbFramer(code.k, matype=matype)
+        self.encoder = IraEncoder(code)
+        self.channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed)
+
+    # ------------------------------------------------------------------
+    def llr_frames(self, data: bytes) -> np.ndarray:
+        """Turn a byte stream into ``(frames, n)`` channel LLRs."""
+        payloads = self.framer.frame_stream(data)
+        info = np.stack(payloads).astype(np.uint8)
+        codewords = self.encoder.encode_batch(info)
+        return self.channel.llrs(codewords)
+
+    # ------------------------------------------------------------------
+    def reassemble(
+        self, results: List[DecodeResult]
+    ) -> Tuple[bytes, List[FrameOutcome]]:
+        """Decoded results (submit order) → output bytes + outcomes.
+
+        Frames the service dropped contribute nothing; frames that
+        decoded but fail the BBHEADER checks contribute their clamped
+        data field (``try_deframe`` semantics) and are flagged
+        ``crc_ok=False`` with :data:`REASON_BAD_FRAME`.
+        """
+        parts: List[np.ndarray] = []
+        outcomes: List[FrameOutcome] = []
+        for result in results:
+            if result.status != STATUS_OK:
+                outcomes.append(
+                    FrameOutcome(
+                        request_id=result.request_id,
+                        status=result.status,
+                        reason=result.reason,
+                        crc_ok=False,
+                        data_bits=0,
+                        iterations=result.iterations,
+                        converged=result.converged,
+                    )
+                )
+                continue
+            payload = result.bits[: self.code.k]
+            parsed = self.framer.try_deframe(payload)
+            parts.append(parsed.data_bits)
+            outcomes.append(
+                FrameOutcome(
+                    request_id=result.request_id,
+                    status=result.status,
+                    reason=(
+                        None if parsed.ok
+                        else f"{REASON_BAD_FRAME}: {parsed.error}"
+                    ),
+                    crc_ok=parsed.ok,
+                    data_bits=int(parsed.data_bits.size),
+                    iterations=result.iterations,
+                    converged=result.converged,
+                )
+            )
+        bits = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.uint8)
+        )
+        usable = (bits.size // 8) * 8
+        return np.packbits(bits[:usable]).tobytes(), outcomes

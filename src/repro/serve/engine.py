@@ -1,0 +1,491 @@
+"""The decode service: queue → micro-batcher → batched decoder.
+
+:class:`DecodeService` turns the repo's batched decoders into a
+streaming service.  The design is a single-threaded event pump over an
+injected clock:
+
+* ``submit`` admits a request (or rejects it with a typed reason when
+  the bounded queue is full — backpressure, never unbounded growth);
+* ``pump`` is the event step: expire overdue requests, form every due
+  micro-batch (fill-or-timeout, see
+  :class:`~repro.serve.batcher.MicroBatcher`), decode it, and complete
+  results;
+* ``poll`` hands finished :class:`~repro.serve.api.DecodeResult`\\ s
+  back in completion order.
+
+Everything time-dependent takes the clock value from the pump caller
+(or the injected ``clock``), so the whole service is deterministic
+under a manual clock — the property the batcher/shedding tests lean on.
+
+Degradation is layered (cheapest first): converged frames freeze inside
+the batched decoder (free, always on); the iteration-budget controller
+sheds the per-batch budget as the queue fills (paper §2.2's saved
+iterations as a live knob); per-request deadlines expire queued frames
+before they waste decode time, and — on decoders with
+``supports_frame_budgets`` — cap each frame's budget to what fits
+before its deadline using a measured per-iteration cost estimate;
+finally a full queue rejects at the door.
+
+With ``workers > 1`` batches are decoded on a
+:class:`~repro.sim.pool.PersistentPool` (created once, reused for every
+batch); completions are merged strictly in batch-sequence order, so
+metrics and result order are deterministic for any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..codes.construction import LdpcCode
+from ..decode.batch import make_batch_decoder
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.trace import TraceRecorder
+from ..sim.pool import PersistentPool
+from .api import (
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    DecodeRequest,
+    DecodeResult,
+    ServeConfig,
+)
+from .batcher import MicroBatcher
+from .policy import IterationBudgetController
+from .queue import BoundedRequestQueue
+
+#: Batch-occupancy histogram buckets (powers of two up to 256 frames).
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Latency histogram buckets in milliseconds.
+LATENCY_BUCKETS_MS = (
+    0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+)
+
+#: EWMA weight of the newest per-iteration cost sample.
+_ITER_COST_ALPHA = 0.3
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery for the pooled path (mirrors sim.parallel).
+_SERVE_WORKER: dict = {}
+
+
+def _decoder_params(config: ServeConfig) -> dict:
+    return {
+        "schedule": config.schedule,
+        "normalization": config.normalization,
+        "segments": config.segments,
+        "fmt": config.fmt,
+        "channel_scale": config.channel_scale,
+    }
+
+
+def _build_serve_decoder(code: LdpcCode, params: dict):
+    return make_batch_decoder(
+        code,
+        schedule=params["schedule"],
+        normalization=params["normalization"],
+        segments=params["segments"],
+        fmt=params["fmt"],
+        channel_scale=params["channel_scale"],
+    )
+
+
+def _init_serve_worker(code: LdpcCode, params: dict) -> None:
+    _SERVE_WORKER["decoder"] = _build_serve_decoder(code, params)
+
+
+def _decode_batch_task(llrs: np.ndarray, budgets) -> tuple:
+    """Pool entry point: decode one micro-batch on the worker's decoder."""
+    result = _SERVE_WORKER["decoder"].decode_batch(
+        llrs, max_iterations=budgets, early_stop=True
+    )
+    return result.bits, result.converged, result.iterations
+
+
+class DecodeService:
+    """Streaming decode service over one LDPC code.
+
+    Parameters
+    ----------
+    code:
+        The code every submitted frame belongs to (batches are
+        same-rate by construction).
+    config:
+        Batching/degradation/decoder knobs; see
+        :class:`~repro.serve.api.ServeConfig`.
+    registry:
+        Metrics sink; defaults to the process-wide registry.
+    trace:
+        Optional JSONL trace recorder; one ``serve_batch`` event per
+        decoded batch and one ``serve_drop`` event per reject/expiry.
+    clock:
+        Monotonic-seconds callable; tests inject a manual clock.
+    pool:
+        Persistent worker pool for ``config.workers > 1``; created (and
+        owned) by the service when not supplied.
+    """
+
+    def __init__(
+        self,
+        code: LdpcCode,
+        config: Optional[ServeConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        clock=time.monotonic,
+        pool: Optional[PersistentPool] = None,
+    ) -> None:
+        self.code = code
+        self.config = config if config is not None else ServeConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self.trace = trace
+        self.clock = clock
+        params = _decoder_params(self.config)
+        self.decoder = _build_serve_decoder(code, params)
+        self._frame_budgets_ok = bool(
+            getattr(self.decoder, "supports_frame_budgets", False)
+        )
+        self.queue = BoundedRequestQueue(self.config.queue_capacity)
+        self.batcher = MicroBatcher(
+            self.config.max_batch, self.config.max_linger_s
+        )
+        self.controller = IterationBudgetController(
+            self.config.max_iterations,
+            self.config.min_iterations,
+            self.config.shed_start,
+        )
+        self._pool: Optional[PersistentPool] = None
+        self._owns_pool = False
+        if self.config.workers > 1:
+            if pool is None:
+                pool = PersistentPool(
+                    self.config.workers, label="serve engine"
+                )
+                self._owns_pool = True
+            pool.configure(
+                _init_serve_worker,
+                (code, params),
+                key=("serve", id(code)) + tuple(
+                    (k, id(v) if k == "fmt" else v)
+                    for k, v in sorted(params.items())
+                ),
+            )
+            self._pool = None if pool.serial else pool
+        self._next_id = 0
+        self._batch_seq = 0
+        self._next_merge_seq = 0
+        #: In-flight pooled batches: seq -> (future, requests, meta).
+        self._pending: Dict[int, Tuple[object, List[DecodeRequest], dict]] = {}
+        self._completed: List[DecodeResult] = []
+        #: EWMA of seconds per batch iteration (deadline budgeting).
+        self._iter_cost_s: Optional[float] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        llrs: np.ndarray,
+        *,
+        deadline_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Admit one frame of channel LLRs; returns its request id.
+
+        The result (decoded bits, or a typed rejection when the queue
+        is full) arrives via :meth:`poll` after a :meth:`pump` — a
+        rejected request completes immediately.  ``deadline_s`` is an
+        absolute service-clock deadline overriding the config default;
+        ``now`` overrides the clock (loadgen backdates arrivals to the
+        scheduled offered-rate instants, so queueing delay includes
+        time the pump spent decoding).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.shape != (self.code.n,):
+            raise ValueError(f"expected shape ({self.code.n},) LLRs")
+        now = self.clock() if now is None else now
+        request_id = self._next_id
+        self._next_id += 1
+        if deadline_s is None and self.config.deadline_ms is not None:
+            deadline_s = now + self.config.deadline_ms / 1e3
+        request = DecodeRequest(
+            request_id=request_id,
+            llrs=llrs,
+            arrival_s=now,
+            deadline_s=deadline_s,
+        )
+        self.registry.counter("serve.requests.submitted").inc()
+        if not self.queue.offer(request):
+            self.registry.counter("serve.requests.rejected").inc()
+            self._drop(request, STATUS_REJECTED, REASON_QUEUE_FULL, now)
+            return request_id
+        self.registry.gauge("serve.queue.depth").set(len(self.queue))
+        return request_id
+
+    # ------------------------------------------------------------------
+    # Event pump
+    # ------------------------------------------------------------------
+    def pump(self, now: Optional[float] = None) -> int:
+        """Run the service forward: expire, batch, decode.  Returns the
+        number of batches dispatched."""
+        now = self.clock() if now is None else now
+        self._expire(now)
+        dispatched = 0
+        while self.batcher.due(self.queue, now):
+            self._dispatch_batch(now)
+            dispatched += 1
+            now = self.clock() if self._pool is None else now
+            self._expire(now)
+        self._collect(block=False)
+        return dispatched
+
+    def next_due(self, now: Optional[float] = None) -> Optional[float]:
+        """When the pump next has work (None = idle until a submit).
+
+        With pooled batches in flight the answer is ``now`` — the pump
+        should keep collecting completions.
+        """
+        now = self.clock() if now is None else now
+        if self._pending:
+            return now
+        return self.batcher.next_due(self.queue, now)
+
+    def poll(self) -> List[DecodeResult]:
+        """Drain and return results completed since the last poll."""
+        out = self._completed
+        self._completed = []
+        return out
+
+    def flush(self, now: Optional[float] = None) -> None:
+        """Decode everything queued (ignoring linger) and wait for it."""
+        now = self.clock() if now is None else now
+        self._expire(now)
+        while len(self.queue):
+            self._dispatch_batch(now)
+            now = self.clock() if self._pool is None else now
+        self._collect(block=True)
+
+    def close(self) -> None:
+        """Flush outstanding work and release the pool (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+        self._closed = True
+
+    def __enter__(self) -> "DecodeService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop(
+        self,
+        request: DecodeRequest,
+        status: str,
+        reason: str,
+        now: float,
+    ) -> None:
+        self._completed.append(
+            DecodeResult(
+                request_id=request.request_id,
+                status=status,
+                reason=reason,
+                latency_s=now - request.arrival_s,
+            )
+        )
+        if self.trace is not None:
+            self.trace.event(
+                "serve_drop",
+                request=request.request_id,
+                status=status,
+                reason=reason,
+                waited_s=round(now - request.arrival_s, 6),
+            )
+
+    def _expire(self, now: float) -> None:
+        for request in self.queue.expire(now):
+            self.registry.counter("serve.requests.expired").inc()
+            self._drop(request, STATUS_EXPIRED, REASON_DEADLINE, now)
+        self.registry.gauge("serve.queue.depth").set(len(self.queue))
+
+    def _frame_budget_vector(
+        self,
+        requests: List[DecodeRequest],
+        batch_budget: int,
+        now: float,
+    ):
+        """Per-frame budgets: the batch budget, capped per deadline.
+
+        A frame whose deadline leaves room for fewer iterations than
+        the batch budget gets only what fits, using the EWMA of the
+        measured per-iteration batch cost (no estimate yet → no cap).
+        Frames without deadlines always get the full batch budget, so
+        deadline-free serving is bit-identical to the offline decoder.
+        """
+        if not self._frame_budgets_ok:
+            return batch_budget, 0
+        has_deadline = any(r.deadline_s is not None for r in requests)
+        if not has_deadline or not self._iter_cost_s:
+            return batch_budget, 0
+        budgets = np.full(len(requests), batch_budget, dtype=np.int64)
+        capped = 0
+        for i, request in enumerate(requests):
+            if request.deadline_s is None:
+                continue
+            affordable = int(
+                (request.deadline_s - now) / self._iter_cost_s
+            )
+            if affordable < batch_budget:
+                budgets[i] = max(1, affordable)
+                capped += 1
+        if not capped:
+            return batch_budget, 0
+        return budgets, capped
+
+    def _dispatch_batch(self, now: float) -> None:
+        fill = self.queue.fill
+        batch_budget = self.controller.budget(fill)
+        requests = self.batcher.take(self.queue)
+        self.registry.gauge("serve.queue.depth").set(len(self.queue))
+        occupancy = len(requests)
+        self.registry.histogram(
+            "serve.batch.occupancy", OCCUPANCY_BUCKETS
+        ).observe(occupancy)
+        self.registry.gauge("serve.batch.budget").set(batch_budget)
+        shed = (self.config.max_iterations - batch_budget) * occupancy
+        if shed:
+            self.registry.counter("serve.iterations.shed").inc(shed)
+        ttfb = self.registry.timer("serve.request.ttfb")
+        for request in requests:
+            ttfb.record_ns(int((now - request.arrival_s) * 1e9))
+        budgets, deadline_capped = self._frame_budget_vector(
+            requests, batch_budget, now
+        )
+        llrs = np.stack([r.llrs for r in requests])
+        seq = self._batch_seq
+        self._batch_seq += 1
+        meta = {
+            "formed_s": now,
+            "budget": batch_budget,
+            "fill": fill,
+            "deadline_capped": deadline_capped,
+        }
+        if self._pool is not None:
+            future = self._pool.submit(_decode_batch_task, llrs, budgets)
+            self._pending[seq] = (future, requests, meta)
+            return
+        with self.registry.timer("serve.batch.decode") as timer:
+            result = self.decoder.decode_batch(
+                llrs,
+                max_iterations=(
+                    budgets if self._frame_budgets_ok else int(
+                        budgets if np.ndim(budgets) == 0
+                        else np.min(budgets)
+                    )
+                ),
+                early_stop=True,
+            )
+        self._finish_batch(
+            seq, requests, meta,
+            result.bits, result.converged, result.iterations,
+            decode_s=timer.last_s,
+        )
+
+    def _collect(self, block: bool) -> None:
+        """Fold finished pooled batches in, strictly in sequence order."""
+        while self._next_merge_seq in self._pending:
+            seq = self._next_merge_seq
+            future, requests, meta = self._pending[seq]
+            if not block and not future.done():
+                return
+            bits, converged, iterations = future.result()
+            del self._pending[seq]
+            # Service time on the pooled path is submission-to-merge
+            # (includes queueing on the pool), measured on this clock.
+            decode_s = self.clock() - meta["formed_s"]
+            self.registry.timer("serve.batch.decode").record_ns(
+                max(0, int(decode_s * 1e9))
+            )
+            self._finish_batch(
+                seq, requests, meta,
+                bits, converged, iterations, decode_s=decode_s,
+            )
+
+    def _finish_batch(
+        self,
+        seq: int,
+        requests: List[DecodeRequest],
+        meta: dict,
+        bits: np.ndarray,
+        converged: np.ndarray,
+        iterations: np.ndarray,
+        decode_s: float,
+    ) -> None:
+        self._next_merge_seq = max(self._next_merge_seq, seq + 1)
+        done = self.clock()
+        occupancy = len(requests)
+        total_iters = int(iterations.sum())
+        self.registry.counter("serve.batches").inc()
+        self.registry.counter("serve.requests.completed").inc(occupancy)
+        self.registry.counter("serve.iterations.executed").inc(total_iters)
+        max_iters = int(iterations.max()) if occupancy else 0
+        if max_iters > 0 and decode_s > 0:
+            sample = decode_s / max_iters
+            if self._iter_cost_s is None:
+                self._iter_cost_s = sample
+            else:
+                self._iter_cost_s += _ITER_COST_ALPHA * (
+                    sample - self._iter_cost_s
+                )
+        latency_h = self.registry.histogram(
+            "serve.request.latency_ms", LATENCY_BUCKETS_MS
+        )
+        queue_h = self.registry.histogram(
+            "serve.request.queue_ms", LATENCY_BUCKETS_MS
+        )
+        for i, request in enumerate(requests):
+            latency = done - request.arrival_s
+            queued = meta["formed_s"] - request.arrival_s
+            latency_h.observe(latency * 1e3)
+            queue_h.observe(queued * 1e3)
+            self._completed.append(
+                DecodeResult(
+                    request_id=request.request_id,
+                    status=STATUS_OK,
+                    bits=bits[i],
+                    converged=bool(converged[i]),
+                    iterations=int(iterations[i]),
+                    iteration_budget=meta["budget"],
+                    batch_seq=seq,
+                    batch_occupancy=occupancy,
+                    latency_s=latency,
+                    queued_s=queued,
+                )
+            )
+        if self.trace is not None:
+            self.trace.event(
+                "serve_batch",
+                seq=seq,
+                occupancy=occupancy,
+                budget=meta["budget"],
+                fill=round(meta["fill"], 4),
+                deadline_capped=meta["deadline_capped"],
+                converged=int(np.asarray(converged).sum()),
+                iterations=total_iters,
+                decode_s=round(decode_s, 6),
+            )

@@ -1,0 +1,230 @@
+"""Closed-loop load generator for the decode service.
+
+One process plays both roles: it releases requests on an open-loop
+arrival schedule (a fixed offered rate, what an antenna front-end would
+deliver) and drives the service pump in the gaps — a closed loop
+between generator and service with no threads, so a run is fully
+described by ``(code, config, offered_fps, duration, seed)``.
+
+Arrivals are *backdated to the schedule*: if the pump spent 8 ms
+decoding a batch, the three frames that "arrived" meanwhile are
+submitted with their scheduled timestamps, so queueing delay and linger
+accounting see true offered-load behaviour rather than the generator's
+call times.  That is what makes the latency-vs-offered-load curves
+honest near saturation.
+
+Ground truth travels with every frame: the generator encodes random
+codewords through a seeded AWGN channel and compares decoded payloads
+bit-for-bit on completion, so a sweep reports correctness (frame/bit
+errors) next to throughput — degradation should cost iterations, not
+silent corruption.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..channel.awgn import AwgnChannel
+from ..codes.construction import LdpcCode
+from ..encode.encoder import IraEncoder
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceRecorder
+from .api import ServeConfig
+from .engine import DecodeService
+from .report import ServiceReport
+
+
+@dataclass(frozen=True)
+class FramePool:
+    """A cycle of pre-generated noisy frames with their true codewords."""
+
+    llrs: np.ndarray  #: ``(pool, n)`` channel LLRs.
+    codewords: np.ndarray  #: ``(pool, n)`` transmitted bits.
+    ebn0_db: float
+
+    def __len__(self) -> int:
+        return self.llrs.shape[0]
+
+
+def make_frame_pool(
+    code: LdpcCode,
+    *,
+    pool_size: int = 64,
+    ebn0_db: float = 2.0,
+    seed: int = 2005,
+) -> FramePool:
+    """Encode ``pool_size`` random codewords and pass them through AWGN.
+
+    The generator cycles through the pool instead of synthesizing a
+    fresh frame per arrival — frame generation must never become the
+    bottleneck that caps the offered rate.
+    """
+    rng = np.random.default_rng(seed)
+    encoder = IraEncoder(code)
+    info = rng.integers(0, 2, size=(pool_size, code.k), dtype=np.int8)
+    codewords = encoder.encode_batch(info)
+    channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed + 1)
+    llrs = channel.llrs(codewords)
+    return FramePool(llrs=llrs, codewords=codewords, ebn0_db=ebn0_db)
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Outcome of one constant-rate run."""
+
+    offered_fps: float
+    duration_s: float
+    report: ServiceReport
+    snapshot: dict
+    #: Completed frames whose decoded codeword differed from the truth.
+    frame_errors: int
+    #: Total wrong bits across completed frames.
+    bit_errors: int
+    #: Decoded-and-compared frame count (``report.completed``).
+    checked: int
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_fps": self.offered_fps,
+            "duration_s": self.duration_s,
+            "frame_errors": self.frame_errors,
+            "bit_errors": self.bit_errors,
+            "checked": self.checked,
+            "report": self.report.to_dict(),
+        }
+
+
+def run_loadgen(
+    code: LdpcCode,
+    config: Optional[ServeConfig] = None,
+    *,
+    offered_fps: float,
+    duration_s: float,
+    frame_pool: Optional[FramePool] = None,
+    ebn0_db: float = 2.0,
+    seed: int = 2005,
+    registry: Optional[MetricsRegistry] = None,
+    trace: Optional[TraceRecorder] = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> LoadgenResult:
+    """Offer ``offered_fps`` frames/s for ``duration_s`` and report.
+
+    A fresh :class:`MetricsRegistry` is used per run (pass ``registry``
+    to accumulate across runs instead); the returned snapshot therefore
+    isolates exactly this run.  ``sleep`` defaults to ``time.sleep``
+    when the clock is real and to busy-spinning otherwise.
+    """
+    if offered_fps <= 0:
+        raise ValueError("offered_fps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    config = config if config is not None else ServeConfig()
+    registry = registry if registry is not None else MetricsRegistry()
+    if frame_pool is None:
+        frame_pool = make_frame_pool(code, ebn0_db=ebn0_db, seed=seed)
+    if sleep is None:
+        sleep = time.sleep if clock is time.monotonic else (lambda s: None)
+
+    total = max(1, int(offered_fps * duration_s))
+    period = 1.0 / offered_fps
+    frame_of: dict = {}  # request id -> pool index
+    frame_errors = 0
+    bit_errors = 0
+
+    def check(results) -> None:
+        nonlocal frame_errors, bit_errors
+        for result in results:
+            if not result.ok:
+                continue
+            truth = frame_pool.codewords[frame_of[result.request_id]]
+            wrong = int(np.count_nonzero(result.bits != truth))
+            if wrong:
+                frame_errors += 1
+                bit_errors += wrong
+
+    service = DecodeService(
+        code, config, registry=registry, trace=trace, clock=clock
+    )
+    start = clock()
+    submitted = 0
+    with service:
+        while submitted < total:
+            now = clock()
+            # Release every arrival the schedule says has happened,
+            # stamped with its scheduled time (not the call time).
+            while submitted < total:
+                scheduled = start + submitted * period
+                if scheduled > now:
+                    break
+                idx = submitted % len(frame_pool)
+                rid = service.submit(
+                    frame_pool.llrs[idx], now=scheduled
+                )
+                frame_of[rid] = idx
+                submitted += 1
+            service.pump(now)
+            check(service.poll())
+            if submitted >= total:
+                break
+            next_arrival = start + submitted * period
+            due = service.next_due(clock())
+            wake = next_arrival if due is None else min(next_arrival, due)
+            delay = wake - clock()
+            if delay > 0:
+                sleep(min(delay, period))
+        service.flush()
+        check(service.poll())
+        wall = clock() - start
+    snapshot = registry.snapshot()
+    report = ServiceReport.from_snapshot(
+        code, snapshot, wall, max_batch=config.max_batch
+    )
+    return LoadgenResult(
+        offered_fps=offered_fps,
+        duration_s=duration_s,
+        report=report,
+        snapshot=snapshot,
+        frame_errors=frame_errors,
+        bit_errors=bit_errors,
+        checked=report.completed,
+    )
+
+
+def sweep_offered_rates(
+    code: LdpcCode,
+    config: Optional[ServeConfig] = None,
+    *,
+    rates_fps: List[float],
+    duration_s: float,
+    ebn0_db: float = 2.0,
+    seed: int = 2005,
+    trace: Optional[TraceRecorder] = None,
+    progress: Optional[Callable[[LoadgenResult], None]] = None,
+) -> List[LoadgenResult]:
+    """Run one loadgen pass per offered rate (shared frame pool).
+
+    This is the latency-vs-offered-load experiment: sweep rates from
+    well below to beyond saturation and watch p99 latency, shed
+    iterations, and rejects take over in that order.
+    """
+    frame_pool = make_frame_pool(code, ebn0_db=ebn0_db, seed=seed)
+    results = []
+    for rate in rates_fps:
+        result = run_loadgen(
+            code,
+            config,
+            offered_fps=rate,
+            duration_s=duration_s,
+            frame_pool=frame_pool,
+            seed=seed,
+            trace=trace,
+        )
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

@@ -1,0 +1,62 @@
+"""Degradation policy: the iteration-budget controller.
+
+Paper §2.2 measures that the zigzag (turbo-style) schedule reaches the
+same communications performance as flooding while "saving about 10
+iterations" — i.e. iteration count is the throughput lever (Eq. 7/8:
+cycles per frame grow linearly with iterations).  The serve layer turns
+that lever into a live controller: while the request queue is
+comfortable every batch gets the full iteration budget, and as the
+queue fills the budget is shed linearly down to a floor.  Fewer
+iterations per frame raise frames/s immediately, which is what drains
+the queue — a graceful-degradation loop in which overload costs a
+little BER on the hardest frames (the easy ones converge early and are
+frozen anyway) instead of unbounded queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IterationBudgetController:
+    """Linear shed of the per-batch iteration budget under queue pressure.
+
+    Parameters
+    ----------
+    max_iterations:
+        Budget while the queue fill fraction is at or below
+        ``shed_start``.
+    min_iterations:
+        Floor reached when the queue is full.
+    shed_start:
+        Queue fill fraction where shedding begins.
+    """
+
+    max_iterations: int
+    min_iterations: int
+    shed_start: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_iterations <= self.max_iterations:
+            raise ValueError(
+                "need 0 < min_iterations <= max_iterations"
+            )
+        if not 0.0 <= self.shed_start <= 1.0:
+            raise ValueError("shed_start must be in [0, 1]")
+
+    def budget(self, fill: float) -> int:
+        """Iteration budget for a batch formed at queue fill ``fill``.
+
+        Piecewise linear: ``max_iterations`` up to ``shed_start``,
+        then a straight line down to ``min_iterations`` at ``fill = 1``
+        (values above 1 clamp to the floor).
+        """
+        if fill <= self.shed_start:
+            return self.max_iterations
+        if fill >= 1.0:
+            return self.min_iterations
+        span = 1.0 - self.shed_start
+        frac = (fill - self.shed_start) / span
+        shed = frac * (self.max_iterations - self.min_iterations)
+        return max(self.min_iterations, self.max_iterations - int(shed))

@@ -1,0 +1,83 @@
+"""Bounded FIFO request queue with backpressure and deadline expiry.
+
+The queue is deliberately dumb: it owns admission (capacity) and
+ordering, nothing else.  Batching policy lives in
+:class:`~repro.serve.batcher.MicroBatcher` and accounting in the
+engine, so each piece stays independently testable and the queue's
+behaviour is a pure function of the submitted requests and the clock
+values the engine passes in (no hidden time reads — deterministic under
+a manual clock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .api import DecodeRequest
+
+
+class BoundedRequestQueue:
+    """FIFO of :class:`DecodeRequest` with a hard capacity.
+
+    ``offer`` refuses work once ``capacity`` requests are queued — the
+    caller turns that into a :data:`~repro.serve.api.REASON_QUEUE_FULL`
+    rejection.  Refusing at the door keeps the queue (and therefore
+    worst-case queueing delay) bounded under overload; the shedding
+    policy upstream keeps the door from being hit in the first place.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: Deque[DecodeRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when the next ``offer`` would be refused."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def fill(self) -> float:
+        """Queue depth as a fraction of capacity (the shedding input)."""
+        return len(self._items) / self.capacity
+
+    def offer(self, request: DecodeRequest) -> bool:
+        """Enqueue unless full; returns whether the request was taken."""
+        if self.full:
+            return False
+        self._items.append(request)
+        return True
+
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the head request (None when empty)."""
+        return self._items[0].arrival_s if self._items else None
+
+    def expire(self, now: float) -> List[DecodeRequest]:
+        """Remove and return every queued request whose deadline passed.
+
+        Expiry sweeps the whole queue (not just the head): deadlines
+        need not be monotone in arrival order once callers mix deadline
+        classes.
+        """
+        expired = [r for r in self._items if r.expired(now)]
+        if expired:
+            self._items = deque(
+                r for r in self._items if not r.expired(now)
+            )
+        return expired
+
+    def take(self, limit: int) -> List[DecodeRequest]:
+        """Dequeue up to ``limit`` requests in FIFO order."""
+        out: List[DecodeRequest] = []
+        while self._items and len(out) < limit:
+            out.append(self._items.popleft())
+        return out
+
+    def drain(self) -> List[DecodeRequest]:
+        """Dequeue everything (service shutdown path)."""
+        return self.take(len(self._items))

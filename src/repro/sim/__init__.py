@@ -8,6 +8,7 @@ from .parallel import (
     SimTelemetry,
     parallel_ber,
 )
+from .pool import PersistentPool
 from .stats import ErrorRateEstimate, wilson_interval
 from .sweep import (
     SweepPoint,
@@ -23,6 +24,7 @@ __all__ = [
     "BerSimulator",
     "ErrorRateEstimate",
     "ParallelBerRun",
+    "PersistentPool",
     "ShardResult",
     "SimTelemetry",
     "fast_ber",

@@ -42,7 +42,7 @@ from ..obs.iteration import IterationTraceRecorder
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.trace import TraceRecorder
 from .ber import BerResult, merge_ber_results
-from .pool import ensure_seed_sequence, resolve_workers
+from .pool import PersistentPool, ensure_seed_sequence, resolve_workers
 from .pool import fork_context as _fork_context
 from .stats import wilson_interval
 
@@ -175,6 +175,14 @@ def _build_decoder(code: LdpcCode, params: dict):
 
 
 def _init_worker(code: LdpcCode, params: dict) -> None:
+    """Build the worker's decoder once.
+
+    ``params`` holds the *decoder* configuration only (schedule,
+    normalization, segments, format, channel scale) — per-run knobs like
+    the Eb/N0 point or the iteration budget travel with each shard task,
+    so one initialized worker (e.g. in a :class:`PersistentPool`) serves
+    every point of a sweep.
+    """
     _WORKER_STATE["code"] = code
     _WORKER_STATE["params"] = params
     _WORKER_STATE["decoder"] = _build_decoder(code, params)
@@ -183,7 +191,7 @@ def _init_worker(code: LdpcCode, params: dict) -> None:
 def _decode_shard(
     code: LdpcCode,
     decoder,
-    params: dict,
+    run_params: dict,
     shard: int,
     n_frames: int,
     seed_seq: np.random.SeedSequence,
@@ -196,17 +204,21 @@ def _decode_shard(
     """
     reg = MetricsRegistry()
     wall = reg.timer("sim.shard.wall")
-    hook = IterationTraceRecorder() if params.get("trace_iterations") else None
+    hook = (
+        IterationTraceRecorder()
+        if run_params.get("trace_iterations")
+        else None
+    )
     with wall:
         channel = AwgnChannel(
-            ebn0_db=params["ebn0_db"],
+            ebn0_db=run_params["ebn0_db"],
             rate=float(code.profile.rate),
             seed=seed_seq,
         )
         llrs = channel.llrs_all_zero(code.n, size=n_frames)
         result = decoder.decode_batch(
             llrs,
-            max_iterations=params["max_iterations"],
+            max_iterations=run_params["max_iterations"],
             early_stop=True,
             iteration_trace=hook,
         )
@@ -235,11 +247,11 @@ def _decode_shard(
 
 def _run_shard(task) -> ShardResult:
     """Pool entry point: decode one shard using the worker's decoder."""
-    shard, n_frames, seed_seq = task
+    shard, n_frames, seed_seq, run_params = task
     return _decode_shard(
         _WORKER_STATE["code"],
         _WORKER_STATE["decoder"],
-        _WORKER_STATE["params"],
+        run_params,
         shard,
         n_frames,
         seed_seq,
@@ -300,6 +312,7 @@ def parallel_ber(
     seed=0,
     registry: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
+    pool: Optional[PersistentPool] = None,
 ) -> ParallelBerRun:
     """Sharded, optionally multi-process BER measurement at one point.
 
@@ -340,52 +353,80 @@ def parallel_ber(
         rewrites frame indices to global frame numbers and writes them in
         deterministic shard-merge order), followed by one ``ber_result``
         event.  Tracing does not change decoder outputs.
+    pool:
+        A :class:`~repro.sim.pool.PersistentPool` to run shards on.  The
+        pool's worker count overrides ``workers``, and its processes
+        (with their already-built decoders) are reused across calls that
+        share the decoder configuration — a sweep over Eb/N0 points pays
+        process spin-up once.  Results are bit-identical with or without
+        a pool for any worker count.
     """
     if max_frames < 1:
         raise ValueError("need at least one frame")
     if shard_frames < 1:
         raise ValueError("shard_frames must be positive")
-    workers = resolve_workers(workers)
+    workers = pool.workers if pool is not None else resolve_workers(workers)
 
-    params = {
-        "ebn0_db": float(ebn0_db),
-        "max_iterations": int(max_iterations),
+    decoder_params = {
         "schedule": schedule,
         "normalization": float(normalization),
         "segments": segments,
         "fmt": fmt,
         "channel_scale": float(channel_scale),
+    }
+    run_params = {
+        "ebn0_db": float(ebn0_db),
+        "max_iterations": int(max_iterations),
         "trace_iterations": trace is not None,
     }
     # Validate the schedule/segments/format combination up front,
     # in-process.
-    _build_decoder(code, params)
+    _build_decoder(code, decoder_params)
     sizes = _shard_sizes(max_frames, shard_frames)
     children = ensure_seed_sequence(seed).spawn(len(sizes))
 
-    mp_context = _fork_context() if workers > 1 else None
-    if workers > 1 and mp_context is None:
-        warnings.warn(
-            "fork start method unavailable on this platform; "
-            "running the Monte-Carlo engine serially",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        workers = 1
+    mp_context = None
+    if pool is None and workers > 1:
+        mp_context = _fork_context()
+        if mp_context is None:
+            warnings.warn(
+                "fork start method unavailable on this platform; "
+                "running the Monte-Carlo engine serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
 
     run_reg = MetricsRegistry()
     with run_reg.timer("sim.parallel.wall"):
         if workers == 1:
             merged, discarded = _serial_loop(
-                code, params, sizes, children,
+                code, decoder_params, run_params, sizes, children,
                 target_frame_errors, ci_halfwidth,
             )
         else:
-            merged, discarded = _parallel_loop(
-                code, params, sizes, children,
-                target_frame_errors, ci_halfwidth,
-                workers, mp_context,
-            )
+            if pool is not None:
+                pool.configure(
+                    _init_worker,
+                    (code, decoder_params),
+                    key=_pool_key(code, decoder_params),
+                )
+                executor = pool._require_executor()
+                merged, discarded = _parallel_loop(
+                    executor, run_params, sizes, children,
+                    target_frame_errors, ci_halfwidth, workers,
+                )
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=mp_context,
+                    initializer=_init_worker,
+                    initargs=(code, decoder_params),
+                ) as executor:
+                    merged, discarded = _parallel_loop(
+                        executor, run_params, sizes, children,
+                        target_frame_errors, ci_halfwidth, workers,
+                    )
 
     k = code.k
     result = merge_ber_results(
@@ -445,21 +486,39 @@ def _write_trace(
     )
 
 
+def _pool_key(code: LdpcCode, decoder_params: dict):
+    """Configuration key for :class:`PersistentPool` reuse.
+
+    Identity of the code object plus the (hashable) decoder knobs; the
+    pool keeps ``initargs`` alive, so the ``id`` stays unambiguous.
+    """
+    return (
+        "sim.parallel",
+        id(code),
+        decoder_params["schedule"],
+        decoder_params["normalization"],
+        decoder_params["segments"],
+        id(decoder_params["fmt"]),
+        decoder_params["channel_scale"],
+    )
+
+
 def _serial_loop(
     code: LdpcCode,
-    params: dict,
+    decoder_params: dict,
+    run_params: dict,
     sizes: Sequence[int],
     children: Sequence[np.random.SeedSequence],
     target_frame_errors: Optional[int],
     ci_halfwidth: Optional[float],
 ):
     """The ``workers=1`` special case: same shards, same order, no pool."""
-    decoder = _build_decoder(code, params)
+    decoder = _build_decoder(code, decoder_params)
     merged: List[ShardResult] = []
     frames = frame_errors = 0
     for shard, (n_frames, seed_seq) in enumerate(zip(sizes, children)):
         result = _decode_shard(
-            code, decoder, params, shard, n_frames, seed_seq
+            code, decoder, run_params, shard, n_frames, seed_seq
         )
         merged.append(result)
         frames += result.frames
@@ -472,20 +531,21 @@ def _serial_loop(
 
 
 def _parallel_loop(
-    code: LdpcCode,
-    params: dict,
+    executor,
+    run_params: dict,
     sizes: Sequence[int],
     children: Sequence[np.random.SeedSequence],
     target_frame_errors: Optional[int],
     ci_halfwidth: Optional[float],
     workers: int,
-    mp_context,
 ):
     """Dispatch shards to a process pool, merging strictly in order.
 
     Workers run ahead speculatively; once the in-order stopping rule
     fires, unmerged results are discarded so the merged prefix is the
-    one the serial loop would have produced.
+    one the serial loop would have produced.  ``executor`` is either a
+    run-scoped :class:`ProcessPoolExecutor` or a warm
+    :class:`PersistentPool` executor — the caller owns its lifetime.
     """
     n_shards = len(sizes)
     merged: List[ShardResult] = []
@@ -495,48 +555,50 @@ def _parallel_loop(
     next_merge = 0
     frames = frame_errors = 0
     stop = False
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=mp_context,
-        initializer=_init_worker,
-        initargs=(code, params),
-    ) as pool:
-        while True:
-            while (
-                not stop
-                and next_submit < n_shards
-                and len(pending) < workers
+    while True:
+        while (
+            not stop
+            and next_submit < n_shards
+            and len(pending) < workers
+        ):
+            future = executor.submit(
+                _run_shard,
+                (
+                    next_submit,
+                    sizes[next_submit],
+                    children[next_submit],
+                    run_params,
+                ),
+            )
+            pending[future] = next_submit
+            next_submit += 1
+        if not pending:
+            break
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            shard = pending.pop(future)
+            completed[shard] = future.result()
+        while not stop and next_merge in completed:
+            result = completed.pop(next_merge)
+            merged.append(result)
+            next_merge += 1
+            frames += result.frames
+            frame_errors += result.frame_errors
+            if _should_stop(
+                frames, frame_errors,
+                target_frame_errors, ci_halfwidth,
             ):
-                future = pool.submit(
-                    _run_shard,
-                    (next_submit, sizes[next_submit], children[next_submit]),
-                )
-                pending[future] = next_submit
-                next_submit += 1
+                stop = True
+        if stop:
+            for future in pending:
+                future.cancel()
+            pending = {
+                f: s for f, s in pending.items() if not f.cancelled()
+            }
             if not pending:
+                # Speculative in-flight shards were either cancelled or
+                # already done; completed-but-unmerged ones are counted
+                # as discarded below.
                 break
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                shard = pending.pop(future)
-                completed[shard] = future.result()
-            while not stop and next_merge in completed:
-                result = completed.pop(next_merge)
-                merged.append(result)
-                next_merge += 1
-                frames += result.frames
-                frame_errors += result.frame_errors
-                if _should_stop(
-                    frames, frame_errors,
-                    target_frame_errors, ci_halfwidth,
-                ):
-                    stop = True
-            if stop:
-                for future in pending:
-                    future.cancel()
-                pending = {
-                    f: s for f, s in pending.items() if not f.cancelled()
-                }
-                if not pending:
-                    break
     discarded = len(completed)
     return merged, discarded

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -93,3 +93,134 @@ def map_ordered(
         initargs=initargs,
     ) as pool:
         return list(pool.map(fn, tasks))
+
+
+class PersistentPool:
+    """A create-once, submit-many worker pool.
+
+    :func:`map_ordered` (and the engines built on it) pay process
+    spin-up and per-worker initialization on *every* call.  For callers
+    that fan out repeatedly with the same worker configuration — the
+    serve engine decoding a stream of micro-batches, or a BER sweep
+    whose points share one decoder — this wrapper keeps the executor
+    (and its initialized workers) alive across calls:
+
+    * :meth:`configure` is keyed: re-calling with the same ``key`` is a
+      no-op that reuses the warm pool, while a new key respins the
+      workers with the new initializer (the pool holds a strong
+      reference to ``initargs``, so identity-based keys stay valid);
+    * ``workers=1`` — or a platform without ``fork`` (warned) — runs
+      everything inline in this process, exactly like
+      :func:`map_ordered`'s serial path, so callers keep one code path;
+    * the pool is a context manager; :meth:`shutdown` is idempotent.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        label: str = "parallel engine",
+    ) -> None:
+        workers = resolve_workers(workers)
+        self._ctx = fork_context() if workers > 1 else None
+        if workers > 1 and self._ctx is None:
+            warnings.warn(
+                f"fork start method unavailable on this platform; "
+                f"running the {label} serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+        self.workers = workers
+        self.label = label
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._config_key = None
+        self._config = (None, ())
+
+    # ------------------------------------------------------------------
+    @property
+    def serial(self) -> bool:
+        """True when tasks run inline in this process."""
+        return self.workers == 1
+
+    def configure(
+        self,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        *,
+        key=None,
+    ) -> None:
+        """Install the per-worker initializer for subsequent submits.
+
+        ``key`` identifies the configuration: configuring twice with the
+        same key keeps the warm executor (and the already-initialized
+        workers); a different key shuts the old executor down and the
+        next submit forks freshly initialized workers.  ``key=None``
+        derives one from the initializer and the identities of
+        ``initargs``.
+        """
+        if key is None:
+            key = (initializer, tuple(id(arg) for arg in initargs))
+        if key == self._config_key and (
+            self._executor is not None or self.serial
+        ):
+            return
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._config_key = key
+        self._config = (initializer, initargs)
+        if self.serial:
+            if initializer is not None:
+                initializer(*initargs)
+        else:
+            initializer_, initargs_ = self._config
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._ctx,
+                initializer=initializer_,
+                initargs=initargs_,
+            )
+
+    def _require_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            initializer, initargs = self._config
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._ctx,
+                initializer=initializer,
+                initargs=initargs,
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args) -> Future:
+        """Submit one task; inline (already-done future) when serial."""
+        if self.serial:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - future carries it
+                future.set_exception(exc)
+            return future
+        return self._require_executor().submit(fn, *args)
+
+    def map_ordered(self, fn: Callable, tasks: Sequence) -> list:
+        """Run ``fn`` over ``tasks``, results in task order."""
+        if self.serial:
+            return [fn(task) for task in tasks]
+        return list(self._require_executor().map(fn, tasks))
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent; the pool can be reconfigured)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False

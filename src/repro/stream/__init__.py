@@ -1,5 +1,21 @@
 """Baseband framing (BBFRAME) above the FEC chain."""
 
-from .bbframe import HEADER_BITS, BbFramer, BbHeader, crc8
+from .bbframe import (
+    HEADER_BITS,
+    BbCrcError,
+    BbFrameError,
+    BbFramer,
+    BbHeader,
+    DeframeResult,
+    crc8,
+)
 
-__all__ = ["BbFramer", "BbHeader", "HEADER_BITS", "crc8"]
+__all__ = [
+    "BbCrcError",
+    "BbFrameError",
+    "BbFramer",
+    "BbHeader",
+    "DeframeResult",
+    "HEADER_BITS",
+    "crc8",
+]

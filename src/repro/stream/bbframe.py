@@ -13,12 +13,25 @@ The CRC-8 uses the standard's generator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 #: BBHEADER length in bits.
 HEADER_BITS = 80
+
+
+class BbFrameError(ValueError):
+    """A baseband frame violated the framing contract.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old untyped errors keep working; new callers (the serve path)
+    can catch the framing layer specifically.
+    """
+
+
+class BbCrcError(BbFrameError):
+    """The BBHEADER CRC-8 did not match its fields."""
 
 #: CRC-8 generator (x^8+x^7+x^6+x^4+x^2+1), leading term implicit.
 CRC8_POLY = 0xD5
@@ -88,20 +101,8 @@ class BbHeader:
         ).astype(np.uint8)
 
     @classmethod
-    def from_bits(cls, bits: np.ndarray) -> "BbHeader":
-        """Parse and CRC-check an 80-bit header.
-
-        Raises
-        ------
-        ValueError
-            On length or CRC mismatch.
-        """
-        bits = np.asarray(bits, dtype=np.uint8)
-        if bits.size != HEADER_BITS:
-            raise ValueError(f"header must be {HEADER_BITS} bits")
-        raw = np.packbits(bits).tobytes()
-        if crc8(raw[:9]) != raw[9]:
-            raise ValueError("BBHEADER CRC-8 mismatch")
+    def _from_bytes_unchecked(cls, raw: bytes) -> "BbHeader":
+        """Decode header fields from packed bytes, ignoring the CRC."""
         return cls(
             matype=int.from_bytes(raw[0:2], "big"),
             upl=int.from_bytes(raw[2:4], "big"),
@@ -109,6 +110,43 @@ class BbHeader:
             sync=raw[6],
             syncd=int.from_bytes(raw[7:9], "big"),
         )
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "BbHeader":
+        """Parse and CRC-check an 80-bit header.
+
+        Raises
+        ------
+        BbFrameError
+            On a length mismatch.
+        BbCrcError
+            On a CRC mismatch.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != HEADER_BITS:
+            raise BbFrameError(f"header must be {HEADER_BITS} bits")
+        raw = np.packbits(bits).tobytes()
+        if crc8(raw[:9]) != raw[9]:
+            raise BbCrcError("BBHEADER CRC-8 mismatch")
+        return cls._from_bytes_unchecked(raw)
+
+
+@dataclass(frozen=True)
+class DeframeResult:
+    """Outcome of parsing one decoded payload — errors as data.
+
+    The serve path must keep streaming when a decode error corrupts a
+    payload, so CRC-8 and framing violations are reported here instead
+    of raised: ``ok`` is True only for a clean frame, ``error`` carries
+    the reason otherwise, and ``data_bits`` holds a best-effort data
+    field (clamped to the frame) so downstream byte accounting stays
+    aligned.
+    """
+
+    header: Optional[BbHeader]
+    data_bits: np.ndarray
+    ok: bool
+    error: Optional[str] = None
 
 
 class BbFramer:
@@ -155,22 +193,80 @@ class BbFramer:
         return frames
 
     def deframe(self, payload: np.ndarray) -> Tuple[BbHeader, np.ndarray]:
-        """Parse one decoded payload back to header plus data-field bits."""
+        """Parse one decoded payload back to header plus data-field bits.
+
+        Raises
+        ------
+        BbFrameError
+            On a payload-length or data-field-length violation.
+        BbCrcError
+            When the BBHEADER CRC-8 does not match.
+        """
         payload = np.asarray(payload, dtype=np.uint8)
         if payload.size != self.payload_bits:
-            raise ValueError(
-                f"expected {self.payload_bits} payload bits"
+            raise BbFrameError(
+                f"expected {self.payload_bits} payload bits, "
+                f"got {payload.size}"
             )
         header = BbHeader.from_bits(payload[:HEADER_BITS])
+        if header.dfl > self.data_field_bits:
+            raise BbFrameError(
+                f"data-field length {header.dfl} exceeds the "
+                f"{self.data_field_bits}-bit data field"
+            )
         data_bits = payload[HEADER_BITS : HEADER_BITS + header.dfl]
         return header, data_bits
+
+    def try_deframe(self, payload: np.ndarray) -> DeframeResult:
+        """Parse one payload, reporting corruption as data (serve path).
+
+        A CRC-8 mismatch still yields the (untrusted) header fields and
+        a data field clamped to the frame, so a stream with one
+        corrupted frame degrades to one bad chunk instead of an
+        exception; a malformed payload yields an empty data field.
+        """
+        payload = np.asarray(payload, dtype=np.uint8)
+        if payload.size != self.payload_bits:
+            return DeframeResult(
+                header=None,
+                data_bits=np.zeros(0, dtype=np.uint8),
+                ok=False,
+                error=(
+                    f"expected {self.payload_bits} payload bits, "
+                    f"got {payload.size}"
+                ),
+            )
+        raw = np.packbits(payload[:HEADER_BITS]).tobytes()
+        header = BbHeader._from_bytes_unchecked(raw)
+        dfl = min(header.dfl, self.data_field_bits)
+        data_bits = payload[HEADER_BITS : HEADER_BITS + dfl]
+        if crc8(raw[:9]) != raw[9]:
+            return DeframeResult(
+                header=header,
+                data_bits=data_bits,
+                ok=False,
+                error="BBHEADER CRC-8 mismatch",
+            )
+        if header.dfl > self.data_field_bits:
+            return DeframeResult(
+                header=header,
+                data_bits=data_bits,
+                ok=False,
+                error=(
+                    f"data-field length {header.dfl} exceeds the "
+                    f"{self.data_field_bits}-bit data field"
+                ),
+            )
+        return DeframeResult(header=header, data_bits=data_bits, ok=True)
 
     def recover_stream(self, payloads: List[np.ndarray]) -> bytes:
         """Concatenate the data fields of consecutive frames into bytes.
 
         Data fields may cross byte boundaries (when the data-field size
         is not a byte multiple), so bits are joined before packing;
-        trailing bits that do not fill a byte are dropped.
+        trailing bits that do not fill a byte are dropped.  Corrupted
+        payloads raise :class:`BbFrameError` / :class:`BbCrcError`; use
+        :meth:`try_deframe` per payload to degrade instead of raising.
         """
         parts = [self.deframe(p)[1] for p in payloads]
         bits = (

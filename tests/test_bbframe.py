@@ -131,3 +131,80 @@ def test_end_to_end_through_fec_chain(code_half, rng):
         assert result.bch_success
         decoded_payloads.append(result.info_bits)
     assert framer.recover_stream(decoded_payloads) == message
+
+
+# ----------------------------------------------------------------------
+# typed errors and the non-raising serve path
+# ----------------------------------------------------------------------
+def test_typed_error_hierarchy():
+    from repro.stream import BbCrcError, BbFrameError
+
+    assert issubclass(BbFrameError, ValueError)
+    assert issubclass(BbCrcError, BbFrameError)
+
+
+def test_deframe_raises_typed_errors():
+    from repro.stream import BbCrcError, BbFrameError
+
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    with pytest.raises(BbFrameError):
+        framer.deframe(np.zeros(10, dtype=np.uint8))
+    good = framer.frame_stream(b"\x42" * 8)[0]
+    corrupted = good.copy()
+    corrupted[3] ^= 1  # flip a MATYPE bit -> CRC mismatch
+    with pytest.raises(BbCrcError):
+        framer.deframe(corrupted)
+
+
+def test_deframe_rejects_oversized_dfl():
+    from repro.stream import BbCrcError, BbFrameError
+
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    bad = np.concatenate([
+        BbHeader(matype=0, upl=0, dfl=1000).to_bits(),
+        np.zeros(64, dtype=np.uint8),
+    ])
+    with pytest.raises(BbFrameError) as excinfo:
+        framer.deframe(bad)
+    assert not isinstance(excinfo.value, BbCrcError)
+
+
+def test_try_deframe_ok_frame():
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    frame = framer.frame_stream(b"\xa5" * 8)[0]
+    parsed = framer.try_deframe(frame)
+    assert parsed.ok and parsed.error is None
+    assert parsed.header.dfl == 64
+    assert np.packbits(parsed.data_bits).tobytes() == b"\xa5" * 8
+
+
+def test_try_deframe_reports_crc_as_data():
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    frame = framer.frame_stream(b"\xa5" * 8)[0]
+    frame[3] ^= 1
+    parsed = framer.try_deframe(frame)
+    assert not parsed.ok
+    assert "CRC-8" in parsed.error
+    assert parsed.header is not None  # untrusted but available
+    # Data field still recovered (clamped), bytes intact.
+    assert np.packbits(parsed.data_bits).tobytes() == b"\xa5" * 8
+
+
+def test_try_deframe_wrong_size_yields_empty_field():
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    parsed = framer.try_deframe(np.zeros(12, dtype=np.uint8))
+    assert not parsed.ok
+    assert parsed.header is None
+    assert parsed.data_bits.size == 0
+
+
+def test_try_deframe_clamps_oversized_dfl():
+    framer = BbFramer(payload_bits=HEADER_BITS + 64)
+    payload = np.concatenate([
+        BbHeader(matype=0, upl=0, dfl=1000).to_bits(),
+        np.ones(64, dtype=np.uint8),
+    ])
+    parsed = framer.try_deframe(payload)
+    assert not parsed.ok
+    assert "exceeds" in parsed.error
+    assert parsed.data_bits.size == 64  # clamped to the frame

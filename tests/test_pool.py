@@ -1,0 +1,103 @@
+"""Tests for repro.sim.pool.PersistentPool — create once, submit many."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import PersistentPool, parallel_ber
+
+_STATE = {}
+
+
+def _init(tag):
+    _STATE["tag"] = tag
+
+
+def _double(x):
+    return 2 * x
+
+
+def _tagged(x):
+    return (_STATE.get("tag"), x)
+
+
+def _run(code, **kwargs):
+    defaults = dict(
+        max_frames=48, shard_frames=16, seed=11, max_iterations=15
+    )
+    defaults.update(kwargs)
+    return parallel_ber(code, 1.2, **defaults)
+
+
+class TestSerialFallback:
+    def test_single_worker_runs_inline(self):
+        with PersistentPool(1) as pool:
+            assert pool.serial
+            future = pool.submit(_double, 21)
+            assert future.done()
+            assert future.result() == 42
+
+    def test_serial_initializer_runs_inline(self):
+        _STATE.clear()
+        with PersistentPool(1) as pool:
+            pool.configure(_init, ("inline",), key="a")
+            assert pool.submit(_tagged, 1).result() == ("inline", 1)
+
+    def test_map_ordered(self):
+        with PersistentPool(1) as pool:
+            assert pool.map_ordered(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestWarmReuse:
+    def test_same_key_keeps_executor(self):
+        with PersistentPool(2) as pool:
+            if pool.serial:  # fork unavailable -> nothing to assert
+                pytest.skip("no process pool on this platform")
+            pool.configure(_init, ("one",), key="k1")
+            first = pool._require_executor()
+            pool.configure(_init, ("one",), key="k1")
+            assert pool._require_executor() is first
+            # Results still come from initialized workers.
+            assert pool.submit(_tagged, 5).result() == ("one", 5)
+
+    def test_new_key_respins_executor(self):
+        with PersistentPool(2) as pool:
+            if pool.serial:
+                pytest.skip("no process pool on this platform")
+            pool.configure(_init, ("one",), key="k1")
+            first = pool._require_executor()
+            pool.configure(_init, ("two",), key="k2")
+            second = pool._require_executor()
+            assert second is not first
+            assert pool.submit(_tagged, 7).result() == ("two", 7)
+
+    def test_shutdown_idempotent(self):
+        pool = PersistentPool(1)
+        pool.shutdown()
+        pool.shutdown()
+
+
+class TestParallelBerWithPool:
+    def test_pool_results_bit_identical(self, code_half_tiny):
+        """One warm pool across runs changes nothing about results."""
+        baseline = _run(code_half_tiny, workers=2)
+        with PersistentPool(2) as pool:
+            first = _run(code_half_tiny, pool=pool)
+            second = _run(code_half_tiny, pool=pool)  # warm reuse
+        assert first.result == baseline.result
+        assert second.result == baseline.result
+
+    def test_pool_serves_a_sweep_without_respin(self, code_half_tiny):
+        """Different Eb/N0 points share one configured pool (the
+        decoder params, not the run params, key the workers)."""
+        with PersistentPool(2) as pool:
+            a = _run(code_half_tiny, pool=pool)
+            executor = pool._executor
+            b = parallel_ber(
+                code_half_tiny, 0.4, max_frames=32, shard_frames=16,
+                seed=11, max_iterations=15, pool=pool,
+            )
+            if not pool.serial:
+                assert pool._executor is executor  # no respin mid-sweep
+        assert a.result.frames == 48
+        assert b.result.frames == 32

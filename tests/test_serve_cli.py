@@ -1,0 +1,84 @@
+"""CLI tests for ``repro serve`` and ``repro loadgen``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def payload(tmp_path):
+    path = tmp_path / "in.bin"
+    path.write_bytes(bytes(range(256)) * 6)
+    return path
+
+
+def test_serve_roundtrip_to_file(capsys, tmp_path, payload):
+    out = tmp_path / "out.bin"
+    metrics = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.jsonl"
+    code = main([
+        "serve", str(payload),
+        "--output", str(out),
+        "--ebn0", "3.5", "--max-batch", "8",
+        "--metrics-out", str(metrics), "--trace", str(trace),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    data = payload.read_bytes()
+    assert out.read_bytes()[: len(data)] == data
+    assert "service report" in captured.err
+    assert "eq7/8 hw" in captured.err
+    snap = json.loads(metrics.read_text())
+    assert snap["counters"]["serve.requests.completed"] > 0
+    assert "serve.batch.occupancy" in snap["histograms"]
+    lines = [json.loads(l) for l in trace.read_text().splitlines()]
+    assert any(e.get("type") == "serve_batch" for e in lines)
+
+
+def test_serve_stdout_stream(capsysbinary, payload):
+    code = main([
+        "serve", str(payload), "--ebn0", "4.0", "--max-batch", "4",
+    ])
+    assert code == 0
+    data = payload.read_bytes()
+    assert capsysbinary.readouterr().out[: len(data)] == data
+
+
+def test_serve_empty_input_fails(capsys, tmp_path):
+    empty = tmp_path / "empty.bin"
+    empty.write_bytes(b"")
+    assert main(["serve", str(empty)]) == 2
+    assert "empty input" in capsys.readouterr().err
+
+
+def test_serve_obs_summary_shows_batches(capsys, tmp_path, payload):
+    trace = tmp_path / "trace.jsonl"
+    assert main([
+        "serve", str(payload), "--output", str(tmp_path / "o.bin"),
+        "--ebn0", "3.5", "--trace", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "summary", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "serve batches" in out
+    assert "occupancy" in out
+
+
+def test_loadgen_sweep_table(capsys, tmp_path):
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "loadgen", "--offered-fps", "150", "500",
+        "--duration", "0.1", "--ebn0", "3.5",
+        "--max-batch", "8", "--max-linger-ms", "2",
+        "--metrics-out", str(metrics),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "offered" in out and "p99 ms" in out
+    assert "eq7/8 hw model" in out
+    snap = json.loads(metrics.read_text())
+    assert snap["counters"]["serve.requests.submitted"] == 15 + 50
