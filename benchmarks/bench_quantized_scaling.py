@@ -4,12 +4,14 @@ Measures the two things PR 4's decoders exist for:
 
 * **throughput** — frames/s of the serial single-frame
   ``QuantizedZigzagDecoder`` loop versus ``BatchQuantizedZigzagDecoder``
-  on the same LLR block (full 64800-bit rate-1/2 code, batch of 32), and
-  the engine path (``parallel_ber`` with ``schedule="quantized-zigzag"``)
-  at 1, 2 and 4 workers.  The batch is decoded bit-identically to the
-  serial loop — asserted here on the overlapping frames — so the speedup
-  is free of accuracy caveats.  Worker-count determinism is asserted as
-  in ``bench_parallel_scaling.py``.
+  on the same LLR block (full 64800-bit rate-1/2 code, batch of 32),
+  one ``decode_batch[<backend>]`` row per installed array backend
+  (bits asserted identical to the numpy row), and the engine path
+  (``parallel_ber`` with ``schedule="quantized-zigzag"``) at 1, 2 and
+  4 workers.  The batch is decoded bit-identically to the serial loop —
+  asserted here on the overlapping frames — so the speedup is free of
+  accuracy caveats.  Worker-count determinism is asserted as in
+  ``bench_parallel_scaling.py``.
 * **quantization loss** — the float-vs-6-bit waterfall gap, now measured
   with Monte-Carlo statistics the batched path makes affordable: paired
   ``fast_ber`` grids (same noise seeds per point) for the float zigzag
@@ -30,7 +32,12 @@ import numpy as np
 
 from repro.channel import AwgnChannel
 from repro.core.report import format_table
-from repro.decode import BatchQuantizedZigzagDecoder, QuantizedZigzagDecoder
+from repro.decode import (
+    BatchQuantizedZigzagDecoder,
+    QuantizedZigzagDecoder,
+    available_backends,
+    backend_status,
+)
 from repro.sim import fast_ber, parallel_ber
 
 from _helpers import (
@@ -61,6 +68,8 @@ WORKER_COUNTS = (1, 2, 4)
 #: full-frame code; the scaled smoke code has less arithmetic to
 #: amortize per python-level dispatch, so its bar is lower).
 MIN_SPEEDUP = 2.0 if SMOKE else 5.0
+#: Required best-compiled-backend vs numpy-backend decode_batch ratio.
+FUSED_MIN_SPEEDUP = 1.2 if SMOKE else 3.0
 
 #: Waterfall grid for the float-vs-6-bit delta.
 GRID_DB = (0.8, 1.2, 1.6) if SMOKE else (1.0, 1.2, 1.4, 1.6, 1.8)
@@ -127,6 +136,32 @@ def test_quantized_batch_throughput(once):
         serial_fps = SERIAL_FRAMES / serial_best
         batch_fps = BATCH / batch_best
 
+        # One decode_batch row per installed array backend (the numpy
+        # row above *is* the "numpy" backend).  Device backends exist to
+        # exercise the seam, not to win on a CPU — one timing rep after
+        # the warm-up decode is plenty for them.
+        status = backend_status()
+        backends = {}
+        for name in available_backends():
+            if name == "numpy":
+                backends[name] = (batch_fps, batch_result)
+                continue
+            dec = BatchQuantizedZigzagDecoder(
+                code, normalization=NORMALIZATION,
+                channel_scale=CHANNEL_SCALE, backend=name,
+            )
+            reps = TIMING_REPS if status[name][0] == "fused" else 1
+            dec.decode_batch(llrs, max_iterations=MAX_ITERATIONS)  # warm
+            best = float("inf")
+            result = None
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                result = dec.decode_batch(
+                    llrs, max_iterations=MAX_ITERATIONS
+                )
+                best = min(best, time.perf_counter() - t0)
+            backends[name] = (BATCH / best, result)
+
         engine = {}
         for workers in WORKER_COUNTS:
             engine[workers] = parallel_ber(
@@ -136,18 +171,32 @@ def test_quantized_batch_throughput(once):
                 normalization=NORMALIZATION,
                 channel_scale=CHANNEL_SCALE, seed=17,
             )
-        return serial_results, serial_fps, batch_result, batch_fps, engine
+        return (
+            serial_results, serial_fps, batch_result, batch_fps,
+            backends, engine,
+        )
 
-    serial_results, serial_fps, batch_result, batch_fps, engine = once(run)
+    (
+        serial_results, serial_fps, batch_result, batch_fps,
+        backends, engine,
+    ) = once(run)
 
     speedup = batch_fps / serial_fps
     cpus = os.cpu_count() or 1
+    status = backend_status()
     rows = [
         ("serial loop", 1, 1, serial_fps,
          serial_fps * code.k / 1e6, 1.0),
         ("decode_batch", BATCH, 1, batch_fps,
          batch_fps * code.k / 1e6, speedup),
     ]
+    for name, (fps, _) in backends.items():
+        if name == "numpy":
+            continue
+        rows.append(
+            (f"decode_batch[{name}]", BATCH, 1, fps,
+             fps * code.k / 1e6, fps / serial_fps)
+        )
     for workers in WORKER_COUNTS:
         t = engine[workers].telemetry
         rows.append(
@@ -187,6 +236,14 @@ def test_quantized_batch_throughput(once):
             }
             for p, b, w, fps, mbps, x in rows
         ],
+        "backends": {
+            name: {
+                "kind": status[name][0],
+                "frames_per_sec": fps,
+                "speedup_vs_numpy": fps / batch_fps,
+            }
+            for name, (fps, _) in backends.items()
+        },
     }
     save_bench_json("quantized_scaling", _PAYLOAD)
 
@@ -194,7 +251,20 @@ def test_quantized_batch_throughput(once):
     for f, ref in enumerate(serial_results):
         assert np.array_equal(batch_result.bits[f], ref.bits)
         assert batch_result.iterations[f] == ref.iterations
+    # Every backend decodes the batch bit-identically to the numpy row.
+    for name, (_, result) in backends.items():
+        assert np.array_equal(result.bits, batch_result.bits), name
+        assert np.array_equal(
+            result.iterations, batch_result.iterations
+        ), name
     assert speedup >= MIN_SPEEDUP
+    # At least one compiled backend must clear the acceptance bar.
+    fused_fps = [
+        fps for name, (fps, _) in backends.items()
+        if status[name][0] == "fused"
+    ]
+    if fused_fps:
+        assert max(fused_fps) / batch_fps >= FUSED_MIN_SPEEDUP
     # Engine determinism across the worker sweep.
     results = [engine[w].result for w in WORKER_COUNTS]
     assert all(r == results[0] for r in results[1:])

@@ -56,6 +56,18 @@ def _cmd_thresholds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from .decode.backend import backend_status
+
+    print("array backends for the quantized batch decoders:")
+    for name, (kind, reason) in backend_status().items():
+        status = "available" if reason is None else f"unavailable ({reason})"
+        print(f"  {name:<12} {kind:<7} {status}")
+    print("(alias 'compiled' resolves to the first available of "
+          "numba, cnative)")
+    return 0
+
+
 def _open_trace(path):
     """Build a :class:`TraceRecorder` for a ``--trace`` argument."""
     from .obs.trace import TraceRecorder
@@ -104,6 +116,14 @@ def _cmd_ber(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.backend is not None and not args.schedule.startswith(
+        "quantized"
+    ):
+        print(
+            "error: --backend applies only to the quantized-* schedules",
+            file=sys.stderr,
+        )
+        return 2
     adaptive = (
         args.target_frame_errors is not None
         or args.ci_halfwidth is not None
@@ -130,6 +150,7 @@ def _cmd_ber(args: argparse.Namespace) -> int:
                 schedule=args.schedule,
                 fmt=fmt,
                 channel_scale=args.channel_scale,
+                backend=args.backend,
                 seed=args.seed,
                 trace=trace,
             )
@@ -283,6 +304,7 @@ def _serve_config(args: argparse.Namespace):
         schedule=args.schedule,
         fmt=_resolve_fmt(args),
         channel_scale=args.channel_scale,
+        backend=args.backend,
         workers=args.workers,
     )
 
@@ -544,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_thresholds)
 
+    p = sub.add_parser(
+        "backends",
+        help="list array backends and their availability",
+    )
+    p.set_defaults(func=_cmd_backends)
+
     p = sub.add_parser("ber", help="Monte-Carlo BER measurement")
     p.add_argument("--rate", default="1/2")
     p.add_argument("--ebn0", type=float, default=2.0)
@@ -576,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LLR input scaling before quantization "
                         "(hardware input conditioning; 0.5 keeps 2 dB "
                         "LLRs inside the 6-bit range)")
+    p.add_argument("--backend", default=None,
+                   help="array backend for the quantized-* schedules "
+                        "(numpy, compiled, cnative, numba, ...; "
+                        "see 'repro backends'; results are "
+                        "bit-identical across backends)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a JSONL trace with per-iteration "
                         "convergence records ('-' for stdout)")
@@ -638,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--wordlength", type=int, default=6)
         p.add_argument("--frac-bits", type=int, default=None)
         p.add_argument("--channel-scale", type=float, default=1.0)
+        p.add_argument("--backend", default=None,
+                       help="array backend for the quantized-* "
+                            "schedules (see 'repro backends')")
         p.add_argument("--workers", type=int, default=1,
                        help="decode batches on a persistent process "
                             "pool (order stays deterministic)")

@@ -1,6 +1,12 @@
 """LDPC decoders: two-phase BP, min-sum variants, zigzag schedule,
 fixed-point implementations."""
 
+from .backend import (
+    ArrayBackend,
+    available_backends,
+    backend_status,
+    resolve_backend,
+)
 from .batch import BatchDecodeResult, BatchMinSumDecoder, BatchZigzagDecoder
 from .batch_quantized import (
     BatchQuantizedMinSumDecoder,
@@ -19,6 +25,7 @@ from .result import DecodeResult
 from .zigzag import ZigzagDecoder
 
 __all__ = [
+    "ArrayBackend",
     "BatchDecodeResult",
     "BatchMinSumDecoder",
     "BatchQuantizedMinSumDecoder",
@@ -35,5 +42,8 @@ __all__ = [
     "QuantizedMinSumDecoder",
     "QuantizedZigzagDecoder",
     "ZigzagDecoder",
+    "available_backends",
+    "backend_status",
+    "resolve_backend",
     "sequential_block_layers",
 ]

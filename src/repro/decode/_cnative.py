@@ -1,0 +1,231 @@
+"""Lazy build + ctypes bindings for the compiled decoder kernels.
+
+The ``cnative`` array backend (see :mod:`repro.decode.backend`) calls
+the C routines in ``_zigzag_kernels.c``.  The shared library is built
+on first use with the system C compiler into a per-process temporary
+directory — no build step, no packaging hook, and no hard dependency:
+when no working compiler is present the backend simply reports itself
+unavailable (with the captured reason) and everything else falls back
+to the numpy backend.
+
+The compile is attempted once per process and memoised, including the
+failure reason, so repeated probes are free.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "_zigzag_kernels.c"
+)
+
+#: Memoised load state: None = not tried, (lib, None) = loaded,
+#: (None, reason) = unavailable.
+_STATE: Optional[tuple] = None
+
+_I8 = ctypes.POINTER(ctypes.c_int8)
+_U8 = ctypes.POINTER(ctypes.c_uint8)
+_I16 = ctypes.POINTER(ctypes.c_int16)
+_I32 = ctypes.POINTER(ctypes.c_int32)
+_I64 = ctypes.POINTER(ctypes.c_int64)
+
+
+def _compiler() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _compile() -> tuple:
+    cc = _compiler()
+    if cc is None:
+        return None, "no C compiler found (set $CC to override)"
+    if not os.path.exists(_SOURCE):
+        return None, f"kernel source missing: {_SOURCE}"
+    build_dir = tempfile.mkdtemp(prefix="repro-kernels-")
+    atexit.register(shutil.rmtree, build_dir, ignore_errors=True)
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    lib_path = os.path.join(build_dir, "zigzag_kernels" + suffix)
+    base = [cc, "-O3", "-fPIC", "-shared", _SOURCE, "-o", lib_path]
+    # -march=native maximises the vectorized inner loops but is not
+    # universally supported; retry plain if it is rejected.  OpenMP is
+    # likewise best-effort (frames decode independently).
+    attempts = (
+        base[:1] + ["-march=native", "-fopenmp"] + base[1:],
+        base[:1] + ["-march=native"] + base[1:],
+        base,
+    )
+    err = ""
+    for cmd in attempts:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode == 0 and os.path.exists(lib_path):
+            try:
+                return ctypes.CDLL(lib_path), None
+            except OSError as exc:  # built but not loadable
+                err = str(exc)
+                continue
+        err = (proc.stderr or proc.stdout).strip()
+    return None, f"kernel compile failed with {cc}: {err[:500]}"
+
+
+def load() -> tuple:
+    """Return ``(lib, reason)``: the loaded CDLL or the failure reason."""
+    global _STATE
+    if _STATE is None:
+        _STATE = _compile()
+        lib = _STATE[0]
+        if lib is not None:
+            lib.segment_min_scan.restype = None
+            lib.segment_min_scan.argtypes = [
+                _I8, ctypes.c_int64, ctypes.c_int64,
+                _I64, ctypes.c_int64, _I8, _I8, _I64,
+            ]
+            lib.zigzag_forward_scan.restype = None
+            lib.zigzag_forward_scan.argtypes = [
+                _I8, _U8, _I8, _I8,
+                ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+                ctypes.c_int64, _I8, _I8, _I8, _U8,
+            ]
+            lib.zigzag_decode.restype = None
+            lib.zigzag_decode.argtypes = [
+                _I16, _I8, _I32,
+                ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+                ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+                ctypes.c_int64, ctypes.c_int64,
+                _I64, ctypes.c_int,
+                _U8, _U8, _I64,
+            ]
+    return _STATE
+
+
+def available() -> bool:
+    return load()[0] is not None
+
+
+def unavailable_reason() -> Optional[str]:
+    return load()[1]
+
+
+def _ptr(arr: np.ndarray, ctype):
+    return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+
+def segment_min_scan(
+    mags: np.ndarray, starts: np.ndarray
+) -> tuple:
+    """Fused per-segment (min1, min2, argmin) in one C sweep."""
+    lib, reason = load()
+    if lib is None:  # pragma: no cover - guarded by the backend
+        raise RuntimeError(reason)
+    m, n_edges = mags.shape
+    n_segs = starts.shape[0]
+    min1 = np.empty((m, n_segs), dtype=np.int8)
+    min2 = np.empty((m, n_segs), dtype=np.int8)
+    argmin = np.empty((m, n_segs), dtype=np.int64)
+    lib.segment_min_scan(
+        _ptr(mags, ctypes.c_int8), m, n_edges,
+        _ptr(starts, ctypes.c_int64), n_segs,
+        _ptr(min1, ctypes.c_int8), _ptr(min2, ctypes.c_int8),
+        _ptr(argmin, ctypes.c_int64),
+    )
+    return min1, min2, argmin
+
+
+def zigzag_forward_scan(
+    n1: np.ndarray,
+    parity_neg: np.ndarray,
+    ch_pn: np.ndarray,
+    f_old: np.ndarray,
+    seg: int,
+    mi: int,
+    lut: np.ndarray,
+    f: np.ndarray,
+    a_norm: np.ndarray,
+    a_neg: np.ndarray,
+) -> None:
+    lib, reason = load()
+    if lib is None:  # pragma: no cover - guarded by the backend
+        raise RuntimeError(reason)
+    m, n_par = n1.shape
+    lib.zigzag_forward_scan(
+        _ptr(n1, ctypes.c_int8), _ptr(parity_neg, ctypes.c_uint8),
+        _ptr(ch_pn, ctypes.c_int8), _ptr(f_old, ctypes.c_int8),
+        m, n_par, seg, mi, _ptr(lut, ctypes.c_int8),
+        _ptr(f, ctypes.c_int8), _ptr(a_norm, ctypes.c_int8),
+        _ptr(a_neg, ctypes.c_uint8),
+    )
+
+
+def find_mulshift(lut: np.ndarray, max_int: int) -> Optional[tuple]:
+    """Exact integer multiply-shift reproducing ``lut[m] == floor(alpha*m)``.
+
+    The decode kernel applies magnitude normalization as
+    ``(mult * m) >> shift`` so its SIMD lanes never gather from a table.
+    This searches for a ``(mult, shift)`` pair that matches the
+    decoder's LUT on every representable magnitude ``0..max_int``;
+    returns ``None`` when no pair reproduces it (the backend then falls
+    back to the numpy path for that decoder).
+    """
+    want = lut[: max_int + 1].astype(np.int64)
+    if want[0] != 0:
+        return None
+    mags = np.arange(1, max_int + 1, dtype=np.int64)
+    vals = want[1:]
+    for shift in range(0, 25):
+        # floor(mult*m / 2^shift) == vals[m] for every m constrains
+        # mult to [ceil(vals*2^s / m), ceil((vals+1)*2^s / m) - 1];
+        # intersect the per-magnitude intervals.
+        lo = int(np.max(-((-vals << shift) // mags)))
+        hi = int(np.min(-((-(vals + 1) << shift) // mags) - 1))
+        if lo <= hi:
+            mult = lo
+            if np.all((mult * mags) >> shift == vals):
+                return mult, shift
+    return None
+
+
+def zigzag_decode(
+    ch_in: np.ndarray,
+    ch_pn: np.ndarray,
+    in_vn: np.ndarray,
+    width: int,
+    seg: int,
+    mi: int,
+    mult: int,
+    shift: int,
+    budgets: np.ndarray,
+    early_stop: bool,
+) -> tuple:
+    """Decode a whole quantized batch to completion in C."""
+    lib, reason = load()
+    if lib is None:  # pragma: no cover - guarded by the backend
+        raise RuntimeError(reason)
+    frames, k = ch_in.shape
+    n_par = ch_pn.shape[1]
+    bits = np.empty((frames, k + n_par), dtype=np.uint8)
+    converged = np.zeros(frames, dtype=np.uint8)
+    iterations = np.zeros(frames, dtype=np.int64)
+    lib.zigzag_decode(
+        _ptr(ch_in, ctypes.c_int16), _ptr(ch_pn, ctypes.c_int8),
+        _ptr(in_vn, ctypes.c_int32),
+        frames, k, n_par, width, seg, mi, mult, shift,
+        _ptr(budgets, ctypes.c_int64), int(bool(early_stop)),
+        _ptr(bits, ctypes.c_uint8), _ptr(converged, ctypes.c_uint8),
+        _ptr(iterations, ctypes.c_int64),
+    )
+    if frames and iterations[0] == -1 and (iterations == -1).all():
+        raise MemoryError("kernel workspace allocation failed")
+    return bits, converged.astype(bool), iterations

@@ -1,0 +1,120 @@
+"""Numba kernel twins for the ``numba`` array backend.
+
+The two serial-dependency kernels of the quantized zigzag/min-sum hot
+path — the t-major forward chain scan and the fused per-segment
+min1/min2/argmin sweep — written as plain-python loops that
+``numba.njit(parallel=True)`` compiles when numba is installed.  The
+undecorated twins stay importable (and unit-tested against the numpy
+decoders) everywhere, so environments without numba still verify the
+kernel semantics while the backend reports itself unavailable.
+
+Every load is routed through ``int(...)`` so the python twins compute
+in exact python integers (numpy int8 scalar arithmetic would wrap);
+numba compiles the same casts to 64-bit scalar ops.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+    NUMBA_IMPORT_ERROR = None
+except Exception as _exc:  # ImportError, or a broken install
+    HAVE_NUMBA = False
+    NUMBA_IMPORT_ERROR = str(_exc)
+    prange = range
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def _segment_min_scan(mags, starts, big, min1, min2, argmin):
+    """Fused per-segment (min1, min2, argmin) in one sweep.
+
+    ``mags`` is ``(m, n_edges)`` CN-sorted magnitudes, ``starts`` the
+    ``(n_segs,)`` segment offsets (implied end ``n_edges``).  ``argmin``
+    receives the *global sorted position* of the first minimum and
+    ``min2`` the minimum of the remaining entries (``big`` — the dtype's
+    max — when a segment has one edge), exactly matching the numpy
+    two-``reduceat`` path's mask value.
+    """
+    m = mags.shape[0]
+    n_edges = mags.shape[1]
+    n_segs = starts.shape[0]
+    for f in prange(m):
+        for s in range(n_segs):
+            lo = int(starts[s])
+            hi = int(starts[s + 1]) if s + 1 < n_segs else n_edges
+            m1 = int(big)
+            m2 = int(big)
+            am = lo
+            for e in range(lo, hi):
+                v = int(mags[f, e])
+                if v < m1:
+                    m2 = m1
+                    m1 = v
+                    am = e
+                elif v < m2:
+                    m2 = v
+            min1[f, s] = m1
+            min2[f, s] = m2
+            argmin[f, s] = am
+
+
+def _zigzag_forward_scan(
+    n1, parity_neg, ch_pn, f_old, seg, mi, lut, f, a_norm, a_neg
+):
+    """Serial-per-segment forward chain scan of the zigzag check phase.
+
+    Matches ``BatchQuantizedZigzagDecoder._forward_scan``: ``n1`` is the
+    already-normalized first minimum ``lut[min1]``; outputs are ``f``,
+    ``lut[|a|]`` and ``a < 0`` in linear parity-node order.  All arrays
+    are ``(m, n_par)``; the chain value is saturated to ``±mi`` after
+    every step exactly like the golden model.
+    """
+    m = n1.shape[0]
+    n_par = n1.shape[1]
+    q = n_par // seg
+    for fr in prange(m):
+        for s in range(seg):
+            base = s * q
+            if s == 0:
+                a = int(mi)
+            else:
+                a = int(ch_pn[fr, base - 1]) + int(f_old[fr, base - 1])
+                if a > mi:
+                    a = int(mi)
+                elif a < -mi:
+                    a = -int(mi)
+            for j in range(q):
+                p = base + j
+                am = -a if a < 0 else a
+                an = int(lut[am])
+                a_norm[fr, p] = an
+                neg = a < 0
+                a_neg[fr, p] = neg
+                mag = int(n1[fr, p])
+                if an < mag:
+                    mag = an
+                if parity_neg[fr, p] != neg:
+                    mag = -mag
+                f[fr, p] = mag
+                a = int(ch_pn[fr, p]) + mag
+                if a > mi:
+                    a = int(mi)
+                elif a < -mi:
+                    a = -int(mi)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    segment_min_scan = njit(cache=True, parallel=True)(_segment_min_scan)
+    zigzag_forward_scan = njit(cache=True, parallel=True)(
+        _zigzag_forward_scan
+    )
+else:
+    segment_min_scan = _segment_min_scan
+    zigzag_forward_scan = _zigzag_forward_scan

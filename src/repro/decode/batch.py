@@ -602,6 +602,7 @@ def make_batch_decoder(
     segments: Optional[int] = None,
     fmt=None,
     channel_scale: float = 1.0,
+    backend=None,
 ):
     """Build a batched decoder for a schedule name.
 
@@ -612,9 +613,11 @@ def make_batch_decoder(
     messages by default — the arithmetic behind the paper's Table 3).
     All four expose the same ``decode_batch`` interface.
 
-    ``fmt`` (a :class:`~repro.quantize.fixed_point.FixedPointFormat`)
-    and ``channel_scale`` configure the quantized schedules only;
-    passing either with a float schedule is an error.
+    ``fmt`` (a :class:`~repro.quantize.fixed_point.FixedPointFormat`),
+    ``channel_scale`` and ``backend`` (an array-backend name or
+    :class:`~repro.decode.backend.ArrayBackend` instance — see
+    :mod:`repro.decode.backend`) configure the quantized schedules
+    only; passing any of them with a float schedule is an error.
     """
     if schedule in ("quantized-zigzag", "quantized-minsum"):
         from .batch_quantized import (
@@ -631,16 +634,19 @@ def make_batch_decoder(
                 normalization=normalization,
                 channel_scale=channel_scale,
                 segments=segments,
+                backend=backend,
             )
         return BatchQuantizedMinSumDecoder(
             code,
             fmt=fmt,
             normalization=normalization,
             channel_scale=channel_scale,
+            backend=backend,
         )
-    if fmt is not None or channel_scale != 1.0:
+    if fmt is not None or channel_scale != 1.0 or backend is not None:
         raise ValueError(
-            "fmt/channel_scale apply only to the quantized-* schedules"
+            "fmt/channel_scale/backend apply only to the quantized-* "
+            "schedules"
         )
     if schedule == "flooding":
         return BatchMinSumDecoder(code, normalization=normalization)

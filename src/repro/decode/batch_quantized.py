@@ -34,12 +34,15 @@ iterate.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..codes.construction import LdpcCode
 from ..quantize.fixed_point import MESSAGE_6BIT, FixedPointFormat
+from .backend import mask_into as _mask_into
+from .backend import resolve_backend
 from .batch import (
     BatchDecodeResult,
     _batch_syndromes_ok,
@@ -56,20 +59,73 @@ def _min_int_dtype(bound: int) -> np.dtype:
     raise ValueError(f"no integer dtype holds {bound}")
 
 
-def _mask_into(cond: np.ndarray, out: np.ndarray) -> np.ndarray:
-    """Fill ``out`` with 0 where ``cond`` is False and -1 where True.
+# ---------------------------------------------------------------------------
+# Module-level caches for the immutable per-code index tables and the
+# normalization LUTs.  Pool workers, Monte-Carlo sweeps and serve
+# restarts construct many decoder instances for the same code; the
+# sort/permutation tables dominate construction cost and never change,
+# so instances share one read-only copy per Tanner graph.
 
-    ``np.where`` on byte-sized operands is memory-bound and an order of
-    magnitude slower than the arithmetic it gates at full-frame batch
-    shapes; an all-ones/all-zeros mask turns every select into a couple
-    of in-place bitwise ops (``b ^ ((a ^ b) & mask)``) that stay exact
-    for two's-complement integers.
-    """
-    if out.dtype == np.int8:
-        np.negative(cond.view(np.int8), out=out)
-    else:
-        np.multiply(cond, -1, out=out, casting="unsafe")
-    return out
+#: id(graph) -> (graph, {namespace: table dict}).  The strong graph
+#: reference pins the id so a recycled address can never alias a dead
+#: entry; the LRU bound keeps long multi-rate sweeps from accumulating.
+_TABLE_CACHE: "OrderedDict[int, tuple]" = OrderedDict()
+_TABLE_CACHE_MAX = 8
+
+_LUT_CACHE: dict = {}
+
+
+def _graph_tables(code: LdpcCode) -> dict:
+    """Mutable per-graph table namespace from the module-level cache."""
+    graph = code.graph
+    key = id(graph)
+    hit = _TABLE_CACHE.get(key)
+    if hit is not None and hit[0] is graph:
+        _TABLE_CACHE.move_to_end(key)
+        return hit[1]
+    tables: dict = {}
+    _TABLE_CACHE[key] = (graph, tables)
+    _TABLE_CACHE.move_to_end(key)
+    while len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
+        _TABLE_CACHE.popitem(last=False)
+    return tables
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached table read-only (shared across instances)."""
+    arr.setflags(write=False)
+    return arr
+
+
+def _cached_norm_lut(mi: int, normalization: float, mdt) -> np.ndarray:
+    """floor(alpha * m) for every representable magnitude — the same
+    float64 expression the single-frame decoder evaluates, so the
+    lookup is exact by construction."""
+    key = (mi, float(normalization), np.dtype(mdt).str)
+    lut = _LUT_CACHE.get(key)
+    if lut is None:
+        lut = _freeze(
+            np.floor(normalization * np.arange(mi + 1)).astype(mdt)
+        )
+        _LUT_CACHE[key] = lut
+    return lut
+
+
+def _cached_signed_lut(norm_lut: np.ndarray, mi: int) -> np.ndarray:
+    """floor(alpha*|a|) looked up directly by the signed int8 chain
+    value viewed as uint8 — saves the per-step np.abs in the forward
+    scan (chain values are clipped to ±max_int, so only indices
+    0..max_int and 256-max_int..255 occur)."""
+    key = ("signed", mi, float(norm_lut[-1]), norm_lut.tobytes())
+    lut = _LUT_CACHE.get(key)
+    if lut is None:
+        signed = np.arange(256, dtype=np.uint8).view(np.int8)
+        amag = np.minimum(
+            np.abs(signed.astype(np.int16)), mi
+        ).astype(np.intp)
+        lut = _freeze(norm_lut[amag])
+        _LUT_CACHE[key] = lut
+    return lut
 
 
 class _QuantizedBatchBase:
@@ -87,6 +143,7 @@ class _QuantizedBatchBase:
         fmt: FixedPointFormat,
         normalization: float,
         channel_scale: float,
+        backend=None,
     ) -> None:
         if not 0.0 < normalization <= 1.0:
             raise ValueError("normalization must be in (0, 1]")
@@ -94,6 +151,9 @@ class _QuantizedBatchBase:
         self.fmt = fmt
         self.normalization = normalization
         self.channel_scale = channel_scale
+        #: Array backend supplying the kernel primitives (and the
+        #: scratch arena) — see :mod:`repro.decode.backend`.
+        self.backend = resolve_backend(backend)
         mi = int(fmt.max_int)
         #: Message dtype: must hold 2*max_int so saturating adds can form
         #: the true sum before clipping (int8 for the 6-bit format).
@@ -101,30 +161,18 @@ class _QuantizedBatchBase:
         max_degree = int(np.diff(code.graph.vn_ptr).max())
         #: Accumulator dtype: holds any VN posterior sum exactly.
         self._adt = _min_int_dtype((max_degree + 1) * mi)
-        #: floor(alpha * m) for every representable magnitude — the same
-        #: float64 expression the single-frame decoder evaluates, so the
-        #: lookup is exact by construction.
-        self._norm_lut = np.floor(
-            normalization * np.arange(mi + 1)
-        ).astype(self._mdt)
-        #: Reusable scratch arrays (see :meth:`_buf`).  At full-frame
-        #: batch sizes the per-iteration temporaries exceed the
-        #: allocator's mmap threshold, so fresh allocations pay a page
-        #: fault per written page every iteration — reuse removes that.
-        self._scratch: dict = {}
+        self._norm_lut = _cached_norm_lut(
+            mi, normalization, self._mdt
+        )
+
+    @property
+    def _scratch(self) -> dict:
+        """The backend's named scratch arena (see :meth:`_buf`)."""
+        return self.backend._scratch
 
     def _buf(self, name: str, shape: tuple, dtype) -> np.ndarray:
         """Named scratch array, grown on demand and sliced per batch."""
-        arr = self._scratch.get(name)
-        if (
-            arr is None
-            or arr.dtype != np.dtype(dtype)
-            or arr.shape[1:] != tuple(shape[1:])
-            or arr.shape[0] < shape[0]
-        ):
-            arr = np.empty(shape, dtype)
-            self._scratch[name] = arr
-        return arr if arr.shape[0] == shape[0] else arr[: shape[0]]
+        return self.backend.buf(name, shape, dtype)
 
     # ------------------------------------------------------------------
     def quantize_channel(self, channel_llrs: np.ndarray) -> np.ndarray:
@@ -152,20 +200,46 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
         fmt: FixedPointFormat = MESSAGE_6BIT,
         normalization: float = 1.0,
         channel_scale: float = 1.0,
+        backend=None,
     ) -> None:
-        super().__init__(code, fmt, normalization, channel_scale)
+        super().__init__(code, fmt, normalization, channel_scale, backend)
+        if self.backend.kind == "device":
+            raise ValueError(
+                f"backend {self.backend.name!r} is a device backend; "
+                "quantized-minsum supports numpy/fused backends only "
+                "(use schedule='quantized-zigzag' for device decoding)"
+            )
         graph = code.graph
         self._vn_order = graph.vn_order
         self._vn_starts = graph.vn_ptr[:-1]
         self._cn_order = graph.cn_order
         self._cn_starts = graph.cn_ptr[:-1]
         self._vn_of_edge = graph.edge_vn
-        cn_lengths = np.diff(graph.cn_ptr)
-        self._seg_of_sorted = np.repeat(np.arange(graph.n_cns), cn_lengths)
-        self._edge_vn_sorted = graph.edge_vn[self._cn_order]
-        edt = _min_int_dtype(graph.n_edges)
-        self._edge_index = np.arange(graph.n_edges, dtype=edt)
-        self._n_edges_val = edt.type(graph.n_edges)
+        tables = _graph_tables(code)
+        ms = tables.get("ms")
+        if ms is None:
+            cn_lengths = np.diff(graph.cn_ptr)
+            edt = _min_int_dtype(graph.n_edges)
+            ms = {
+                "seg_of_sorted": _freeze(
+                    np.repeat(np.arange(graph.n_cns), cn_lengths)
+                ),
+                "edge_vn_sorted": _freeze(
+                    graph.edge_vn[self._cn_order]
+                ),
+                "edge_index": _freeze(
+                    np.arange(graph.n_edges, dtype=edt)
+                ),
+                "cn_starts64": _freeze(
+                    np.ascontiguousarray(self._cn_starts, np.int64)
+                ),
+            }
+            tables["ms"] = ms
+        self._seg_of_sorted = ms["seg_of_sorted"]
+        self._edge_vn_sorted = ms["edge_vn_sorted"]
+        self._edge_index = ms["edge_index"]
+        self._cn_starts64 = ms["cn_starts64"]
+        self._n_edges_val = ms["edge_index"].dtype.type(graph.n_edges)
 
     def decode_batch(
         self,
@@ -218,10 +292,9 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
             sub_c2v = c2v[idx]
             sub_ch = ch[idx]
             # VN phase: wide totals, saturate each outgoing message.
-            totals = np.add.reduceat(
+            totals = self.backend.segment_sum(
                 sub_c2v[:, self._vn_order],
                 self._vn_starts,
-                axis=1,
                 dtype=self._adt,
             )
             wide = sub_ch + totals
@@ -234,10 +307,9 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
             sub_c2v = self._check_phase(v2c)
             c2v[idx] = sub_c2v
             iterations[idx] += 1
-            totals = np.add.reduceat(
+            totals = self.backend.segment_sum(
                 sub_c2v[:, self._vn_order],
                 self._vn_starts,
-                axis=1,
                 dtype=self._adt,
             )
             posteriors = sub_ch + totals
@@ -276,23 +348,25 @@ class BatchQuantizedMinSumDecoder(_QuantizedBatchBase):
         frames = v2c.shape[0]
         sorted_vals = v2c[:, self._cn_order]
         mags = np.abs(sorted_vals)
-        min1 = np.minimum.reduceat(mags, self._cn_starts, axis=1)
-        expanded = min1[:, self._seg_of_sorted]
-        is_min = mags == expanded
-        positions = np.where(is_min, self._edge_index, self._n_edges_val)
-        argmin = np.minimum.reduceat(positions, self._cn_starts, axis=1)
+        # Fused backends return (min1, min2, argmin) in one sweep; the
+        # numpy fallback reproduces the historical two-reduceat dance
+        # bit-identically (mags is scratch — the fallback masks the
+        # first minimum in place for the second pass).
+        min1, min2, argmin = self.backend.segment_min1_min2(
+            mags,
+            self._cn_starts64,
+            self._seg_of_sorted,
+            self._edge_index,
+            self._n_edges_val,
+        )
         rows = np.arange(frames)[:, None]
-        # mags is scratch from here on: mask the first minimum in place
-        # (any value above every magnitude works as the mask).
-        mags[rows, argmin] = np.iinfo(self._mdt).max
-        min2 = np.minimum.reduceat(mags, self._cn_starts, axis=1)
-        out = expanded  # fancy-indexed copy above, safe to overwrite
+        out = np.take(min1, self._seg_of_sorted, axis=1)
         out[rows, argmin] = min2
         out = self._norm_lut[out]
         negs = sorted_vals < 0
         parity_neg = (
-            np.add.reduceat(
-                negs, self._cn_starts, axis=1, dtype=np.int8
+            self.backend.segment_sum(
+                negs, self._cn_starts, dtype=np.int8
             )
             & 1
         ).astype(bool)
@@ -330,39 +404,29 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
         normalization: float = 1.0,
         channel_scale: float = 1.0,
         segments: Optional[int] = None,
+        backend=None,
     ) -> None:
-        super().__init__(code, fmt, normalization, channel_scale)
+        super().__init__(code, fmt, normalization, channel_scale, backend)
         if segments is None:
             segments = code.profile.parallelism
         if segments < 1 or code.n_parity % segments != 0:
             raise ValueError("segments must divide n_parity")
         self.segments = segments
         graph = code.graph
-        sl = code.information_edge_slice()
-        in_vn = graph.edge_vn[sl]
-        in_cn = graph.edge_cn[sl]
         self._e_in = code.e_in
         self._n_parity = code.n_parity
         self._k = code.k
         self._width = code.profile.check_degree - 2
-        cn_sort = np.argsort(in_cn, kind="stable")
-        # Slot-major storage: CN-major sorted edge cn*width + t moves to
-        # t*n_parity + cn (a pure transpose of the dense edge grid).
-        slot_sort = (
-            cn_sort.reshape(self._n_parity, self._width).T.reshape(-1)
-        )
-        slot_unsort = np.empty_like(slot_sort)
-        slot_unsort[slot_sort] = np.arange(self._e_in)
-        self._in_vn_sorted = in_vn[slot_sort].astype(np.intp)
-        # Gather pattern reproducing the canonical VN-major edge order
-        # from the slot-major storage (integer sums are exact, so this
-        # is cosmetic for values — but it keeps the code shape identical
-        # to the float batch decoder).
-        self._vn_gather = slot_unsort[graph.vn_order[: self._e_in]]
+        zz = self._zigzag_tables(code)
+        self._in_vn_sorted = zz["in_vn_sorted"]
+        self._in_vn_i32 = zz["in_vn_i32"]
+        self._vn_gather = zz["vn_gather"]
+        self._deg_runs = zz["deg_runs"]
+        self._vn_gather_tm = zz["vn_gather_tm"]
+        self._edge_vn_sorted = zz["edge_vn_sorted"]
         self._vn_starts = graph.vn_ptr[: self._k]
         self._seg_len = self._n_parity // segments
         self._cn_starts_all = graph.cn_ptr[:-1]
-        self._edge_vn_sorted = graph.edge_vn[graph.cn_order]
         # The VN gather may clip posteriors to ±2*max_int first (see the
         # VN phase) — only valid when the subtraction cannot overflow
         # the message dtype.
@@ -378,42 +442,83 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
         self._ch_t_src = None
         self._ch_t = None
         if self._mdt == np.int8:
-            # floor(alpha*|a|) looked up directly by the signed chain
-            # value viewed as uint8 — saves the per-step np.abs in the
-            # forward scan (chain values are clipped to ±max_int, so
-            # only indices 0..max_int and 256-max_int..255 occur).
-            signed = np.arange(256, dtype=np.uint8).view(np.int8)
-            amag = np.minimum(
-                np.abs(signed.astype(np.int16)), mi
-            ).astype(np.intp)
-            self._norm_lut_signed = self._norm_lut[amag]
+            self._norm_lut_signed = _cached_signed_lut(self._norm_lut, mi)
         else:
             self._norm_lut_signed = None
+        #: Per-iteration kernel hook: let the backend run the forward
+        #: chain scan (it may still decline per call on dtype grounds).
+        self._scan_hook = self.backend.kind == "fused"
+        #: Whole-batch fused decode plan, or None.  Only fused-kind
+        #: backends are asked, so constructing a numpy-backend decoder
+        #: never triggers a compile probe.
+        self._fused_plan = (
+            self.backend.fused_zigzag_plan(self)
+            if self.backend.kind == "fused"
+            else None
+        )
+
+    @staticmethod
+    def _zigzag_tables(code: LdpcCode) -> dict:
+        """Immutable zigzag index tables, shared via the module cache."""
+        tables = _graph_tables(code)
+        zz = tables.get("zz")
+        if zz is not None:
+            return zz
+        graph = code.graph
+        e_in, n_parity, k = code.e_in, code.n_parity, code.k
+        width = code.profile.check_degree - 2
+        sl = code.information_edge_slice()
+        in_vn = graph.edge_vn[sl]
+        in_cn = graph.edge_cn[sl]
+        cn_sort = np.argsort(in_cn, kind="stable")
+        # Slot-major storage: CN-major sorted edge cn*width + t moves to
+        # t*n_parity + cn (a pure transpose of the dense edge grid).
+        slot_sort = cn_sort.reshape(n_parity, width).T.reshape(-1)
+        slot_unsort = np.empty_like(slot_sort)
+        slot_unsort[slot_sort] = np.arange(e_in)
+        in_vn_sorted = _freeze(in_vn[slot_sort].astype(np.intp))
+        # Gather pattern reproducing the canonical VN-major edge order
+        # from the slot-major storage (integer sums are exact, so this
+        # is cosmetic for values — but it keeps the code shape identical
+        # to the float batch decoder).
+        vn_gather = _freeze(slot_unsort[graph.vn_order[:e_in]])
         # Degree-run layout for the totals pass: DVB-S2 info VNs of
         # equal degree are contiguous, so per-VN sums become short loops
         # of contiguous slab adds instead of a reduceat over 2*e_in
         # strided spans.  Falls back to reduceat for irregular layouts.
-        self._deg_runs = []
-        self._vn_gather_tm = None
-        deg = np.diff(graph.vn_ptr[: self._k + 1])
-        if graph.vn_ptr[self._k] == self._e_in:
+        deg_runs = []
+        vn_gather_tm = None
+        deg = np.diff(graph.vn_ptr[: k + 1])
+        if graph.vn_ptr[k] == e_in:
             run_starts = np.concatenate(
-                ([0], np.nonzero(np.diff(deg))[0] + 1, [self._k])
+                ([0], np.nonzero(np.diff(deg))[0] + 1, [k])
             )
             if len(run_starts) <= 18:
                 chunks = []
                 offset = 0
                 for v0, v1 in zip(run_starts[:-1], run_starts[1:]):
                     d = int(deg[v0])
-                    span = self._vn_gather[
-                        graph.vn_ptr[v0] : graph.vn_ptr[v1]
-                    ]
+                    span = vn_gather[graph.vn_ptr[v0]: graph.vn_ptr[v1]]
                     chunks.append(span.reshape(v1 - v0, d).T.ravel())
-                    self._deg_runs.append((int(v0), int(v1), d, offset))
+                    deg_runs.append((int(v0), int(v1), d, offset))
                     offset += (v1 - v0) * d
-                self._vn_gather_tm = np.ascontiguousarray(
-                    np.concatenate(chunks), dtype=np.intp
+                vn_gather_tm = _freeze(
+                    np.ascontiguousarray(
+                        np.concatenate(chunks), dtype=np.intp
+                    )
                 )
+        zz = {
+            "in_vn_sorted": in_vn_sorted,
+            "in_vn_i32": _freeze(
+                np.ascontiguousarray(in_vn_sorted, dtype=np.int32)
+            ),
+            "vn_gather": vn_gather,
+            "deg_runs": tuple(deg_runs),
+            "vn_gather_tm": vn_gather_tm,
+            "edge_vn_sorted": _freeze(graph.edge_vn[graph.cn_order]),
+        }
+        tables["zz"] = zz
+        return zz
 
     def decode_batch(
         self,
@@ -453,6 +558,17 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
         budgets, limit = _normalize_iteration_budgets(
             max_iterations, frames
         )
+        # Tracing needs per-iteration observables, which only the
+        # stepwise numpy loop exposes — the fused/device fast paths are
+        # bit-identical, so falling back never changes results.
+        if iteration_trace is None:
+            if self._fused_plan is not None:
+                return self._decode_fused(ch, budgets, early_stop)
+            if (
+                self.backend.kind == "device"
+                and self._vn_gather_tm is not None
+            ):
+                return self._decode_device(ch, budgets, limit, early_stop)
         k, n_par, e_in = self._k, self._n_parity, self._e_in
         ch_in = ch[:, :k]
         ch_pn = np.ascontiguousarray(ch[:, k:])
@@ -621,6 +737,175 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
                     converged = ok
                 else:
                     converged[idx[ok]] = True
+            active = (iterations < budgets) & ~converged
+        return BatchDecodeResult(
+            bits=bits, converged=converged, iterations=iterations
+        )
+
+    # ------------------------------------------------------------------
+    def _decode_fused(
+        self, ch: np.ndarray, budgets: np.ndarray, early_stop: bool
+    ) -> BatchDecodeResult:
+        """Whole-batch decode on the backend's fused kernel.
+
+        The plan gates on the message dtype/normalization at
+        construction; inputs are handed over exactly as the numpy loop
+        would see them, and the kernel's outputs are bit-identical by
+        the backend contract (asserted by the parametrized equivalence
+        sweeps).
+        """
+        k = self._k
+        ch_in = np.ascontiguousarray(ch[:, :k], dtype=np.int16)
+        ch_pn = np.ascontiguousarray(ch[:, k:], dtype=np.int8)
+        bits, converged, iterations = self.backend.fused_zigzag_decode(
+            self, self._fused_plan, ch_in, ch_pn, budgets, early_stop
+        )
+        return BatchDecodeResult(
+            bits=bits, converged=converged, iterations=iterations
+        )
+
+    def _decode_device(
+        self,
+        ch: np.ndarray,
+        budgets: np.ndarray,
+        limit: int,
+        early_stop: bool,
+    ) -> BatchDecodeResult:
+        """Zigzag decode with the working set on a device array module.
+
+        The same golden-model operation sequence as the numpy loop, in
+        ``xp``-generic arithmetic: every intermediate is exact in int32,
+        so results stay bit-identical.  Device-friendly shape: no frame
+        subsetting (state is committed through masked whole-batch
+        blends) and only decisions/syndromes return to the host each
+        iteration.
+        """
+        be = self.backend
+        xp = be.xp
+        k, n_par, width = self._k, self._n_parity, self._width
+        e_in, seg, q = self._e_in, self.segments, self._seg_len
+        mi = int(self.fmt.max_int)
+        frames = ch.shape[0]
+
+        lut = be.to_device(self._norm_lut.astype(np.int32))
+        in_vn = be.to_device(
+            np.ascontiguousarray(self._in_vn_sorted, dtype=np.int64)
+        )
+        gather_tm = be.to_device(
+            np.ascontiguousarray(self._vn_gather_tm, dtype=np.int64)
+        )
+        ch_in = be.to_device(
+            np.ascontiguousarray(ch[:, :k], dtype=np.int32)
+        )
+        ch_pn = be.to_device(
+            np.ascontiguousarray(ch[:, k:], dtype=np.int32)
+        )
+        c2v = xp.zeros((frames, e_in), dtype=xp.int32)
+        b_old = xp.zeros((frames, n_par + 1), dtype=xp.int32)
+        f_old = xp.zeros((frames, n_par), dtype=xp.int32)
+        posts = ch_in.copy()  # wide info posteriors (channel + totals)
+
+        # Control state stays on the host: tiny, and it steers python
+        # control flow every iteration anyway.
+        bits = (ch < 0).astype(np.uint8)
+        iterations = np.zeros(frames, dtype=np.int64)
+        converged = (
+            self._syndromes_ok(bits)
+            if early_stop
+            else np.zeros(frames, dtype=bool)
+        )
+        active = (iterations < budgets) & ~converged
+
+        t_idx = np.arange(width).reshape(1, width, 1)
+        t_idx = be.to_device(t_idx)
+        seg_last = np.arange(1, seg) * q - 1  # host index arrays are fine
+        for _ in range(1, limit + 1):
+            if not active.any():
+                break
+            act = be.to_device(active)[:, None]
+            # VN phase.
+            v2c = xp.take(posts, in_vn, axis=1)
+            v2c = xp.clip(v2c - c2v, -mi, mi)
+            # CN phase: slab minima (argmin keeps first occurrence,
+            # matching the numpy online scan's strict-less updates).
+            slabs = v2c.reshape(frames, width, n_par)
+            negs = slabs < 0
+            mags = xp.abs(slabs)
+            min1 = mags.min(axis=1)
+            amin = mags.argmin(axis=1)
+            sel = t_idx == amin[:, None, :]
+            # Seeded at max_int exactly like the numpy scan: the true
+            # second minimum whenever a check has >= 2 info edges.
+            min2 = xp.where(sel, mi, mags).min(axis=1)
+            parity_neg = (negs.sum(axis=1) & 1).astype(xp.bool_)
+            c_in = xp.clip(ch_pn + b_old[:, 1:], -mi, mi)
+            c_neg = c_in < 0
+            lutc = xp.take(lut, xp.abs(c_in))
+            n1 = xp.take(lut, min1)
+            # Forward chain scan, serial over the q checks of a segment.
+            n1_s = n1.reshape(frames, seg, q)
+            par_s = parity_neg.reshape(frames, seg, q)
+            ch_s = ch_pn.reshape(frames, seg, q)
+            f = xp.empty((frames, seg, q), dtype=xp.int32)
+            anorm = xp.empty((frames, seg, q), dtype=xp.int32)
+            aneg = xp.empty((frames, seg, q), dtype=xp.bool_)
+            a = xp.full((frames, seg), mi, dtype=xp.int32)
+            if seg > 1:
+                a[:, 1:] = xp.clip(
+                    ch_pn[:, seg_last] + f_old[:, seg_last], -mi, mi
+                )
+            for t in range(q):
+                an = xp.take(lut, xp.abs(a))
+                ng = a < 0
+                anorm[:, :, t] = an
+                aneg[:, :, t] = ng
+                mag = xp.minimum(n1_s[:, :, t], an)
+                f_t = xp.where(par_s[:, :, t] ^ ng, -mag, mag)
+                f[:, :, t] = f_t
+                a = xp.clip(ch_s[:, :, t] + f_t, -mi, mi)
+            f_lin = f.reshape(frames, n_par)
+            anorm_lin = anorm.reshape(frames, n_par)
+            aneg_lin = aneg.reshape(frames, n_par)
+            # Output magnitudes/signs per slab.
+            chain = xp.minimum(anorm_lin, lutc)
+            lo1 = xp.minimum(n1, chain)
+            lo2 = xp.minimum(xp.take(lut, min2), chain)
+            b_mag = xp.minimum(n1, lutc)
+            b = xp.where(parity_neg ^ c_neg, -b_mag, b_mag)
+            chain_neg = parity_neg ^ aneg_lin ^ c_neg
+            bmag = xp.where(sel, lo2[:, None, :], lo1[:, None, :])
+            sign = chain_neg[:, None, :] ^ negs
+            c2v_new = xp.where(sign, -bmag, bmag).reshape(frames, e_in)
+            # Decision pass over the degree runs.
+            gathered = xp.take(c2v_new, gather_tm, axis=1)
+            posts_new = xp.empty((frames, k), dtype=xp.int32)
+            for v0, v1, d, offset in self._deg_runs:
+                run = gathered[
+                    :, offset: offset + d * (v1 - v0)
+                ].reshape(frames, d, v1 - v0)
+                acc = run[:, 0]
+                for t in range(1, d):
+                    acc = acc + run[:, t]
+                posts_new[:, v0:v1] = acc
+            posts_new = posts_new + ch_in
+            pn_new = ch_pn + f_lin
+            pn_new[:, :-1] = pn_new[:, :-1] + b[:, 1:]
+            b_store = xp.zeros((frames, n_par + 1), dtype=xp.int32)
+            b_store[:, 1:n_par] = b[:, 1:]
+            # Masked whole-batch commit (frozen frames keep their state).
+            c2v = xp.where(act, c2v_new, c2v)
+            f_old = xp.where(act, f_lin, f_old)
+            b_old = xp.where(act, b_store, b_old)
+            posts = xp.where(act, posts_new, posts)
+            # Decisions and syndromes on the host.
+            sub_bits = np.concatenate(
+                (be.asnumpy(posts_new < 0), be.asnumpy(pn_new < 0)),
+                axis=1,
+            ).astype(np.uint8)
+            iterations[active] += 1
+            bits[active] = sub_bits[active]
+            if early_stop:
+                converged |= active & self._syndromes_ok(sub_bits)
             active = (iterations < budgets) & ~converged
         return BatchDecodeResult(
             bits=bits, converged=converged, iterations=iterations
@@ -835,6 +1120,33 @@ class BatchQuantizedZigzagDecoder(_QuantizedBatchBase):
         mi = int(self.fmt.max_int)
         lut = self._norm_lut
         buf = self._buf
+        if self._scan_hook:
+            # Compiled backends run the whole chain scan in one call;
+            # a backend may decline per call (dtype/layout grounds) and
+            # the numpy path below reuses the same named buffers.
+            if reuse:
+                f = buf(f"zz_f{self._flip}", (m, seg, q), mdt)
+            else:
+                f = np.empty((m, seg, q), dtype=mdt)
+            a_norm = buf("fs_anorm", (m, seg, q), mdt)
+            a_neg = buf("fs_aneg", (m, seg, q), bool)
+            if self.backend.zigzag_forward_scan(
+                n1,
+                parity_neg,
+                ch_pn,
+                f_old,
+                seg,
+                mi,
+                lut,
+                f.reshape(m, -1),
+                a_norm.reshape(m, -1),
+                a_neg.reshape(m, -1),
+            ):
+                return (
+                    f.reshape(m, -1),
+                    a_norm.reshape(m, -1),
+                    a_neg.reshape(m, -1),
+                )
         # The scan's parallel dimension is frames x segments, so work
         # t-major: transposed (q, m, seg) copies make every per-step
         # operand a small contiguous slab instead of a stride-q view

@@ -57,10 +57,13 @@ class ServeConfig:
     Decoder
     -------
     ``schedule`` / ``normalization`` / ``fmt`` / ``channel_scale`` /
-    ``segments`` are forwarded to
+    ``segments`` / ``backend`` are forwarded to
     :func:`repro.decode.batch.make_batch_decoder`; the default is the
-    paper's 6-bit fixed-point zigzag path.  ``workers > 1`` decodes
-    batches on a persistent process pool (batch order deterministic).
+    paper's 6-bit fixed-point zigzag path (``backend`` picks the array
+    backend running its hot loop — see :mod:`repro.decode.backend`;
+    results are bit-identical across backends).  ``workers > 1``
+    decodes batches on a persistent process pool (batch order
+    deterministic).
     """
 
     max_batch: int = 32
@@ -75,6 +78,7 @@ class ServeConfig:
     fmt: Optional[object] = None
     channel_scale: float = 1.0
     segments: Optional[int] = None
+    backend: Optional[str] = None
     workers: int = 1
 
     def __post_init__(self) -> None:

@@ -82,6 +82,7 @@ def _decoder_params(config: ServeConfig) -> dict:
         "segments": config.segments,
         "fmt": config.fmt,
         "channel_scale": config.channel_scale,
+        "backend": config.backend,
     }
 
 
@@ -93,6 +94,7 @@ def _build_serve_decoder(code: LdpcCode, params: dict):
         segments=params["segments"],
         fmt=params["fmt"],
         channel_scale=params["channel_scale"],
+        backend=params["backend"],
     )
 
 

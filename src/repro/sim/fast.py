@@ -31,6 +31,7 @@ def fast_ber(
     schedule: str = "flooding",
     fmt=None,
     channel_scale: float = 1.0,
+    backend=None,
     iteration_trace: Optional[IterationTraceRecorder] = None,
 ) -> BerResult:
     """All-zero-codeword BER measurement with batched decoding.
@@ -40,8 +41,11 @@ def fast_ber(
     switches to the batched zigzag decoder (paper §2.2 serial schedule),
     which converges in roughly half the iterations per frame;
     ``"quantized-zigzag"`` / ``"quantized-minsum"`` run the fixed-point
-    decoders (``fmt`` selects the word format, 6-bit by default, and
-    ``channel_scale`` the input conditioning — both quantized-only).
+    decoders (``fmt`` selects the word format, 6-bit by default,
+    ``channel_scale`` the input conditioning, and ``backend`` the array
+    backend executing the hot path — see :mod:`repro.decode.backend`;
+    all three quantized-only).  Results are bit-identical across
+    backends.
     When an ``iteration_trace`` recorder is given, each batch's
     per-iteration convergence records are emitted with globally numbered
     frames (the recorder's ``frame_offset`` is advanced per batch);
@@ -55,6 +59,7 @@ def fast_ber(
         normalization=normalization,
         fmt=fmt,
         channel_scale=channel_scale,
+        backend=backend,
     )
     channel = AwgnChannel(
         ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed

@@ -171,6 +171,7 @@ def _build_decoder(code: LdpcCode, params: dict):
         segments=params["segments"],
         fmt=params.get("fmt"),
         channel_scale=params.get("channel_scale", 1.0),
+        backend=params.get("backend"),
     )
 
 
@@ -309,6 +310,7 @@ def parallel_ber(
     segments: Optional[int] = None,
     fmt=None,
     channel_scale: float = 1.0,
+    backend=None,
     seed=0,
     registry: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
@@ -335,9 +337,12 @@ def parallel_ber(
         fixed-point paths ``"quantized-zigzag"`` / ``"quantized-minsum"``
         (paper Table 3 arithmetic; bit-identical to the single-frame
         golden models for every frame).
-    fmt, channel_scale:
-        Fixed-point word format (6-bit messages by default) and channel
-        input conditioning, forwarded to the quantized schedules only.
+    fmt, channel_scale, backend:
+        Fixed-point word format (6-bit messages by default), channel
+        input conditioning, and the array backend name executing the
+        decoder hot path (see :mod:`repro.decode.backend`) — all three
+        forwarded to the quantized schedules only.  Results are
+        bit-identical across backends.
     seed:
         Base seed; shard ``i`` uses child ``i`` of
         ``np.random.SeedSequence(seed)`` regardless of worker count.
@@ -373,6 +378,7 @@ def parallel_ber(
         "segments": segments,
         "fmt": fmt,
         "channel_scale": float(channel_scale),
+        "backend": backend,
     }
     run_params = {
         "ebn0_db": float(ebn0_db),
@@ -492,6 +498,9 @@ def _pool_key(code: LdpcCode, decoder_params: dict):
     Identity of the code object plus the (hashable) decoder knobs; the
     pool keeps ``initargs`` alive, so the ``id`` stays unambiguous.
     """
+    backend = decoder_params.get("backend")
+    if not isinstance(backend, (str, type(None))):
+        backend = id(backend)  # instance backends key by identity
     return (
         "sim.parallel",
         id(code),
@@ -500,6 +509,7 @@ def _pool_key(code: LdpcCode, decoder_params: dict):
         decoder_params["segments"],
         id(decoder_params["fmt"]),
         decoder_params["channel_scale"],
+        backend,
     )
 
 

@@ -23,6 +23,8 @@ from repro.decode import (
     BatchQuantizedZigzagDecoder,
     QuantizedMinSumDecoder,
     QuantizedZigzagDecoder,
+    available_backends,
+    backend_status,
 )
 from repro.decode.batch import make_batch_decoder
 from repro.encode import IraEncoder
@@ -37,11 +39,27 @@ PAIRS = [
     (QuantizedMinSumDecoder, BatchQuantizedMinSumDecoder),
 ]
 
+#: Every array backend usable here — the equivalence sweeps run the
+#: batch decoders on each of them against the same golden models.
+BACKENDS = available_backends()
+_BACKEND_KIND = {n: s[0] for n, s in backend_status().items()}
+
+
+def _skip_unsupported(batch_cls, backend):
+    if (
+        batch_cls is BatchQuantizedMinSumDecoder
+        and _BACKEND_KIND[backend] == "device"
+    ):
+        pytest.skip("quantized-minsum supports numpy/fused backends only")
+
 
 def _build(cls, code, **kwargs):
-    """Drop ``segments`` for the flooding decoders (zigzag-only knob)."""
+    """Drop ``segments`` for the flooding decoders (zigzag-only knob)
+    and ``backend`` for the single-frame golden models."""
     if cls in (QuantizedMinSumDecoder, BatchQuantizedMinSumDecoder):
         kwargs.pop("segments", None)
+    if cls in (QuantizedMinSumDecoder, QuantizedZigzagDecoder):
+        kwargs.pop("backend", None)
     return cls(code, **kwargs)
 
 
@@ -73,12 +91,15 @@ def _assert_batch_matches_single(single, batch, llrs, max_iterations):
     return result
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("single_cls,batch_cls", PAIRS)
 def test_matches_single_frame_with_mixed_convergence(
-    code_half, single_cls, batch_cls
+    code_half, single_cls, batch_cls, backend
 ):
     """Converged, slow and hopeless frames in one batch, all identical
-    to the single-frame decoder (frozen frames stay frozen)."""
+    to the single-frame decoder (frozen frames stay frozen) — on every
+    installed array backend."""
+    _skip_unsupported(batch_cls, backend)
     _, llrs = _frame_batch(code_half, 2.2, 6, seed=7, hopeless=1)
     single = _build(
         single_cls, code_half,
@@ -87,6 +108,7 @@ def test_matches_single_frame_with_mixed_convergence(
     batch = _build(
         batch_cls, code_half,
         normalization=0.75, channel_scale=0.5, segments=36,
+        backend=backend,
     )
     result = _assert_batch_matches_single(single, batch, llrs, 30)
     assert result.converged.sum() >= 1
@@ -94,13 +116,15 @@ def test_matches_single_frame_with_mixed_convergence(
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("rate_fixture", ["code_14", "code_half", "code_34"])
 @pytest.mark.parametrize("single_cls,batch_cls", PAIRS)
 def test_matches_single_frame_across_rates(
-    request, rate_fixture, single_cls, batch_cls
+    request, rate_fixture, single_cls, batch_cls, backend
 ):
     """Multi-rate equivalence sweep: low-, mid- and high-rate graph
-    structures through both quantized schedules."""
+    structures through both quantized schedules and every backend."""
+    _skip_unsupported(batch_cls, backend)
     code = request.getfixturevalue(rate_fixture)
     ebn0 = {"code_14": 1.5, "code_half": 2.0, "code_34": 3.2}[rate_fixture]
     _, llrs = _frame_batch(code, ebn0, 3, seed=11)
@@ -108,15 +132,18 @@ def test_matches_single_frame_across_rates(
         single_cls, code, normalization=0.75, channel_scale=0.5
     )
     batch = _build(
-        batch_cls, code, normalization=0.75, channel_scale=0.5
+        batch_cls, code, normalization=0.75, channel_scale=0.5,
+        backend=backend,
     )
     _assert_batch_matches_single(single, batch, llrs, 15)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("single_cls,batch_cls", PAIRS)
 def test_five_bit_format_matches_single_frame(
-    code_half, single_cls, batch_cls
+    code_half, single_cls, batch_cls, backend
 ):
+    _skip_unsupported(batch_cls, backend)
     _, llrs = _frame_batch(code_half, 2.5, 3, seed=23)
     single = _build(
         single_cls, code_half,
@@ -125,6 +152,7 @@ def test_five_bit_format_matches_single_frame(
     batch = _build(
         batch_cls, code_half,
         fmt=MESSAGE_5BIT, normalization=0.75, channel_scale=0.25,
+        backend=backend,
     )
     _assert_batch_matches_single(single, batch, llrs, 12)
 
