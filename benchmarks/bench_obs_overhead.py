@@ -16,6 +16,8 @@ versus without) is also measured and recorded for reference.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import timeit
 
@@ -27,6 +29,30 @@ from repro.obs import IterationTraceRecorder
 FRAMES = 32
 MAX_ITERATIONS = 15
 REPEATS = 5
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+#: Serve-path workload: offered load and duration of the measured run.
+SERVE_OFFERED_FPS = 120.0
+SERVE_DURATION_S = 0.3 if SMOKE else 1.0
+
+
+def _update_bench_json(extra: dict) -> str:
+    """Merge ``extra`` into the saved obs_overhead payload.
+
+    The two tests in this file contribute to one BENCH file; each
+    merges over whatever the other already wrote so either can run
+    alone (``-k``) without clobbering the sibling's numbers.
+    """
+    out_dir = os.environ.get("BENCH_OUT") or os.path.dirname(
+        os.path.abspath(__file__)
+    )
+    path = os.path.join(out_dir, "BENCH_obs_overhead.json")
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload.update(extra)
+    return save_bench_json("obs_overhead", payload)
 
 
 def _workload():
@@ -100,8 +126,7 @@ def test_tracing_disabled_overhead(once):
         f"({disabled_overhead:.2%})"
     )
 
-    path = save_bench_json(
-        "obs_overhead",
+    path = _update_bench_json(
         {
             "frames": FRAMES,
             "max_iterations": MAX_ITERATIONS,
@@ -112,6 +137,93 @@ def test_tracing_disabled_overhead(once):
             "disabled_overhead_pct": disabled_overhead * 100,
             "traced_ratio": traced_ratio,
             "threshold_pct": 5.0,
+        },
+    )
+    print(f"saved: {path}")
+
+
+def test_serve_disabled_telemetry_overhead(once):
+    """Serve-path telemetry must stay (nearly) free when disabled.
+
+    The serve engine touches its registry on every pump: stage-span
+    timers, request counters, occupancy/latency histograms.  With a
+    disabled registry every one of those touches degenerates to a dict
+    lookup returning the no-op metric, so — like the decoder-hook test
+    above — the overhead is bounded *by construction*: count the
+    telemetry touches an enabled run actually made, time what one
+    disabled touch costs, and divide by the measured pump time.  (The
+    touch count over-counts: batch-level counters increment by the
+    whole batch but are tallied per unit, so the bound is
+    conservative.)
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.serve import ServeConfig
+    from repro.serve.loadgen import run_loadgen
+
+    code = cached_small_code("1/2", parallelism=36)
+    config = ServeConfig(max_batch=16)
+
+    def measure():
+        result = run_loadgen(
+            code,
+            config,
+            offered_fps=SERVE_OFFERED_FPS,
+            duration_s=SERVE_DURATION_S,
+            seed=11,
+        )
+        snap = result.snapshot
+        touches = (
+            sum(t["count"] for t in snap["timers"].values())
+            + sum(snap["counters"].values())
+            + sum(h["count"] for h in snap["histograms"].values())
+            + len(snap["gauges"])
+        )
+        pump_s = snap["timers"]["serve.stage.pump"]["total_ns"] / 1e9
+        disabled = MetricsRegistry(enabled=False)
+        n_calib = 200_000
+        per_timer = timeit.timeit(
+            "\nwith reg.timer('serve.stage.decode'):\n    pass",
+            globals={"reg": disabled},
+            number=n_calib,
+        ) / n_calib
+        per_counter = timeit.timeit(
+            "reg.counter('serve.requests.completed').inc()",
+            globals={"reg": disabled},
+            number=n_calib,
+        ) / n_calib
+        per_touch = max(per_timer, per_counter)
+        return result, touches, pump_s, per_touch
+
+    result, touches, pump_s, per_touch = once(measure)
+    overhead = touches * per_touch / pump_s
+
+    print_banner(
+        "Serve-path telemetry overhead "
+        f"({SERVE_OFFERED_FPS:.0f} fps x {SERVE_DURATION_S}s)"
+    )
+    print(f"completed frames           : {result.report.completed}")
+    print(f"telemetry touches          : {touches} "
+          "(timers + counters + histogram observations, over-counted)")
+    print(f"disabled per-touch cost    : {per_touch * 1e9:8.1f} ns")
+    print(f"measured pump time         : {pump_s * 1e3:8.2f} ms")
+    print(f"disabled-path overhead     : {overhead * 100:8.4f} % "
+          "(must stay < 5%)")
+
+    assert overhead < 0.05, (
+        "disabled-registry telemetry on the serve path costs more than "
+        f"5% of pump time ({overhead:.2%})"
+    )
+
+    path = _update_bench_json(
+        {
+            "serve_offered_fps": SERVE_OFFERED_FPS,
+            "serve_duration_s": SERVE_DURATION_S,
+            "serve_completed": result.report.completed,
+            "serve_telemetry_touches": touches,
+            "serve_per_touch_ns": per_touch * 1e9,
+            "serve_pump_ms": pump_s * 1e3,
+            "serve_disabled_overhead_pct": overhead * 100,
+            "serve_threshold_pct": 5.0,
         },
     )
     print(f"saved: {path}")

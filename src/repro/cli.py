@@ -306,6 +306,7 @@ def _serve_config(args: argparse.Namespace):
         channel_scale=args.channel_scale,
         backend=args.backend,
         workers=args.workers,
+        instrument_kernels=getattr(args, "profile_kernels", False),
     )
 
 
@@ -385,7 +386,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     code = _build_serve_code(args)
     config = _serve_config(args)
     trace = _open_trace(args.trace) if args.trace is not None else None
+    publisher = None
+    http_server = None
+    if args.publish is not None:
+        from .obs.publish import SnapshotPublisher
+
+        publisher = SnapshotPublisher(
+            sink=args.publish,
+            prom_path=args.publish + ".prom",
+            interval_s=args.publish_interval_s,
+            meta={"command": "loadgen", "rate": args.rate},
+        )
     try:
+        if args.publish_http is not None:
+            from .obs.publish import MetricsHttpServer
+            from .obs.registry import get_registry
+
+            # The sweep swaps registries per point; scrape the live one
+            # through a publisher-tracked indirection when publishing,
+            # else the process registry.
+            http_server = MetricsHttpServer(
+                publisher if publisher is not None else get_registry(),
+                port=args.publish_http,
+            )
+            print(f"  serving metrics at {http_server.url}")
         results = sweep_offered_rates(
             code,
             config,
@@ -394,8 +418,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ebn0_db=args.ebn0,
             seed=args.seed,
             trace=trace,
+            publisher=publisher,
         )
     finally:
+        if http_server is not None:
+            http_server.close()
+        if publisher is not None:
+            publisher.close()
         if trace is not None:
             trace.close()
     print(f"loadgen rate {args.rate} (P={args.parallelism}, "
@@ -424,8 +453,79 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             merged.merge(r.snapshot)
         _write_metrics(args.metrics_out, merged.snapshot())
         print(f"  metrics: {args.metrics_out}")
+    if args.publish is not None:
+        print(f"  publish: {args.publish} (snapshot stream), "
+              f"{args.publish}.prom (Prometheus text)")
     if args.trace is not None and args.trace != "-":
         print(f"  trace  : {args.trace}")
+    return 0
+
+
+def _read_json_file(path, *, expect: str):
+    """Load a JSON document, translating failures into clean messages."""
+    import json
+
+    from .obs.export import TraceReadError
+
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TraceReadError(
+            f"cannot read {path!r}: {exc.strerror or exc}"
+        ) from exc
+    if not text.strip():
+        raise TraceReadError(f"{path}: file is empty — expected {expect}")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceReadError(
+            f"{path}: not valid JSON ({exc.msg}) — expected {expect}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise TraceReadError(
+            f"{path}: JSON is not an object — expected {expect}"
+        )
+    return payload
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    from .obs.profile import format_profile
+
+    snapshot = _read_json_file(
+        args.file,
+        expect="a metrics snapshot (written by --metrics-out)",
+    )
+    print(format_profile(snapshot))
+    return 0
+
+
+def _cmd_obs_capacity(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.capacity import capacity_from_bench
+    from .obs.export import TraceReadError
+
+    payload = _read_json_file(
+        args.file,
+        expect="a loadgen/bench sweep payload "
+               "(BENCH_serve_latency.json layout)",
+    )
+    code = None
+    if not args.no_model:
+        code = _build_serve_code(args)
+    try:
+        report = capacity_from_bench(
+            payload, slo_p99_ms=args.slo_p99_ms, code=code
+        )
+    except ValueError as exc:
+        raise TraceReadError(f"{args.file}: {exc}") from exc
+    print(report.format())
+    if args.output is not None:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  report : {args.output}")
     return 0
 
 
@@ -681,6 +781,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write serve_batch/serve_drop JSONL events")
         p.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the serving metrics snapshot as JSON")
+        p.add_argument("--profile-kernels", action="store_true",
+                       help="time backend kernel primitives into "
+                            "decode.kernel.* (quantized-* schedules, "
+                            "in-process decode only; see "
+                            "'repro obs profile')")
 
     p = sub.add_parser(
         "serve",
@@ -711,6 +816,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offered rates to sweep (frames per second)")
     p.add_argument("--duration", type=float, default=2.0,
                    help="seconds of offered load per sweep point")
+    p.add_argument("--publish", default=None, metavar="PATH",
+                   help="stream periodic registry snapshots to "
+                        "PATH (JSONL deltas) and PATH.prom "
+                        "(Prometheus text, rewritten per tick)")
+    p.add_argument("--publish-interval-s", type=float, default=0.5,
+                   help="seconds between published snapshot ticks")
+    p.add_argument("--publish-http", type=int, default=None,
+                   metavar="PORT",
+                   help="also serve live /metrics on this port "
+                        "(0 picks a free port)")
     add_serve_flags(p)
     p.set_defaults(func=_cmd_loadgen)
 
@@ -740,6 +855,42 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--output", default=None,
                    help="output path (default: stdout)")
     q.set_defaults(func=_cmd_obs)
+
+    q = obs_sub.add_parser(
+        "profile",
+        help="serve-pipeline stage/kernel breakdown from a metrics "
+             "snapshot",
+        description=(
+            "Render the serve.stage.* spans (and decode.kernel.* "
+            "timers when --profile-kernels was on) from a metrics "
+            "snapshot JSON written by --metrics-out."
+        ),
+    )
+    q.add_argument("file", help="metrics snapshot JSON")
+    q.set_defaults(func=_cmd_obs_profile)
+
+    q = obs_sub.add_parser(
+        "capacity",
+        help="fit a capacity/queueing model to an offered-rate sweep",
+        description=(
+            "Fit measured served-fps/p99 curves (a "
+            "BENCH_serve_latency.json-style payload) against the "
+            "Eq. 7/8 hardware model plus an M/G/1-style queueing "
+            "term and report the max sustainable offered rate at the "
+            "p99 SLO."
+        ),
+    )
+    q.add_argument("file", help="sweep payload JSON")
+    q.add_argument("--slo-p99-ms", type=float, default=500.0,
+                   help="latency objective defining the knee")
+    q.add_argument("--rate", default="1/2",
+                   help="code rate for the Eq. 7/8 comparison")
+    q.add_argument("--parallelism", type=int, default=36)
+    q.add_argument("--no-model", action="store_true",
+                   help="skip the Eq. 7/8 hardware comparison")
+    q.add_argument("--output", default=None, metavar="PATH",
+                   help="also write the capacity report as JSON")
+    q.set_defaults(func=_cmd_obs_capacity)
 
     p = sub.add_parser(
         "verify", help="core-vs-golden bit-exactness check"
@@ -773,10 +924,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Operator-input problems (missing/empty/corrupt telemetry files)
+    surface as one-line errors with exit code 2, not tracebacks.
+    """
+    from .obs.export import TraceReadError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

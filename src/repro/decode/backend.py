@@ -429,6 +429,91 @@ class MockDeviceBackend(ArrayBackend):
         return np.array(arr)
 
 
+class InstrumentedBackend(ArrayBackend):
+    """Wraps any backend, timing its kernel primitives into a registry.
+
+    The timed surface is the set of hooks a backend can accelerate —
+    ``segment_sum``, ``segment_min1_min2``, ``zigzag_forward_scan``,
+    ``fused_zigzag_decode`` and the device transfers — recorded as
+    ``<prefix>.<kernel>`` timers (default ``decode.kernel.*``), which
+    ``repro obs profile`` renders as the decode-stage breakdown.  The
+    cheap elementwise primitives (``take``/``lut_apply``/``mask_into``)
+    delegate untimed: they run thousands of times per frame and two
+    clock reads per call would distort exactly what is being measured.
+
+    The wrapper changes timing only, never values, so the bit-identity
+    contract of the wrapped backend carries over unchanged.
+    """
+
+    def __init__(
+        self, inner: ArrayBackend, registry, prefix: str = "decode.kernel"
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.registry = registry
+        self.prefix = prefix
+        self._scratch = inner._scratch  # share the inner arena
+        self.name = inner.name
+        self.kind = inner.kind
+        self.xp = inner.xp
+        self.take = inner.take
+        self.lut_apply = inner.lut_apply
+        self.mask_into = inner.mask_into
+
+    def _timer(self, kernel: str):
+        return self.registry.timer(f"{self.prefix}.{kernel}")
+
+    def buf(self, name, shape, dtype):
+        return self.inner.buf(name, shape, dtype)
+
+    def segment_sum(self, values, starts, dtype=None, out=None):
+        with self._timer("segment_sum"):
+            return self.inner.segment_sum(
+                values, starts, dtype=dtype, out=out
+            )
+
+    def segment_min1_min2(
+        self, mags, starts, seg_of_sorted, edge_index, n_edges_val
+    ):
+        with self._timer("segment_min1_min2"):
+            return self.inner.segment_min1_min2(
+                mags, starts, seg_of_sorted, edge_index, n_edges_val
+            )
+
+    def zigzag_forward_scan(self, *args) -> bool:
+        with self._timer("zigzag_forward_scan"):
+            return self.inner.zigzag_forward_scan(*args)
+
+    def fused_zigzag_plan(self, decoder):
+        return self.inner.fused_zigzag_plan(decoder)
+
+    def fused_zigzag_decode(
+        self, decoder, plan, ch_in, ch_pn, budgets, early_stop
+    ):
+        with self._timer("fused_zigzag_decode"):
+            return self.inner.fused_zigzag_decode(
+                decoder, plan, ch_in, ch_pn, budgets, early_stop
+            )
+
+    def to_device(self, arr):
+        with self._timer("to_device"):
+            return self.inner.to_device(arr)
+
+    def asnumpy(self, arr):
+        with self._timer("asnumpy"):
+            return self.inner.asnumpy(arr)
+
+
+def instrument_backend(
+    spec, registry, prefix: str = "decode.kernel"
+) -> InstrumentedBackend:
+    """Resolve ``spec`` (as :func:`resolve_backend`) and wrap it with
+    kernel timers recording into ``registry``."""
+    return InstrumentedBackend(
+        resolve_backend(spec), registry, prefix=prefix
+    )
+
+
 # ---------------------------------------------------------------------------
 #: ``resolve_backend`` aliases: name -> preference-ordered candidates.
 _ALIASES = {"compiled": ("numba", "cnative")}

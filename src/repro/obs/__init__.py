@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability for the whole stack.
 
-Three layers (see ``docs/observability.md``):
+Layers (see ``docs/observability.md``):
 
 * :mod:`repro.obs.registry` — process-wide counters/gauges/timers/
   histograms, mergeable across worker processes,
@@ -8,13 +8,31 @@ Three layers (see ``docs/observability.md``):
   version-stamped header,
 * :mod:`repro.obs.iteration` — the per-iteration decoder hook protocol
   that makes convergence trajectories (and the paper's zigzag
-  iteration saving) directly observable.
+  iteration saving) directly observable,
+* :mod:`repro.obs.prom` / :mod:`repro.obs.publish` — exporters: the
+  Prometheus text renderer, the periodic JSONL snapshot publisher, and
+  the stdlib ``/metrics`` HTTP endpoint,
+* :mod:`repro.obs.profile` — serve-pipeline stage and decode-kernel
+  breakdowns from the ``serve.stage.*`` / ``decode.kernel.*`` spans,
+* :mod:`repro.obs.capacity` — the capacity planner fitting measured
+  offered-rate sweeps to a queueing model next to Eq. 7/8.
 
 :mod:`repro.obs.export` reads the emitted JSONL back for the
 ``repro obs`` CLI commands.
 """
 
+from .capacity import (
+    CapacityPoint,
+    CapacityReport,
+    capacity_from_bench,
+    fit_capacity,
+    points_from_bench,
+    points_from_loadgen,
+)
 from .iteration import IterationTrace, IterationTraceRecorder
+from .profile import kernel_breakdown, format_profile, stage_breakdown
+from .prom import render_prometheus, sanitize_metric_name
+from .publish import MetricsHttpServer, SnapshotPublisher, snapshot_delta
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -29,18 +47,32 @@ from .registry import (
 from .trace import TraceRecorder, package_versions, version_string
 
 __all__ = [
+    "CapacityPoint",
+    "CapacityReport",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "IterationTrace",
     "IterationTraceRecorder",
+    "MetricsHttpServer",
     "MetricsRegistry",
     "NULL_METRIC",
+    "SnapshotPublisher",
     "Timer",
     "TraceRecorder",
+    "capacity_from_bench",
+    "fit_capacity",
+    "format_profile",
     "get_registry",
+    "kernel_breakdown",
     "package_versions",
+    "points_from_bench",
+    "points_from_loadgen",
+    "render_prometheus",
+    "sanitize_metric_name",
     "set_registry",
+    "snapshot_delta",
+    "stage_breakdown",
     "version_string",
 ]

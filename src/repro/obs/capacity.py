@@ -1,0 +1,352 @@
+"""Capacity planning from serve telemetry: fitted knees and SLO rates.
+
+The paper's Eq. 7/8 predicts what the silicon sustains; the serve layer
+measures what the software path sustains.  Between the two sits
+queueing: as the offered rate approaches the service capacity, latency
+explodes long before throughput saturates.  This module closes the
+loop — it fits the measured ``sweep_offered_rates`` curves (one
+``(offered_fps, served_fps, p99_ms)`` point per rate) against
+
+* a **capacity term** ``mu`` (frames/s): the service rate, taken from
+  the measured saturation throughput (what the service actually
+  sustained when offered more than it could serve), and
+* an **M/G/1-style queueing term**: Pollaczek–Khinchine says the mean
+  wait grows as ``rho / (1 - rho)`` with utilization
+  ``rho = offered / mu``; we fit the measured p99 latencies to
+  ``p99(rho) = base + K * rho / (1 - rho)`` by least squares, where
+  ``base`` absorbs the zero-load service time (batch linger + decode)
+  and ``K`` the service-time variability that P-K folds into
+  ``E[S^2]``.
+
+Inverting the fit answers the capacity-planning question: **the knee**
+— the maximum sustainable offered rate at ``p99 <= SLO`` —
+
+    rho* = (slo - base) / (slo - base + K),    knee = mu * rho*
+
+The Eq. 7/8 model at the measured mean iteration count is carried
+alongside, so every report states what fraction of the modeled silicon
+the software capacity represents (the MPI-LDPC sharding precedent:
+per-node capacity numbers are what fan-out decisions consume).
+
+Inputs come either from live :func:`~repro.serve.loadgen.sweep_offered_rates`
+results (:func:`points_from_loadgen`) or from a committed
+``BENCH_serve_latency.json`` (:func:`capacity_from_bench`), so the CI
+gate can replay the committed trajectory without re-measuring.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+#: Points with ``offered > SATURATION_RHO * mu`` are excluded from the
+#: latency fit — past saturation the queue grows for the whole run, so
+#: the measured p99 reflects run duration, not steady state.
+SATURATION_RHO = 1.05
+
+#: Utilization cap when mapping near/over-saturated points into the
+#: ``rho / (1 - rho)`` regressor (keeps the term finite).
+RHO_CAP = 0.98
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One measured operating point of the service."""
+
+    offered_fps: float
+    served_fps: float
+    p99_ms: float
+    p50_ms: float = float("nan")
+    mean_iterations: float = float("nan")
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_fps": self.offered_fps,
+            "served_fps": self.served_fps,
+            "p99_ms": self.p99_ms,
+            "p50_ms": self.p50_ms,
+            "mean_iterations": self.mean_iterations,
+        }
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Fitted capacity model plus the planning answer.
+
+    ``knee_fps`` is the planner's headline: the largest offered rate
+    whose predicted p99 stays within ``slo_p99_ms``.  ``mu_fps`` is the
+    fitted service capacity; when no sweep point actually saturated the
+    service (``mu_is_lower_bound``), it is only a lower bound and the
+    knee is conservative.
+    """
+
+    mu_fps: float
+    mu_is_lower_bound: bool
+    base_ms: float
+    queue_coeff_ms: float
+    slo_p99_ms: float
+    knee_fps: float
+    knee_rho: float
+    #: Measured points with the model's predicted p99 next to each.
+    points: List[dict] = field(default_factory=list)
+    #: Eq. 7/8 hardware model at the measured mean iterations (NaN
+    #: without a code to model).
+    model_frames_per_s: float = float("nan")
+    hardware_fraction: float = float("nan")
+    mean_iterations: float = float("nan")
+
+    def predict_p99_ms(self, offered_fps: float) -> float:
+        """Model p99 at an offered rate (inf at/val beyond capacity)."""
+        if offered_fps >= self.mu_fps:
+            return float("inf")
+        rho = offered_fps / self.mu_fps
+        return self.base_ms + self.queue_coeff_ms * rho / (1.0 - rho)
+
+    def to_dict(self) -> dict:
+        def clean(v):
+            if isinstance(v, float) and (
+                math.isnan(v) or math.isinf(v)
+            ):
+                return None
+            return v
+
+        out = {
+            "mu_fps": self.mu_fps,
+            "mu_is_lower_bound": self.mu_is_lower_bound,
+            "base_ms": self.base_ms,
+            "queue_coeff_ms": self.queue_coeff_ms,
+            "slo_p99_ms": self.slo_p99_ms,
+            "knee_fps": self.knee_fps,
+            "knee_rho": self.knee_rho,
+            "model_frames_per_s": self.model_frames_per_s,
+            "hardware_fraction": self.hardware_fraction,
+            "mean_iterations": self.mean_iterations,
+            "points": [
+                {k: clean(v) for k, v in p.items()} for p in self.points
+            ],
+        }
+        return {
+            k: clean(v) if not isinstance(v, list) else v
+            for k, v in out.items()
+        }
+
+    def format(self) -> str:
+        """Human-readable capacity report for the CLI."""
+        bound = " (lower bound: no sweep point saturated)" \
+            if self.mu_is_lower_bound else ""
+        lines = [
+            "capacity report",
+            f"  fitted capacity mu      : {self.mu_fps:.1f} frames/s"
+            f"{bound}",
+            (
+                f"  latency fit             : p99 ~ {self.base_ms:.1f} ms"
+                f" + {self.queue_coeff_ms:.1f} ms * rho/(1-rho)"
+            ),
+            (
+                f"  knee @ p99 <= {self.slo_p99_ms:.0f} ms   : "
+                f"{self.knee_fps:.1f} frames/s "
+                f"(utilization {self.knee_rho * 100:.1f}%)"
+            ),
+        ]
+        if self.model_frames_per_s == self.model_frames_per_s:
+            lines.append(
+                f"  eq7/8 hw model          : "
+                f"{self.model_frames_per_s:.1f} frames/s at "
+                f"{self.mean_iterations:.1f} iterations -> software "
+                f"capacity is {self.hardware_fraction * 100:.4f}% of "
+                "modeled silicon"
+            )
+        lines.append(
+            f"  {'offered/s':>10} {'served/s':>9} {'p99 ms':>9} "
+            f"{'fit p99':>9} {'rho':>6}"
+        )
+        for p in self.points:
+            fit = p.get("predicted_p99_ms")
+            fit_str = (
+                "      sat" if fit is None or fit != fit or math.isinf(fit)
+                else f"{fit:9.1f}"
+            )
+            lines.append(
+                f"  {p['offered_fps']:>10.1f} {p['served_fps']:>9.1f} "
+                f"{p['p99_ms']:>9.1f} {fit_str} "
+                f"{p['offered_fps'] / self.mu_fps:>6.2f}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def points_from_loadgen(results: Sequence) -> List[CapacityPoint]:
+    """Capacity points from ``sweep_offered_rates`` results."""
+    return [
+        CapacityPoint(
+            offered_fps=r.offered_fps,
+            served_fps=r.report.frames_per_s,
+            p99_ms=r.report.latency_p99_ms,
+            p50_ms=r.report.latency_p50_ms,
+            mean_iterations=r.report.mean_iterations,
+        )
+        for r in results
+    ]
+
+
+def points_from_bench(payload: dict) -> List[CapacityPoint]:
+    """Capacity points from a ``BENCH_serve_latency.json`` payload."""
+    sweep = payload.get("sweep")
+    if not sweep:
+        raise ValueError(
+            "payload has no 'sweep' entries — expected the "
+            "BENCH_serve_latency.json layout"
+        )
+    return [
+        CapacityPoint(
+            offered_fps=row["offered_fps"],
+            served_fps=row["served_fps"],
+            p99_ms=row["latency_p99_ms"],
+            p50_ms=row.get("latency_p50_ms", float("nan")),
+            mean_iterations=row.get("mean_iterations", float("nan")),
+        )
+        for row in sweep
+    ]
+
+
+def _linear_fit(xs: List[float], ys: List[float]) -> tuple:
+    """Least-squares ``y = base + k * x`` (k = 0 for a single point)."""
+    n = len(xs)
+    if n == 1:
+        return ys[0], 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        return mean_y, 0.0
+    sxy = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    k = sxy / sxx
+    return mean_y - k * mean_x, k
+
+
+def fit_capacity(
+    points: Sequence[CapacityPoint],
+    *,
+    slo_p99_ms: float = 500.0,
+    code=None,
+    model=None,
+) -> CapacityReport:
+    """Fit the capacity + queueing model and locate the SLO knee.
+
+    ``code`` (or an explicit ``model``) enables the Eq. 7/8 hardware
+    comparison, evaluated at the sweep's measured mean iteration count.
+    """
+    points = [p for p in points if p.offered_fps > 0]
+    if not points:
+        raise ValueError("need at least one measured capacity point")
+    if slo_p99_ms <= 0:
+        raise ValueError("slo_p99_ms must be positive")
+
+    # Capacity: the most the service was measured to sustain.
+    mu = max(p.served_fps for p in points)
+    if mu <= 0 or mu != mu:
+        raise ValueError("no positive served_fps in the sweep points")
+    mu_is_lower_bound = not any(
+        p.offered_fps > SATURATION_RHO * mu for p in points
+    )
+
+    # Latency fit on the non-overloaded points (see SATURATION_RHO).
+    fit_points = [
+        p for p in points
+        if p.offered_fps <= SATURATION_RHO * mu and p.p99_ms == p.p99_ms
+    ]
+    if not fit_points:  # every point overloaded: fall back to all
+        fit_points = [p for p in points if p.p99_ms == p.p99_ms]
+    xs = []
+    ys = []
+    for p in fit_points:
+        rho = min(p.offered_fps / mu, RHO_CAP)
+        xs.append(rho / (1.0 - rho))
+        ys.append(p.p99_ms)
+    if xs:
+        base_ms, queue_coeff_ms = _linear_fit(xs, ys)
+        base_ms = max(0.0, base_ms)
+        queue_coeff_ms = max(0.0, queue_coeff_ms)
+    else:
+        base_ms, queue_coeff_ms = 0.0, 0.0
+
+    # Invert for the knee: rho* with predicted p99 == the SLO.
+    headroom = slo_p99_ms - base_ms
+    if headroom <= 0:
+        knee_rho = 0.0
+    elif queue_coeff_ms <= 0:
+        knee_rho = RHO_CAP  # flat fit: latency never grows in-model
+    else:
+        knee_rho = min(RHO_CAP, headroom / (headroom + queue_coeff_ms))
+    knee_fps = mu * knee_rho
+
+    mean_iters = [
+        p.mean_iterations for p in points
+        if p.mean_iterations == p.mean_iterations
+    ]
+    mean_iterations = (
+        sum(mean_iters) / len(mean_iters) if mean_iters else float("nan")
+    )
+    model_fps = float("nan")
+    hardware_fraction = float("nan")
+    if model is None and code is not None:
+        from ..hw.throughput import ThroughputModel
+
+        model = ThroughputModel(code.profile)
+    if model is not None:
+        model_iters = (
+            max(1, int(round(mean_iterations)))
+            if mean_iterations == mean_iterations else 30
+        )
+        model_fps = model.clock_hz / model.cycles_per_block(model_iters)
+        hardware_fraction = mu / model_fps
+
+    report = CapacityReport(
+        mu_fps=mu,
+        mu_is_lower_bound=mu_is_lower_bound,
+        base_ms=base_ms,
+        queue_coeff_ms=queue_coeff_ms,
+        slo_p99_ms=slo_p99_ms,
+        knee_fps=knee_fps,
+        knee_rho=knee_rho,
+        model_frames_per_s=model_fps,
+        hardware_fraction=hardware_fraction,
+        mean_iterations=mean_iterations,
+    )
+    rows = []
+    for p in points:
+        row = p.to_dict()
+        row["predicted_p99_ms"] = report.predict_p99_ms(p.offered_fps)
+        rows.append(row)
+    object.__setattr__(report, "points", rows)
+    return report
+
+
+def capacity_from_bench(
+    source,
+    *,
+    slo_p99_ms: float = 500.0,
+    code=None,
+    model=None,
+) -> CapacityReport:
+    """Capacity report from a ``BENCH_serve_latency.json`` file or dict.
+
+    This is the CI replay path: the committed benchmark trajectory is
+    the measured sweep, so the planner's knee can be regression-gated
+    without re-running the load generator.
+    """
+    if isinstance(source, dict):
+        payload = source
+    else:
+        with open(source) as handle:
+            payload = json.load(handle)
+    return fit_capacity(
+        points_from_bench(payload),
+        slo_p99_ms=slo_p99_ms,
+        code=code,
+        model=model,
+    )

@@ -15,14 +15,57 @@ from collections import Counter as _TallyCounter
 from typing import Dict, IO, Iterable, List, Optional
 
 
-def read_events(path) -> List[dict]:
-    """Parse a JSONL trace file (skipping blank lines)."""
+class TraceReadError(Exception):
+    """A trace file could not be read as JSONL telemetry.
+
+    Raised with a human-oriented message (missing file, empty file,
+    truncated/corrupt line with its line number) so the CLI can print
+    it and exit instead of dumping a traceback at the operator.
+    """
+
+
+def read_events(path, *, allow_empty: bool = False) -> List[dict]:
+    """Parse a JSONL trace file (skipping blank lines).
+
+    Raises :class:`TraceReadError` — not a bare ``OSError`` or
+    ``JSONDecodeError`` — when the file is missing, empty (unless
+    ``allow_empty``), or contains a line that is not valid JSON (the
+    usual signature of a truncated write); the message names the file
+    and the offending line so ``repro obs`` commands can surface it
+    directly.
+    """
     events: List[dict] = []
-    with open(path) as handle:
-        for line in handle:
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise TraceReadError(
+            f"cannot read trace file {path!r}: {exc.strerror or exc}"
+        ) from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceReadError(
+                    f"{path}: line {lineno} is not valid JSON "
+                    f"({exc.msg}) — the file looks truncated or "
+                    "corrupt; if a run is still writing it, wait for "
+                    "the recorder to close/flush"
+                ) from exc
+            if not isinstance(event, dict):
+                raise TraceReadError(
+                    f"{path}: line {lineno} is JSON but not an object "
+                    "— not a repro telemetry stream"
+                )
+            events.append(event)
+    if not events and not allow_empty:
+        raise TraceReadError(
+            f"{path}: file contains no events — the run may have "
+            "produced no telemetry or been cut off before the header"
+        )
     return events
 
 

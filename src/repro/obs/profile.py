@@ -1,0 +1,201 @@
+"""Per-stage pipeline profiles derived from registry snapshots.
+
+The serve engine times every stage of its hot path under
+``serve.stage.*`` timers (``enqueue`` → ``batch_form`` → ``llr_prep``
+→ ``decode`` → ``complete``, with ``pump`` as the enclosing span — see
+``docs/observability.md``), and the instrumented array backends time
+their kernel primitives under ``decode.kernel.*``.  This module turns
+those timers back into the analysis artifacts:
+
+* :func:`stage_breakdown` — per-stage totals plus each stage's share
+  of the enclosing pump time (the residual appears as ``other``, so
+  the shares always sum to 100% of pump time),
+* :func:`kernel_breakdown` — per-kernel totals as a share of the
+  decode stage,
+* :func:`format_profile` — the ASCII time/flame rendering behind
+  ``repro obs profile``.
+
+The QC-LDPCC pipeline paper (PAPERS.md) finds its 2 Gb/s by locating
+the slowest pipeline stage; this is the software-serve analogue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Timer-name prefix of the serve pipeline stage spans.
+STAGE_PREFIX = "serve.stage."
+#: Timer-name prefix of the instrumented backend kernel spans.
+KERNEL_PREFIX = "decode.kernel."
+#: The enclosing pump span every in-pump stage is a fraction of.
+PUMP_STAGE = "pump"
+#: Stages recorded outside the pump (shares are vs pump but unbounded).
+NON_PUMP_STAGES = ("enqueue",)
+#: Canonical hot-path order for display.
+STAGE_ORDER = (
+    "enqueue", "expire", "batch_form", "llr_prep", "decode",
+    "collect", "complete",
+)
+
+
+def _prefixed_timers(snapshot: dict, prefix: str) -> Dict[str, dict]:
+    return {
+        name[len(prefix):]: timer
+        for name, timer in snapshot.get("timers", {}).items()
+        if name.startswith(prefix)
+    }
+
+
+def _stage_sort_key(name: str):
+    try:
+        return (0, STAGE_ORDER.index(name))
+    except ValueError:
+        return (1, name)
+
+
+def stage_breakdown(snapshot: dict) -> Dict[str, dict]:
+    """Per-stage ``{total_s, count, mean_us, of_pump}`` from a snapshot.
+
+    ``of_pump`` is the stage's fraction of total pump wall time (NaN
+    without a pump span).  In-pump stages that do not cover the whole
+    pump leave a synthetic ``other`` entry carrying the residual, so
+    the in-pump fractions sum to 1.0 exactly; ``enqueue`` happens on
+    the submit path outside the pump and is excluded from the residual.
+    Empty dict when the snapshot has no stage spans.
+    """
+    timers = _prefixed_timers(snapshot, STAGE_PREFIX)
+    if not timers:
+        return {}
+    pump_ns = timers.get(PUMP_STAGE, {}).get("total_ns", 0)
+    out: Dict[str, dict] = {}
+    in_pump_ns = 0
+    for name in sorted(timers, key=_stage_sort_key):
+        if name == PUMP_STAGE:
+            continue
+        timer = timers[name]
+        total_ns = timer["total_ns"]
+        if name not in NON_PUMP_STAGES:
+            in_pump_ns += total_ns
+        out[name] = {
+            "total_s": total_ns / 1e9,
+            "count": timer["count"],
+            "mean_us": (
+                total_ns / timer["count"] / 1e3
+                if timer["count"] else float("nan")
+            ),
+            "of_pump": (
+                total_ns / pump_ns if pump_ns > 0 else float("nan")
+            ),
+        }
+    if pump_ns > 0:
+        residual_ns = max(0, pump_ns - in_pump_ns)
+        out["other"] = {
+            "total_s": residual_ns / 1e9,
+            "count": timers[PUMP_STAGE]["count"],
+            "mean_us": float("nan"),
+            "of_pump": residual_ns / pump_ns,
+        }
+        out["pump"] = {
+            "total_s": pump_ns / 1e9,
+            "count": timers[PUMP_STAGE]["count"],
+            "mean_us": (
+                pump_ns / timers[PUMP_STAGE]["count"] / 1e3
+                if timers[PUMP_STAGE]["count"] else float("nan")
+            ),
+            "of_pump": 1.0,
+        }
+    return out
+
+
+def kernel_breakdown(snapshot: dict) -> Dict[str, dict]:
+    """Per-kernel ``{total_s, count, mean_us, of_decode}`` totals.
+
+    ``of_decode`` is the kernel's share of the ``serve.stage.decode``
+    span when present (NaN otherwise) — how much of the decode stage
+    the measured backend primitives account for.
+    """
+    timers = _prefixed_timers(snapshot, KERNEL_PREFIX)
+    decode_ns = (
+        snapshot.get("timers", {})
+        .get(STAGE_PREFIX + "decode", {})
+        .get("total_ns", 0)
+    )
+    out: Dict[str, dict] = {}
+    for name in sorted(timers):
+        timer = timers[name]
+        out[name] = {
+            "total_s": timer["total_ns"] / 1e9,
+            "count": timer["count"],
+            "mean_us": (
+                timer["total_ns"] / timer["count"] / 1e3
+                if timer["count"] else float("nan")
+            ),
+            "of_decode": (
+                timer["total_ns"] / decode_ns
+                if decode_ns > 0 else float("nan")
+            ),
+        }
+    return out
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    if not (fraction >= 0):  # NaN-safe
+        return ""
+    return "#" * max(0, min(width, round(fraction * width)))
+
+
+def format_profile(snapshot: dict) -> str:
+    """ASCII per-stage (and per-kernel) time breakdown of a snapshot."""
+    stages = stage_breakdown(snapshot)
+    if not stages:
+        return (
+            "no serve.stage.* spans in this snapshot — run the service "
+            "with a metrics registry (e.g. repro loadgen --metrics-out)"
+        )
+    lines: List[str] = []
+    pump = stages.get("pump")
+    if pump is not None:
+        lines.append(
+            f"pipeline profile  pump={pump['total_s']:.3f}s "
+            f"across {pump['count']} pump calls"
+        )
+    else:
+        lines.append("pipeline profile (no pump span recorded)")
+    lines.append(
+        f"  {'stage':<12} {'total s':>9} {'calls':>8} "
+        f"{'mean us':>10} {'% pump':>7}"
+    )
+    for name, row in stages.items():
+        if name == "pump":
+            continue
+        pct = row["of_pump"] * 100
+        pct_str = f"{pct:6.1f}%" if pct == pct else "      -"
+        mean_str = (
+            f"{row['mean_us']:10.1f}" if row["mean_us"] == row["mean_us"]
+            else " " * 10
+        )
+        lines.append(
+            f"  {name:<12} {row['total_s']:>9.4f} {row['count']:>8}"
+            f" {mean_str} {pct_str} {_bar(row['of_pump'])}"
+        )
+    kernels = kernel_breakdown(snapshot)
+    if kernels:
+        lines.append("")
+        lines.append("backend kernel time (share of decode stage):")
+        lines.append(
+            f"  {'kernel':<22} {'total s':>9} {'calls':>8} "
+            f"{'mean us':>10} {'% dec':>7}"
+        )
+        for name, row in kernels.items():
+            pct = row["of_decode"] * 100
+            pct_str = f"{pct:6.1f}%" if pct == pct else "      -"
+            mean_str = (
+                f"{row['mean_us']:10.1f}"
+                if row["mean_us"] == row["mean_us"] else " " * 10
+            )
+            lines.append(
+                f"  {name:<22} {row['total_s']:>9.4f} "
+                f"{row['count']:>8} {mean_str} {pct_str} "
+                f"{_bar(row['of_decode'])}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Prometheus text-format rendering of a registry snapshot.
+
+``render_prometheus`` turns a
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` dict into the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+running service (or a saved ``--metrics-out`` file) can be scraped by
+any off-the-shelf metrics stack.  Zero dependencies, pure string
+building — the renderer never touches live metric objects, only
+snapshots, so it is safe to call from a scrape thread while the serving
+pump mutates the registry (snapshotting is the only synchronization
+point).
+
+Mapping (dots in metric names become underscores):
+
+========== =====================================================
+registry   Prometheus
+========== =====================================================
+counter    ``<name>_total`` (``counter``)
+gauge      ``<name>`` (``gauge``; only numeric, *set* gauges)
+timer      ``<name>_seconds`` summary-style ``_count``/``_sum``,
+           plus ``_seconds_min``/``_seconds_max`` gauges
+histogram  cumulative ``<name>_bucket{le="..."}`` series with a
+           ``+Inf`` bucket, ``_count`` and ``_sum`` (``histogram``)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_VALUE_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Make a registry metric name legal for Prometheus."""
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    for raw, escaped in _LABEL_VALUE_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _render_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(k)}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: dict,
+    *,
+    namespace: str = "repro",
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a registry snapshot as Prometheus exposition text.
+
+    ``namespace`` prefixes every metric (empty string for none);
+    ``labels`` are attached to every sample (e.g. ``{"worker": "3"}``
+    for the multi-worker fabric).  Non-numeric gauges are skipped —
+    Prometheus samples are floats.
+    """
+    prefix = f"{sanitize_metric_name(namespace)}_" if namespace else ""
+    label_str = _render_labels(labels)
+    lines: List[str] = []
+
+    for name, value in snapshot.get("counters", {}).items():
+        metric = f"{prefix}{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{label_str} {_format_value(value)}")
+
+    for name, gauge in snapshot.get("gauges", {}).items():
+        if not gauge.get("is_set"):
+            continue
+        value = gauge.get("value")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metric = f"{prefix}{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{label_str} {_format_value(value)}")
+
+    for name, timer in snapshot.get("timers", {}).items():
+        metric = f"{prefix}{sanitize_metric_name(name)}_seconds"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count{label_str} {timer['count']}")
+        lines.append(
+            f"{metric}_sum{label_str} "
+            f"{_format_value(timer['total_ns'] / 1e9)}"
+        )
+        for bound_key in ("min", "max"):
+            bound_ns = timer.get(f"{bound_key}_ns")
+            if bound_ns is None:
+                continue
+            lines.append(f"# TYPE {metric}_{bound_key} gauge")
+            lines.append(
+                f"{metric}_{bound_key}{label_str} "
+                f"{_format_value(bound_ns / 1e9)}"
+            )
+
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = f"{prefix}{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels or {})
+            bucket_labels["le"] = _format_value(float(bound))
+            lines.append(
+                f"{metric}_bucket{_render_labels(bucket_labels)} "
+                f"{cumulative}"
+            )
+        inf_labels = dict(labels or {})
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{metric}_bucket{_render_labels(inf_labels)} {hist['count']}"
+        )
+        lines.append(f"{metric}_count{label_str} {hist['count']}")
+        lines.append(
+            f"{metric}_sum{label_str} {_format_value(hist['sum'])}"
+        )
+
+    return "\n".join(lines) + ("\n" if lines else "")

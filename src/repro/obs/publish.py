@@ -1,0 +1,331 @@
+"""Live publication of registry snapshots while a service runs.
+
+Two exporters over one idea — the registry snapshot is the unit of
+telemetry, and everything downstream is derived from it:
+
+* :class:`SnapshotPublisher` periodically serializes the registry to a
+  JSONL sink: one ``metrics_snapshot`` record per tick carrying both
+  the **delta since the previous tick** (what streaming consumers want
+  — rates fall straight out) and the cumulative totals.  When given a
+  ``prom_path`` it also rewrites a Prometheus text file each tick, so a
+  node-exporter-style textfile collector can scrape a running loadgen.
+* :class:`MetricsHttpServer` is a stdlib ``http.server`` thread
+  answering ``GET /metrics`` with the live registry rendered as
+  Prometheus text (and ``GET /metrics.json`` with the raw snapshot) —
+  enough for `prometheus` to scrape a long-running ``repro serve``
+  without any dependency.
+
+Both take their timing from the caller's clock: the publisher's
+``publish(now)`` is a cheap no-op until ``interval_s`` has elapsed, so
+the serve pump can call it every loop iteration.  Cross-process merge
+is preserved for free — publish an aggregate registry after folding
+worker snapshots in and the delta records reflect the merged totals.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+from .prom import render_prometheus
+from .registry import MetricsRegistry
+from .trace import package_versions
+from . import trace as _trace_mod
+
+
+def snapshot_delta(old: Optional[dict], new: dict) -> dict:
+    """Difference of two registry snapshots (``new`` minus ``old``).
+
+    Counters and histogram bucket counts/sums subtract; timers subtract
+    ``count``/``total_ns`` and report the window's ``last_ns``; gauges
+    report the new value (a level, not an accumulation).  Metrics
+    absent from ``old`` are treated as zero, so the first delta equals
+    the first snapshot.
+    """
+    if old is None:
+        old = {}
+    delta: dict = {"counters": {}, "gauges": {}, "timers": {},
+                   "histograms": {}}
+    old_counters = old.get("counters", {})
+    for name, value in new.get("counters", {}).items():
+        delta["counters"][name] = value - old_counters.get(name, 0)
+    for name, gauge in new.get("gauges", {}).items():
+        if gauge.get("is_set"):
+            delta["gauges"][name] = gauge["value"]
+    old_timers = old.get("timers", {})
+    for name, timer in new.get("timers", {}).items():
+        prev = old_timers.get(name, {"count": 0, "total_ns": 0})
+        delta["timers"][name] = {
+            "count": timer["count"] - prev["count"],
+            "total_ns": timer["total_ns"] - prev["total_ns"],
+            "last_ns": timer["last_ns"],
+        }
+    old_hists = old.get("histograms", {})
+    for name, hist in new.get("histograms", {}).items():
+        prev = old_hists.get(name)
+        if prev is None or prev.get("bounds") != hist["bounds"]:
+            prev = {"counts": [0] * len(hist["counts"]), "count": 0,
+                    "sum": 0.0}
+        delta["histograms"][name] = {
+            "bounds": hist["bounds"],
+            "counts": [
+                c - p for c, p in zip(hist["counts"], prev["counts"])
+            ],
+            "count": hist["count"] - prev["count"],
+            "sum": hist["sum"] - prev["sum"],
+        }
+    return delta
+
+
+class SnapshotPublisher:
+    """Periodic registry-snapshot stream with delta records.
+
+    Parameters
+    ----------
+    registry:
+        The registry to snapshot each tick; ``None`` builds the
+        publisher detached (the load generator and sweep attach their
+        per-run registries via :meth:`attach` before publishing).
+    sink:
+        JSONL destination: a path string/``os.PathLike`` (opened and
+        owned), any object with ``write``, or ``None`` to buffer the
+        records in :attr:`records` (tests and in-process consumers).
+    prom_path:
+        Optional path rewritten with the cumulative snapshot rendered
+        as Prometheus text on every tick (textfile-collector style).
+    interval_s:
+        Minimum seconds between published ticks; ``publish`` calls
+        inside the window are free.
+    clock:
+        Monotonic-seconds callable (tests inject a manual clock).
+    namespace / labels:
+        Forwarded to :func:`~repro.obs.prom.render_prometheus`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        sink: Union[None, str, IO] = None,
+        *,
+        prom_path: Optional[str] = None,
+        interval_s: float = 0.5,
+        clock=time.monotonic,
+        namespace: str = "repro",
+        labels: Optional[dict] = None,
+        meta: Optional[dict] = None,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError("interval_s must be non-negative")
+        self.registry = registry
+        self.prom_path = prom_path
+        self.interval_s = interval_s
+        self.clock = clock
+        self.namespace = namespace
+        self.labels = labels
+        self.records: list = []
+        self.n_published = 0
+        self._last_publish_s: Optional[float] = None
+        self._last_snapshot: Optional[dict] = None
+        self._file: Optional[IO] = None
+        self._owns_file = False
+        if sink is None:
+            pass
+        elif hasattr(sink, "write"):
+            self._file = sink
+        else:
+            self._file = open(sink, "w")
+            self._owns_file = True
+        if self._file is not None:
+            header = {
+                "type": "header",
+                "stream": "metrics_snapshots",
+                "interval_s": interval_s,
+                "created_unix": round(time.time(), 3),
+                **package_versions(),
+            }
+            if meta:
+                header.update(meta)
+            self._emit(header)
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        line = json.dumps(record, default=_trace_mod._json_default)
+        if self._file is not None:
+            self._file.write(line + "\n")
+        else:
+            self.records.append(record)
+
+    def attach(self, registry: MetricsRegistry) -> None:
+        """Point the publisher at a new registry and reset the delta
+        baseline (the next tick's delta is the new registry's totals).
+
+        The load generator uses this between sweep points: each run
+        gets a fresh registry for isolated reporting, while one
+        publisher streams the whole sweep.
+        """
+        self.registry = registry
+        self._last_snapshot = None
+
+    def snapshot(self) -> dict:
+        """Snapshot whatever registry is currently attached.
+
+        Mirrors the :class:`MetricsRegistry` method so a publisher can
+        stand in for a registry anywhere only snapshots are read —
+        e.g. handing one to :class:`MetricsHttpServer` keeps scrapes
+        pointed at the live registry across :meth:`attach` swaps.
+        Detached (no registry yet) it reports an empty registry.
+        """
+        if self.registry is None:
+            return MetricsRegistry().snapshot()
+        return self.registry.snapshot()
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when the next tick's interval has elapsed."""
+        now = self.clock() if now is None else now
+        return (
+            self._last_publish_s is None
+            or now - self._last_publish_s >= self.interval_s
+        )
+
+    def publish(
+        self, now: Optional[float] = None, *, force: bool = False
+    ) -> bool:
+        """Publish one tick if due (or ``force``); returns whether it
+        published."""
+        now = self.clock() if now is None else now
+        if self.registry is None:
+            return False  # detached: nothing to snapshot yet
+        if not force and not self.due(now):
+            return False
+        snapshot = self.registry.snapshot()
+        self._emit({
+            "type": "metrics_snapshot",
+            "seq": self.n_published,
+            "t_s": round(now, 6),
+            "delta": snapshot_delta(self._last_snapshot, snapshot),
+            "cumulative": snapshot,
+        })
+        if self.prom_path is not None:
+            text = render_prometheus(
+                snapshot, namespace=self.namespace, labels=self.labels
+            )
+            with open(self.prom_path, "w") as handle:
+                handle.write(text)
+        self._last_snapshot = snapshot
+        self._last_publish_s = now
+        self.n_published += 1
+        if self._file is not None:
+            self._file.flush()
+        return True
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush the JSONL sink, if any."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        """Publish a final tick, then flush/close an owned sink."""
+        self.publish(force=True)
+        if self._file is not None:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "SnapshotPublisher":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class MetricsHttpServer:
+    """Minimal stdlib ``/metrics`` endpoint over a live registry.
+
+    Serves Prometheus text at ``/metrics`` and the raw JSON snapshot at
+    ``/metrics.json`` from a daemon thread.  ``port=0`` picks a free
+    port (read it back from :attr:`port`).  ``registry`` is anything
+    with a ``snapshot()`` — a :class:`MetricsRegistry`, or a
+    :class:`SnapshotPublisher` when scrapes should follow its
+    :meth:`~SnapshotPublisher.attach` swaps.  Intended for the
+    long-lived serve/loadgen processes; scraping only ever reads
+    snapshots, never live metric objects.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+        labels: Optional[dict] = None,
+    ) -> None:
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        publisher = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                if self.path.split("?")[0] == "/metrics":
+                    body = render_prometheus(
+                        publisher.registry.snapshot(),
+                        namespace=publisher.namespace,
+                        labels=publisher.labels,
+                    ).encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path.split("?")[0] == "/metrics.json":
+                    body = (
+                        json.dumps(
+                            publisher.registry.snapshot(),
+                            default=_trace_mod._json_default,
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    ).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes must not spam the serving console
+
+        self.registry = registry
+        self.namespace = namespace
+        self.labels = labels
+        self._server = HTTPServer((host, port), _Handler)
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        """The scrape URL of the ``/metrics`` endpoint."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the scrape thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsHttpServer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

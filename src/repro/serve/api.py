@@ -80,6 +80,11 @@ class ServeConfig:
     segments: Optional[int] = None
     backend: Optional[str] = None
     workers: int = 1
+    #: Wrap the array backend with per-kernel timers
+    #: (``decode.kernel.*`` — see ``repro obs profile``).  In-process
+    #: decode only: pooled workers build their own unwrapped decoder,
+    #: since their kernel time would land in a worker-local registry.
+    instrument_kernels: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:

@@ -149,7 +149,20 @@ class DecodeService:
         self.trace = trace
         self.clock = clock
         params = _decoder_params(self.config)
-        self.decoder = _build_serve_decoder(code, params)
+        build_params = params
+        if (
+            self.config.instrument_kernels
+            and self.config.schedule.startswith("quantized")
+        ):
+            from ..decode.backend import instrument_backend
+
+            build_params = dict(
+                params,
+                backend=instrument_backend(
+                    self.config.backend, self.registry
+                ),
+            )
+        self.decoder = _build_serve_decoder(code, build_params)
         self._frame_budgets_ok = bool(
             getattr(self.decoder, "supports_frame_budgets", False)
         )
@@ -211,6 +224,16 @@ class DecodeService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        with self.registry.timer("serve.stage.enqueue"):
+            return self._submit(llrs, deadline_s=deadline_s, now=now)
+
+    def _submit(
+        self,
+        llrs: np.ndarray,
+        *,
+        deadline_s: Optional[float],
+        now: Optional[float],
+    ) -> int:
         llrs = np.asarray(llrs, dtype=np.float64)
         if llrs.shape != (self.code.n,):
             raise ValueError(f"expected shape ({self.code.n},) LLRs")
@@ -240,14 +263,15 @@ class DecodeService:
         """Run the service forward: expire, batch, decode.  Returns the
         number of batches dispatched."""
         now = self.clock() if now is None else now
-        self._expire(now)
-        dispatched = 0
-        while self.batcher.due(self.queue, now):
-            self._dispatch_batch(now)
-            dispatched += 1
-            now = self.clock() if self._pool is None else now
+        with self.registry.timer("serve.stage.pump"):
             self._expire(now)
-        self._collect(block=False)
+            dispatched = 0
+            while self.batcher.due(self.queue, now):
+                self._dispatch_batch(now)
+                dispatched += 1
+                now = self.clock() if self._pool is None else now
+                self._expire(now)
+            self._collect(block=False)
         return dispatched
 
     def next_due(self, now: Optional[float] = None) -> Optional[float]:
@@ -270,19 +294,23 @@ class DecodeService:
     def flush(self, now: Optional[float] = None) -> None:
         """Decode everything queued (ignoring linger) and wait for it."""
         now = self.clock() if now is None else now
-        self._expire(now)
-        while len(self.queue):
-            self._dispatch_batch(now)
-            now = self.clock() if self._pool is None else now
-        self._collect(block=True)
+        with self.registry.timer("serve.stage.pump"):
+            self._expire(now)
+            while len(self.queue):
+                self._dispatch_batch(now)
+                now = self.clock() if self._pool is None else now
+            self._collect(block=True)
 
     def close(self) -> None:
-        """Flush outstanding work and release the pool (idempotent)."""
+        """Flush outstanding work, flush the trace sink, and release
+        the pool (idempotent) — no tail events are lost at shutdown."""
         if self._closed:
             return
         self.flush()
         if self._owns_pool and self._pool is not None:
             self._pool.shutdown()
+        if self.trace is not None:
+            self.trace.flush()
         self._closed = True
 
     def __enter__(self) -> "DecodeService":
@@ -320,10 +348,11 @@ class DecodeService:
             )
 
     def _expire(self, now: float) -> None:
-        for request in self.queue.expire(now):
-            self.registry.counter("serve.requests.expired").inc()
-            self._drop(request, STATUS_EXPIRED, REASON_DEADLINE, now)
-        self.registry.gauge("serve.queue.depth").set(len(self.queue))
+        with self.registry.timer("serve.stage.expire"):
+            for request in self.queue.expire(now):
+                self.registry.counter("serve.requests.expired").inc()
+                self._drop(request, STATUS_EXPIRED, REASON_DEADLINE, now)
+            self.registry.gauge("serve.queue.depth").set(len(self.queue))
 
     def _frame_budget_vector(
         self,
@@ -360,25 +389,27 @@ class DecodeService:
         return budgets, capped
 
     def _dispatch_batch(self, now: float) -> None:
-        fill = self.queue.fill
-        batch_budget = self.controller.budget(fill)
-        requests = self.batcher.take(self.queue)
-        self.registry.gauge("serve.queue.depth").set(len(self.queue))
-        occupancy = len(requests)
-        self.registry.histogram(
-            "serve.batch.occupancy", OCCUPANCY_BUCKETS
-        ).observe(occupancy)
-        self.registry.gauge("serve.batch.budget").set(batch_budget)
-        shed = (self.config.max_iterations - batch_budget) * occupancy
-        if shed:
-            self.registry.counter("serve.iterations.shed").inc(shed)
-        ttfb = self.registry.timer("serve.request.ttfb")
-        for request in requests:
-            ttfb.record_ns(int((now - request.arrival_s) * 1e9))
-        budgets, deadline_capped = self._frame_budget_vector(
-            requests, batch_budget, now
-        )
-        llrs = np.stack([r.llrs for r in requests])
+        with self.registry.timer("serve.stage.batch_form"):
+            fill = self.queue.fill
+            batch_budget = self.controller.budget(fill)
+            requests = self.batcher.take(self.queue)
+            self.registry.gauge("serve.queue.depth").set(len(self.queue))
+            occupancy = len(requests)
+            self.registry.histogram(
+                "serve.batch.occupancy", OCCUPANCY_BUCKETS
+            ).observe(occupancy)
+            self.registry.gauge("serve.batch.budget").set(batch_budget)
+            shed = (self.config.max_iterations - batch_budget) * occupancy
+            if shed:
+                self.registry.counter("serve.iterations.shed").inc(shed)
+            ttfb = self.registry.timer("serve.request.ttfb")
+            for request in requests:
+                ttfb.record_ns(int((now - request.arrival_s) * 1e9))
+        with self.registry.timer("serve.stage.llr_prep"):
+            budgets, deadline_capped = self._frame_budget_vector(
+                requests, batch_budget, now
+            )
+            llrs = np.stack([r.llrs for r in requests])
         seq = self._batch_seq
         self._batch_seq += 1
         meta = {
@@ -388,10 +419,14 @@ class DecodeService:
             "deadline_capped": deadline_capped,
         }
         if self._pool is not None:
-            future = self._pool.submit(_decode_batch_task, llrs, budgets)
+            with self.registry.timer("serve.stage.decode"):
+                future = self._pool.submit(
+                    _decode_batch_task, llrs, budgets
+                )
             self._pending[seq] = (future, requests, meta)
             return
-        with self.registry.timer("serve.batch.decode") as timer:
+        with self.registry.timer("serve.stage.decode"), \
+                self.registry.timer("serve.batch.decode") as timer:
             result = self.decoder.decode_batch(
                 llrs,
                 max_iterations=(
@@ -415,20 +450,36 @@ class DecodeService:
             future, requests, meta = self._pending[seq]
             if not block and not future.done():
                 return
-            bits, converged, iterations = future.result()
-            del self._pending[seq]
-            # Service time on the pooled path is submission-to-merge
-            # (includes queueing on the pool), measured on this clock.
-            decode_s = self.clock() - meta["formed_s"]
-            self.registry.timer("serve.batch.decode").record_ns(
-                max(0, int(decode_s * 1e9))
-            )
+            with self.registry.timer("serve.stage.collect"):
+                bits, converged, iterations = future.result()
+                del self._pending[seq]
+                # Service time on the pooled path is submission-to-
+                # merge (includes queueing on the pool), on this clock.
+                decode_s = self.clock() - meta["formed_s"]
+                self.registry.timer("serve.batch.decode").record_ns(
+                    max(0, int(decode_s * 1e9))
+                )
             self._finish_batch(
                 seq, requests, meta,
                 bits, converged, iterations, decode_s=decode_s,
             )
 
     def _finish_batch(
+        self,
+        seq: int,
+        requests: List[DecodeRequest],
+        meta: dict,
+        bits: np.ndarray,
+        converged: np.ndarray,
+        iterations: np.ndarray,
+        decode_s: float,
+    ) -> None:
+        with self.registry.timer("serve.stage.complete"):
+            self._complete_batch(
+                seq, requests, meta, bits, converged, iterations, decode_s
+            )
+
+    def _complete_batch(
         self,
         seq: int,
         requests: List[DecodeRequest],

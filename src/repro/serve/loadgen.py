@@ -31,6 +31,7 @@ import numpy as np
 from ..channel.awgn import AwgnChannel
 from ..codes.construction import LdpcCode
 from ..encode.encoder import IraEncoder
+from ..obs.publish import SnapshotPublisher
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import TraceRecorder
 from .api import ServeConfig
@@ -109,6 +110,7 @@ def run_loadgen(
     seed: int = 2005,
     registry: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
+    publisher: Optional[SnapshotPublisher] = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Optional[Callable[[float], None]] = None,
 ) -> LoadgenResult:
@@ -117,7 +119,10 @@ def run_loadgen(
     A fresh :class:`MetricsRegistry` is used per run (pass ``registry``
     to accumulate across runs instead); the returned snapshot therefore
     isolates exactly this run.  ``sleep`` defaults to ``time.sleep``
-    when the clock is real and to busy-spinning otherwise.
+    when the clock is real and to busy-spinning otherwise.  With a
+    ``publisher`` the run streams registry snapshots while it pumps
+    (the publisher is re-attached to this run's registry, so delta
+    records stay non-negative across sweep points).
     """
     if offered_fps <= 0:
         raise ValueError("offered_fps must be positive")
@@ -150,11 +155,15 @@ def run_loadgen(
     service = DecodeService(
         code, config, registry=registry, trace=trace, clock=clock
     )
+    if publisher is not None:
+        publisher.attach(registry)
     start = clock()
     submitted = 0
     with service:
         while submitted < total:
             now = clock()
+            if publisher is not None:
+                publisher.publish(now)
             # Release every arrival the schedule says has happened,
             # stamped with its scheduled time (not the call time).
             while submitted < total:
@@ -180,6 +189,8 @@ def run_loadgen(
         service.flush()
         check(service.poll())
         wall = clock() - start
+    if publisher is not None:
+        publisher.publish(clock(), force=True)
     snapshot = registry.snapshot()
     report = ServiceReport.from_snapshot(
         code, snapshot, wall, max_batch=config.max_batch
@@ -204,6 +215,7 @@ def sweep_offered_rates(
     ebn0_db: float = 2.0,
     seed: int = 2005,
     trace: Optional[TraceRecorder] = None,
+    publisher: Optional[SnapshotPublisher] = None,
     progress: Optional[Callable[[LoadgenResult], None]] = None,
 ) -> List[LoadgenResult]:
     """Run one loadgen pass per offered rate (shared frame pool).
@@ -223,6 +235,7 @@ def sweep_offered_rates(
             frame_pool=frame_pool,
             seed=seed,
             trace=trace,
+            publisher=publisher,
         )
         results.append(result)
         if progress is not None:

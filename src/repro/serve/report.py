@@ -84,6 +84,12 @@ class ServiceReport:
     model_frames_per_s: float
     model_info_bps: float
     hardware_fraction: float
+    # -- pipeline profile ---------------------------------------------
+    #: Per-stage ``{total_s, count, mean_us, of_pump}`` rows from the
+    #: ``serve.stage.*`` spans (see :mod:`repro.obs.profile`); the
+    #: in-pump stages plus ``other`` sum to 100% of pump time.  ``None``
+    #: when the snapshot carries no stage spans.
+    stages: Optional[dict] = None
 
     @classmethod
     def from_snapshot(
@@ -101,6 +107,8 @@ class ServiceReport:
         notion of elapsed time); ``model`` defaults to the paper's
         270 MHz / P=360 configuration for the code's profile.
         """
+        from ..obs.profile import stage_breakdown
+
         counters = snapshot.get("counters", {})
         histograms = snapshot.get("histograms", {})
         completed = counters.get("serve.requests.completed", 0)
@@ -149,14 +157,17 @@ class ServiceReport:
             hardware_fraction=(
                 info_bps / model_info if model_info else float("nan")
             ),
+            stages=stage_breakdown(snapshot) or None,
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-able dict (NaNs become None)."""
+        """JSON-able dict (NaNs become None, recursively)."""
         def clean(v):
             if isinstance(v, float) and math.isnan(v):
                 return None
+            if isinstance(v, dict):
+                return {k: clean(x) for k, x in v.items()}
             return v
 
         return {k: clean(v) for k, v in self.__dict__.items()}
@@ -198,4 +209,16 @@ class ServiceReport:
                 " of modeled silicon"
             ),
         ]
+        if self.stages:
+            in_pump = [
+                (name, row) for name, row in self.stages.items()
+                if name not in ("pump", "enqueue")
+                and row["of_pump"] == row["of_pump"]
+            ]
+            if in_pump:
+                parts = "  ".join(
+                    f"{name}={row['of_pump'] * 100:.1f}%"
+                    for name, row in in_pump
+                )
+                lines.append(f"  stages     {parts}")
         return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Tests for the capacity planner (repro.obs.capacity)."""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.capacity import (
+    CapacityPoint,
+    capacity_from_bench,
+    fit_capacity,
+    points_from_bench,
+    points_from_loadgen,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "BENCH_serve_latency.json",
+)
+
+
+def _synthetic_points(mu=200.0, base=50.0, coeff=40.0, rhos=(0.3, 0.6,
+                                                             0.9)):
+    """Points generated exactly from the model the planner fits."""
+    return [
+        CapacityPoint(
+            offered_fps=mu * rho,
+            served_fps=mu * rho,
+            p99_ms=base + coeff * rho / (1 - rho),
+        )
+        for rho in rhos
+    ] + [
+        # One overloaded point so mu is measured, not a lower bound.
+        CapacityPoint(offered_fps=2 * mu, served_fps=mu, p99_ms=2000.0)
+    ]
+
+
+class TestFit:
+    def test_recovers_synthetic_model(self):
+        report = fit_capacity(_synthetic_points(), slo_p99_ms=250.0)
+        assert report.mu_fps == pytest.approx(200.0)
+        assert not report.mu_is_lower_bound
+        assert report.base_ms == pytest.approx(50.0, rel=1e-6)
+        assert report.queue_coeff_ms == pytest.approx(40.0, rel=1e-6)
+        # Invert by hand: rho* = (250-50)/(250-50+40) = 200/240.
+        assert report.knee_rho == pytest.approx(200.0 / 240.0)
+        assert report.knee_fps == pytest.approx(200.0 * 200.0 / 240.0)
+
+    def test_prediction_matches_measurement_on_fit_points(self):
+        report = fit_capacity(_synthetic_points(), slo_p99_ms=250.0)
+        for row in report.points:
+            if row["offered_fps"] < report.mu_fps:
+                assert row["predicted_p99_ms"] == pytest.approx(
+                    row["p99_ms"], rel=1e-6
+                )
+
+    def test_saturated_points_predict_inf(self):
+        report = fit_capacity(_synthetic_points(), slo_p99_ms=250.0)
+        assert math.isinf(report.predict_p99_ms(report.mu_fps + 1))
+
+    def test_mu_lower_bound_flagged_without_saturation(self):
+        points = [
+            CapacityPoint(offered_fps=50.0, served_fps=49.0, p99_ms=60.0),
+            CapacityPoint(offered_fps=100.0, served_fps=98.0,
+                          p99_ms=80.0),
+        ]
+        report = fit_capacity(points, slo_p99_ms=200.0)
+        assert report.mu_is_lower_bound
+
+    def test_unreachable_slo_gives_zero_knee(self):
+        # SLO below the zero-load base latency: nothing is sustainable.
+        report = fit_capacity(_synthetic_points(), slo_p99_ms=10.0)
+        assert report.knee_fps == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_capacity([], slo_p99_ms=100.0)
+        with pytest.raises(ValueError):
+            fit_capacity(_synthetic_points(), slo_p99_ms=0.0)
+
+    def test_report_roundtrips_to_json(self):
+        report = fit_capacity(_synthetic_points(), slo_p99_ms=250.0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["knee_fps"] == pytest.approx(report.knee_fps)
+        assert payload["model_frames_per_s"] is None  # no code given
+        assert "capacity report" in report.format()
+
+
+class TestCommittedBench:
+    def test_knee_reproduces_committed_saturation_point(self):
+        """Acceptance bar: fitting the committed sweep must place the
+        knee (at the measured 1.0x p99) within tolerance of the 1.0x
+        offered rate — the planner rediscovers where the committed
+        latency curve bends."""
+        payload = json.load(open(BENCH_PATH))
+        one_x = next(
+            row for row in payload["sweep"] if row["load_factor"] == 1.0
+        )
+        report = capacity_from_bench(
+            BENCH_PATH, slo_p99_ms=one_x["latency_p99_ms"]
+        )
+        assert report.knee_fps == pytest.approx(
+            one_x["offered_fps"], rel=0.25
+        )
+        # Capacity is the best the sweep actually served.
+        assert report.mu_fps == pytest.approx(
+            payload["best_served_fps"]
+        )
+        assert not report.mu_is_lower_bound
+
+    def test_points_from_bench_layout(self):
+        payload = json.load(open(BENCH_PATH))
+        points = points_from_bench(payload)
+        assert len(points) == len(payload["sweep"])
+        assert points[0].offered_fps == pytest.approx(
+            payload["sweep"][0]["offered_fps"]
+        )
+        with pytest.raises(ValueError):
+            points_from_bench({"no": "sweep"})
+
+    def test_hardware_model_comparison_attached(self):
+        from repro.codes import build_small_code
+
+        report = capacity_from_bench(
+            BENCH_PATH,
+            slo_p99_ms=500.0,
+            code=build_small_code("1/2", parallelism=36),
+        )
+        assert report.model_frames_per_s > report.mu_fps
+        assert 0.0 < report.hardware_fraction < 1.0
+
+
+class TestLoadgenAdapter:
+    def test_points_from_loadgen_results(self):
+        from repro.codes import build_small_code
+        from repro.serve import ServeConfig, run_loadgen
+
+        code = build_small_code("1/2", parallelism=12)
+        result = run_loadgen(
+            code,
+            ServeConfig(max_batch=8),
+            offered_fps=150.0,
+            duration_s=0.2,
+            seed=5,
+        )
+        (point,) = points_from_loadgen([result])
+        assert point.offered_fps == 150.0
+        assert point.served_fps == pytest.approx(
+            result.report.frames_per_s
+        )
+        assert point.p99_ms == pytest.approx(
+            result.report.latency_p99_ms
+        )
+        # A single measured point still fits (degenerate but defined).
+        report = fit_capacity([point], slo_p99_ms=500.0)
+        assert report.mu_fps == pytest.approx(point.served_fps)
+        assert math.isfinite(report.base_ms)
+
+
+class TestCapacityCli:
+    def test_cli_fits_committed_bench(self, capsys, tmp_path):
+        out_path = tmp_path / "capacity.json"
+        code = main([
+            "obs", "capacity", BENCH_PATH,
+            "--slo-p99-ms", "495", "--output", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "capacity report" in out
+        assert "eq7/8 hw model" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["knee_fps"] == pytest.approx(242.8, rel=0.01)
+
+    def test_cli_no_model_flag(self, capsys):
+        code = main([
+            "obs", "capacity", BENCH_PATH, "--no-model",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eq7/8 hw model" not in out
+
+    def test_cli_rejects_wrong_layout(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a sweep"}\n')
+        code = main(["obs", "capacity", str(bad)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "sweep" in err

@@ -1,0 +1,184 @@
+"""Tests for the CI SLO gate (benchmarks/check_regression.py).
+
+The gate module lives next to the benchmarks, outside the package, so
+the tests import it by path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import shutil
+import sys
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "check_regression.py",
+)
+_spec = importlib.util.spec_from_file_location("check_regression",
+                                               _GATE_PATH)
+gate_mod = importlib.util.module_from_spec(_spec)
+sys.modules["check_regression"] = gate_mod
+_spec.loader.exec_module(gate_mod)
+
+Gate = gate_mod.Gate
+GATES = gate_mod.GATES
+check = gate_mod.check
+check_dirs = gate_mod.check_dirs
+lookup = gate_mod.lookup
+
+BENCH_DIR = os.path.dirname(_GATE_PATH)
+
+
+def _load(bench: str) -> dict:
+    with open(os.path.join(BENCH_DIR, f"BENCH_{bench}.json")) as handle:
+        return json.load(handle)
+
+
+class TestLookup:
+    def test_walks_dicts_and_list_indices(self):
+        payload = {"sweep": [{"p99": 10.0}, {"p99": 20.0}]}
+        assert lookup(payload, "sweep.1.p99") == 20.0
+
+    def test_missing_and_malformed_paths_return_none(self):
+        payload = {"sweep": [{"p99": 10.0}]}
+        assert lookup(payload, "sweep.5.p99") is None
+        assert lookup(payload, "sweep.x.p99") is None
+        assert lookup(payload, "nope") is None
+        assert lookup(payload, "sweep.0.p99.deeper") is None
+
+
+class TestCheck:
+    def test_committed_baselines_pass_against_themselves(self):
+        for bench in ("serve_latency", "obs_overhead"):
+            payload = _load(bench)
+            rows = check(payload, payload, bench=bench)
+            assert rows, bench
+            assert all(r["status"] == "pass" for r in rows), rows
+
+    def test_synthetic_regression_trips_comparison_gate(self):
+        """The ISSUE's acceptance bar: an injected regression must
+        fail the gate."""
+        baseline = _load("serve_latency")
+        fresh = json.loads(json.dumps(baseline))
+        fresh["batching_speedup_vs_serial"] *= 0.5  # 50% regression
+        rows = check(fresh, baseline, bench="serve_latency")
+        (speedup_row,) = [
+            r for r in rows if r["path"] == "batching_speedup_vs_serial"
+        ]
+        assert speedup_row["status"] == "fail"
+        assert speedup_row["regress_pct"] == pytest.approx(50.0)
+        assert "regressed" in speedup_row["why"]
+
+    def test_improvement_never_fails(self):
+        baseline = _load("serve_latency")
+        fresh = json.loads(json.dumps(baseline))
+        fresh["best_served_fps"] *= 2.0
+        fresh["sweep"][0]["latency_p99_ms"] *= 0.5
+        rows = check(fresh, baseline, bench="serve_latency")
+        assert all(r["status"] == "pass" for r in rows)
+
+    def test_mode_mismatch_skips_absolute_numbers_not_ratios(self):
+        """Smoke fresh vs committed full run: throughput gates must
+        step aside, ratio gates must still bite."""
+        baseline = _load("serve_latency")
+        fresh = json.loads(json.dumps(baseline))
+        fresh["smoke"] = True
+        fresh["best_served_fps"] *= 0.1  # would fail if compared
+        fresh["batching_speedup_vs_serial"] *= 0.5
+        rows = {r["path"]: r for r in
+                check(fresh, baseline, bench="serve_latency")}
+        assert rows["best_served_fps"]["status"] == "skipped"
+        assert "smoke" in rows["best_served_fps"]["why"]
+        assert rows["batching_speedup_vs_serial"]["status"] == "fail"
+
+    def test_absolute_bound_breach(self):
+        baseline = _load("obs_overhead")
+        fresh = json.loads(json.dumps(baseline))
+        fresh["disabled_overhead_pct"] = 7.5  # ceiling is 5.0
+        rows = {r["path"]: r for r in
+                check(fresh, baseline, bench="obs_overhead")}
+        assert rows["disabled_overhead_pct"]["status"] == "fail"
+        assert "ceiling" in rows["disabled_overhead_pct"]["why"]
+
+    def test_bool_invariant_gate(self):
+        baseline = _load("serve_latency")
+        fresh = json.loads(json.dumps(baseline))
+        fresh["calm_service_bit_identical"] = False
+        rows = {r["path"]: r for r in
+                check(fresh, baseline, bench="serve_latency")}
+        assert rows["calm_service_bit_identical"]["status"] == "fail"
+
+    def test_missing_fresh_metric_fails_loudly(self):
+        baseline = _load("serve_latency")
+        fresh = json.loads(json.dumps(baseline))
+        del fresh["batching_speedup_vs_serial"]
+        rows = {r["path"]: r for r in
+                check(fresh, baseline, bench="serve_latency")}
+        assert rows["batching_speedup_vs_serial"]["status"] == "fail"
+        assert "missing" in rows["batching_speedup_vs_serial"]["why"]
+
+    def test_per_gate_tolerance_override(self):
+        gates = [Gate("demo", "x", better="higher", compare="any_mode",
+                      max_regress_pct=50.0)]
+        rows = check({"x": 60.0}, {"x": 100.0}, bench="demo",
+                     gates=gates, max_regress_pct=5.0)
+        assert rows[0]["status"] == "pass"  # 40% < per-gate 50%
+        rows = check({"x": 40.0}, {"x": 100.0}, bench="demo",
+                     gates=gates, max_regress_pct=5.0)
+        assert rows[0]["status"] == "fail"
+
+
+class TestCheckDirs:
+    def test_skips_benches_missing_on_either_side(self, tmp_path):
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        shutil.copy(
+            os.path.join(BENCH_DIR, "BENCH_serve_latency.json"),
+            fresh / "BENCH_serve_latency.json",
+        )
+        verdict = check_dirs(str(fresh), BENCH_DIR)
+        assert verdict["failures"] == 0
+        skipped = [r for r in verdict["rows"]
+                   if r["status"] == "skipped" and "path" not in r]
+        assert any("not produced" in r["why"] for r in skipped)
+
+
+class TestMain:
+    def test_exit_zero_on_self_compare(self, capsys):
+        code = gate_mod.main(["--fresh", BENCH_DIR,
+                              "--baseline", BENCH_DIR])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out
+
+    def test_exit_one_on_synthetic_regression(self, capsys, tmp_path):
+        fresh = tmp_path / "fresh"
+        fresh.mkdir()
+        payload = _load("serve_latency")
+        payload["batching_speedup_vs_serial"] *= 0.5
+        (fresh / "BENCH_serve_latency.json").write_text(
+            json.dumps(payload)
+        )
+        report = tmp_path / "report.json"
+        code = gate_mod.main([
+            "--fresh", str(fresh), "--baseline", BENCH_DIR,
+            "--report", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fail" in out
+        verdict = json.loads(report.read_text())
+        assert verdict["failures"] == 1
+
+    def test_exit_two_on_missing_dir(self, capsys, tmp_path):
+        code = gate_mod.main([
+            "--fresh", str(tmp_path / "nope"), "--baseline", BENCH_DIR,
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "does not exist" in err

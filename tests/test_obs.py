@@ -25,6 +25,7 @@ from repro.obs import (
     set_registry,
 )
 from repro.obs.export import (
+    TraceReadError,
     events_to_csv,
     iteration_rows,
     read_events,
@@ -334,3 +335,89 @@ def test_events_to_csv(tmp_path):
     assert n == 3
     header = buf.getvalue().splitlines()[0]
     assert "type" in header and "frame" in header
+
+
+# ----------------------------------------------------------------------
+# Histogram percentile edge cases.
+def test_histogram_percentile_empty_is_nan():
+    hist = MetricsRegistry().histogram("h", bounds=(1.0, 10.0))
+    assert np.isnan(hist.percentile(50))
+    assert np.isnan(hist.mean)
+
+
+def test_histogram_percentile_single_sample():
+    hist = MetricsRegistry().histogram("h", bounds=(1.0, 10.0))
+    hist.observe(5.0)
+    # One sample in the (1, 10] bucket: the estimate interpolates
+    # across that bucket, staying inside it at every quantile.
+    assert hist.percentile(0) == pytest.approx(1.0)
+    assert hist.percentile(100) == pytest.approx(10.0)
+    assert 1.0 <= hist.percentile(50) <= 10.0
+
+
+def test_histogram_percentile_extreme_quantiles():
+    hist = MetricsRegistry().histogram("h", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 3.5):
+        hist.observe(v)
+    # q=0 anchors at the floor of the first occupied bucket, q=100 at
+    # the ceiling of the last.
+    assert hist.percentile(0) == pytest.approx(0.0)
+    assert hist.percentile(100) == pytest.approx(4.0)
+    p50, p99 = hist.percentile(50), hist.percentile(99)
+    assert 0.0 <= p50 <= p99 <= 4.0
+
+
+def test_histogram_percentile_overflow_bucket_reports_last_bound():
+    hist = MetricsRegistry().histogram("h", bounds=(1.0, 10.0))
+    hist.observe(1000.0)
+    # All mass above the last bound: the estimate saturates there.
+    assert hist.percentile(99) == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# Trace-read error reporting.
+def test_read_events_missing_file_raises_trace_read_error(tmp_path):
+    with pytest.raises(TraceReadError, match="cannot read"):
+        read_events(str(tmp_path / "nope.jsonl"))
+
+
+def test_read_events_empty_file_raises_unless_allowed(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(TraceReadError, match="no events"):
+        read_events(str(path))
+    assert read_events(str(path), allow_empty=True) == []
+
+
+def test_read_events_truncated_line_names_the_spot(tmp_path):
+    path = tmp_path / "cut.jsonl"
+    path.write_text('{"type": "header"}\n{"type": "dec')
+    with pytest.raises(TraceReadError, match="line 2") as excinfo:
+        read_events(str(path))
+    assert "truncated" in str(excinfo.value)
+
+
+def test_read_events_non_object_line_rejected(tmp_path):
+    path = tmp_path / "odd.jsonl"
+    path.write_text('[1, 2, 3]\n')
+    with pytest.raises(TraceReadError, match="not an object"):
+        read_events(str(path))
+
+
+# ----------------------------------------------------------------------
+# Trace recorder lifecycle.
+def test_trace_recorder_context_manager_closes_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with TraceRecorder(str(path)) as trace:
+        trace.event("ping", n=1)
+        assert trace._file is not None
+    assert trace._file is None  # closed on exit
+    events = read_events(str(path))
+    assert [e["type"] for e in events] == ["header", "ping"]
+
+
+def test_trace_recorder_close_is_idempotent(tmp_path):
+    trace = TraceRecorder(str(tmp_path / "run.jsonl"))
+    trace.close()
+    trace.close()  # second close must be a no-op
+    assert trace._file is None

@@ -89,3 +89,70 @@ def test_anneal_trace(capsys, tmp_path):
     metrics = json.loads(metrics_path.read_text())
     assert metrics["counters"]["hw.anneal.proposed"] == 40
     assert "hw.conflicts.cn.buffer_occupancy" in metrics["histograms"]
+
+
+def run_err(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ----------------------------------------------------------------------
+# Clean error reporting: bad inputs exit 2 with a one-line message,
+# never a traceback.
+def test_obs_summary_missing_file_is_clean_error(capsys, tmp_path):
+    code, out, err = run_err(
+        capsys, "obs", "summary", str(tmp_path / "nope.jsonl")
+    )
+    assert code == 2
+    assert err.startswith("error:")
+    assert "cannot read" in err
+    assert "Traceback" not in err
+
+
+def test_obs_summary_empty_file_is_clean_error(capsys, tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    code, out, err = run_err(capsys, "obs", "summary", str(path))
+    assert code == 2
+    assert "no events" in err
+
+
+def test_obs_trace_truncated_file_is_clean_error(capsys, tmp_path):
+    path = tmp_path / "cut.jsonl"
+    path.write_text('{"type": "header"}\n{"type": "dec')
+    code, out, err = run_err(
+        capsys, "obs", "trace", str(path), "--frame", "0"
+    )
+    assert code == 2
+    assert "line 2" in err and "truncated" in err
+    assert err.count("\n") <= 2  # stays short, no stack dump
+
+
+# ----------------------------------------------------------------------
+# obs profile: the stage-breakdown viewer over saved metrics.
+def test_obs_profile_renders_saved_metrics(capsys, tmp_path):
+    from repro.codes import build_small_code
+    from repro.serve import ServeConfig, run_loadgen
+
+    result = run_loadgen(
+        build_small_code("1/2", parallelism=12),
+        ServeConfig(max_batch=8),
+        offered_fps=150.0,
+        duration_s=0.2,
+        seed=9,
+    )
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps(result.snapshot))
+    code, out = run(capsys, "obs", "profile", str(path))
+    assert code == 0
+    assert "pipeline profile" in out
+    assert "decode" in out and "% pump" in out
+
+
+def test_obs_profile_rejects_non_metrics_json(capsys, tmp_path):
+    path = tmp_path / "odd.json"
+    path.write_text("[1, 2]\n")
+    code, out, err = run_err(capsys, "obs", "profile", str(path))
+    assert code == 2
+    assert err.startswith("error:")

@@ -1,0 +1,147 @@
+"""Tests for the serve-pipeline profiling plane: stage spans, kernel
+instrumentation, and the breakdown/report surfaces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codes import build_small_code
+from repro.decode.backend import InstrumentedBackend, instrument_backend
+from repro.decode.batch import make_batch_decoder
+from repro.obs.profile import (
+    format_profile,
+    kernel_breakdown,
+    stage_breakdown,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeConfig, ServiceReport, run_loadgen
+
+
+@pytest.fixture(scope="module")
+def code():
+    return build_small_code("1/2", parallelism=12)
+
+
+@pytest.fixture(scope="module")
+def loadgen_result(code):
+    """One short real run shared by the profile-shape tests."""
+    return run_loadgen(
+        code,
+        ServeConfig(max_batch=8),
+        offered_fps=200.0,
+        duration_s=0.25,
+        seed=5,
+    )
+
+
+# ----------------------------------------------------------------------
+# stage spans recorded by the engine
+# ----------------------------------------------------------------------
+class TestStageSpans:
+    def test_hot_path_stages_present(self, loadgen_result):
+        stages = stage_breakdown(loadgen_result.snapshot)
+        for name in ("expire", "batch_form", "llr_prep", "decode",
+                     "complete", "other", "pump", "enqueue"):
+            assert name in stages, name
+
+    def test_in_pump_shares_sum_to_one(self, loadgen_result):
+        """The per-stage breakdown must account for 100% of pump time
+        (the ISSUE's acceptance bar for the profiling plane)."""
+        stages = stage_breakdown(loadgen_result.snapshot)
+        in_pump = sum(
+            row["of_pump"] for name, row in stages.items()
+            if name not in ("pump", "enqueue")
+        )
+        assert in_pump == pytest.approx(1.0, abs=1e-9)
+
+    def test_decode_dominates_pump_time(self, loadgen_result):
+        stages = stage_breakdown(loadgen_result.snapshot)
+        assert stages["decode"]["of_pump"] > 0.5
+
+    def test_report_carries_stage_rows(self, code, loadgen_result):
+        report = loadgen_result.report
+        assert report.stages is not None
+        assert "decode" in report.stages
+        assert "stages" in report.format()
+        # NaNs inside the nested stage rows must not leak into JSON.
+        d = report.to_dict()
+        assert d["stages"]["other"]["mean_us"] is None
+
+    def test_empty_snapshot_has_no_stages(self, code):
+        assert stage_breakdown({}) == {}
+        assert stage_breakdown(MetricsRegistry().snapshot()) == {}
+        report = ServiceReport.from_snapshot(
+            code, MetricsRegistry().snapshot(), 1.0
+        )
+        assert report.stages is None
+
+    def test_format_profile_renders_table(self, loadgen_result):
+        text = format_profile(loadgen_result.snapshot)
+        assert "pipeline profile" in text
+        assert "decode" in text and "% pump" in text
+
+    def test_format_profile_without_spans_explains(self):
+        text = format_profile({})
+        assert "no serve.stage" in text
+
+
+# ----------------------------------------------------------------------
+# instrumented backends
+# ----------------------------------------------------------------------
+class TestInstrumentedBackend:
+    def test_wraps_and_mirrors_identity(self):
+        reg = MetricsRegistry()
+        wrapped = instrument_backend("numpy", reg)
+        assert isinstance(wrapped, InstrumentedBackend)
+        assert wrapped.name == "numpy"
+        assert wrapped.kind == "numpy"
+        # The scratch arena is shared — decoders reach it directly.
+        assert wrapped._scratch is wrapped.inner._scratch
+
+    def test_minsum_kernels_timed_and_bit_identical(self, code):
+        rng = np.random.default_rng(3)
+        llrs = rng.normal(1.5, 1.0, size=(4, code.n))
+        plain = make_batch_decoder(
+            code, schedule="quantized-minsum", backend="numpy"
+        ).decode_batch(llrs, max_iterations=8)
+        reg = MetricsRegistry()
+        timed = make_batch_decoder(
+            code,
+            schedule="quantized-minsum",
+            backend=instrument_backend("numpy", reg),
+        ).decode_batch(llrs, max_iterations=8)
+        np.testing.assert_array_equal(timed.bits, plain.bits)
+        np.testing.assert_array_equal(
+            timed.iterations, plain.iterations
+        )
+        timers = reg.snapshot()["timers"]
+        assert timers["decode.kernel.segment_sum"]["count"] > 0
+        assert timers["decode.kernel.segment_min1_min2"]["count"] > 0
+
+    def test_serve_config_flag_engages_kernel_timers(self, code):
+        result = run_loadgen(
+            code,
+            ServeConfig(
+                max_batch=8,
+                schedule="quantized-minsum",
+                instrument_kernels=True,
+            ),
+            offered_fps=200.0,
+            duration_s=0.2,
+            seed=5,
+        )
+        kernels = kernel_breakdown(result.snapshot)
+        assert "segment_sum" in kernels
+        share = sum(
+            row["of_decode"] for row in kernels.values()
+            if not math.isnan(row["of_decode"])
+        )
+        assert 0.0 < share <= 1.0
+
+    def test_kernel_breakdown_empty_without_instrumentation(
+        self, loadgen_result
+    ):
+        assert kernel_breakdown(loadgen_result.snapshot) == {}

@@ -1,0 +1,254 @@
+"""Tests for the exporters: Prometheus rendering, snapshot publishing,
+and the stdlib /metrics endpoint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.prom import render_prometheus, sanitize_metric_name
+from repro.obs.publish import (
+    MetricsHttpServer,
+    SnapshotPublisher,
+    snapshot_delta,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests.completed").inc(7)
+    reg.gauge("serve.queue.depth").set(3)
+    with reg.timer("serve.stage.decode"):
+        pass
+    hist = reg.histogram("serve.request.latency_ms", bounds=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return reg
+
+
+# ----------------------------------------------------------------------
+# Prometheus text rendering
+# ----------------------------------------------------------------------
+class TestRenderPrometheus:
+    def test_name_sanitization(self):
+        assert sanitize_metric_name("serve.stage.decode") == \
+            "serve_stage_decode"
+        assert sanitize_metric_name("1weird-name") == "_1weird_name"
+
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(_loaded_registry().snapshot())
+        assert "# TYPE repro_serve_requests_completed_total counter" \
+            in text
+        assert "repro_serve_requests_completed_total 7" in text
+        assert "repro_serve_queue_depth 3" in text
+
+    def test_timer_becomes_seconds_summary(self):
+        text = render_prometheus(_loaded_registry().snapshot())
+        assert "repro_serve_stage_decode_seconds_count 1" in text
+        assert "repro_serve_stage_decode_seconds_sum" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(_loaded_registry().snapshot())
+        lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_serve_request_latency_ms_bucket")
+        ]
+        # 0.5 falls in le=1.0; 5.0 in le=10.0; +Inf carries the total.
+        assert lines[0].endswith(" 1") and 'le="1.0"' in lines[0]
+        assert lines[1].endswith(" 2") and 'le="10.0"' in lines[1]
+        assert lines[2].endswith(" 2") and 'le="+Inf"' in lines[2]
+        assert "repro_serve_request_latency_ms_count 2" in text
+        assert "repro_serve_request_latency_ms_sum 5.5" in text
+
+    def test_labels_attached_to_every_sample(self):
+        text = render_prometheus(
+            _loaded_registry().snapshot(), labels={"worker": "3"}
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'worker="3"' in line
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_namespace_override(self):
+        text = render_prometheus(
+            _loaded_registry().snapshot(), namespace="ldpc"
+        )
+        assert "ldpc_serve_requests_completed_total" in text
+        assert "repro_" not in text
+
+
+# ----------------------------------------------------------------------
+# snapshot deltas
+# ----------------------------------------------------------------------
+class TestSnapshotDelta:
+    def test_first_delta_equals_totals(self):
+        snap = _loaded_registry().snapshot()
+        delta = snapshot_delta(None, snap)
+        assert delta["counters"]["serve.requests.completed"] == 7
+        assert delta["histograms"]["serve.request.latency_ms"][
+            "count"] == 2
+
+    def test_counters_and_histograms_subtract(self):
+        reg = _loaded_registry()
+        old = reg.snapshot()
+        reg.counter("serve.requests.completed").inc(5)
+        reg.histogram(
+            "serve.request.latency_ms", bounds=(1.0, 10.0)
+        ).observe(20.0)
+        delta = snapshot_delta(old, reg.snapshot())
+        assert delta["counters"]["serve.requests.completed"] == 5
+        hist = delta["histograms"]["serve.request.latency_ms"]
+        assert hist["count"] == 1
+        assert hist["counts"] == [0, 0, 1]  # only the overflow bucket
+        assert hist["sum"] == pytest.approx(20.0)
+
+    def test_gauges_report_level_not_difference(self):
+        reg = _loaded_registry()
+        old = reg.snapshot()
+        reg.gauge("serve.queue.depth").set(1)
+        delta = snapshot_delta(old, reg.snapshot())
+        assert delta["gauges"]["serve.queue.depth"] == 1
+
+    def test_timers_subtract_counts_and_totals(self):
+        reg = _loaded_registry()
+        old = reg.snapshot()
+        with reg.timer("serve.stage.decode"):
+            pass
+        delta = snapshot_delta(old, reg.snapshot())
+        assert delta["timers"]["serve.stage.decode"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# the publisher
+# ----------------------------------------------------------------------
+class TestSnapshotPublisher:
+    def test_interval_gates_ticks(self):
+        reg = MetricsRegistry()
+        pub = SnapshotPublisher(reg, interval_s=1.0)
+        assert pub.publish(0.0)  # first tick always due
+        assert not pub.publish(0.5)  # inside the window: free no-op
+        assert pub.publish(1.0)
+        assert pub.publish(1.2, force=True)
+        assert pub.n_published == 3
+
+    def test_records_carry_delta_and_cumulative(self):
+        reg = MetricsRegistry()
+        pub = SnapshotPublisher(reg, interval_s=0.0)
+        reg.counter("x").inc(2)
+        pub.publish(0.0)
+        reg.counter("x").inc(3)
+        pub.publish(1.0)
+        first, second = pub.records
+        assert first["delta"]["counters"]["x"] == 2
+        assert second["delta"]["counters"]["x"] == 3
+        assert second["cumulative"]["counters"]["x"] == 5
+        assert second["seq"] == 1
+
+    def test_attach_resets_delta_baseline(self):
+        """Re-attaching a fresh registry must not produce negative
+        deltas (the sweep swaps registries between points)."""
+        reg_a = MetricsRegistry()
+        reg_a.counter("x").inc(100)
+        pub = SnapshotPublisher(reg_a, interval_s=0.0)
+        pub.publish(0.0)
+        reg_b = MetricsRegistry()
+        reg_b.counter("x").inc(1)
+        pub.attach(reg_b)
+        pub.publish(1.0)
+        assert pub.records[-1]["delta"]["counters"]["x"] == 1
+
+    def test_detached_publisher_is_inert_until_attach(self):
+        pub = SnapshotPublisher(interval_s=0.0)
+        assert not pub.publish(0.0, force=True)
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        pub.attach(reg)
+        assert pub.publish(1.0)
+        assert pub.snapshot()["counters"]["x"] == 1
+
+    def test_path_sink_writes_header_and_prom_file(self, tmp_path):
+        sink = tmp_path / "pub.jsonl"
+        prom = tmp_path / "pub.prom"
+        reg = MetricsRegistry()
+        with SnapshotPublisher(
+            reg, str(sink), prom_path=str(prom), interval_s=0.0,
+            meta={"command": "test"},
+        ) as pub:
+            reg.counter("serve.requests.completed").inc(4)
+            pub.publish(0.0)
+        lines = [
+            json.loads(l) for l in sink.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["stream"] == "metrics_snapshots"
+        assert lines[0]["command"] == "test"
+        assert "repro_version" in lines[0]
+        ticks = [l for l in lines if l["type"] == "metrics_snapshot"]
+        # the explicit tick plus close()'s final forced tick
+        assert len(ticks) == 2
+        assert ticks[0]["delta"]["counters"][
+            "serve.requests.completed"] == 4
+        assert "repro_serve_requests_completed_total 4" \
+            in prom.read_text()
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            SnapshotPublisher(MetricsRegistry(), interval_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# the /metrics endpoint
+# ----------------------------------------------------------------------
+def _http_get(url: str) -> tuple:
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode()
+
+
+class TestMetricsHttpServer:
+    @pytest.fixture()
+    def server(self):
+        reg = _loaded_registry()
+        try:
+            server = MetricsHttpServer(reg, port=0)
+        except OSError as exc:  # pragma: no cover - sandboxed CI
+            pytest.skip(f"cannot bind a local socket: {exc}")
+        yield server
+        server.close()
+
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        status, body = _http_get(server.url)
+        assert status == 200
+        assert "repro_serve_requests_completed_total 7" in body
+
+    def test_json_endpoint_serves_snapshot(self, server):
+        status, body = _http_get(
+            server.url.replace("/metrics", "/metrics.json")
+        )
+        assert status == 200
+        snap = json.loads(body)
+        assert snap["counters"]["serve.requests.completed"] == 7
+
+    def test_unknown_path_is_404(self, server):
+        from urllib.error import HTTPError
+
+        with pytest.raises(HTTPError) as excinfo:
+            _http_get(server.url.replace("/metrics", "/nope"))
+        assert excinfo.value.code == 404
+
+    def test_scrape_follows_publisher_attach(self, server):
+        """A publisher handed to the server redirects scrapes to the
+        currently attached registry."""
+        pub = SnapshotPublisher(interval_s=0.0)
+        server.registry = pub
+        fresh = MetricsRegistry()
+        fresh.counter("serve.requests.completed").inc(42)
+        pub.attach(fresh)
+        _, body = _http_get(server.url)
+        assert "repro_serve_requests_completed_total 42" in body

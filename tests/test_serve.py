@@ -550,3 +550,88 @@ class TestDeadlineBudgets:
         (result,) = svc.poll()
         assert result.status == STATUS_OK
         assert result.iteration_budget == 30
+
+
+class TestMetricsMergeAcrossProcesses:
+    def test_pooled_metrics_match_inline_counts(self, code_half,
+                                                frames_half):
+        """Serve counters are recorded parent-side, so a pooled run
+        must account for exactly the same work as an inline run."""
+        def run(workers):
+            reg = MetricsRegistry()
+            svc = DecodeService(
+                code_half,
+                ServeConfig(max_batch=4, max_linger_ms=0.0,
+                            max_iterations=30, workers=workers),
+                registry=reg,
+            )
+            with svc:
+                for i in range(8):
+                    svc.submit(frames_half.llrs[i])
+                svc.flush()
+                svc.poll()
+            return reg.snapshot()
+
+        inline, pooled = run(1), run(2)
+        for key in ("serve.requests.submitted",
+                    "serve.requests.completed"):
+            assert pooled["counters"][key] == inline["counters"][key]
+        assert (pooled["timers"]["serve.batch.decode"]["count"]
+                == inline["timers"]["serve.batch.decode"]["count"])
+
+    def test_sweep_snapshots_merge_like_the_cli(self, code_half):
+        """`repro loadgen --metrics-out` folds one registry per sweep
+        point into a single snapshot; the fold must preserve totals."""
+        from repro.serve import sweep_offered_rates
+
+        results = sweep_offered_rates(
+            code_half,
+            ServeConfig(max_batch=8),
+            rates_fps=[80.0, 160.0],
+            duration_s=0.15,
+            seed=3,
+        )
+        merged = MetricsRegistry()
+        for r in results:
+            merged.merge(r.snapshot)
+        snap = merged.snapshot()
+        key = "serve.requests.completed"
+        per_point = [r.snapshot["counters"][key] for r in results]
+        assert all(n > 0 for n in per_point)
+        assert snap["counters"][key] == sum(per_point)
+        assert snap["timers"]["serve.stage.pump"]["count"] == sum(
+            r.snapshot["timers"]["serve.stage.pump"]["count"]
+            for r in results
+        )
+
+
+class TestTraceFlushOnClose:
+    class _Sink:
+        def __init__(self):
+            self.data = []
+            self.flushes = 0
+
+        def write(self, text):
+            self.data.append(text)
+
+        def flush(self):
+            self.flushes += 1
+
+    def test_service_close_flushes_trace_sink(self, code_half,
+                                              frames_half):
+        from repro.obs.trace import TraceRecorder
+
+        sink = self._Sink()
+        trace = TraceRecorder(sink)
+        svc = DecodeService(
+            code_half,
+            ServeConfig(max_batch=4, max_linger_ms=0.0),
+            registry=MetricsRegistry(),
+            trace=trace,
+        )
+        svc.submit(frames_half.llrs[0])
+        flushed_before = sink.flushes
+        svc.close()
+        assert sink.flushes > flushed_before
+        # The pending frame was drained and traced before the flush.
+        assert any('"serve_batch"' in chunk for chunk in sink.data)

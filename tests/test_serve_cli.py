@@ -82,3 +82,40 @@ def test_loadgen_sweep_table(capsys, tmp_path):
     assert "eq7/8 hw model" in out
     snap = json.loads(metrics.read_text())
     assert snap["counters"]["serve.requests.submitted"] == 15 + 50
+
+
+def test_loadgen_publish_streams_snapshots_and_prom(capsys, tmp_path):
+    """Acceptance path: --publish emits a JSONL snapshot stream plus a
+    Prometheus-text rendering alongside --metrics-out."""
+    metrics = tmp_path / "metrics.json"
+    stream = tmp_path / "stream.jsonl"
+    code = main([
+        "loadgen", "--offered-fps", "150", "300",
+        "--duration", "0.15", "--ebn0", "3.5",
+        "--max-batch", "8", "--max-linger-ms", "2",
+        "--metrics-out", str(metrics),
+        "--publish", str(stream),
+        "--publish-interval-s", "0.05",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "publish:" in out
+
+    lines = [json.loads(l) for l in stream.read_text().splitlines()]
+    assert lines[0]["type"] == "header"
+    assert lines[0]["stream"] == "metrics_snapshots"
+    assert lines[0]["command"] == "loadgen"
+    ticks = [l for l in lines if l["type"] == "metrics_snapshot"]
+    assert len(ticks) >= 2  # one per sweep point at minimum
+    assert all("delta" in t and "cumulative" in t for t in ticks)
+    # Deltas over the stream add up to the merged metrics file.
+    merged = json.loads(metrics.read_text())
+    streamed = sum(
+        t["delta"]["counters"].get("serve.requests.completed", 0)
+        for t in ticks
+    )
+    assert streamed == merged["counters"]["serve.requests.completed"]
+
+    prom = (tmp_path / "stream.jsonl.prom").read_text()
+    assert "# TYPE repro_serve_requests_completed_total counter" in prom
+    assert "repro_serve_stage_decode_seconds_count" in prom
