@@ -68,6 +68,18 @@ GATES: List[Gate] = [
     Gate("serve_latency", "serial_single_frame_fps", better="higher"),
     Gate("serve_latency", "sweep.0.latency_p99_ms", better="lower"),
     Gate("serve_latency", "sweep.1.latency_p99_ms", better="lower"),
+    # distributed_serve: the sharded fabric must stay invisible in the
+    # decoded bits and lossless under worker kill; throughput numbers
+    # gate full-vs-full only (a 1-CPU runner cannot speak to scaling).
+    Gate("distributed_serve", "fabric_bit_identical",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("distributed_serve", "accounting_balanced",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("distributed_serve", "chaos.lossless",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("distributed_serve", "served_fps_1_worker", better="higher"),
+    Gate("distributed_serve", "served_fps_max_workers", better="higher"),
+    Gate("distributed_serve", "speedup_at_max_workers", better="higher"),
     # obs_overhead: telemetry must stay (nearly) free when disabled.
     Gate("obs_overhead", "disabled_overhead_pct",
          better="lower", compare="absolute", bound=5.0),

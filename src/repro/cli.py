@@ -379,12 +379,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(text: str):
+    """Split ``HOST:PORT`` (or bare ``PORT``) into its parts."""
+    if ":" in text:
+        host, _, port = text.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    return "127.0.0.1", int(text)
+
+
+def _fabric_config(args: argparse.Namespace, serve_config):
+    from .serve import FabricConfig
+
+    return FabricConfig(
+        workers=args.fabric_workers,
+        dispatch=args.dispatch,
+        window=args.fabric_window,
+        hash_replicas=args.hash_replicas,
+        serve=serve_config,
+    )
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .obs.registry import MetricsRegistry
+    from .serve import DecodeFabric, ServiceReport, serve_fabric
+
+    code = _build_serve_code(args)
+    config = _serve_config(args)
+    host, port = _parse_listen(args.listen)
+    registry = MetricsRegistry()
+    trace = _open_trace(args.trace) if args.trace is not None else None
+    fabric = DecodeFabric(
+        code, _fabric_config(args, config),
+        registry=registry, trace=trace,
+    )
+
+    def ready(gateway) -> None:
+        print(f"fabric listening on {gateway.host}:{gateway.port} "
+              f"(workers={args.fabric_workers}, "
+              f"dispatch={args.dispatch})", flush=True)
+        if args.port_file is not None:
+            with open(args.port_file, "w") as handle:
+                handle.write(str(gateway.port))
+
+    start = _time.monotonic()
+    try:
+        serve_fabric(
+            fabric,
+            host=host,
+            port=port,
+            window=args.conn_window,
+            duration_s=args.duration,
+            ready=ready,
+            chaos_kill_worker_after_s=args.chaos_kill_worker_after,
+        )
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if trace is not None:
+            trace.close()
+    wall = _time.monotonic() - start
+    report = ServiceReport.from_snapshot(
+        code, fabric.merged_snapshot(), wall,
+        max_batch=config.max_batch, workers=args.fabric_workers,
+    )
+    print(report.format())
+    if fabric.restarts:
+        print(f"  restarts   {fabric.restarts} worker restart(s), "
+              f"redriven chunks recounted")
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, fabric.merged_snapshot())
+        print(f"  metrics: {args.metrics_out}")
+    return 0
+
+
+def _cmd_loadgen_connect(args: argparse.Namespace) -> int:
+    from .serve import make_frame_pool, run_remote_loadgen
+
+    code = _build_serve_code(args)
+    frame_pool = make_frame_pool(code, ebn0_db=args.ebn0, seed=args.seed)
+    host, port = _parse_listen(args.connect)
+    print(f"loadgen rate {args.rate} (P={args.parallelism}, n={code.n}) "
+          f"against fabric at {host}:{port}, "
+          f"{args.duration}s per point:")
+    print(f"  {'offered':>9} {'served':>9} {'p50 ms':>8} "
+          f"{'p99 ms':>8} {'rej':>5} {'exp':>5} {'FER':>9}")
+    rows = []
+    for rate in args.offered_fps:
+        row = run_remote_loadgen(
+            host, port,
+            frame_pool=frame_pool,
+            offered_fps=rate,
+            duration_s=args.duration,
+            window=args.window,
+            deadline_ms=args.deadline_ms,
+            clients=args.clients,
+        )
+        rows.append(row)
+        fer = (
+            row["frame_errors"] / row["completed"]
+            if row["completed"] else float("nan")
+        )
+        print(f"  {rate:>9.1f} {row['served_fps']:>9.1f} "
+              f"{row['latency_p50_ms']:>8.2f} "
+              f"{row['latency_p99_ms']:>8.2f} "
+              f"{row['rejected']:>5} {row['expired']:>5} {fer:>9.3e}")
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, rows[-1]["server_snapshot"])
+        print(f"  metrics: {args.metrics_out} "
+              f"(server-side merged snapshot)")
+    bad = sum(r["protocol_errors"] for r in rows)
+    if bad:
+        print(f"error: {bad} protocol error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .obs.registry import MetricsRegistry
     from .serve import sweep_offered_rates
 
+    if args.connect is not None:
+        return _cmd_loadgen_connect(args)
     code = _build_serve_code(args)
     config = _serve_config(args)
+    fabric = (
+        _fabric_config(args, config)
+        if args.fabric_workers is not None else None
+    )
     trace = _open_trace(args.trace) if args.trace is not None else None
     publisher = None
     http_server = None
@@ -409,7 +532,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 publisher if publisher is not None else get_registry(),
                 port=args.publish_http,
             )
-            print(f"  serving metrics at {http_server.url}")
+            # Port 0 binds an ephemeral port; say which one we got so
+            # scrapers (and scripts parsing this output) can find it.
+            print(f"  serving metrics at {http_server.url} "
+                  f"(bound port {http_server.port})")
         results = sweep_offered_rates(
             code,
             config,
@@ -419,6 +545,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             seed=args.seed,
             trace=trace,
             publisher=publisher,
+            fabric=fabric,
+            clients=args.clients,
         )
     finally:
         if http_server is not None:
@@ -427,9 +555,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             publisher.close()
         if trace is not None:
             trace.close()
+    plane = (
+        f", fabric workers={args.fabric_workers} "
+        f"dispatch={args.dispatch}" if fabric is not None else ""
+    )
     print(f"loadgen rate {args.rate} (P={args.parallelism}, "
           f"n={code.n}) at Eb/N0 = {args.ebn0} dB, "
-          f"{args.duration}s per point:")
+          f"{args.duration}s per point{plane}:")
     print(f"  {'offered':>9} {'served':>9} {'p50 ms':>8} "
           f"{'p99 ms':>8} {'occup':>6} {'it/frame':>8} "
           f"{'shed':>6} {'rej%':>6} {'FER':>9}")
@@ -448,10 +580,26 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
           f"{last.model_frames_per_s:.1f} frames/s "
           f"({last.model_info_bps / 1e6:.1f} info Mbit/s)")
     if args.metrics_out is not None:
-        merged = MetricsRegistry()
-        for r in results:
-            merged.merge(r.snapshot)
-        _write_metrics(args.metrics_out, merged.snapshot())
+        if fabric is not None:
+            # Fold the sweep per worker label first so the merged file
+            # keeps the cross-worker sub-views under "workers".
+            from .obs.registry import merge_snapshots
+
+            shards: dict = {}
+            for r in results:
+                for label, part in r.snapshot.get("workers", {}).items():
+                    shards.setdefault(label, MetricsRegistry()).merge(
+                        part
+                    )
+            payload = merge_snapshots(
+                {label: reg.snapshot() for label, reg in shards.items()}
+            )
+        else:
+            merged = MetricsRegistry()
+            for r in results:
+                merged.merge(r.snapshot)
+            payload = merged.snapshot()
+        _write_metrics(args.metrics_out, payload)
         print(f"  metrics: {args.metrics_out}")
     if args.publish is not None:
         print(f"  publish: {args.publish} (snapshot stream), "
@@ -802,13 +950,71 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_flags(p)
     p.set_defaults(func=_cmd_serve)
 
+    def add_dispatch_flags(
+        p: argparse.ArgumentParser, *, default_workers
+    ) -> None:
+        """Fabric-shape flags shared by ``fabric`` and ``loadgen``."""
+        p.add_argument("--fabric-workers", type=int,
+                       default=default_workers,
+                       help="decode worker processes behind the "
+                            "fabric" + (
+                                "" if default_workers else
+                                " (default: single in-process service)"
+                            ))
+        p.add_argument("--dispatch",
+                       choices=("least-loaded", "round-robin", "hash"),
+                       default="least-loaded",
+                       help="chunk dispatch policy (hash pins clients "
+                            "to workers via a consistent-hash ring)")
+        p.add_argument("--fabric-window", type=int, default=2,
+                       help="in-flight chunks allowed per worker")
+        p.add_argument("--hash-replicas", type=int, default=64,
+                       help="virtual nodes per worker on the hash ring")
+        p.add_argument("--clients", type=int, default=0,
+                       help="rotate this many synthetic client "
+                            "identities (exercises hash affinity)")
+
+    p = sub.add_parser(
+        "fabric",
+        help="serve the distributed decode fabric over TCP",
+        description=(
+            "Start N decode worker processes behind an asyncio "
+            "gateway speaking newline-delimited JSON (ops: decode, "
+            "stats, ping).  Drive it with 'repro loadgen --connect "
+            "HOST:PORT'.  Worker crashes are healed by respawn-and-"
+            "redrive; accounting stays balanced."
+        ),
+    )
+    p.add_argument("--listen", default="127.0.0.1:0",
+                   metavar="HOST:PORT",
+                   help="bind address (port 0 picks a free port, "
+                        "printed on start)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port to PATH once listening")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop after this many seconds "
+                        "(default: run until interrupted)")
+    p.add_argument("--conn-window", type=int, default=64,
+                   help="max in-flight decodes per connection "
+                        "(per-client backpressure)")
+    p.add_argument("--chaos-kill-worker-after", type=float,
+                   default=None, metavar="SECONDS",
+                   help="SIGKILL worker 0 once after this long "
+                        "(crash-recovery soak probe)")
+    add_dispatch_flags(p, default_workers=2)
+    add_serve_flags(p)
+    p.set_defaults(func=_cmd_fabric)
+
     p = sub.add_parser(
         "loadgen",
         help="closed-loop load generator against the serve engine",
         description=(
             "Offer synthetic frames at fixed rates and report "
             "latency percentiles, shedding, rejects, and the Eq. 7/8 "
-            "hardware comparison per offered rate."
+            "hardware comparison per offered rate.  With "
+            "--fabric-workers the load runs against an in-process "
+            "multi-worker fabric; with --connect it drives a running "
+            "'repro fabric' gateway over TCP."
         ),
     )
     p.add_argument("--offered-fps", type=float, nargs="+",
@@ -816,6 +1022,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offered rates to sweep (frames per second)")
     p.add_argument("--duration", type=float, default=2.0,
                    help="seconds of offered load per sweep point")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="drive a running 'repro fabric' gateway "
+                        "instead of an in-process service")
+    p.add_argument("--window", type=int, default=64,
+                   help="pipelined in-flight requests (--connect mode)")
     p.add_argument("--publish", default=None, metavar="PATH",
                    help="stream periodic registry snapshots to "
                         "PATH (JSONL deltas) and PATH.prom "
@@ -825,7 +1036,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--publish-http", type=int, default=None,
                    metavar="PORT",
                    help="also serve live /metrics on this port "
-                        "(0 picks a free port)")
+                        "(0 picks a free port; the bound port is "
+                        "printed)")
+    add_dispatch_flags(p, default_workers=None)
     add_serve_flags(p)
     p.set_defaults(func=_cmd_loadgen)
 

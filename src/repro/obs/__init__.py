@@ -42,6 +42,7 @@ from .registry import (
     NULL_METRIC,
     Timer,
     get_registry,
+    merge_snapshots,
     set_registry,
 )
 from .trace import TraceRecorder, package_versions, version_string
@@ -66,6 +67,7 @@ __all__ = [
     "format_profile",
     "get_registry",
     "kernel_breakdown",
+    "merge_snapshots",
     "package_versions",
     "points_from_bench",
     "points_from_loadgen",

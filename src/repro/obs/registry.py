@@ -334,13 +334,22 @@ class MetricsRegistry:
     def merge(
         self, other: Union["MetricsRegistry", dict]
     ) -> "MetricsRegistry":
-        """Fold another registry (or a snapshot dict) into this one."""
+        """Fold another registry (or a snapshot dict) into this one.
+
+        Accepts both full :meth:`snapshot` dicts and the delta shape of
+        :func:`~repro.obs.publish.snapshot_delta` (plain gauge values,
+        timers without extremes) — the decode fabric merges per-chunk
+        worker deltas straight into its accumulators.
+        """
         snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
         for name, value in snap.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, g in snap.get("gauges", {}).items():
-            if g["is_set"]:
-                self.gauge(name).set(g["value"])
+            if isinstance(g, dict):
+                if g["is_set"]:
+                    self.gauge(name).set(g["value"])
+            else:
+                self.gauge(name).set(g)
         for name, t in snap.get("timers", {}).items():
             if t["count"] == 0:
                 self.timer(name)  # materialize the name
@@ -351,10 +360,16 @@ class MetricsRegistry:
             mine.count += t["count"]
             mine.total_ns += t["total_ns"]
             mine.last_ns = t["last_ns"]
-            if mine.min_ns is None or t["min_ns"] < mine.min_ns:
-                mine.min_ns = t["min_ns"]
-            if mine.max_ns is None or t["max_ns"] > mine.max_ns:
-                mine.max_ns = t["max_ns"]
+            t_min = t.get("min_ns")
+            t_max = t.get("max_ns")
+            if t_min is not None and (
+                mine.min_ns is None or t_min < mine.min_ns
+            ):
+                mine.min_ns = t_min
+            if t_max is not None and (
+                mine.max_ns is None or t_max > mine.max_ns
+            ):
+                mine.max_ns = t_max
         for name, h in snap.get("histograms", {}).items():
             mine = self.histogram(name, h["bounds"])
             if isinstance(mine, _NullMetric):
@@ -368,6 +383,36 @@ class MetricsRegistry:
             mine.count += h["count"]
             mine.sum += h["sum"]
         return self
+
+
+def merge_snapshots(parts, *, labels: bool = True) -> dict:
+    """Fold several snapshots into one, keeping per-shard sub-views.
+
+    ``parts`` is a mapping of shard label to snapshot dict (e.g.
+    ``{"fabric": ..., "w0": ..., "w1": ...}``) or a plain sequence of
+    snapshots.  The returned dict is a normal merged snapshot — counters
+    and histogram buckets sum, so everything that consumes snapshots
+    (:class:`~repro.serve.report.ServiceReport`, ``repro obs capacity``,
+    the Prometheus renderer) accepts it unchanged — plus, when ``parts``
+    is labeled and ``labels`` is true, a ``"workers"`` key mapping each
+    label to its own untouched sub-snapshot, so per-worker breakdowns
+    survive the merge.  The top-level merge is order-invariant for
+    counters, histograms, and timer count/total (the fields reports are
+    built from).
+    """
+    if hasattr(parts, "items"):
+        labeled = dict(parts)
+        sequence = list(labeled.values())
+    else:
+        labeled = None
+        sequence = list(parts)
+    merged = MetricsRegistry()
+    for part in sequence:
+        merged.merge(part)
+    snapshot = merged.snapshot()
+    if labeled is not None and labels:
+        snapshot["workers"] = labeled
+    return snapshot
 
 
 # ----------------------------------------------------------------------

@@ -23,7 +23,24 @@ from .api import (
 )
 from .batcher import MicroBatcher
 from .bytestream import ByteStreamGateway, FrameOutcome
+from .dispatch import (
+    DISPATCH_POLICIES,
+    ConsistentHashDispatch,
+    DispatchPolicy,
+    LeastLoadedDispatch,
+    RoundRobinDispatch,
+    make_dispatch,
+)
 from .engine import DecodeService
+from .fabric import DecodeFabric, FabricConfig
+from .gateway import (
+    FabricClient,
+    FabricGateway,
+    pack_bits_hex,
+    run_remote_loadgen,
+    serve_fabric,
+    unpack_bits_hex,
+)
 from .loadgen import (
     FramePool,
     LoadgenResult,
@@ -38,14 +55,23 @@ from .report import ServiceReport, snapshot_percentile
 __all__ = [
     "BoundedRequestQueue",
     "ByteStreamGateway",
+    "ConsistentHashDispatch",
+    "DISPATCH_POLICIES",
+    "DecodeFabric",
     "DecodeRequest",
     "DecodeResult",
     "DecodeService",
+    "DispatchPolicy",
+    "FabricClient",
+    "FabricConfig",
+    "FabricGateway",
     "FrameOutcome",
     "FramePool",
     "IterationBudgetController",
+    "LeastLoadedDispatch",
     "LoadgenResult",
     "MicroBatcher",
+    "RoundRobinDispatch",
     "REASON_BAD_FRAME",
     "REASON_DEADLINE",
     "REASON_QUEUE_FULL",
@@ -55,8 +81,13 @@ __all__ = [
     "STATUS_REJECTED",
     "ServeConfig",
     "ServiceReport",
+    "make_dispatch",
     "make_frame_pool",
+    "pack_bits_hex",
     "run_loadgen",
+    "run_remote_loadgen",
+    "serve_fabric",
     "snapshot_percentile",
     "sweep_offered_rates",
+    "unpack_bits_hex",
 ]

@@ -120,6 +120,10 @@ class DecodeRequest:
     arrival_s: float
     #: Absolute deadline on the service clock, or ``None``.
     deadline_s: Optional[float] = None
+    #: Opaque client identity for affinity dispatch (the distributed
+    #: fabric's consistent-hash policy pins a client's frames to one
+    #: worker); ``None`` means no affinity.
+    client: Optional[str] = None
 
     def expired(self, now: float) -> bool:
         """True once the deadline (if any) has passed."""

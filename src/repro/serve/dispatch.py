@@ -1,0 +1,167 @@
+"""Pluggable dispatch policies for the distributed decode fabric.
+
+The fabric (:mod:`repro.serve.fabric`) admits requests into one shared
+queue plus one pinned queue per worker; a dispatch policy decides, for
+every request and every ready micro-batch, which decode worker gets the
+work.  Two decisions, two hooks:
+
+* :meth:`DispatchPolicy.route` runs at admission: it may pin a request
+  to a specific worker (consistent hashing pins by client identity so
+  one client's frames always land on the same worker — cache affinity,
+  and per-client ordering for free), or return ``None`` to leave the
+  request in the shared queue;
+* :meth:`DispatchPolicy.select` runs at batch-dispatch time for shared
+  batches: given the per-worker outstanding frame counts it picks a
+  worker among those with window room.
+
+Both hooks are pure functions of their arguments, so dispatch is
+deterministic for a given request schedule — the property the fabric's
+bit-identity guarantee leans on.  The NoC-interconnect flexible decoder
+(PAPERS.md, Condo & Masera) is the hardware precedent: a routing fabric
+between frame producers and decode elements, with the routing policy a
+swappable block.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Sequence
+
+from .api import DecodeRequest
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit stable hash (process-seed independent, unlike ``hash``)."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class DispatchPolicy:
+    """Base policy: everything through the shared queue, least-loaded."""
+
+    name = "base"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+
+    # -- admission-time hook -------------------------------------------
+    def route(self, request: DecodeRequest) -> Optional[int]:
+        """Worker index this request is pinned to (``None`` = shared)."""
+        return None
+
+    # -- dispatch-time hook --------------------------------------------
+    def select(self, outstanding: Sequence[int],
+               eligible: Sequence[int]) -> int:
+        """Pick a worker for a shared batch.
+
+        ``outstanding`` maps worker index to frames currently in flight
+        there; ``eligible`` lists the indices with window room (always
+        non-empty — the fabric only asks when somebody has room).
+        """
+        raise NotImplementedError
+
+
+class LeastLoadedDispatch(DispatchPolicy):
+    """Send each shared batch to the emptiest worker (ties: lowest
+    index, so dispatch is deterministic for a given schedule)."""
+
+    name = "least-loaded"
+
+    def select(self, outstanding: Sequence[int],
+               eligible: Sequence[int]) -> int:
+        return min(eligible, key=lambda w: (outstanding[w], w))
+
+
+class RoundRobinDispatch(DispatchPolicy):
+    """Cycle through workers regardless of load (the paper's functional
+    units in lockstep; useful as a scaling baseline)."""
+
+    name = "round-robin"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._next = 0
+
+    def select(self, outstanding: Sequence[int],
+               eligible: Sequence[int]) -> int:
+        eligible_set = set(eligible)
+        for _ in range(self.workers):
+            candidate = self._next
+            self._next = (self._next + 1) % self.workers
+            if candidate in eligible_set:
+                return candidate
+        return eligible[0]
+
+
+class ConsistentHashDispatch(DispatchPolicy):
+    """Pin each client to a worker via a consistent-hash ring.
+
+    Every worker owns ``replicas`` virtual nodes on a 64-bit ring; a
+    request's client key hashes to a point and walks clockwise to the
+    next virtual node.  The classic property holds: when the worker
+    count changes, only the keys owned by the vanished (or newly
+    inserted) virtual nodes move — every other client keeps its worker,
+    so warm per-client state survives rescales.  Requests without a
+    client identity fall back to the shared queue and least-loaded
+    selection.
+    """
+
+    name = "hash"
+
+    def __init__(self, workers: int, *, replicas: int = 64) -> None:
+        super().__init__(workers)
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        ring = []
+        for worker in range(workers):
+            for replica in range(replicas):
+                ring.append((_stable_hash(f"w{worker}:r{replica}"), worker))
+        ring.sort()
+        self._ring_points = [point for point, _ in ring]
+        self._ring_workers = [worker for _, worker in ring]
+
+    def worker_for(self, key: str) -> int:
+        """The ring owner of ``key``."""
+        point = _stable_hash(key)
+        index = bisect.bisect_right(self._ring_points, point)
+        if index == len(self._ring_points):
+            index = 0
+        return self._ring_workers[index]
+
+    def route(self, request: DecodeRequest) -> Optional[int]:
+        if request.client is None:
+            return None
+        return self.worker_for(request.client)
+
+    def select(self, outstanding: Sequence[int],
+               eligible: Sequence[int]) -> int:
+        return min(eligible, key=lambda w: (outstanding[w], w))
+
+
+#: Registered policy names (the ``FabricConfig.dispatch`` values).
+DISPATCH_POLICIES = {
+    "least-loaded": LeastLoadedDispatch,
+    "round-robin": RoundRobinDispatch,
+    "hash": ConsistentHashDispatch,
+}
+
+
+def make_dispatch(name: str, workers: int, **kwargs) -> DispatchPolicy:
+    """Instantiate a policy by registry name.
+
+    Unknown names raise with the available choices listed, mirroring
+    :func:`repro.decode.backend.resolve_backend`'s error shape.
+    """
+    try:
+        cls = DISPATCH_POLICIES[name]
+    except KeyError:
+        available = ", ".join(sorted(DISPATCH_POLICIES))
+        raise ValueError(
+            f"unknown dispatch policy {name!r} (available: {available})"
+        ) from None
+    return cls(workers, **kwargs)

@@ -200,6 +200,8 @@ class DecodeService:
         self._completed: List[DecodeResult] = []
         #: EWMA of seconds per batch iteration (deadline budgeting).
         self._iter_cost_s: Optional[float] = None
+        #: External queue-pressure hint (see :meth:`set_load_hint`).
+        self._load_hint = 0.0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -290,6 +292,22 @@ class DecodeService:
         out = self._completed
         self._completed = []
         return out
+
+    def set_load_hint(self, fill: float) -> None:
+        """Install an external queue-pressure signal in ``[0, 1]``.
+
+        A distributed front-end (the decode fabric) keeps each worker's
+        local queue nearly empty by construction — one micro-batch in,
+        decode, results out — so the local fill fraction never reflects
+        system overload.  The hint lets the fabric forward its admission
+        queue fill; the iteration-budget controller sheds on the
+        *maximum* of local fill and hint, so standalone behaviour is
+        unchanged (the hint defaults to 0).
+        """
+        if not 0.0 <= fill:
+            raise ValueError("load hint must be non-negative")
+        self._load_hint = float(fill)
+        self.registry.gauge("serve.load_hint").set(round(fill, 4))
 
     def flush(self, now: Optional[float] = None) -> None:
         """Decode everything queued (ignoring linger) and wait for it."""
@@ -390,7 +408,7 @@ class DecodeService:
 
     def _dispatch_batch(self, now: float) -> None:
         with self.registry.timer("serve.stage.batch_form"):
-            fill = self.queue.fill
+            fill = max(self.queue.fill, self._load_hint)
             batch_budget = self.controller.budget(fill)
             requests = self.batcher.take(self.queue)
             self.registry.gauge("serve.queue.depth").set(len(self.queue))

@@ -23,7 +23,7 @@ silent corruption.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -36,6 +36,7 @@ from ..obs.registry import MetricsRegistry
 from ..obs.trace import TraceRecorder
 from .api import ServeConfig
 from .engine import DecodeService
+from .fabric import DecodeFabric, FabricConfig
 from .report import ServiceReport
 
 
@@ -113,6 +114,8 @@ def run_loadgen(
     publisher: Optional[SnapshotPublisher] = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Optional[Callable[[float], None]] = None,
+    fabric: Optional[FabricConfig] = None,
+    clients: int = 0,
 ) -> LoadgenResult:
     """Offer ``offered_fps`` frames/s for ``duration_s`` and report.
 
@@ -123,6 +126,13 @@ def run_loadgen(
     ``publisher`` the run streams registry snapshots while it pumps
     (the publisher is re-attached to this run's registry, so delta
     records stay non-negative across sweep points).
+
+    With a ``fabric`` config the run drives a multi-worker
+    :class:`~repro.serve.fabric.DecodeFabric` instead of the in-process
+    service; the serve knobs still come from ``config`` (``fabric``'s
+    embedded serve config is replaced), the returned snapshot is the
+    cross-worker merge, and ``clients`` > 0 stamps arrivals with a
+    rotating client identity so affinity dispatch gets exercised.
     """
     if offered_fps <= 0:
         raise ValueError("offered_fps must be positive")
@@ -152,11 +162,22 @@ def run_loadgen(
                 frame_errors += 1
                 bit_errors += wrong
 
-    service = DecodeService(
-        code, config, registry=registry, trace=trace, clock=clock
-    )
+    if fabric is not None:
+        service = DecodeFabric(
+            code,
+            replace(fabric, serve=config),
+            registry=registry,
+            trace=trace,
+            clock=clock,
+        )
+    else:
+        service = DecodeService(
+            code, config, registry=registry, trace=trace, clock=clock
+        )
     if publisher is not None:
-        publisher.attach(registry)
+        # The fabric quacks like a registry (merged snapshot()), so the
+        # publisher streams the cross-worker view.
+        publisher.attach(service if fabric is not None else registry)
     start = clock()
     submitted = 0
     with service:
@@ -171,9 +192,16 @@ def run_loadgen(
                 if scheduled > now:
                     break
                 idx = submitted % len(frame_pool)
-                rid = service.submit(
-                    frame_pool.llrs[idx], now=scheduled
-                )
+                if fabric is not None and clients > 0:
+                    rid = service.submit(
+                        frame_pool.llrs[idx],
+                        now=scheduled,
+                        client=f"client{submitted % clients}",
+                    )
+                else:
+                    rid = service.submit(
+                        frame_pool.llrs[idx], now=scheduled
+                    )
                 frame_of[rid] = idx
                 submitted += 1
             service.pump(now)
@@ -191,7 +219,10 @@ def run_loadgen(
         wall = clock() - start
     if publisher is not None:
         publisher.publish(clock(), force=True)
-    snapshot = registry.snapshot()
+    snapshot = (
+        service.merged_snapshot() if fabric is not None
+        else registry.snapshot()
+    )
     report = ServiceReport.from_snapshot(
         code, snapshot, wall, max_batch=config.max_batch
     )
@@ -217,6 +248,8 @@ def sweep_offered_rates(
     trace: Optional[TraceRecorder] = None,
     publisher: Optional[SnapshotPublisher] = None,
     progress: Optional[Callable[[LoadgenResult], None]] = None,
+    fabric: Optional[FabricConfig] = None,
+    clients: int = 0,
 ) -> List[LoadgenResult]:
     """Run one loadgen pass per offered rate (shared frame pool).
 
@@ -236,6 +269,8 @@ def sweep_offered_rates(
             seed=seed,
             trace=trace,
             publisher=publisher,
+            fabric=fabric,
+            clients=clients,
         )
         results.append(result)
         if progress is not None:

@@ -90,6 +90,10 @@ class ServiceReport:
     #: in-pump stages plus ``other`` sum to 100% of pump time.  ``None``
     #: when the snapshot carries no stage spans.
     stages: Optional[dict] = None
+    #: Decode workers behind the numbers (1 = single service; the
+    #: distributed fabric reports its worker count so merged reports
+    #: are self-describing).
+    workers: int = 1
 
     @classmethod
     def from_snapshot(
@@ -100,15 +104,25 @@ class ServiceReport:
         *,
         max_batch: int = 0,
         model: Optional[ThroughputModel] = None,
+        workers: Optional[int] = None,
     ) -> "ServiceReport":
         """Build the report from a :meth:`MetricsRegistry.snapshot`.
 
         ``wall_s`` is the measured serving interval (the registry has no
         notion of elapsed time); ``model`` defaults to the paper's
         270 MHz / P=360 configuration for the code's profile.
+        ``workers`` defaults to what the snapshot itself says: a merged
+        fabric snapshot carries per-worker sub-views under ``workers``
+        (see :func:`~repro.obs.registry.merge_snapshots`), whose
+        ``worker*`` labels are counted; otherwise 1.
         """
         from ..obs.profile import stage_breakdown
 
+        if workers is None:
+            labeled = snapshot.get("workers", {})
+            workers = sum(
+                1 for label in labeled if label.startswith("worker")
+            ) or 1
         counters = snapshot.get("counters", {})
         histograms = snapshot.get("histograms", {})
         completed = counters.get("serve.requests.completed", 0)
@@ -158,6 +172,7 @@ class ServiceReport:
                 info_bps / model_info if model_info else float("nan")
             ),
             stages=stage_breakdown(snapshot) or None,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------
@@ -175,7 +190,8 @@ class ServiceReport:
     def format(self) -> str:
         """Human-readable multi-line summary for the CLI."""
         lines = [
-            f"service report  rate={self.rate}  wall={self.wall_s:.3f}s",
+            f"service report  rate={self.rate}  wall={self.wall_s:.3f}s"
+            + (f"  workers={self.workers}" if self.workers > 1 else ""),
             (
                 f"  requests   submitted={self.submitted}"
                 f"  completed={self.completed}"

@@ -19,11 +19,74 @@ This module holds that shared machinery so both engines stay thin.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
+
+
+def _dup_call_queue_reader(executor: ProcessPoolExecutor) -> Optional[int]:
+    """Duplicate the executor call queue's read-end file descriptor.
+
+    Insurance taken out at executor creation, cashed in by
+    :func:`_unstick_call_queue` after a worker crash — by then the
+    queue's own reader has been closed by the executor's teardown, so
+    only a descriptor duplicated *now* can still drain the pipe.
+    """
+    queue = getattr(executor, "_call_queue", None)
+    reader = getattr(queue, "_reader", None)
+    if reader is None:
+        return None
+    try:
+        return os.dup(reader.fileno())
+    except OSError:
+        return None
+
+
+def _unstick_call_queue(
+    executor: ProcessPoolExecutor, drain_fd: Optional[int]
+) -> None:
+    """Unblock a dead executor's call-queue feeder thread.
+
+    When every worker of an executor dies with a large task still
+    queued, the feeder thread can block forever inside ``write()``: the
+    payload exceeds the pipe buffer, the dead workers can't read it,
+    and fork-inherited copies of the read end in *sibling* worker
+    processes keep the pipe from breaking.  The executor's management
+    thread then hangs joining the feeder, and ``shutdown(wait=True)``
+    hangs joining the management thread.  Draining our duplicated read
+    end lets the feeder finish and the whole teardown chain complete.
+    Runs as a daemon thread until the feeder exits; the thread owns
+    (and closes) ``drain_fd``.
+    """
+    import select
+
+    feeder = getattr(
+        getattr(executor, "_call_queue", None), "_thread", None
+    )
+    if drain_fd is None:
+        return
+    if feeder is None:
+        os.close(drain_fd)
+        return
+
+    def drain() -> None:
+        try:
+            while feeder.is_alive():
+                ready, _, _ = select.select([drain_fd], [], [], 0.02)
+                if ready and not os.read(drain_fd, 1 << 16):
+                    break
+                feeder.join(0.02)
+        except OSError:
+            pass
+        finally:
+            os.close(drain_fd)
+
+    threading.Thread(
+        target=drain, name="pool-call-queue-drain", daemon=True
+    ).start()
 
 
 def fork_context():
@@ -111,7 +174,18 @@ class PersistentPool:
       reference to ``initargs``, so identity-based keys stay valid);
     * ``workers=1`` — or a platform without ``fork`` (warned) — runs
       everything inline in this process, exactly like
-      :func:`map_ordered`'s serial path, so callers keep one code path;
+      :func:`map_ordered`'s serial path, so callers keep one code path
+      (``dedicated=True`` opts a single worker out of the inline path:
+      the distributed decode fabric needs each of its workers to be a
+      real, individually-targetable child process);
+    * a worker process that dies (OOM-killed, segfaulted) does not end
+      the run: :meth:`respawn` replaces the broken executor with
+      freshly initialized workers under the *same* configuration key,
+      records a ``pool.worker_restart`` counter plus a
+      ``pool_worker_restart`` trace event, and :meth:`submit` /
+      :meth:`map_ordered` respawn automatically when they find the
+      executor broken (callers holding failed futures redrive those
+      tasks themselves — the pool cannot know which results were lost);
     * the pool is a context manager; :meth:`shutdown` is idempotent.
     """
 
@@ -120,10 +194,14 @@ class PersistentPool:
         workers: Optional[int] = None,
         *,
         label: str = "parallel engine",
+        dedicated: bool = False,
+        registry=None,
+        trace=None,
     ) -> None:
         workers = resolve_workers(workers)
-        self._ctx = fork_context() if workers > 1 else None
-        if workers > 1 and self._ctx is None:
+        needs_processes = workers > 1 or dedicated
+        self._ctx = fork_context() if needs_processes else None
+        if needs_processes and self._ctx is None:
             warnings.warn(
                 f"fork start method unavailable on this platform; "
                 f"running the {label} serially",
@@ -131,9 +209,16 @@ class PersistentPool:
                 stacklevel=2,
             )
             workers = 1
+            dedicated = False
         self.workers = workers
         self.label = label
+        self.dedicated = dedicated
+        self.registry = registry
+        self.trace = trace
+        self.restarts = 0
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Dup of the call queue's read end (crash-teardown insurance).
+        self._drain_fd: Optional[int] = None
         self._config_key = None
         self._config = (None, ())
 
@@ -141,7 +226,7 @@ class PersistentPool:
     @property
     def serial(self) -> bool:
         """True when tasks run inline in this process."""
-        return self.workers == 1
+        return self.workers == 1 and not self.dedicated
 
     def configure(
         self,
@@ -165,22 +250,14 @@ class PersistentPool:
             self._executor is not None or self.serial
         ):
             return
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self._teardown_executor()
         self._config_key = key
         self._config = (initializer, initargs)
         if self.serial:
             if initializer is not None:
                 initializer(*initargs)
         else:
-            initializer_, initargs_ = self._config
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=self._ctx,
-                initializer=initializer_,
-                initargs=initargs_,
-            )
+            self._require_executor()
 
     def _require_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -191,9 +268,67 @@ class PersistentPool:
                 initializer=initializer,
                 initargs=initargs,
             )
+            self._drain_fd = _dup_call_queue_reader(self._executor)
         return self._executor
 
+    def _teardown_executor(self) -> None:
+        """Shut the executor down, unsticking it first if it died."""
+        executor, self._executor = self._executor, None
+        drain_fd, self._drain_fd = self._drain_fd, None
+        if executor is None:
+            if drain_fd is not None:
+                os.close(drain_fd)
+            return
+        if getattr(executor, "_broken", False):
+            _unstick_call_queue(executor, drain_fd)
+        elif drain_fd is not None:
+            os.close(drain_fd)
+        executor.shutdown(wait=True)
+
     # ------------------------------------------------------------------
+    @property
+    def broken(self) -> bool:
+        """True when a worker died and the executor refuses new work."""
+        return self._executor is not None and bool(
+            getattr(self._executor, "_broken", False)
+        )
+
+    def respawn(self) -> None:
+        """Replace a dead executor with freshly initialized workers.
+
+        The configuration key is kept, so the pool comes back exactly
+        as :meth:`configure` left it (same initializer, same initargs)
+        — "re-keyed" rather than degraded to serial for the rest of
+        the run.  Emits a ``pool.worker_restart`` counter and a
+        ``pool_worker_restart`` trace event so restarts are visible in
+        merged telemetry.  In-flight futures of the dead executor have
+        already failed; redriving them is the caller's job.
+        """
+        if self.serial:
+            return
+        self._teardown_executor()
+        self.restarts += 1
+        registry = self.registry
+        if registry is None:
+            from ..obs.registry import get_registry
+
+            registry = get_registry()
+        registry.counter("pool.worker_restart").inc()
+        if self.trace is not None:
+            self.trace.event(
+                "pool_worker_restart",
+                label=self.label,
+                workers=self.workers,
+                restarts=self.restarts,
+            )
+        self._require_executor()
+
+    def _submit_executor(self) -> ProcessPoolExecutor:
+        """The executor to submit to, respawning a broken one first."""
+        if self.broken:
+            self.respawn()
+        return self._require_executor()
+
     def submit(self, fn: Callable, *args) -> Future:
         """Submit one task; inline (already-done future) when serial."""
         if self.serial:
@@ -203,20 +338,23 @@ class PersistentPool:
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 future.set_exception(exc)
             return future
-        return self._require_executor().submit(fn, *args)
+        try:
+            return self._submit_executor().submit(fn, *args)
+        except BrokenExecutor:
+            # Broke between the check and the submit: one more respawn.
+            self.respawn()
+            return self._require_executor().submit(fn, *args)
 
     def map_ordered(self, fn: Callable, tasks: Sequence) -> list:
         """Run ``fn`` over ``tasks``, results in task order."""
         if self.serial:
             return [fn(task) for task in tasks]
-        return list(self._require_executor().map(fn, tasks))
+        return list(self._submit_executor().map(fn, tasks))
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
         """Stop the workers (idempotent; the pool can be reconfigured)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self._teardown_executor()
 
     def __enter__(self) -> "PersistentPool":
         return self

@@ -54,7 +54,8 @@ class TestLookup:
 
 class TestCheck:
     def test_committed_baselines_pass_against_themselves(self):
-        for bench in ("serve_latency", "obs_overhead"):
+        for bench in ("serve_latency", "obs_overhead",
+                      "distributed_serve"):
             payload = _load(bench)
             rows = check(payload, payload, bench=bench)
             assert rows, bench

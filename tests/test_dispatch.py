@@ -1,0 +1,132 @@
+"""Tests for repro.serve.dispatch — the fabric's routing policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DISPATCH_POLICIES,
+    ConsistentHashDispatch,
+    DecodeRequest,
+    DispatchPolicy,
+    LeastLoadedDispatch,
+    RoundRobinDispatch,
+    make_dispatch,
+)
+
+
+def _req(rid: int, client=None) -> DecodeRequest:
+    return DecodeRequest(
+        request_id=rid,
+        llrs=np.zeros(1),
+        arrival_s=0.0,
+        client=client,
+    )
+
+
+class TestLeastLoaded:
+    def test_picks_emptiest_worker(self):
+        policy = LeastLoadedDispatch(4)
+        assert policy.select([5, 1, 3, 2], [0, 1, 2, 3]) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        policy = LeastLoadedDispatch(3)
+        assert policy.select([2, 2, 2], [0, 1, 2]) == 0
+        assert policy.select([2, 2, 2], [2, 1]) == 1
+
+    def test_respects_eligibility(self):
+        policy = LeastLoadedDispatch(3)
+        # Worker 0 is emptiest but has no window room.
+        assert policy.select([0, 4, 2], [1, 2]) == 2
+
+    def test_routes_nothing(self):
+        assert LeastLoadedDispatch(2).route(_req(0, client="a")) is None
+
+
+class TestRoundRobin:
+    def test_cycles_through_workers(self):
+        policy = RoundRobinDispatch(3)
+        picks = [policy.select([0, 0, 0], [0, 1, 2]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_ineligible_workers(self):
+        policy = RoundRobinDispatch(3)
+        picks = [policy.select([0, 0, 0], [0, 2]) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+
+class TestConsistentHash:
+    def test_same_client_same_worker(self):
+        policy = ConsistentHashDispatch(4)
+        first = policy.route(_req(0, client="alice"))
+        assert first is not None and 0 <= first < 4
+        for rid in range(1, 20):
+            assert policy.route(_req(rid, client="alice")) == first
+
+    def test_stable_across_instances(self):
+        a = ConsistentHashDispatch(4)
+        b = ConsistentHashDispatch(4)
+        clients = [f"client{i}" for i in range(50)]
+        assert [a.worker_for(c) for c in clients] == [
+            b.worker_for(c) for c in clients
+        ]
+
+    def test_no_client_falls_back_to_shared(self):
+        policy = ConsistentHashDispatch(4)
+        assert policy.route(_req(0)) is None
+
+    def test_spreads_clients_across_workers(self):
+        policy = ConsistentHashDispatch(4, replicas=128)
+        owners = {policy.worker_for(f"client{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_rescale_moves_only_a_fraction(self):
+        # The consistent-hashing property: growing 4 -> 5 workers moves
+        # roughly 1/5 of the keys, not ~4/5 like a modulo hash.
+        before = ConsistentHashDispatch(4, replicas=128)
+        after = ConsistentHashDispatch(5, replicas=128)
+        clients = [f"client{i}" for i in range(400)]
+        moved = sum(
+            before.worker_for(c) != after.worker_for(c) for c in clients
+        )
+        assert moved / len(clients) < 0.5
+
+    def test_shared_batches_use_least_loaded(self):
+        policy = ConsistentHashDispatch(3)
+        assert policy.select([4, 0, 2], [0, 1, 2]) == 1
+
+
+class TestMakeDispatch:
+    def test_registry_covers_all_policies(self):
+        assert set(DISPATCH_POLICIES) == {
+            "least-loaded", "round-robin", "hash",
+        }
+
+    @pytest.mark.parametrize("name,cls", [
+        ("least-loaded", LeastLoadedDispatch),
+        ("round-robin", RoundRobinDispatch),
+        ("hash", ConsistentHashDispatch),
+    ])
+    def test_builds_named_policy(self, name, cls):
+        policy = make_dispatch(name, 3)
+        assert isinstance(policy, cls)
+        assert policy.workers == 3
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="least-loaded"):
+            make_dispatch("random", 2)
+
+    def test_hash_replicas_forwarded(self):
+        policy = make_dispatch("hash", 2, replicas=7)
+        assert policy.replicas == 7
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            LeastLoadedDispatch(0)
+        with pytest.raises(ValueError):
+            ConsistentHashDispatch(2, replicas=0)
+
+    def test_base_policy_select_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            DispatchPolicy(1).select([0], [0])

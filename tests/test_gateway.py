@@ -1,0 +1,266 @@
+"""Tests for repro.serve.gateway — the fabric's TCP front door.
+
+A real asyncio gateway runs in a background thread; real blocking
+clients talk to it over loopback sockets.  The contract: the wire adds
+framing, never semantics — bits that come back match the in-process
+fabric, and the books stay balanced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    DecodeFabric,
+    DecodeService,
+    FabricClient,
+    FabricConfig,
+    FabricGateway,
+    ServeConfig,
+    make_frame_pool,
+    pack_bits_hex,
+    run_remote_loadgen,
+    serve_fabric,
+    unpack_bits_hex,
+)
+
+
+def _calm_config(**overrides) -> ServeConfig:
+    base = dict(
+        max_batch=8,
+        max_linger_ms=0.5,
+        queue_capacity=64,
+        max_iterations=8,
+        min_iterations=8,
+    )
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class _GatewayHarness:
+    """Run a FabricGateway on a background event loop thread."""
+
+    def __init__(self, fabric: DecodeFabric, window: int = 64) -> None:
+        self.fabric = fabric
+        self.window = window
+        self.gateway = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(30.0), "gateway failed to start"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.gateway = FabricGateway(
+            self.fabric, host="127.0.0.1", port=0, window=self.window
+        )
+        await self.gateway.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.gateway.stop()
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def close(self) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "gateway failed to stop"
+
+    def __enter__(self) -> "_GatewayHarness":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+@pytest.fixture(scope="module")
+def frames(code_half_tiny):
+    return make_frame_pool(code_half_tiny, pool_size=16, seed=55)
+
+
+def _reference_bits(code, config, pool) -> np.ndarray:
+    service = DecodeService(code, config, registry=MetricsRegistry())
+    ids = [
+        service.submit(pool.llrs[i], now=float(i))
+        for i in range(len(pool))
+    ]
+    service.flush()
+    by_id = {r.request_id: r for r in service.poll()}
+    return np.stack([by_id[i].bits for i in ids])
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(5)
+        for n in (1, 7, 8, 2160):
+            bits = rng.integers(0, 2, size=n).astype(np.uint8)
+            assert np.array_equal(
+                unpack_bits_hex(pack_bits_hex(bits), n), bits
+            )
+
+
+class TestGatewayProtocol:
+    def test_ping_stats_and_decode_bit_identity(
+        self, code_half_tiny, frames
+    ):
+        config = _calm_config()
+        expected = _reference_bits(code_half_tiny, config, frames)
+        fabric = DecodeFabric(
+            code_half_tiny,
+            FabricConfig(workers=2, serve=config),
+            registry=MetricsRegistry(),
+        )
+        got = {}
+        with _GatewayHarness(fabric) as server:
+            with FabricClient(
+                "127.0.0.1", server.port, window=8,
+                on_response=lambda r: got.__setitem__(
+                    r["id"], unpack_bits_hex(r["bits"], code_half_tiny.n)
+                ),
+            ) as client:
+                pong = client.ping()
+                assert pong["ok"] and pong["workers"] == 2
+                assert pong["dispatch"] == "least-loaded"
+                for i in range(len(frames)):
+                    client.decode(frames.llrs[i], correlation=i)
+                client.drain()
+                snapshot = client.stats()
+        assert sorted(got) == list(range(len(frames)))
+        assert np.array_equal(
+            np.stack([got[i] for i in sorted(got)]), expected
+        )
+        # The stats op returns the merged cross-worker snapshot.
+        assert set(snapshot["workers"]) == {"fabric", "worker0", "worker1"}
+        assert snapshot["counters"]["serve.requests.submitted"] == len(
+            frames
+        )
+
+    def test_json_llrs_and_client_affinity_fields(
+        self, code_half_tiny, frames
+    ):
+        config = _calm_config()
+        expected = _reference_bits(code_half_tiny, config, frames)
+        fabric = DecodeFabric(
+            code_half_tiny,
+            FabricConfig(workers=2, dispatch="hash", serve=config),
+            registry=MetricsRegistry(),
+        )
+        with _GatewayHarness(fabric) as server:
+            with FabricClient("127.0.0.1", server.port) as client:
+                response = client.request({
+                    "op": "decode",
+                    "id": 0,
+                    "llrs": [float(v) for v in frames.llrs[0]],
+                    "client": "tenant-a",
+                })
+                assert response["ok"] and response["status"] == "ok"
+                bits = unpack_bits_hex(
+                    response["bits"], code_half_tiny.n
+                )
+        assert np.array_equal(bits, expected[0])
+
+    def test_protocol_errors_are_typed_not_fatal(
+        self, code_half_tiny, frames
+    ):
+        fabric = DecodeFabric(
+            code_half_tiny,
+            FabricConfig(workers=1, serve=_calm_config()),
+            registry=MetricsRegistry(),
+        )
+        with _GatewayHarness(fabric) as server:
+            with FabricClient("127.0.0.1", server.port) as client:
+                bad_op = client.request({"op": "bogus"})
+                assert not bad_op["ok"] and "bogus" in bad_op["error"]
+                bad_shape = client.request({
+                    "op": "decode", "id": 1, "llrs": [0.0, 1.0],
+                })
+                assert not bad_shape["ok"]
+                # The connection survives the errors.
+                assert client.ping()["ok"]
+
+    def test_client_window_backpressure(self, code_half_tiny, frames):
+        fabric = DecodeFabric(
+            code_half_tiny,
+            FabricConfig(workers=1, serve=_calm_config()),
+            registry=MetricsRegistry(),
+        )
+        seen = []
+        with _GatewayHarness(fabric, window=4) as server:
+            with FabricClient(
+                "127.0.0.1", server.port, window=2,
+                on_response=lambda r: seen.append(r["status"]),
+            ) as client:
+                for i in range(10):
+                    client.decode(frames.llrs[i % len(frames)],
+                                  correlation=i)
+                    assert client.inflight <= 2
+                client.drain()
+                assert client.inflight == 0
+        assert seen.count("ok") == 10
+
+
+class TestServeFabricEntrypoint:
+    def test_remote_loadgen_over_serve_fabric(self, code_half_tiny):
+        # The CLI path end to end: serve_fabric in a thread, the remote
+        # load generator driving it over TCP, books balanced, bits
+        # checked against ground truth.
+        # seed chosen for a pool the 6-bit quantized decoder fully
+        # corrects at this SNR (ground-truth comparison needs FER 0).
+        pool = make_frame_pool(
+            code_half_tiny, pool_size=32, ebn0_db=3.5, seed=55
+        )
+        config = _calm_config(
+            max_iterations=30, min_iterations=30, max_linger_ms=2.0
+        )
+        fabric = DecodeFabric(
+            code_half_tiny,
+            FabricConfig(workers=2, serve=config),
+            registry=MetricsRegistry(),
+        )
+        bound = {}
+        ready = threading.Event()
+
+        def on_ready(gateway):
+            bound["port"] = gateway.port
+            ready.set()
+
+        server = threading.Thread(
+            target=serve_fabric,
+            kwargs=dict(fabric=fabric, port=0, duration_s=8.0,
+                        ready=on_ready),
+            daemon=True,
+        )
+        server.start()
+        assert ready.wait(30.0)
+        result = run_remote_loadgen(
+            "127.0.0.1", bound["port"],
+            frame_pool=pool,
+            offered_fps=120.0,
+            duration_s=1.0,
+            window=16,
+            clients=4,
+        )
+        server.join(timeout=30.0)
+        assert not server.is_alive()
+        assert result["protocol_errors"] == 0
+        assert result["frame_errors"] == 0
+        assert (
+            result["completed"] + result["rejected"] + result["expired"]
+            == result["submitted"]
+        )
+        assert result["served_fps"] > 0
+        assert "workers" in result["server_snapshot"]

@@ -2,8 +2,13 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.sim import PersistentPool, parallel_ber
 
 _STATE = {}
@@ -75,6 +80,55 @@ class TestWarmReuse:
         pool = PersistentPool(1)
         pool.shutdown()
         pool.shutdown()
+
+
+def _pid():
+    return os.getpid()
+
+
+class TestDedicatedWorker:
+    def _dedicated(self, **kwargs):
+        pool = PersistentPool(1, dedicated=True, **kwargs)
+        if pool.serial:
+            pool.shutdown()
+            pytest.skip("no fork: dedicated worker unavailable")
+        return pool
+
+    def test_single_dedicated_worker_is_a_real_process(self):
+        with self._dedicated() as pool:
+            assert not pool.serial
+            assert pool.submit(_pid).result() != os.getpid()
+
+    def test_respawn_after_kill_keeps_configuration(self):
+        registry = MetricsRegistry()
+        trace = TraceRecorder()
+        with self._dedicated(registry=registry, trace=trace) as pool:
+            pool.configure(_init, ("alpha",), key="k")
+            victim = pool.submit(_pid).result()
+            os.kill(victim, signal.SIGKILL)
+            # The pool auto-respawns when it has already noticed the
+            # death; a future that raced the detection fails and the
+            # caller redrives (the fabric's contract).
+            from concurrent.futures import BrokenExecutor
+
+            try:
+                out = pool.submit(_tagged, 3).result()
+            except BrokenExecutor:
+                pool.respawn()
+                out = pool.submit(_tagged, 3).result()
+            assert out == ("alpha", 3)  # initializer re-ran
+            assert pool.submit(_pid).result() != victim
+            assert pool.restarts >= 1
+        snap = registry.snapshot()
+        assert snap["counters"]["pool.worker_restart"] >= 1
+        assert any(
+            e["type"] == "pool_worker_restart" for e in trace.events
+        )
+
+    def test_respawn_on_serial_pool_is_a_noop(self):
+        pool = PersistentPool(1)
+        pool.respawn()
+        assert pool.restarts == 0
 
 
 class TestParallelBerWithPool:

@@ -1,8 +1,10 @@
-"""CLI tests for ``repro serve`` and ``repro loadgen``."""
+"""CLI tests for ``repro serve``, ``repro loadgen``, ``repro fabric``."""
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 
 import pytest
 
@@ -119,3 +121,83 @@ def test_loadgen_publish_streams_snapshots_and_prom(capsys, tmp_path):
     prom = (tmp_path / "stream.jsonl.prom").read_text()
     assert "# TYPE repro_serve_requests_completed_total counter" in prom
     assert "repro_serve_stage_decode_seconds_count" in prom
+
+
+def test_loadgen_publish_http_port0_prints_bound_port(capsys):
+    """--publish-http 0 binds an ephemeral port and prints it back."""
+    code = main([
+        "loadgen", "--offered-fps", "150",
+        "--duration", "0.1", "--ebn0", "3.5",
+        "--max-batch", "8", "--max-linger-ms", "2",
+        "--publish-http", "0",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    line = next(l for l in out.splitlines() if "bound port" in l)
+    port = int(line.rsplit("bound port", 1)[1].strip(" )"))
+    assert port > 0  # the OS picked a real ephemeral port
+
+
+def test_loadgen_fabric_plane_merges_workers(capsys, tmp_path):
+    """--fabric-workers runs the sweep against an in-process fabric and
+    the metrics file carries the merged per-worker sub-views."""
+    metrics = tmp_path / "metrics.json"
+    code = main([
+        "loadgen", "--offered-fps", "150",
+        "--duration", "0.15", "--ebn0", "3.5",
+        "--max-batch", "8", "--max-linger-ms", "2",
+        "--fabric-workers", "2", "--dispatch", "least-loaded",
+        "--metrics-out", str(metrics),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fabric workers=2" in out
+    snap = json.loads(metrics.read_text())
+    assert set(snap["workers"]) == {"fabric", "worker0", "worker1"}
+    counters = snap["counters"]
+    assert counters["serve.requests.submitted"] == int(150 * 0.15)
+    exits = (
+        counters.get("serve.requests.completed", 0)
+        + counters.get("serve.requests.rejected", 0)
+        + counters.get("serve.requests.expired", 0)
+    )
+    assert exits == counters["serve.requests.submitted"]
+
+
+@pytest.mark.slow
+def test_fabric_gateway_cli_end_to_end(capsys, tmp_path):
+    """'repro fabric' serving, 'repro loadgen --connect' driving — the
+    full TCP path the CI smoke job soaks."""
+    port_file = tmp_path / "port"
+    metrics = tmp_path / "fabric_metrics.json"
+    server = threading.Thread(
+        target=main,
+        args=([
+            "fabric", "--listen", "127.0.0.1:0",
+            "--port-file", str(port_file),
+            "--duration", "5",
+            "--fabric-workers", "2",
+            "--parallelism", "12",
+            "--max-batch", "8", "--max-linger-ms", "2",
+            "--metrics-out", str(metrics),
+        ],),
+        daemon=True,
+    )
+    server.start()
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    port = int(port_file.read_text())
+    code = main([
+        "loadgen", "--connect", f"127.0.0.1:{port}",
+        "--offered-fps", "120", "--duration", "1",
+        "--ebn0", "3.5", "--parallelism", "12", "--window", "16",
+    ])
+    server.join(timeout=60.0)
+    assert not server.is_alive()
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fabric listening on 127.0.0.1:" in out
+    assert "workers=2" in out
+    snap = json.loads(metrics.read_text())
+    assert set(snap["workers"]) == {"fabric", "worker0", "worker1"}
