@@ -80,6 +80,17 @@ GATES: List[Gate] = [
     Gate("distributed_serve", "served_fps_1_worker", better="higher"),
     Gate("distributed_serve", "served_fps_max_workers", better="higher"),
     Gate("distributed_serve", "speedup_at_max_workers", better="higher"),
+    # pipeline_overlap: the pipelined pump must stay invisible in the
+    # decoded bits and exact in its books at every depth (absolute,
+    # every run); the overlap speedup and absolute rates are only
+    # meaningful full-vs-full on comparable hosts.
+    Gate("pipeline_overlap", "depth_bit_identical",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("pipeline_overlap", "accounting_balanced",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("pipeline_overlap", "overlap_speedup", better="higher"),
+    Gate("pipeline_overlap", "served_fps_depth1", better="higher"),
+    Gate("pipeline_overlap", "served_fps_top_depth", better="higher"),
     # obs_overhead: telemetry must stay (nearly) free when disabled.
     Gate("obs_overhead", "disabled_overhead_pct",
          better="lower", compare="absolute", bound=5.0),

@@ -306,6 +306,7 @@ def _serve_config(args: argparse.Namespace):
         channel_scale=args.channel_scale,
         backend=args.backend,
         workers=args.workers,
+        pipeline_depth=getattr(args, "pipeline_depth", None),
         instrument_kernels=getattr(args, "profile_kernels", False),
     )
 
@@ -925,6 +926,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=1,
                        help="decode batches on a persistent process "
                             "pool (order stays deterministic)")
+        p.add_argument("--pipeline-depth", type=int, default=None,
+                       help="micro-batches kept in flight on the "
+                            "pooled path (default: 2x workers; 1 = "
+                            "strictly sequential pump; results are "
+                            "bit-identical at any depth)")
         p.add_argument("--trace", default=None, metavar="PATH",
                        help="write serve_batch/serve_drop JSONL events")
         p.add_argument("--metrics-out", default=None, metavar="PATH",

@@ -26,6 +26,14 @@ from .floorplan import (
 )
 from .mapping import AddressWord, IpMapping
 from .memory import PartitionedMemory, SramBank
+from .pipeline import (
+    BCH_STAGE_GATES,
+    FramePipelineModel,
+    PipelineStage,
+    pipeline_area_rows,
+    pipeline_tradeoff_table,
+    technology_from_sweep,
+)
 from .power import EnergyConstants, PowerModel, power_table
 from .rtl import (
     barrel_shuffler_verilog,
@@ -55,13 +63,16 @@ __all__ = [
     "CoreConfig",
     "DecoderIpCore",
     "DecoderSchedule",
+    "BCH_STAGE_GATES",
     "EnergyConstants",
+    "FramePipelineModel",
     "FuArrayFloorplan",
     "IpMapping",
     "MemoryLayout",
     "PAPER_TABLE3_MM2",
     "PartitionedMemory",
     "PhaseProgram",
+    "PipelineStage",
     "PowerModel",
     "power_table",
     "REQUIRED_THROUGHPUT_BPS",
@@ -74,6 +85,9 @@ __all__ = [
     "ThroughputModel",
     "fu_gate_count",
     "optimize_rate",
+    "pipeline_area_rows",
+    "pipeline_tradeoff_table",
+    "technology_from_sweep",
     "verify_core",
     "simulate_cn_phase",
     "simulate_iteration",

@@ -1,0 +1,317 @@
+"""Frame-pipelined multi-core throughput model (beyond Eq. 7/8).
+
+The paper's core interleaves I/O with decoding only at the frame edges:
+Eq. 8 charges ``C / P_IO`` serial input cycles per frame because the
+double-buffered I/O RAM overlaps *output* of frame ``k-1`` with *input*
+of frame ``k+1`` while frame ``k`` decodes.  Its successors in
+PAPERS.md go further — the 2.0 Gb/s QC-LDPCC decoder of Sham et al.
+pipelines whole frames across decoder cores, and Condo & Masera's
+NoC-interconnect decoder streams frames through independent processing
+stages.  This module models that *frame pipeline* on top of
+:class:`~repro.hw.throughput.ThroughputModel`:
+
+* **deframe** — channel LLRs stream into the (double-buffered) I/O RAM
+  at ``P_IO`` values per cycle: ``ceil(C / P_IO)`` cycles per frame;
+* **decode** — ``It`` iterations on a core:
+  ``It * (2 * E_IN / P + T_latency)`` cycles, replicated over
+  ``decode_cores`` round-robin cores so the stage's initiation
+  interval shrinks as ``ceil(cycles / cores)``;
+* **bch** — the outer BCH decoder consumes the hard-decision codeword
+  at ``bch_parallelism`` symbols per cycle: ``ceil(C / P_BCH)`` cycles.
+
+With every stage double-buffered, frames stream at the pace of the
+*slowest* stage (the pipeline's initiation interval) instead of the sum
+Eq. 8 charges; one frame's latency is the *fill* — the sum of all stage
+occupancies it traverses.  The serve engine's pipelined pump
+(``ServeConfig.pipeline_depth``) mirrors exactly this structure in
+software: LLR prep ≙ deframe, pooled decode ≙ the decode core, and
+completion/CRC ≙ the BCH stage; :func:`repro.obs.profile.stage_breakdown`
+measures the software stages' busy times, and the same bottleneck law
+predicts the pipelined throughput in both worlds
+(``bench_pipeline_overlap.py`` cross-checks it).
+
+Area comes from :class:`~repro.hw.area.AreaModel`: each decode core
+pays the full Table 3 core, the deframe stage adds the second channel
+RAM of the double buffer, and the BCH stage adds a small
+syndrome/Chien datapath — so :func:`pipeline_tradeoff_table` can put
+throughput *per mm²* next to the paper's single-core Table 3 point and
+:func:`technology_from_sweep` feeds the annealer's all-rates write
+buffer result into the control-area term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..codes.standard import CodeRateProfile, all_profiles, get_profile
+from .area import PAPER_TABLE3_MM2, AreaModel, Technology
+from .throughput import (
+    DEFAULT_CLOCK_HZ,
+    DEFAULT_IO_PARALLELISM,
+    DEFAULT_ITERATIONS,
+    DEFAULT_LATENCY_CYCLES,
+    REQUIRED_THROUGHPUT_BPS,
+    ThroughputModel,
+)
+
+#: Gate estimate for the outer BCH stage's datapath (syndrome network
+#: plus serial Chien search for the t<=12 DVB-S2 outer code) — small
+#: next to the LDPC core's FU array, like the paper's control logic.
+BCH_STAGE_GATES = 30000.0
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of the frame pipeline.
+
+    ``cycles`` is the stage's occupancy for one frame; ``replicas``
+    round-robin frames across identical units (multi-core decode), so
+    the stage admits a new frame every :attr:`interval_cycles` while a
+    single frame still occupies one unit for the full ``cycles``.
+    """
+
+    name: str
+    cycles: int
+    replicas: int = 1
+
+    @property
+    def interval_cycles(self) -> int:
+        """Cycles between frames this stage can admit (its II)."""
+        return -(-self.cycles // self.replicas)  # ceil division
+
+
+@dataclass(frozen=True)
+class FramePipelineModel:
+    """Bottleneck-stage throughput / fill latency of the frame pipeline.
+
+    ``decode_cores`` replicates the LDPC core (the Sham et al. recipe
+    for multi-gigabit rates); the I/O and BCH stages stay single — they
+    are streaming datapaths, not iterative loops, and stay far from the
+    bottleneck at practical iteration counts.
+    """
+
+    profile: CodeRateProfile
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    io_parallelism: int = DEFAULT_IO_PARALLELISM
+    latency_cycles: int = DEFAULT_LATENCY_CYCLES
+    decode_cores: int = 1
+    #: Hard-decision symbols the BCH stage consumes per cycle.
+    bch_parallelism: int = DEFAULT_IO_PARALLELISM
+
+    def __post_init__(self) -> None:
+        if self.decode_cores < 1:
+            raise ValueError("decode_cores must be positive")
+        if self.bch_parallelism < 1:
+            raise ValueError("bch_parallelism must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def core(self) -> ThroughputModel:
+        """The single-core Eq. 7/8 model the pipeline builds on."""
+        return ThroughputModel(
+            self.profile,
+            clock_hz=self.clock_hz,
+            io_parallelism=self.io_parallelism,
+            latency_cycles=self.latency_cycles,
+        )
+
+    def stages(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> Tuple[PipelineStage, ...]:
+        """The deframe → decode → bch stage occupancies for one frame."""
+        core = self.core
+        bch_cycles = -(-self.profile.n // self.bch_parallelism)
+        return (
+            PipelineStage("deframe", core.io_cycles()),
+            PipelineStage(
+                "decode", core.decode_cycles(iterations), self.decode_cores
+            ),
+            PipelineStage("bch", bch_cycles),
+        )
+
+    def bottleneck(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> PipelineStage:
+        """The stage setting the pipeline's pace at ``iterations``."""
+        return max(
+            self.stages(iterations), key=lambda s: s.interval_cycles
+        )
+
+    def initiation_interval_cycles(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> int:
+        """Cycles between finished frames in steady state."""
+        return self.bottleneck(iterations).interval_cycles
+
+    def fill_latency_cycles(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> int:
+        """Cycles for one frame to traverse the whole (empty) pipeline.
+
+        Replication does not shorten a single frame's decode — the sum
+        runs over per-frame occupancies, not initiation intervals — so
+        adding cores buys throughput, never latency.
+        """
+        return sum(s.cycles for s in self.stages(iterations))
+
+    # ------------------------------------------------------------------
+    def frames_per_s(self, iterations: int = DEFAULT_ITERATIONS) -> float:
+        """Steady-state frames per second (bottleneck law)."""
+        return self.clock_hz / self.initiation_interval_cycles(iterations)
+
+    def throughput_bps(self, iterations: int = DEFAULT_ITERATIONS) -> float:
+        """Information throughput in bit/s at the configured clock."""
+        return self.profile.k_info * self.frames_per_s(iterations)
+
+    def coded_throughput_bps(
+        self, iterations: int = DEFAULT_ITERATIONS
+    ) -> float:
+        """Channel-bit throughput (codeword bits per second)."""
+        return self.profile.n * self.frames_per_s(iterations)
+
+    def fill_latency_s(self, iterations: int = DEFAULT_ITERATIONS) -> float:
+        """Seconds for the first frame to emerge from an empty pipeline."""
+        return self.fill_latency_cycles(iterations) / self.clock_hz
+
+    def latency_s(
+        self,
+        iterations: int = DEFAULT_ITERATIONS,
+        queued_frames: int = 0,
+    ) -> float:
+        """One frame's latency: pipeline fill plus the backlog ahead of
+        it draining at the bottleneck's initiation interval."""
+        fill = self.fill_latency_cycles(iterations)
+        drain = queued_frames * self.initiation_interval_cycles(iterations)
+        return (fill + drain) / self.clock_hz
+
+    def speedup_vs_eq8(self, iterations: int = DEFAULT_ITERATIONS) -> float:
+        """Throughput gain over the paper's non-pipelined Eq. 8 core."""
+        eq8_fps = self.clock_hz / self.core.cycles_per_block(iterations)
+        return self.frames_per_s(iterations) / eq8_fps
+
+    def meets_requirement(
+        self,
+        iterations: int = DEFAULT_ITERATIONS,
+        requirement_bps: float = REQUIRED_THROUGHPUT_BPS,
+        coded: bool = True,
+    ) -> bool:
+        """The 255 Mbit/s DVB-S2 requirement against the pipeline."""
+        rate = (
+            self.coded_throughput_bps(iterations)
+            if coded else self.throughput_bps(iterations)
+        )
+        return rate >= requirement_bps
+
+    # ------------------------------------------------------------------
+    def area_mm2(self, area_model: Optional[AreaModel] = None) -> float:
+        """Total silicon of the pipeline (see :func:`pipeline_area_rows`)."""
+        return sum(
+            row["area_mm2"]
+            for row in pipeline_area_rows(self.decode_cores, area_model)
+            if row["component"] == "total"
+        )
+
+
+def pipeline_area_rows(
+    decode_cores: int,
+    area_model: Optional[AreaModel] = None,
+) -> List[Dict[str, float]]:
+    """Area breakdown of a ``decode_cores``-way frame pipeline (mm²).
+
+    Each decode core pays the full Table 3 core (its channel RAM *is*
+    one half of the double buffer); the deframe stage adds the second
+    channel RAM so input streaming never blocks a core, and the BCH
+    stage adds :data:`BCH_STAGE_GATES` of outer-decoder logic.
+    """
+    if decode_cores < 1:
+        raise ValueError("decode_cores must be positive")
+    model = area_model if area_model is not None else AreaModel()
+    report = model.report()
+    gate_mm2 = model.technology.gate_um2 / 1e6
+    rows = [
+        {
+            "component": "decode cores",
+            "area_mm2": decode_cores * report.total,
+        },
+        {
+            "component": "deframe double buffer",
+            "area_mm2": report.channel_ram,
+        },
+        {
+            "component": "bch stage",
+            "area_mm2": BCH_STAGE_GATES * gate_mm2,
+        },
+    ]
+    rows.append(
+        {
+            "component": "total",
+            "area_mm2": sum(r["area_mm2"] for r in rows),
+        }
+    )
+    return rows
+
+
+def technology_from_sweep(
+    sweep, base: Optional[Technology] = None
+) -> Technology:
+    """Size the control write buffer from an annealed all-rates sweep.
+
+    ``sweep`` is an :class:`~repro.hw.parallel_anneal.AllRatesResult`
+    (duck-typed: anything with ``max_final_peak``) — the worst
+    remaining write-buffer occupancy over all eleven rates after
+    addressing optimization.  The buffer must hold that many deferred
+    write words, so the annealer's result directly shrinks (or grows)
+    the control-area term every :func:`pipeline_tradeoff_table` row
+    pays per decode core.
+    """
+    peak = max(1, int(getattr(sweep, "max_final_peak")))
+    base = base if base is not None else Technology()
+    return replace(base, buffer_words=peak)
+
+
+def pipeline_tradeoff_table(
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    iterations: int = DEFAULT_ITERATIONS,
+    rate: str = "1/2",
+    clock_hz: float = DEFAULT_CLOCK_HZ,
+    technology: Optional[Technology] = None,
+    sweep=None,
+) -> List[Dict[str, object]]:
+    """Stage-count trade-off rows: throughput vs area vs Table 3.
+
+    One row per ``decode_cores`` value for ``rate``'s profile —
+    initiation interval, bottleneck stage, info/coded throughput, fill
+    latency, pipeline area (vs the paper's 22.74 mm² single core), and
+    the figure of merit Mbit/s per mm².  ``sweep`` (an annealed
+    all-rates result) feeds :func:`technology_from_sweep`; the area
+    model always spans all eleven profiles, as the paper's does.
+    """
+    if sweep is not None:
+        technology = technology_from_sweep(sweep, technology)
+    area_model = AreaModel(all_profiles(), technology=technology)
+    profile = get_profile(rate)
+    rows: List[Dict[str, object]] = []
+    for cores in core_counts:
+        model = FramePipelineModel(
+            profile, clock_hz=clock_hz, decode_cores=cores
+        )
+        area = model.area_mm2(area_model)
+        info_mbps = model.throughput_bps(iterations) / 1e6
+        rows.append(
+            {
+                "decode_cores": cores,
+                "ii_cycles": model.initiation_interval_cycles(iterations),
+                "bottleneck": model.bottleneck(iterations).name,
+                "frames_per_s": model.frames_per_s(iterations),
+                "info_mbps": info_mbps,
+                "coded_mbps": model.coded_throughput_bps(iterations) / 1e6,
+                "fill_latency_us": model.fill_latency_s(iterations) * 1e6,
+                "speedup_vs_eq8": model.speedup_vs_eq8(iterations),
+                "area_mm2": area,
+                "area_vs_table3": area / PAPER_TABLE3_MM2["total"],
+                "mbps_per_mm2": info_mbps / area,
+                "meets_255": model.meets_requirement(iterations),
+            }
+        )
+    return rows

@@ -58,9 +58,18 @@ class ThroughputModel:
         p = self.profile.parallelism
         return 2 * (e_in // p) + self.latency_cycles
 
+    def decode_cycles(self, iterations: int = DEFAULT_ITERATIONS) -> int:
+        """Cycles of the decode phase alone (no I/O): ``It`` iterations.
+
+        This is the occupancy of the decode *stage* in the
+        frame-pipelined model (:mod:`repro.hw.pipeline`), where I/O
+        streams concurrently instead of serially as in Eq. 8.
+        """
+        return iterations * self.cycles_per_iteration()
+
     def cycles_per_block(self, iterations: int = DEFAULT_ITERATIONS) -> int:
         """Total cycles to decode one frame (paper Eq. 8 denominator)."""
-        return self.io_cycles() + iterations * self.cycles_per_iteration()
+        return self.io_cycles() + self.decode_cycles(iterations)
 
     def throughput_bps(self, iterations: int = DEFAULT_ITERATIONS) -> float:
         """Information throughput in bit/s at the configured clock."""

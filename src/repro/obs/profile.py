@@ -2,14 +2,23 @@
 
 The serve engine times every stage of its hot path under
 ``serve.stage.*`` timers (``enqueue`` → ``batch_form`` → ``llr_prep``
-→ ``decode`` → ``complete``, with ``pump`` as the enclosing span — see
-``docs/observability.md``), and the instrumented array backends time
-their kernel primitives under ``decode.kernel.*``.  This module turns
-those timers back into the analysis artifacts:
+→ ``dispatch`` → ``decode`` → ``collect`` → ``complete``, with ``pump``
+as the enclosing span — see ``docs/observability.md``), and the
+instrumented array backends time their kernel primitives under
+``decode.kernel.*``.  This module turns those timers back into the
+analysis artifacts:
 
-* :func:`stage_breakdown` — per-stage totals plus each stage's share
-  of the enclosing pump time (the residual appears as ``other``, so
-  the shares always sum to 100% of pump time),
+* :func:`stage_breakdown` — per-stage busy totals plus each stage's
+  share of the enclosing pump wall time.  On a sequential pump the
+  stages are disjoint slices of the pump, so a synthetic ``other``
+  entry carries the residual and the shares sum to 100%.  A *pipelined*
+  pump (``pipeline_depth > 1``) overlaps stages — the decode stage's
+  busy time runs concurrently with prep/completion of later batches —
+  so summed busy time legitimately exceeds the pump wall; the
+  breakdown then drops the (meaningless) residual and reports the
+  overlap factor ``busy / wall`` on the ``pump`` row instead,
+* :func:`overlap_potential` — the pipelining headroom a breakdown
+  implies (serial busy sum vs the bottleneck stage),
 * :func:`kernel_breakdown` — per-kernel totals as a share of the
   decode stage,
 * :func:`format_profile` — the ASCII time/flame rendering behind
@@ -33,8 +42,14 @@ PUMP_STAGE = "pump"
 NON_PUMP_STAGES = ("enqueue",)
 #: Canonical hot-path order for display.
 STAGE_ORDER = (
-    "enqueue", "expire", "batch_form", "llr_prep", "decode",
-    "collect", "complete",
+    "enqueue", "expire", "batch_form", "llr_prep", "dispatch",
+    "decode", "collect", "complete",
+)
+#: Stages a pipelined pump can overlap with the pooled decode (the
+#: inputs to :func:`overlap_potential`'s serial-time estimate).
+OVERLAPPABLE_STAGES = (
+    "batch_form", "llr_prep", "dispatch", "decode", "collect",
+    "complete",
 )
 
 
@@ -56,12 +71,26 @@ def _stage_sort_key(name: str):
 def stage_breakdown(snapshot: dict) -> Dict[str, dict]:
     """Per-stage ``{total_s, count, mean_us, of_pump}`` from a snapshot.
 
-    ``of_pump`` is the stage's fraction of total pump wall time (NaN
-    without a pump span).  In-pump stages that do not cover the whole
+    Each row's ``total_s`` is the stage's *busy* time (sum of its
+    spans); ``of_pump`` is that busy time as a fraction of the total
+    pump *wall* time (NaN without a pump span).
+
+    Sequential pump (in-pump busy ≤ pump wall — always true at
+    ``pipeline_depth=1``): in-pump stages that do not cover the whole
     pump leave a synthetic ``other`` entry carrying the residual, so
-    the in-pump fractions sum to 1.0 exactly; ``enqueue`` happens on
-    the submit path outside the pump and is excluded from the residual.
-    Empty dict when the snapshot has no stage spans.
+    the in-pump fractions sum to 1.0 exactly — byte-identical to what
+    this function has always produced.
+
+    Pipelined pump (in-pump busy > pump wall): the stages overlap, so
+    a disjoint-slice residual is meaningless (it would be negative).
+    No ``other`` row is emitted; instead the ``pump`` row carries an
+    ``overlap`` key — in-pump busy over pump wall, ≥ 1.0, the measured
+    stage-concurrency factor — and the per-stage ``of_pump`` values
+    are occupancies that may legitimately sum past 1.0.
+
+    ``enqueue`` happens on the submit path outside the pump and is
+    excluded from both accountings.  Empty dict when the snapshot has
+    no stage spans.
     """
     timers = _prefixed_timers(snapshot, STAGE_PREFIX)
     if not timers:
@@ -88,14 +117,15 @@ def stage_breakdown(snapshot: dict) -> Dict[str, dict]:
             ),
         }
     if pump_ns > 0:
-        residual_ns = max(0, pump_ns - in_pump_ns)
-        out["other"] = {
-            "total_s": residual_ns / 1e9,
-            "count": timers[PUMP_STAGE]["count"],
-            "mean_us": float("nan"),
-            "of_pump": residual_ns / pump_ns,
-        }
-        out["pump"] = {
+        if in_pump_ns <= pump_ns:
+            residual_ns = pump_ns - in_pump_ns
+            out["other"] = {
+                "total_s": residual_ns / 1e9,
+                "count": timers[PUMP_STAGE]["count"],
+                "mean_us": float("nan"),
+                "of_pump": residual_ns / pump_ns,
+            }
+        pump_row = {
             "total_s": pump_ns / 1e9,
             "count": timers[PUMP_STAGE]["count"],
             "mean_us": (
@@ -104,7 +134,40 @@ def stage_breakdown(snapshot: dict) -> Dict[str, dict]:
             ),
             "of_pump": 1.0,
         }
+        if in_pump_ns > pump_ns:
+            pump_row["overlap"] = in_pump_ns / pump_ns
+        out["pump"] = pump_row
     return out
+
+
+def overlap_potential(stages: Dict[str, dict]) -> Optional[dict]:
+    """Pipelining headroom implied by a :func:`stage_breakdown`.
+
+    An ideal pipeline runs at the pace of its slowest stage, so the
+    speedup ceiling over a strictly sequential pump is the serial busy
+    sum of the overlappable stages divided by the bottleneck stage's
+    busy time — the software analogue of reading a hardware pipeline's
+    initiation interval off its slowest stage.  Returns ``{serial_s,
+    bottleneck, bottleneck_s, ideal_speedup, measured_overlap}``
+    (``measured_overlap`` is the pump row's factor when present, else
+    1.0), or ``None`` when no overlappable stage was recorded.
+    """
+    rows = [
+        (name, stages[name]["total_s"])
+        for name in OVERLAPPABLE_STAGES
+        if name in stages and stages[name]["total_s"] > 0
+    ]
+    if not rows:
+        return None
+    serial_s = sum(busy for _, busy in rows)
+    bottleneck, bottleneck_s = max(rows, key=lambda item: item[1])
+    return {
+        "serial_s": serial_s,
+        "bottleneck": bottleneck,
+        "bottleneck_s": bottleneck_s,
+        "ideal_speedup": serial_s / bottleneck_s,
+        "measured_overlap": stages.get("pump", {}).get("overlap", 1.0),
+    }
 
 
 def kernel_breakdown(snapshot: dict) -> Dict[str, dict]:
@@ -159,6 +222,12 @@ def format_profile(snapshot: dict) -> str:
             f"pipeline profile  pump={pump['total_s']:.3f}s "
             f"across {pump['count']} pump calls"
         )
+        if "overlap" in pump:
+            lines.append(
+                f"  stages overlap (pipelined pump): busy/wall = "
+                f"{pump['overlap']:.2f}x — per-stage % pump are "
+                f"occupancies and may sum past 100%"
+            )
     else:
         lines.append("pipeline profile (no pump span recorded)")
     lines.append(

@@ -64,6 +64,21 @@ class ServeConfig:
     results are bit-identical across backends).  ``workers > 1``
     decodes batches on a persistent process pool (batch order
     deterministic).
+
+    Pipelining
+    ----------
+    ``pipeline_depth`` bounds how many micro-batches the engine keeps
+    in flight on the pooled path: while batch ``k`` decodes in a
+    worker, batch ``k+1``'s LLR prep and batch ``k+2``'s formation
+    proceed on the submitting side, and completions are drained
+    non-blocking — the software mirror of the paper's double-buffered
+    I/O RAM (the core decodes frame ``k`` while frame ``k+1`` streams
+    in).  ``None`` (the default) resolves to 1 for the inline path and
+    ``2 * workers`` for the pooled path; any depth produces results
+    bit-identical to depth 1 — only wall-clock overlap changes.
+    ``pipeline_depth > 1`` with ``workers == 1`` promotes the single
+    worker to a dedicated child process so host-side prep and
+    completion genuinely overlap its decode.
     """
 
     max_batch: int = 32
@@ -80,6 +95,9 @@ class ServeConfig:
     segments: Optional[int] = None
     backend: Optional[str] = None
     workers: int = 1
+    #: Max micro-batches in flight on the pooled path (``None`` = auto:
+    #: 1 inline, ``2 * workers`` pooled); see *Pipelining* above.
+    pipeline_depth: Optional[int] = None
     #: Wrap the array backend with per-kernel timers
     #: (``decode.kernel.*`` — see ``repro obs profile``).  In-process
     #: decode only: pooled workers build their own unwrapped decoder,
@@ -103,6 +121,8 @@ class ServeConfig:
             raise ValueError("shed_start must be in [0, 1]")
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.pipeline_depth is not None and self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be positive when set")
 
     @property
     def max_linger_s(self) -> float:

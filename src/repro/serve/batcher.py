@@ -81,6 +81,26 @@ class MicroBatcher:
             return None
         return oldest + self.max_linger_s
 
+    def due_count(self, queue: BoundedRequestQueue, now: float) -> int:
+        """How many batches repeated ``take`` calls would form at ``now``.
+
+        Every ``max_batch``-full slice of the queue is due by fill; the
+        trailing partial slice counts only once *its own* oldest request
+        (the one at index ``full * max_batch``) has lingered out —
+        the same rule ``due`` applies after the full slices are taken.
+        The pipelined pump publishes this as the formation backlog
+        (``serve.pipeline.backlog``): batches ready to go the moment an
+        in-flight slot frees up.
+        """
+        depth = len(queue)
+        full = depth // self.max_batch
+        remainder = depth - full * self.max_batch
+        if remainder:
+            oldest = queue.arrival_at(full * self.max_batch)
+            if now >= oldest + self.max_linger_s:
+                return full + 1
+        return full
+
     def take(self, queue: BoundedRequestQueue) -> List[DecodeRequest]:
         """Form one batch: up to ``max_batch`` requests, FIFO order."""
         return queue.take(self.max_batch)

@@ -30,6 +30,18 @@ With ``workers > 1`` batches are decoded on a
 :class:`~repro.sim.pool.PersistentPool` (created once, reused for every
 batch); completions are merged strictly in batch-sequence order, so
 metrics and result order are deterministic for any worker count.
+
+The pooled path is *pipelined*: up to ``config.pipeline_depth``
+micro-batches stay in flight at once, so batch ``k+1``'s LLR prep and
+batch ``k+2``'s formation overlap batch ``k``'s decode — the software
+analogue of the paper's double-buffered I/O RAM, where the core decodes
+one frame while the next streams in.  The strict batch-sequence merge
+makes the overlap invisible in the results: decoded bits, statuses and
+result order are identical to ``pipeline_depth=1`` for any depth (the
+inline/no-pool path degrades to depth 1).  One caveat is inherent:
+deadline-capped *per-frame* budgets use the per-iteration cost EWMA,
+which updates at batch completion — a quantity that is timing-dependent
+on any real clock regardless of depth.
 """
 
 from __future__ import annotations
@@ -177,10 +189,20 @@ class DecodeService:
         )
         self._pool: Optional[PersistentPool] = None
         self._owns_pool = False
-        if self.config.workers > 1:
+        requested_depth = self.config.pipeline_depth
+        # pipeline_depth > 1 with a single worker still wants a real
+        # child process — otherwise there is nothing to overlap with.
+        wants_pool = (
+            self.config.workers > 1
+            or (requested_depth or 1) > 1
+            or (pool is not None and not pool.serial)
+        )
+        if wants_pool:
             if pool is None:
                 pool = PersistentPool(
-                    self.config.workers, label="serve engine"
+                    self.config.workers,
+                    label="serve engine",
+                    dedicated=self.config.workers == 1,
                 )
                 self._owns_pool = True
             pool.configure(
@@ -192,6 +214,13 @@ class DecodeService:
                 ),
             )
             self._pool = None if pool.serial else pool
+        #: Resolved max batches in flight (1 on the inline path; the
+        #: config's ``None`` means ``2 * workers`` on the pooled path).
+        self.pipeline_depth = 1 if self._pool is None else (
+            requested_depth if requested_depth is not None
+            else 2 * self.config.workers
+        )
+        self.registry.gauge("serve.pipeline.depth").set(self.pipeline_depth)
         self._next_id = 0
         self._batch_seq = 0
         self._next_merge_seq = 0
@@ -263,17 +292,32 @@ class DecodeService:
     # ------------------------------------------------------------------
     def pump(self, now: Optional[float] = None) -> int:
         """Run the service forward: expire, batch, decode.  Returns the
-        number of batches dispatched."""
+        number of batches dispatched.
+
+        On the pooled path at most :attr:`pipeline_depth` batches are in
+        flight: forming (and LLR-prepping) a batch past the depth first
+        block-collects the oldest in-flight batch, and the pump tail
+        drains completions non-blocking — so host-side prep/completion
+        of batch ``k+1`` overlaps the workers' decode of batch ``k``.
+        """
         now = self.clock() if now is None else now
         with self.registry.timer("serve.stage.pump"):
             self._expire(now)
             dispatched = 0
             while self.batcher.due(self.queue, now):
+                if (
+                    self._pool is not None
+                    and len(self._pending) >= self.pipeline_depth
+                ):
+                    self._collect(block=True, limit=1)
                 self._dispatch_batch(now)
                 dispatched += 1
                 now = self.clock() if self._pool is None else now
                 self._expire(now)
             self._collect(block=False)
+            self.registry.gauge("serve.pipeline.backlog").set(
+                self.batcher.due_count(self.queue, now)
+            )
         return dispatched
 
     def next_due(self, now: Optional[float] = None) -> Optional[float]:
@@ -310,11 +354,20 @@ class DecodeService:
         self.registry.gauge("serve.load_hint").set(round(fill, 4))
 
     def flush(self, now: Optional[float] = None) -> None:
-        """Decode everything queued (ignoring linger) and wait for it."""
+        """Decode everything queued (ignoring linger) and wait for it.
+
+        Respects :attr:`pipeline_depth` while draining (the depth bound
+        holds even at shutdown), then waits for every in-flight batch.
+        """
         now = self.clock() if now is None else now
         with self.registry.timer("serve.stage.pump"):
             self._expire(now)
             while len(self.queue):
+                if (
+                    self._pool is not None
+                    and len(self._pending) >= self.pipeline_depth
+                ):
+                    self._collect(block=True, limit=1)
                 self._dispatch_batch(now)
                 now = self.clock() if self._pool is None else now
             self._collect(block=True)
@@ -437,11 +490,17 @@ class DecodeService:
             "deadline_capped": deadline_capped,
         }
         if self._pool is not None:
-            with self.registry.timer("serve.stage.decode"):
+            # Submission (argument pickling into the worker pipe) is its
+            # own stage; the decode stage's busy time is recorded at
+            # collect, once the batch's pool round-trip is known.
+            with self.registry.timer("serve.stage.dispatch"):
                 future = self._pool.submit(
                     _decode_batch_task, llrs, budgets
                 )
             self._pending[seq] = (future, requests, meta)
+            self.registry.gauge("serve.pipeline.inflight").set(
+                len(self._pending)
+            )
             return
         with self.registry.timer("serve.stage.decode"), \
                 self.registry.timer("serve.batch.decode") as timer:
@@ -461,26 +520,45 @@ class DecodeService:
             decode_s=timer.last_s,
         )
 
-    def _collect(self, block: bool) -> None:
-        """Fold finished pooled batches in, strictly in sequence order."""
+    def _collect(
+        self, block: bool, limit: Optional[int] = None
+    ) -> None:
+        """Fold finished pooled batches in, strictly in sequence order.
+
+        ``limit`` folds at most that many batches (the pump's depth
+        gate frees exactly one slot).  The blocking wait on the oldest
+        future sits *outside* the ``collect`` stage span: waiting for a
+        worker is pipeline stall, not collect work, and counting it as
+        a stage would double-book the decode busy time recorded below.
+        """
+        folded = 0
         while self._next_merge_seq in self._pending:
+            if limit is not None and folded >= limit:
+                return
             seq = self._next_merge_seq
             future, requests, meta = self._pending[seq]
             if not block and not future.done():
                 return
+            bits, converged, iterations = future.result()
+            # Service time on the pooled path is submission-to-merge
+            # (includes queueing on the pool), on this clock.  The same
+            # span is the decode stage's *busy* time: at depth > 1 the
+            # per-stage busy sums may exceed the pump wall — that excess
+            # is exactly the measured overlap (see repro.obs.profile).
+            decode_s = self.clock() - meta["formed_s"]
+            decode_ns = max(0, int(decode_s * 1e9))
+            self.registry.timer("serve.batch.decode").record_ns(decode_ns)
+            self.registry.timer("serve.stage.decode").record_ns(decode_ns)
             with self.registry.timer("serve.stage.collect"):
-                bits, converged, iterations = future.result()
                 del self._pending[seq]
-                # Service time on the pooled path is submission-to-
-                # merge (includes queueing on the pool), on this clock.
-                decode_s = self.clock() - meta["formed_s"]
-                self.registry.timer("serve.batch.decode").record_ns(
-                    max(0, int(decode_s * 1e9))
+                self.registry.gauge("serve.pipeline.inflight").set(
+                    len(self._pending)
                 )
             self._finish_batch(
                 seq, requests, meta,
                 bits, converged, iterations, decode_s=decode_s,
             )
+            folded += 1
 
     def _finish_batch(
         self,

@@ -73,7 +73,12 @@ class FabricConfig:
 
     ``window`` bounds in-flight chunks per worker (1 = lockstep,
     2 = one decoding + one queued, the default — enough to hide the
-    round-trip without letting any worker hoard the backlog).
+    round-trip without letting any worker hoard the backlog).  When the
+    embedded serve config asks for a deeper pipeline
+    (``serve.pipeline_depth > window``) the fabric widens each worker's
+    window to match, so every worker runs a pipelined service: the
+    fabric preps and ships chunk ``k+1`` while the worker decodes
+    chunk ``k``, exactly like the single-service pipelined pump.
     ``dispatch`` names a policy from
     :data:`~repro.serve.dispatch.DISPATCH_POLICIES`; ``hash_replicas``
     sizes the consistent-hash ring.  All batching/degradation/decoder
@@ -219,13 +224,18 @@ class DecodeFabric:
         )
         # Workers decode serially (fabric-level parallelism), own their
         # deadline-free config: deadlines arrive absolute per frame.
+        # pipeline_depth is pinned to 1 so workers never nest pools of
+        # their own — pipelining happens fabric-side via the window.
         self._worker_config = replace(
             serve,
             workers=1,
+            pipeline_depth=1,
             deadline_ms=None,
             max_linger_ms=0.0,
             queue_capacity=max(serve.queue_capacity, serve.max_batch),
         )
+        #: Effective per-worker in-flight chunk bound (see FabricConfig).
+        self.window = max(self.config.window, serve.pipeline_depth or 0)
         self.batcher = MicroBatcher(serve.max_batch, serve.max_linger_s)
         self._shared = BoundedRequestQueue(serve.queue_capacity)
         self._pinned = [
@@ -499,7 +509,7 @@ class DecodeFabric:
         self.registry.gauge("serve.queue.depth").set(self._depth())
 
     def _has_room(self, index: int) -> bool:
-        return self._chunks_in_flight[index] < self.config.window
+        return self._chunks_in_flight[index] < self.window
 
     def _dispatch_due(self, now: float, *, force: bool) -> int:
         """Send every due chunk to a worker with window room.

@@ -57,6 +57,15 @@ class BoundedRequestQueue:
         """Arrival time of the head request (None when empty)."""
         return self._items[0].arrival_s if self._items else None
 
+    def arrival_at(self, index: int) -> float:
+        """Arrival time of the ``index``-th queued request (FIFO order).
+
+        The batcher's backlog accounting needs the arrival of the
+        request that would head the queue *after* the full batches in
+        front of it are taken; raises ``IndexError`` past the tail.
+        """
+        return self._items[index].arrival_s
+
     def expire(self, now: float) -> List[DecodeRequest]:
         """Remove and return every queued request whose deadline passed.
 

@@ -216,6 +216,9 @@ class PersistentPool:
         self.registry = registry
         self.trace = trace
         self.restarts = 0
+        #: Futures submitted but not yet finished (see :attr:`inflight`).
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self._executor: Optional[ProcessPoolExecutor] = None
         #: Dup of the call queue's read end (crash-teardown insurance).
         self._drain_fd: Optional[int] = None
@@ -329,6 +332,31 @@ class PersistentPool:
             self.respawn()
         return self._require_executor()
 
+    @property
+    def inflight(self) -> int:
+        """Tasks submitted via :meth:`submit` and not yet done.
+
+        The pipelined serve pump reads this non-blocking occupancy
+        signal to tell a busy pool from an idle one without touching
+        any future.  Serial submits resolve inside :meth:`submit`, so
+        the count is 0 between calls on the inline path; tasks routed
+        through :meth:`map_ordered` are not tracked.
+        """
+        with self._inflight_lock:
+            return self._inflight
+
+    def _task_done(self, _future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def _track(self, future: Future) -> Future:
+        with self._inflight_lock:
+            self._inflight += 1
+        # A future that is already done runs the callback immediately,
+        # keeping the serial path's count balanced at zero.
+        future.add_done_callback(self._task_done)
+        return future
+
     def submit(self, fn: Callable, *args) -> Future:
         """Submit one task; inline (already-done future) when serial."""
         if self.serial:
@@ -337,13 +365,15 @@ class PersistentPool:
                 future.set_result(fn(*args))
             except BaseException as exc:  # noqa: BLE001 - future carries it
                 future.set_exception(exc)
-            return future
+            return self._track(future)
         try:
-            return self._submit_executor().submit(fn, *args)
+            return self._track(self._submit_executor().submit(fn, *args))
         except BrokenExecutor:
             # Broke between the check and the submit: one more respawn.
             self.respawn()
-            return self._require_executor().submit(fn, *args)
+            return self._track(
+                self._require_executor().submit(fn, *args)
+            )
 
     def map_ordered(self, fn: Callable, tasks: Sequence) -> list:
         """Run ``fn`` over ``tasks``, results in task order."""

@@ -1,0 +1,202 @@
+"""Tests for repro.hw.pipeline — the frame-pipelined multi-core model."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.codes.standard import get_profile
+from repro.hw import (
+    PAPER_TABLE3_MM2,
+    AreaModel,
+    FramePipelineModel,
+    PipelineStage,
+    Technology,
+    ThroughputModel,
+    pipeline_area_rows,
+    pipeline_tradeoff_table,
+    technology_from_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def half():
+    return get_profile("1/2")
+
+
+# ----------------------------------------------------------------------
+# stages and the bottleneck law
+# ----------------------------------------------------------------------
+class TestStages:
+    def test_stage_interval_divides_by_replicas(self):
+        stage = PipelineStage("decode", cycles=100, replicas=3)
+        assert stage.interval_cycles == math.ceil(100 / 3)
+        assert PipelineStage("io", cycles=100).interval_cycles == 100
+
+    def test_stage_occupancies_match_core_model(self, half):
+        model = FramePipelineModel(half)
+        core = ThroughputModel(half)
+        stages = {s.name: s for s in model.stages(iterations=30)}
+        assert stages["deframe"].cycles == core.io_cycles()
+        assert stages["decode"].cycles == core.decode_cycles(30)
+        assert stages["bch"].cycles == math.ceil(
+            half.n / model.bch_parallelism
+        )
+
+    def test_decode_is_bottleneck_at_paper_iterations(self, half):
+        model = FramePipelineModel(half)
+        assert model.bottleneck(30).name == "decode"
+        assert model.initiation_interval_cycles(30) == ThroughputModel(
+            half
+        ).decode_cycles(30)
+
+    def test_io_becomes_bottleneck_with_enough_cores(self, half):
+        # Enough decode replicas push the II down to the streaming
+        # stages' pace — throughput saturates at the deframe stage.
+        model = FramePipelineModel(half, decode_cores=64)
+        assert model.bottleneck(30).name in ("deframe", "bch")
+
+    def test_invalid_configs_rejected(self, half):
+        with pytest.raises(ValueError):
+            FramePipelineModel(half, decode_cores=0)
+        with pytest.raises(ValueError):
+            FramePipelineModel(half, bch_parallelism=0)
+
+
+# ----------------------------------------------------------------------
+# throughput, latency, speedup
+# ----------------------------------------------------------------------
+class TestThroughput:
+    def test_single_core_beats_eq8(self, half):
+        """Even one pipelined core beats Eq. 8: the I/O cycles Eq. 8
+        charges serially stream concurrently in the pipeline."""
+        model = FramePipelineModel(half)
+        assert model.speedup_vs_eq8(30) > 1.0
+        eq8 = ThroughputModel(half).throughput_bps(30)
+        assert model.throughput_bps(30) > eq8
+
+    def test_cores_scale_throughput_until_streaming_bound(self, half):
+        fps = [
+            FramePipelineModel(half, decode_cores=c).frames_per_s(30)
+            for c in (1, 2, 4, 8)
+        ]
+        assert all(b >= a for a, b in zip(fps, fps[1:]))
+        # Two cores nearly double a decode-bound pipeline.
+        assert fps[1] / fps[0] == pytest.approx(2.0, rel=0.01)
+
+    def test_replication_never_shortens_fill_latency(self, half):
+        one = FramePipelineModel(half, decode_cores=1)
+        many = FramePipelineModel(half, decode_cores=8)
+        assert many.fill_latency_cycles(30) == one.fill_latency_cycles(30)
+        assert one.fill_latency_s(30) == pytest.approx(
+            one.fill_latency_cycles(30) / one.clock_hz
+        )
+
+    def test_fill_is_sum_ii_is_max(self, half):
+        model = FramePipelineModel(half)
+        stages = model.stages(30)
+        assert model.fill_latency_cycles(30) == sum(
+            s.cycles for s in stages
+        )
+        assert model.initiation_interval_cycles(30) == max(
+            s.interval_cycles for s in stages
+        )
+
+    def test_latency_adds_backlog_drain(self, half):
+        model = FramePipelineModel(half)
+        empty = model.latency_s(30, queued_frames=0)
+        queued = model.latency_s(30, queued_frames=5)
+        ii_s = model.initiation_interval_cycles(30) / model.clock_hz
+        assert queued == pytest.approx(empty + 5 * ii_s)
+
+    def test_meets_requirement_consistent(self, half):
+        model = FramePipelineModel(half)
+        assert model.meets_requirement(30) == (
+            model.coded_throughput_bps(30) >= 255e6
+        )
+
+    def test_info_vs_coded_ratio_is_code_rate(self, half):
+        model = FramePipelineModel(half)
+        ratio = model.throughput_bps(30) / model.coded_throughput_bps(30)
+        assert ratio == pytest.approx(half.k_info / half.n)
+
+
+# ----------------------------------------------------------------------
+# area and the trade-off table
+# ----------------------------------------------------------------------
+class TestAreaAndTable:
+    def test_area_rows_structure(self):
+        rows = pipeline_area_rows(2)
+        by = {r["component"]: r["area_mm2"] for r in rows}
+        assert set(by) == {
+            "decode cores", "deframe double buffer", "bch stage", "total"
+        }
+        assert by["total"] == pytest.approx(
+            by["decode cores"]
+            + by["deframe double buffer"]
+            + by["bch stage"]
+        )
+        report = AreaModel().report()
+        assert by["decode cores"] == pytest.approx(2 * report.total)
+        assert by["deframe double buffer"] == pytest.approx(
+            report.channel_ram
+        )
+        with pytest.raises(ValueError):
+            pipeline_area_rows(0)
+
+    def test_model_area_matches_rows(self, half):
+        model = FramePipelineModel(half, decode_cores=3)
+        rows = pipeline_area_rows(3)
+        total = next(
+            r["area_mm2"] for r in rows if r["component"] == "total"
+        )
+        assert model.area_mm2() == pytest.approx(total)
+
+    def test_single_core_pipeline_area_near_table3(self):
+        rows = pipeline_area_rows(1)
+        total = next(
+            r["area_mm2"] for r in rows if r["component"] == "total"
+        )
+        # One core plus the extra channel-RAM buffer and BCH logic:
+        # bigger than the paper's 22.74 mm² core, but not by much.
+        assert PAPER_TABLE3_MM2["total"] < total
+        assert total < 2 * PAPER_TABLE3_MM2["total"]
+
+    def test_tradeoff_table_rows(self):
+        rows = pipeline_tradeoff_table(core_counts=(1, 2, 4))
+        assert [r["decode_cores"] for r in rows] == [1, 2, 4]
+        for row in rows:
+            assert row["speedup_vs_eq8"] >= 1.0
+            assert row["area_mm2"] > 0
+            assert row["mbps_per_mm2"] == pytest.approx(
+                row["info_mbps"] / row["area_mm2"]
+            )
+        # Throughput grows with cores, but per-area efficiency peaks
+        # while the pipeline stays decode-bound.
+        assert rows[1]["frames_per_s"] > rows[0]["frames_per_s"]
+        assert all(r["meets_255"] for r in rows)
+
+    def test_technology_from_sweep_sizes_buffer(self):
+        sweep = SimpleNamespace(max_final_peak=7.0)
+        tech = technology_from_sweep(sweep)
+        assert tech.buffer_words == 7
+        base = Technology()
+        assert tech.gate_um2 == base.gate_um2
+        # Degenerate sweeps clamp to one word.
+        assert technology_from_sweep(
+            SimpleNamespace(max_final_peak=0)
+        ).buffer_words == 1
+
+    def test_sweep_feeds_tradeoff_table(self):
+        small = pipeline_tradeoff_table(
+            core_counts=(1,),
+            sweep=SimpleNamespace(max_final_peak=1),
+        )[0]
+        large = pipeline_tradeoff_table(
+            core_counts=(1,),
+            sweep=SimpleNamespace(max_final_peak=512),
+        )[0]
+        assert large["area_mm2"] > small["area_mm2"]
+        assert large["frames_per_s"] == small["frames_per_s"]

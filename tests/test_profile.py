@@ -14,6 +14,7 @@ from repro.decode.batch import make_batch_decoder
 from repro.obs.profile import (
     format_profile,
     kernel_breakdown,
+    overlap_potential,
     stage_breakdown,
 )
 from repro.obs.registry import MetricsRegistry
@@ -86,6 +87,85 @@ class TestStageSpans:
     def test_format_profile_without_spans_explains(self):
         text = format_profile({})
         assert "no serve.stage" in text
+
+
+# ----------------------------------------------------------------------
+# overlapped stages (the pipelined pump)
+# ----------------------------------------------------------------------
+def _timer(total_ns: int, count: int = 1) -> dict:
+    return {"total_ns": total_ns, "count": count}
+
+
+def _snapshot(**stage_ns) -> dict:
+    return {
+        "timers": {
+            f"serve.stage.{name}": _timer(ns)
+            for name, ns in stage_ns.items()
+        }
+    }
+
+
+class TestOverlapBreakdown:
+    def test_sequential_snapshot_keeps_residual_row(self):
+        """in-pump busy ≤ pump wall: the historical disjoint-slice
+        accounting — an ``other`` residual, shares summing to 1, and no
+        overlap key — must be reproduced exactly."""
+        stages = stage_breakdown(
+            _snapshot(pump=1000, decode=600, batch_form=100)
+        )
+        assert "other" in stages
+        assert stages["other"]["total_s"] == pytest.approx(300 / 1e9)
+        assert "overlap" not in stages["pump"]
+        in_pump = sum(
+            row["of_pump"] for name, row in stages.items()
+            if name not in ("pump", "enqueue")
+        )
+        assert in_pump == pytest.approx(1.0)
+
+    def test_overlapped_snapshot_reports_factor_not_residual(self):
+        stages = stage_breakdown(
+            _snapshot(pump=1000, decode=1800, batch_form=200)
+        )
+        assert "other" not in stages
+        assert stages["pump"]["overlap"] == pytest.approx(2.0)
+        # Per-stage occupancies legitimately sum past 1.0.
+        assert stages["decode"]["of_pump"] == pytest.approx(1.8)
+
+    def test_overlap_potential_reads_bottleneck(self):
+        stages = stage_breakdown(
+            _snapshot(
+                pump=1000, decode=1600, batch_form=200, complete=200
+            )
+        )
+        pot = overlap_potential(stages)
+        assert pot["bottleneck"] == "decode"
+        assert pot["serial_s"] == pytest.approx(2000 / 1e9)
+        assert pot["ideal_speedup"] == pytest.approx(2000 / 1600)
+        assert pot["measured_overlap"] == pytest.approx(2.0)
+
+    def test_overlap_potential_defaults_and_empty(self):
+        sequential = stage_breakdown(_snapshot(pump=1000, decode=600))
+        assert overlap_potential(sequential)["measured_overlap"] == 1.0
+        assert overlap_potential({}) is None
+        # expire is not an overlappable stage
+        assert overlap_potential(
+            stage_breakdown(_snapshot(pump=1000, expire=10))
+        ) is None
+
+    def test_format_profile_flags_overlap(self):
+        text = format_profile(
+            _snapshot(pump=1000, decode=1800, batch_form=200)
+        )
+        assert "stages overlap" in text
+        assert "1.80" not in text.split("\n")[0]  # factor on its own line
+        assert "2.00x" in text
+
+    def test_loadgen_run_stays_sequential(self, loadgen_result):
+        """The default (depth-1) loadgen run must never trip the
+        overlap path — its breakdown still carries the residual."""
+        stages = stage_breakdown(loadgen_result.snapshot)
+        assert "other" in stages
+        assert "overlap" not in stages["pump"]
 
 
 # ----------------------------------------------------------------------
