@@ -1,0 +1,184 @@
+"""Extension bench — ACM control loop + scenario matrix acceptance.
+
+Exercises the adaptive-coding-and-modulation plane end to end and
+records the numbers the CI gate watches:
+
+* **ACM ramp soak**: a rising-SNR trace decoded through the
+  multi-MODCOD serve plane with the link adapter in estimator mode,
+  scored against the genie (oracle) adapter.  The acceptance bar from
+  the subsystem issue — estimator within one threshold step of the
+  oracle on >= 95% of frames — is an absolute gate, as is the SNR
+  estimator's RMSE ceiling.
+* **mixed-MODCOD bit identity**: frames of several MODCODs routed
+  round-robin through one ``MultiModcodService`` must decode to
+  exactly the bits the dedicated single-config services produce
+  (absolute gate), and the mixed plane's throughput is tracked
+  full-vs-full.
+* **scenario matrix**: a small modulation x channel grid through the
+  Monte-Carlo waterfall leg, recording the FER-crossing Eb/N0 per
+  cell so physics regressions (a waterfall drifting right) trip the
+  mode-matched gate.
+
+``BENCH_SMOKE=1`` shrinks frame counts and the matrix so the file
+finishes quickly in CI; full runs write ``BENCH_scenario_matrix.json``.
+"""
+
+import os
+
+from repro.acm import (
+    ModCod,
+    ScenarioCell,
+    default_scaled_table,
+    mixed_serve_check,
+    run_acm_trace,
+    run_matrix,
+)
+from repro.core.report import format_table
+from repro.serve import ServeConfig
+
+from _helpers import print_banner, save_bench_json
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+SEED = 2005
+#: The threshold table was derived at P=36, so the ramp runs there in
+#: both modes — smoke only shortens the trace.
+ACM_FRAMES = 48 if SMOKE else 120
+MIXED_PARALLELISM = 12 if SMOKE else 36
+MIXED_FRAMES_PER_MODCOD = 4 if SMOKE else 8
+MATRIX_PARALLELISM = 12 if SMOKE else 36
+MATRIX_FRAMES = 12 if SMOKE else 64
+MATRIX_ITERATIONS = 20 if SMOKE else 30
+
+#: The matrix cells: both fading regimes at the workhorse rate plus a
+#: higher-order-modulation cell (its waterfall sits further right, so
+#: it gets its own Eb/N0 grid).
+MATRIX_CELLS = [
+    ScenarioCell(ModCod("1/2"), "awgn"),
+    ScenarioCell(ModCod("1/2"), "rayleigh"),
+    ScenarioCell(ModCod("1/2", "8psk"), "awgn"),
+]
+MATRIX_GRIDS = {
+    "1/2:8psk:normal:awgn": [2.0, 4.0, 6.0, 8.0],
+}
+MATRIX_EBN0_DB = [0.0, 1.0, 2.0, 3.0, 4.0]
+
+#: Mixed-MODCOD plan: each entry decodes comfortably above its own
+#: waterfall so the bit-identity check compares converged frames.
+MIXED_PLAN = [
+    (ModCod("1/4"), 2.0),
+    (ModCod("1/2"), 3.0),
+    (ModCod("3/4"), 6.0),
+]
+
+
+def _calm_config() -> ServeConfig:
+    return ServeConfig(max_batch=8, max_linger_ms=0.0)
+
+
+def test_scenario_matrix(once):
+    table = default_scaled_table()
+
+    def run():
+        trace = run_acm_trace(
+            table,
+            frames=ACM_FRAMES,
+            parallelism=36,
+            serve_config=_calm_config(),
+            seed=SEED,
+        )
+        mixed = mixed_serve_check(
+            MIXED_PLAN,
+            frames_per_modcod=MIXED_FRAMES_PER_MODCOD,
+            parallelism=MIXED_PARALLELISM,
+            serve_config=_calm_config(),
+            seed=SEED,
+        )
+        matrix = run_matrix(
+            MATRIX_CELLS,
+            ebn0_points_db=MATRIX_EBN0_DB,
+            grids=MATRIX_GRIDS,
+            parallelism=MATRIX_PARALLELISM,
+            mc_frames=MATRIX_FRAMES,
+            max_iterations=MATRIX_ITERATIONS,
+            workers=1,
+            serve=not SMOKE,
+            serve_config=_calm_config(),
+            seed=SEED,
+        )
+        return trace, mixed, matrix
+
+    trace, mixed, matrix = once(run)
+
+    print_banner(
+        f"ACM control loop + scenario matrix "
+        f"({ACM_FRAMES}-frame ramp, "
+        f"{len(MATRIX_CELLS)}-cell matrix, smoke={SMOKE})"
+    )
+    print(format_table(
+        ("rate", "threshold Es/N0 dB"),
+        [
+            (row.modcod.label, f"{row.esn0_db:.2f}")
+            for row in table.entries
+        ],
+    ))
+    print(
+        f"ramp: {trace.frames} frames, within-one-step "
+        f"{trace.within_one_rate:.3f}, est RMSE "
+        f"{trace.est_rmse_db:.3f} dB, switches est "
+        f"{trace.est_switches_up}up/{trace.est_switches_down}down "
+        f"vs oracle {trace.oracle_switches_up}up/"
+        f"{trace.oracle_switches_down}down, "
+        f"{trace.frame_errors}/{trace.checked} frame errors"
+    )
+    print(
+        f"mixed: {mixed['frames']} frames over "
+        f"{len(mixed['modcods'])} MODCODs, bit-identical "
+        f"{mixed['bit_identical']}, {mixed['served_fps']:.0f} "
+        f"frames/s through the mixed plane"
+    )
+    print(matrix.to_markdown())
+
+    assert trace.within_one_rate >= 0.95
+    assert mixed["bit_identical"]
+    waterfalls = {
+        row.cell.label: row.waterfall_ebn0_db for row in matrix.rows
+    }
+    # AWGN BPSK 1/2 must cross inside the default grid even in smoke.
+    assert waterfalls["1/2:bpsk:normal:awgn"] is not None
+
+    save_bench_json(
+        "scenario_matrix",
+        {
+            "smoke": SMOKE,
+            "seed": SEED,
+            "acm": {
+                "frames": trace.frames,
+                "within_one_step_rate": trace.within_one_rate,
+                "est_rmse_db": trace.est_rmse_db,
+                "est_switches_up": trace.est_switches_up,
+                "est_switches_down": trace.est_switches_down,
+                "oracle_switches_up": trace.oracle_switches_up,
+                "oracle_switches_down": trace.oracle_switches_down,
+                "frame_errors": trace.frame_errors,
+                "checked": trace.checked,
+            },
+            "thresholds_db": {
+                row.modcod.rate: row.esn0_db for row in table.entries
+            },
+            "mixed": {
+                "bit_identical": mixed["bit_identical"],
+                "served_fps": mixed["served_fps"],
+                "frames": mixed["frames"],
+                "modcods": mixed["modcods"],
+            },
+            "matrix": [
+                {
+                    "cell": row.cell.label,
+                    "waterfall_ebn0_db": row.waterfall_ebn0_db,
+                    "serve_ebn0_db": row.serve_ebn0_db,
+                }
+                for row in matrix.rows
+            ],
+        },
+    )

@@ -91,6 +91,19 @@ GATES: List[Gate] = [
     Gate("pipeline_overlap", "overlap_speedup", better="higher"),
     Gate("pipeline_overlap", "served_fps_depth1", better="higher"),
     Gate("pipeline_overlap", "served_fps_top_depth", better="higher"),
+    # scenario_matrix: the ACM control loop must track the genie
+    # adapter and the mixed-MODCOD plane must stay invisible in the
+    # decoded bits (absolute, every run); mixed throughput and the
+    # AWGN waterfall position gate full-vs-full runs.
+    Gate("scenario_matrix", "acm.within_one_step_rate",
+         better="higher", compare="absolute", bound=0.95),
+    Gate("scenario_matrix", "acm.est_rmse_db",
+         better="lower", compare="absolute", bound=0.75),
+    Gate("scenario_matrix", "mixed.bit_identical",
+         better="higher", compare="absolute", bound=1.0),
+    Gate("scenario_matrix", "mixed.served_fps", better="higher"),
+    Gate("scenario_matrix", "matrix.0.waterfall_ebn0_db",
+         better="lower"),
     # obs_overhead: telemetry must stay (nearly) free when disabled.
     Gate("obs_overhead", "disabled_overhead_pct",
          better="lower", compare="absolute", bound=5.0),

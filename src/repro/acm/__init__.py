@@ -1,0 +1,80 @@
+"""Adaptive coding & modulation: the DVB-S2 control plane.
+
+The decoder chapters built the engine; this package closes the loop
+around it the way a DVB-S2 receiver does — measure the channel from
+the LLRs it already produces, pick the operating point (MODCOD) from
+measured threshold tables, and retune the serve plane per frame:
+
+* :mod:`~repro.acm.modcod` — the MODCOD value type (rate × modulation
+  × frame length), its code cache, and its channel factory;
+* :mod:`~repro.acm.estimator` — pilotless Es/N0 estimation from LLR
+  moments;
+* :mod:`~repro.acm.thresholds` — threshold tables derived from the
+  repo's own Monte-Carlo waterfalls;
+* :mod:`~repro.acm.controller` — the hysteresis/dwell link adapter;
+* :mod:`~repro.acm.service` — multi-MODCOD serving over cached
+  per-config decode services;
+* :mod:`~repro.acm.harness` — the closed-loop ramp trace and the
+  scenario matrix (every cell through Monte-Carlo *and* live serve).
+"""
+
+from ..channel.factory import MODULATION_BITS
+from .controller import (
+    MODE_ESTIMATOR,
+    MODE_ORACLE,
+    AcmConfig,
+    LinkAdapter,
+)
+from .estimator import SnrEstimator, llr_moment_esn0_db
+from .harness import (
+    AcmTraceResult,
+    ScenarioCell,
+    ScenarioMatrixResult,
+    ScenarioRow,
+    mixed_serve_check,
+    run_acm_trace,
+    run_matrix,
+)
+from .modcod import (
+    FRAME_NAMES,
+    ModCod,
+    build_modcod_code,
+    channel_spec,
+    make_channel,
+)
+from .service import MultiModcodService
+from .thresholds import (
+    DEFAULT_SCALED_BPSK_THRESHOLDS_DB,
+    ModcodThreshold,
+    ThresholdTable,
+    default_scaled_table,
+    derive_threshold_table,
+)
+
+__all__ = [
+    "MODE_ESTIMATOR",
+    "MODE_ORACLE",
+    "AcmConfig",
+    "LinkAdapter",
+    "SnrEstimator",
+    "llr_moment_esn0_db",
+    "AcmTraceResult",
+    "ScenarioCell",
+    "ScenarioMatrixResult",
+    "ScenarioRow",
+    "mixed_serve_check",
+    "run_acm_trace",
+    "run_matrix",
+    "FRAME_NAMES",
+    "ModCod",
+    "build_modcod_code",
+    "channel_spec",
+    "make_channel",
+    "MultiModcodService",
+    "MODULATION_BITS",
+    "ModcodThreshold",
+    "ThresholdTable",
+    "DEFAULT_SCALED_BPSK_THRESHOLDS_DB",
+    "default_scaled_table",
+    "derive_threshold_table",
+]

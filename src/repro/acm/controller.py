@@ -1,0 +1,157 @@
+"""The link adapter: measured SNR in, MODCOD decision out.
+
+:class:`LinkAdapter` closes the ACM loop.  Each received frame's LLRs
+(or, in oracle mode, the true Es/N0) update the SNR estimate; the
+threshold table proposes the most efficient MODCOD that estimate
+clears; and two stabilizers keep the output from chattering at
+threshold boundaries:
+
+* **hysteresis** — switching *up* additionally requires the estimate to
+  clear the target's threshold by ``hysteresis_db``, so noise straddling
+  a boundary cannot flip the MODCOD every frame;
+* **dwell** — at least ``dwell_frames`` frames must pass after any
+  switch before the next up-switch.
+
+Down-switches are immediate and un-hysteresed: running above the
+channel's capability costs frames *now*, so the controller never lingers
+on a failing MODCOD.  This up-slow/down-fast asymmetry is the standard
+ACM discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..obs.registry import MetricsRegistry, get_registry
+from .estimator import SnrEstimator
+from .modcod import ModCod
+from .thresholds import ThresholdTable
+
+#: Adapter modes: measure from LLRs, or trust a fed-in true Es/N0.
+MODE_ESTIMATOR = "estimator"
+MODE_ORACLE = "oracle"
+
+
+@dataclass
+class AcmConfig:
+    """Controller knobs around a threshold table."""
+
+    table: ThresholdTable
+    mode: str = MODE_ESTIMATOR
+    #: Extra dB the estimate must clear a threshold by to switch up.
+    hysteresis_db: float = 0.3
+    #: Frames after a switch before the next up-switch may fire.
+    dwell_frames: int = 4
+    #: EWMA weight of the newest per-frame SNR sample (estimator mode).
+    ewma_alpha: float = 0.25
+    #: Start on this MODCOD instead of the table floor.
+    initial: Optional[ModCod] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_ESTIMATOR, MODE_ORACLE):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis_db must be non-negative")
+        if self.dwell_frames < 0:
+            raise ValueError("dwell_frames must be non-negative")
+
+
+class LinkAdapter:
+    """Per-frame MODCOD controller over a threshold table.
+
+    Metrics (when a registry is supplied or globally enabled):
+    ``acm.switch.up`` / ``acm.switch.down`` counters, ``acm.esn0_db``
+    and ``acm.modcod.index`` gauges, and a per-MODCOD
+    ``acm.selected.<label>`` counter.
+    """
+
+    def __init__(
+        self,
+        config: AcmConfig,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.table = config.table
+        self.registry = (
+            registry if registry is not None else get_registry()
+        )
+        self.estimator = SnrEstimator(alpha=config.ewma_alpha)
+        self._index = (
+            0 if config.initial is None
+            else self.table.index_of(config.initial)
+        )
+        self._since_switch = config.dwell_frames  # free first switch
+        self._last_esn0: Optional[float] = None
+        self.switches_up = 0
+        self.switches_down = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> ModCod:
+        """The MODCOD currently commanded for the link."""
+        return self.table.entries[self._index].modcod
+
+    @property
+    def current_index(self) -> int:
+        return self._index
+
+    @property
+    def esn0_db(self) -> Optional[float]:
+        """The SNR estimate behind the latest decision (None before the
+        first observation)."""
+        return self._last_esn0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        llrs: Optional[np.ndarray] = None,
+        *,
+        esn0_db: Optional[float] = None,
+    ) -> ModCod:
+        """Fold one frame's evidence in; returns the MODCOD to use for
+        the *next* frame.
+
+        Estimator mode consumes ``llrs`` (the frame's channel LLRs);
+        oracle mode consumes ``esn0_db`` (the true operating point) —
+        the mode decides which input is required, so a harness can pass
+        both and compare controllers on identical traces.
+        """
+        if self.config.mode == MODE_ESTIMATOR:
+            if llrs is None:
+                raise ValueError("estimator mode needs llrs")
+            estimate = self.estimator.observe(llrs)
+        else:
+            if esn0_db is None:
+                raise ValueError("oracle mode needs esn0_db")
+            estimate = float(esn0_db)
+        self._last_esn0 = estimate
+        self._since_switch += 1
+        self.registry.gauge("acm.esn0_db").set(round(estimate, 3))
+
+        target = self.table.select_index(estimate)
+        if target > self._index:
+            entry = self.table.entries[target]
+            ready = self._since_switch > self.config.dwell_frames
+            cleared = estimate >= (
+                entry.esn0_db + self.config.hysteresis_db
+            )
+            if ready and cleared:
+                self._index = target
+                self._since_switch = 0
+                self.switches_up += 1
+                self.registry.counter("acm.switch.up").inc()
+        elif target < self._index:
+            # Down-switches are immediate: the link is failing *now*.
+            self._index = target
+            self._since_switch = 0
+            self.switches_down += 1
+            self.registry.counter("acm.switch.down").inc()
+        self.registry.gauge("acm.modcod.index").set(self._index)
+        self.registry.counter(
+            f"acm.selected.{self.current.label}"
+        ).inc()
+        return self.current

@@ -1,0 +1,77 @@
+"""SNR estimation from live LLR statistics.
+
+The link adapter needs the receive SNR without a pilot side-channel.
+For BPSK over AWGN the channel LLRs themselves carry it exactly:
+``L = 2y/sigma^2`` with ``y = ±1 + n`` is Gaussian with mean ``±m`` and
+variance ``2m`` for ``m = 2/sigma^2``, so the second moment alone
+identifies the operating point::
+
+    E[L^2] = m^2 + 2m   →   m = -1 + sqrt(1 + E[L^2])
+    Es/N0  = 1/(2 sigma^2) = m/4
+
+No bit decisions, no sign statistics — the estimate is insensitive to
+the transmitted word.  For fading and higher-order demapped LLRs the
+same moment reads out an *effective* SNR (the demapper compresses the
+constellation geometry into the LLR scale), which is biased but still
+monotone in the true SNR; the controller's oracle mode exists for
+exactly those links, and the threshold tables can be derived against
+either estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: Floor on the recovered LLR mean — keeps the dB conversion finite on
+#: pathological (all-zero) LLR blocks.
+_MIN_MEAN = 1e-9
+
+
+def llr_moment_esn0_db(llrs: np.ndarray) -> float:
+    """Moment-based Es/N0 (dB) estimate from one block of channel LLRs.
+
+    Exact in expectation for BPSK/AWGN; an effective-SNR proxy
+    elsewhere (see module docstring).
+    """
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.size == 0:
+        raise ValueError("need at least one LLR")
+    second = float(np.mean(np.square(llrs)))
+    mean = max(_MIN_MEAN, -1.0 + np.sqrt(1.0 + second))
+    return float(10.0 * np.log10(mean / 4.0))
+
+
+class SnrEstimator:
+    """EWMA-smoothed LLR-moment Es/N0 tracker.
+
+    One instantaneous estimate per observed frame, folded into an
+    exponentially weighted moving average so a single deep-faded frame
+    does not slam the MODCOD selection around.  ``alpha`` is the weight
+    of the newest sample (1.0 = no smoothing).
+    """
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self._esn0_db: Optional[float] = None
+
+    @property
+    def esn0_db(self) -> Optional[float]:
+        """Current smoothed estimate (None before any observation)."""
+        return self._esn0_db
+
+    def observe(self, llrs: np.ndarray) -> float:
+        """Fold one frame's LLRs in; returns the smoothed Es/N0 (dB)."""
+        instant = llr_moment_esn0_db(llrs)
+        if self._esn0_db is None:
+            self._esn0_db = instant
+        else:
+            self._esn0_db += self.alpha * (instant - self._esn0_db)
+        return self._esn0_db
+
+    def reset(self) -> None:
+        """Forget the history (e.g. after a known link re-point)."""
+        self._esn0_db = None

@@ -1,0 +1,189 @@
+"""MODCOD: one DVB-S2 operating point (rate × modulation × frame).
+
+DVB-S2's adaptive coding & modulation retunes the link per-receiver by
+picking a MODCOD — a code rate, a modulation, and a frame length
+(normal 64800 / short 16200) — against the measured SNR.  This module
+gives that triple a value type, builds (and caches) the LDPC code
+behind it, and constructs the matching channel for a target Es/N0, so
+the controller, the serve plane, and the scenario harness all speak
+the same coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..channel.factory import MODULATION_BITS, build_channel
+from ..codes import RATE_NAMES, build_code, build_small_code
+from ..codes.construction import LdpcCode
+from ..codes.short import SHORT_RATE_NAMES, build_short_code
+from ..codes.short import effective_rate as short_effective_rate
+
+#: Frame-length names: the standard's 64800-bit and 16200-bit FECFRAMEs.
+FRAME_NAMES = ("normal", "short")
+
+
+@dataclass(frozen=True)
+class ModCod:
+    """One ACM operating point.
+
+    ``rate`` is the nominal DVB-S2 rate label (``"1/2"``, ...),
+    ``modulation`` a :data:`~repro.channel.factory.MODULATION_BITS`
+    name, ``frame`` ``"normal"`` or ``"short"``.  Frozen and hashable —
+    MODCODs key decoder caches and metric labels.
+    """
+
+    rate: str
+    modulation: str = "bpsk"
+    frame: str = "normal"
+
+    def __post_init__(self) -> None:
+        names = SHORT_RATE_NAMES if self.frame == "short" else RATE_NAMES
+        if self.rate not in names:
+            raise ValueError(
+                f"unknown {self.frame}-frame rate {self.rate!r}"
+            )
+        if self.modulation not in MODULATION_BITS:
+            raise ValueError(f"unknown modulation {self.modulation!r}")
+        if self.frame not in FRAME_NAMES:
+            raise ValueError(f"unknown frame length {self.frame!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Stable identifier, e.g. ``"1/2:bpsk:normal"`` (no dots —
+        labels embed into metric names)."""
+        return f"{self.rate}:{self.modulation}:{self.frame}"
+
+    @classmethod
+    def parse(cls, label: str) -> "ModCod":
+        """Inverse of :attr:`label`."""
+        rate, modulation, frame = label.split(":")
+        return cls(rate=rate, modulation=modulation, frame=frame)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return MODULATION_BITS[self.modulation]
+
+    @property
+    def rate_fraction(self) -> float:
+        """The nominal code rate as a float (``k/n`` of the LDPC code)."""
+        num, den = self.rate.split("/")
+        return float(num) / float(den)
+
+    @property
+    def effective_rate(self) -> float:
+        """Information rate including short-frame shortening loss."""
+        if self.frame == "short":
+            return short_effective_rate(self.rate)
+        return self.rate_fraction
+
+    @property
+    def spectral_efficiency(self) -> float:
+        """Information bits per channel symbol — the ACM ordering key."""
+        return self.bits_per_symbol * self.effective_rate
+
+    # ------------------------------------------------------------------
+    def ebn0_from_esn0(self, esn0_db: float) -> float:
+        """Convert Es/N0 → Eb/N0 via ``Es = m R Eb`` (nominal rate,
+        matching the repo's channel constructors)."""
+        return float(
+            esn0_db
+            - 10.0 * np.log10(self.bits_per_symbol * self.rate_fraction)
+        )
+
+    def esn0_from_ebn0(self, ebn0_db: float) -> float:
+        """Inverse of :meth:`ebn0_from_esn0`."""
+        return float(
+            ebn0_db
+            + 10.0 * np.log10(self.bits_per_symbol * self.rate_fraction)
+        )
+
+
+# ----------------------------------------------------------------------
+#: Built codes, keyed by (rate, frame, parallelism) — code construction
+#: costs seconds at P=360, and the multi-config serve path asks for the
+#: same code once per service.
+_CODE_CACHE: Dict[tuple, LdpcCode] = {}
+
+
+def build_modcod_code(
+    modcod: ModCod, *, parallelism: int = 360
+) -> LdpcCode:
+    """The LDPC code behind a MODCOD (memoized).
+
+    ``parallelism`` scales normal frames through
+    :func:`~repro.codes.small.build_small_code` (structure-preserving,
+    the test/bench workhorse); short frames exist only at the
+    standard's P=360.
+    """
+    key = (modcod.rate, modcod.frame, parallelism)
+    code = _CODE_CACHE.get(key)
+    if code is not None:
+        return code
+    if modcod.frame == "short":
+        if parallelism != 360:
+            raise ValueError(
+                "short frames are defined at parallelism 360 only"
+            )
+        code = build_short_code(modcod.rate)
+    elif parallelism == 360:
+        code = build_code(modcod.rate)
+    else:
+        code = build_small_code(modcod.rate, parallelism=parallelism)
+    _CODE_CACHE[key] = code
+    return code
+
+
+def make_channel(
+    modcod: ModCod,
+    *,
+    esn0_db: Optional[float] = None,
+    ebn0_db: Optional[float] = None,
+    channel: str = "awgn",
+    seed=None,
+    k_factor_db: float = 10.0,
+    block_length: int = 0,
+    max_log: bool = True,
+):
+    """Build the channel for a MODCOD at an operating point.
+
+    Exactly one of ``esn0_db`` / ``ebn0_db`` must be given — ACM
+    thinks in Es/N0 (what the receiver measures), sweeps think in
+    Eb/N0 (what waterfalls are plotted against); both land on the same
+    :func:`repro.channel.build_channel` cell.
+    """
+    if (esn0_db is None) == (ebn0_db is None):
+        raise ValueError("give exactly one of esn0_db / ebn0_db")
+    if ebn0_db is None:
+        ebn0_db = modcod.ebn0_from_esn0(esn0_db)
+    return build_channel(
+        ebn0_db=ebn0_db,
+        rate=modcod.rate_fraction,
+        modulation=modcod.modulation,
+        channel=channel,
+        seed=seed,
+        k_factor_db=k_factor_db,
+        block_length=block_length,
+        rate_label=modcod.rate,
+        max_log=max_log,
+    )
+
+
+def channel_spec(modcod: ModCod, channel: str = "awgn", **extra) -> dict:
+    """The picklable :func:`repro.channel.build_channel` spec of a
+    MODCOD cell — what :func:`repro.sim.parallel.parallel_ber` ships to
+    worker processes (``None`` for the plain BPSK/AWGN cell, keeping
+    the legacy bit-identical stream)."""
+    if modcod.modulation == "bpsk" and channel == "awgn" and not extra:
+        return None
+    spec = {
+        "modulation": modcod.modulation,
+        "channel": channel,
+        "rate_label": modcod.rate,
+    }
+    spec.update(extra)
+    return spec

@@ -23,6 +23,15 @@ from .apsk import (
     apsk16,
     apsk32,
 )
+from .factory import (
+    CHANNEL_NAMES,
+    MODULATION_BITS,
+    SymbolChannel,
+    build_channel,
+    constellation_for,
+    psk8,
+    qpsk,
+)
 from .psk import (
     Psk8Channel,
     psk8_demodulate_hard,
@@ -40,10 +49,17 @@ __all__ = [
     "ApskChannel",
     "AwgnChannel",
     "BlockFadingChannel",
+    "CHANNEL_NAMES",
     "Constellation",
+    "MODULATION_BITS",
     "Psk8Channel",
+    "SymbolChannel",
     "apsk16",
     "apsk32",
+    "build_channel",
+    "constellation_for",
+    "psk8",
+    "qpsk",
     "bpsk_capacity",
     "bpsk_demodulate_hard",
     "bpsk_modulate",

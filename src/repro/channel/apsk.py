@@ -102,14 +102,28 @@ class Constellation:
         return self._label_bits()[labels].reshape(-1).astype(np.uint8)
 
     def llrs(
-        self, received: np.ndarray, sigma: float, max_log: bool = True
+        self, received: np.ndarray, sigma, max_log: bool = True
     ) -> np.ndarray:
-        """Per-bit LLRs (positive favours 0) from received symbols."""
-        if sigma <= 0:
-            raise ValueError("sigma must be positive")
+        """Per-bit LLRs (positive favours 0) from received symbols.
+
+        ``sigma`` is the per-dimension noise standard deviation — a
+        scalar, or an array of per-symbol values (one per received
+        symbol), which is how a coherently equalized fading channel
+        expresses its per-block effective SNR.
+        """
         received = np.asarray(received, dtype=np.complex128)
+        sigma = np.asarray(sigma, dtype=np.float64)
+        if (sigma <= 0).any():
+            raise ValueError("sigma must be positive")
+        if sigma.ndim not in (0, 1) or (
+            sigma.ndim == 1 and sigma.size != received.size
+        ):
+            raise ValueError(
+                "sigma must be a scalar or one value per symbol"
+            )
         metric = -np.abs(received[:, None] - self.points[None, :]) ** 2
-        metric /= 2.0 * sigma * sigma
+        var2 = 2.0 * sigma * sigma
+        metric /= var2 if sigma.ndim == 0 else var2[:, None]
         label_bits = self._label_bits()
         out = np.empty(
             (received.size, self.bits_per_symbol), dtype=np.float64

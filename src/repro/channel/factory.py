@@ -1,0 +1,291 @@
+"""Channel factory: one constructor for every modulation x channel cell.
+
+The scenario matrix sweeps {modulation} x {AWGN, Rician, Rayleigh} x
+{rate}; this module maps those axes onto concrete channel objects with
+a single call, so the Monte-Carlo engines, the serve-plane frame
+pools, and the CLI all build channels the same way (and the parallel
+engine can ship the axes to worker processes as a picklable spec dict).
+
+Conventions shared by every channel the factory returns:
+
+* ``llrs(bits)`` accepts one frame ``(n,)`` or a batch ``(frames, n)``
+  and ``llrs_all_zero(n, size=None)`` mirrors the AWGN batching
+  contract — a batched call is stream-identical to the equivalent
+  sequence of per-frame calls on the same seed;
+* ``bpsk`` + ``awgn`` returns the legacy :class:`AwgnChannel` object
+  itself, so every existing seeded run stays bit-identical;
+* higher-order modulations ride :class:`SymbolChannel`, a generic
+  constellation-over-complex-AWGN channel with optional block fading
+  and coherent (known-gain) demapping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .apsk import (
+    APSK16_GAMMA,
+    APSK32_GAMMA,
+    Constellation,
+    apsk16,
+    apsk32,
+)
+from .awgn import AwgnChannel
+from .fading import (
+    BlockFadingChannel,
+    rayleigh_amplitudes,
+    rician_amplitudes,
+)
+from .psk import _POINTS as _PSK8_POINTS
+
+#: Bits per symbol for every modulation the factory knows.
+MODULATION_BITS = {
+    "bpsk": 1,
+    "qpsk": 2,
+    "8psk": 3,
+    "16apsk": 4,
+    "32apsk": 5,
+}
+
+#: Channel models the factory knows (the fading axes of the matrix).
+CHANNEL_NAMES = ("awgn", "rician", "rayleigh")
+
+#: Ring-ratio fallbacks for rates outside the standard's APSK tables
+#: (DVB-S2 never pairs e.g. rate 1/4 with 16APSK; the matrix harness
+#: may, and a mid-table geometry keeps the cell well defined).
+_APSK16_FALLBACK_GAMMA = 2.70
+_APSK32_FALLBACK_GAMMAS = (2.64, 4.64)
+
+
+def qpsk() -> Constellation:
+    """Gray-mapped unit-energy QPSK: MSB selects the I sign, LSB the Q
+    sign, so adjacent points differ in exactly one bit."""
+    labels = np.arange(4)
+    i = 1.0 - 2.0 * (labels >> 1)
+    q = 1.0 - 2.0 * (labels & 1)
+    return Constellation(
+        points=(i + 1j * q) / np.sqrt(2.0), bits_per_symbol=2,
+        name="QPSK",
+    )
+
+
+def psk8() -> Constellation:
+    """The Gray-mapped 8PSK ring as a :class:`Constellation` (same
+    points and labels as :mod:`repro.channel.psk`)."""
+    return Constellation(
+        points=_PSK8_POINTS.copy(), bits_per_symbol=3, name="8PSK"
+    )
+
+
+def constellation_for(
+    modulation: str, rate_label: Optional[str] = None
+) -> Constellation:
+    """The constellation for a non-BPSK modulation name.
+
+    APSK ring ratios are rate-dependent in the standard; ``rate_label``
+    (e.g. ``"3/4"``) selects the Table-9 geometry when the rate is in
+    the table, otherwise a documented mid-table fallback.
+    """
+    if modulation == "qpsk":
+        return qpsk()
+    if modulation == "8psk":
+        return psk8()
+    if modulation == "16apsk":
+        if rate_label in APSK16_GAMMA:
+            return apsk16(rate_label)
+        return apsk16(gamma=_APSK16_FALLBACK_GAMMA)
+    if modulation == "32apsk":
+        if rate_label in APSK32_GAMMA:
+            return apsk32(rate_label)
+        return apsk32(gammas=_APSK32_FALLBACK_GAMMAS)
+    raise ValueError(f"no constellation for modulation {modulation!r}")
+
+
+class SymbolChannel:
+    """Constellation over complex AWGN with optional block fading.
+
+    The generic higher-order-modulation channel: modulate, apply
+    block-constant fading gains (Rician or Rayleigh, amplitudes drawn
+    exactly like :class:`BlockFadingChannel`), add complex noise, then
+    demap coherently — the receiver knows the gain ``a``, and
+    equalizing ``z = y / a`` with per-symbol noise ``sigma / a`` is
+    exactly the known-gain metric ``-|y - a p|^2 / (2 sigma^2)``.
+
+    Parameters
+    ----------
+    constellation:
+        The labeled constellation to modulate/demap with.
+    ebn0_db:
+        *Average* Eb/N0 operating point (fading has unit mean power).
+    rate:
+        Code rate for the Eb/N0 -> Es/N0 conversion
+        (``Es/N0 = m R Eb/N0`` for ``m`` bits/symbol).
+    fading:
+        ``None`` (pure AWGN), ``"rician"`` or ``"rayleigh"``.
+    k_factor_db / block_length:
+        Fading shape, as in :class:`BlockFadingChannel` (symbols per
+        constant-gain block; 0 = one gain per frame).
+    max_log:
+        Max-log (default, scipy-free) vs exact log-sum-exp demapping.
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        ebn0_db: float,
+        rate: float,
+        *,
+        seed=None,
+        fading: Optional[str] = None,
+        k_factor_db: float = 10.0,
+        block_length: int = 0,
+        max_log: bool = True,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if fading not in (None, "rician", "rayleigh"):
+            raise ValueError(f"unknown fading model {fading!r}")
+        bits = constellation.bits_per_symbol
+        esn0 = bits * rate * 10.0 ** (ebn0_db / 10.0)
+        self.constellation = constellation
+        self.ebn0_db = float(ebn0_db)
+        self.rate = float(rate)
+        self.sigma = float(1.0 / np.sqrt(2.0 * esn0))
+        self.fading = fading
+        self.k_factor_db = k_factor_db
+        self.block_length = int(block_length)
+        self.max_log = max_log
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return self.constellation.bits_per_symbol
+
+    @property
+    def esn0_db(self) -> float:
+        """*Average* Es/N0 (dB)."""
+        return float(10.0 * np.log10(1.0 / (2.0 * self.sigma**2)))
+
+    def reseed(self, seed) -> None:
+        """Restart the fading + noise stream deterministically."""
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _draw_gains(self, n_symbols: int) -> Optional[np.ndarray]:
+        if self.fading is None:
+            return None
+        block = (
+            self.block_length if self.block_length > 0 else n_symbols
+        )
+        n_blocks = -(-n_symbols // block)
+        if self.fading == "rayleigh":
+            amps = rayleigh_amplitudes(n_blocks, self._rng)
+        else:
+            amps = rician_amplitudes(
+                n_blocks, self.k_factor_db, self._rng
+            )
+        return np.repeat(amps, block)[:n_symbols]
+
+    def _frame_llrs(self, bits: np.ndarray) -> np.ndarray:
+        symbols = self.constellation.modulate(bits)
+        gains = self._draw_gains(symbols.size)
+        faded = symbols if gains is None else gains * symbols
+        noise = self._rng.normal(
+            0.0, self.sigma, symbols.size
+        ) + 1j * self._rng.normal(0.0, self.sigma, symbols.size)
+        received = faded + noise
+        if gains is None:
+            return self.constellation.llrs(
+                received, self.sigma, self.max_log
+            )
+        return self.constellation.llrs(
+            received / gains, self.sigma / gains, self.max_log
+        )
+
+    def llrs(self, bits: np.ndarray) -> np.ndarray:
+        """Modulate, fade, add noise, demap to bit LLRs.
+
+        Accepts ``(n,)`` or ``(frames, n)``; batched frames consume the
+        RNG row by row (gains, then noise), stream-identical to the
+        equivalent sequence of per-frame calls.
+        """
+        bits = np.asarray(bits)
+        if bits.ndim == 2:
+            return np.stack([self._frame_llrs(row) for row in bits])
+        return self._frame_llrs(bits)
+
+    def llrs_all_zero(
+        self, n: int, size: Optional[int] = None
+    ) -> np.ndarray:
+        """LLRs for a literal all-zero transmit.
+
+        Unlike the BPSK shortcut this is *not* a symmetry argument:
+        the all-zero word maps to specific constellation points, so
+        higher-order sweeps measure the all-zero-transmit operating
+        point (the standard Monte-Carlo practice for demapper chains;
+        encoded-frame sweeps through ``llrs`` remove the caveat).
+        """
+        zeros = np.zeros(n, dtype=np.uint8)
+        if size is not None:
+            return np.stack(
+                [self._frame_llrs(zeros) for _ in range(size)]
+            )
+        return self._frame_llrs(zeros)
+
+
+def build_channel(
+    *,
+    ebn0_db: float,
+    rate: float,
+    modulation: str = "bpsk",
+    channel: str = "awgn",
+    seed=None,
+    k_factor_db: float = 10.0,
+    block_length: int = 0,
+    rate_label: Optional[str] = None,
+    max_log: bool = True,
+):
+    """Build the channel object for one scenario-matrix cell.
+
+    ``modulation`` in :data:`MODULATION_BITS`, ``channel`` in
+    :data:`CHANNEL_NAMES`.  ``seed`` may be an int, ``None``, or a
+    ``numpy.random.SeedSequence`` (what the sharded parallel engine
+    passes).  ``bpsk``/``awgn`` returns the legacy
+    :class:`AwgnChannel`; ``bpsk`` with fading returns
+    :class:`BlockFadingChannel`; everything else a
+    :class:`SymbolChannel`.
+    """
+    if modulation not in MODULATION_BITS:
+        raise ValueError(
+            f"unknown modulation {modulation!r} "
+            f"(choose from {sorted(MODULATION_BITS)})"
+        )
+    if channel not in CHANNEL_NAMES:
+        raise ValueError(
+            f"unknown channel {channel!r} "
+            f"(choose from {list(CHANNEL_NAMES)})"
+        )
+    if modulation == "bpsk":
+        if channel == "awgn":
+            return AwgnChannel(
+                ebn0_db=ebn0_db, rate=float(rate), seed=seed
+            )
+        return BlockFadingChannel(
+            ebn0_db=ebn0_db,
+            rate=float(rate),
+            k_factor_db=None if channel == "rayleigh" else k_factor_db,
+            block_length=block_length,
+            seed=seed,
+        )
+    return SymbolChannel(
+        constellation_for(modulation, rate_label),
+        ebn0_db,
+        float(rate),
+        seed=seed,
+        fading=None if channel == "awgn" else channel,
+        k_factor_db=k_factor_db,
+        block_length=block_length,
+        max_log=max_log,
+    )

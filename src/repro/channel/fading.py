@@ -77,6 +77,15 @@ class BlockFadingChannel:
         self.sigma = ebn0_db_to_sigma(self.ebn0_db, self.rate)
         self._rng = np.random.default_rng(self.seed)
 
+    @property
+    def esn0_db(self) -> float:
+        """*Average* Es/N0 (dB) — the fading has unit mean power."""
+        return float(10.0 * np.log10(1.0 / (2.0 * self.sigma**2)))
+
+    def reseed(self, seed) -> None:
+        """Restart the fading + noise stream deterministically."""
+        self._rng = np.random.default_rng(seed)
+
     # ------------------------------------------------------------------
     def _draw_gains(self, n: int) -> np.ndarray:
         block = self.block_length if self.block_length > 0 else n
@@ -93,15 +102,41 @@ class BlockFadingChannel:
         With known gain ``a``: ``y = a x + n`` and
         ``LLR = 2 a y / sigma^2`` — weak blocks automatically produce
         weak LLRs, which is what lets the decoder ride through fades.
+
+        Accepts one frame ``(n,)`` or a batch ``(frames, n)``.  Batched
+        frames draw gains-then-noise per row, exactly the order the
+        per-frame path uses, so a batched call is stream-identical to
+        the equivalent sequence of single-frame calls.
         """
         bits = np.asarray(bits)
+        if bits.ndim == 2:
+            return np.stack([self._frame_llrs(row) for row in bits])
+        return self._frame_llrs(bits)
+
+    def _frame_llrs(self, bits: np.ndarray) -> np.ndarray:
         gains = self._draw_gains(bits.size)
         symbols = gains * bpsk_modulate(bits)
         received = symbols + self._rng.normal(0.0, self.sigma, bits.size)
         return 2.0 * gains * received / (self.sigma * self.sigma)
 
-    def llrs_all_zero(self, n: int) -> np.ndarray:
-        """All-zero-codeword shortcut under fading."""
+    def llrs_all_zero(
+        self, n: int, size: Optional[int] = None
+    ) -> np.ndarray:
+        """All-zero-codeword shortcut under fading.
+
+        Same seed, same stream as :meth:`llrs` on an all-zero frame:
+        gains first, then noise, and ``bpsk_modulate(0) = +1`` so the
+        two paths produce identical LLRs draw for draw.  With ``size``
+        given, returns a ``(size, n)`` batch built frame by frame —
+        stream-identical to ``size`` sequential calls (the AWGN
+        batching contract; here the gain and noise draws interleave per
+        frame, so the rows are generated sequentially rather than in
+        one vectorized draw).
+        """
+        if size is not None:
+            return np.stack(
+                [self.llrs_all_zero(n) for _ in range(size)]
+            )
         gains = self._draw_gains(n)
         received = gains + self._rng.normal(0.0, self.sigma, n)
         return 2.0 * gains * received / (self.sigma * self.sigma)

@@ -100,14 +100,61 @@ def _resolve_fmt(args: argparse.Namespace):
     return FixedPointFormat(total_bits=args.wordlength, frac_bits=frac)
 
 
-def _cmd_ber(args: argparse.Namespace) -> int:
+def _channel_spec_from_args(args: argparse.Namespace):
+    """The :func:`repro.channel.build_channel` spec for the scenario
+    flags, or ``None`` for the default BPSK/AWGN cell (which keeps the
+    legacy bit-identical LLR stream)."""
+    modulation = getattr(args, "modulation", "bpsk")
+    channel = getattr(args, "channel", "awgn")
+    if modulation == "bpsk" and channel == "awgn":
+        return None
+    spec = {
+        "modulation": modulation,
+        "channel": channel,
+        "rate_label": args.rate,
+    }
+    if channel in ("rician", "rayleigh"):
+        spec["k_factor_db"] = args.k_factor_db
+        spec["block_length"] = args.block_length
+    return spec
+
+
+def _channel_from_args(args: argparse.Namespace, code, ebn0_db, seed):
+    """A prebuilt channel for the scenario flags (``None`` = default)."""
+    spec = _channel_spec_from_args(args)
+    if spec is None:
+        return None
+    from .channel import build_channel
+
+    return build_channel(
+        ebn0_db=ebn0_db, rate=code.k / code.n, seed=seed, **spec
+    )
+
+
+def _build_sim_code(args: argparse.Namespace):
+    """Code for the ``--rate``/``--parallelism``/``--frame`` triple."""
     from .codes import build_code, build_small_code
+
+    if getattr(args, "frame", "normal") == "short":
+        if args.parallelism != 360:
+            print(
+                "error: short frames are defined at parallelism 360 "
+                "only",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from .codes.short import build_short_code
+
+        return build_short_code(args.rate)
+    if args.parallelism == 360:
+        return build_code(args.rate)
+    return build_small_code(args.rate, parallelism=args.parallelism)
+
+
+def _cmd_ber(args: argparse.Namespace) -> int:
     from .sim import fast_ber, parallel_ber
 
-    if args.parallelism == 360:
-        code = build_code(args.rate)
-    else:
-        code = build_small_code(args.rate, parallelism=args.parallelism)
+    code = _build_sim_code(args)
     fmt = _resolve_fmt(args)
     if fmt is None and args.channel_scale != 1.0:
         print(
@@ -129,6 +176,7 @@ def _cmd_ber(args: argparse.Namespace) -> int:
         or args.ci_halfwidth is not None
     )
     observed = args.trace is not None or args.metrics_out is not None
+    spec = _channel_spec_from_args(args)
     telemetry = None
     metrics = None
     if (
@@ -152,6 +200,7 @@ def _cmd_ber(args: argparse.Namespace) -> int:
                 channel_scale=args.channel_scale,
                 backend=args.backend,
                 seed=args.seed,
+                channel=spec,
                 trace=trace,
             )
         finally:
@@ -166,12 +215,23 @@ def _cmd_ber(args: argparse.Namespace) -> int:
             frames=args.frames,
             max_iterations=args.iterations,
             seed=args.seed,
+            channel=_channel_from_args(
+                args, code, args.ebn0, args.seed
+            ),
         )
     if args.metrics_out is not None and metrics is not None:
         _write_metrics(args.metrics_out, metrics)
     lo, hi = result.ber_estimate.interval
+    scenario = (
+        f", {args.modulation}/{args.channel}"
+        if spec is not None else ""
+    )
+    frame = (
+        ", short frame"
+        if getattr(args, "frame", "normal") == "short" else ""
+    )
     print(f"rate {args.rate} (P={args.parallelism}, n={code.n}) "
-          f"at Eb/N0 = {args.ebn0} dB:")
+          f"at Eb/N0 = {args.ebn0} dB{scenario}{frame}:")
     if fmt is not None:
         print(f"  fixed point     : {fmt.total_bits}-bit "
               f"({fmt.frac_bits} fractional), "
@@ -283,11 +343,7 @@ def _cmd_anneal(args: argparse.Namespace) -> int:
 
 
 def _build_serve_code(args: argparse.Namespace):
-    from .codes import build_code, build_small_code
-
-    if args.parallelism == 360:
-        return build_code(args.rate)
-    return build_small_code(args.rate, parallelism=args.parallelism)
+    return _build_sim_code(args)
 
 
 def _serve_config(args: argparse.Namespace):
@@ -326,7 +382,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: empty input stream", file=sys.stderr)
         return 2
     gateway = ByteStreamGateway(
-        code, ebn0_db=args.ebn0, seed=args.seed
+        code,
+        ebn0_db=args.ebn0,
+        seed=args.seed,
+        bch_t=args.bch_t,
+        channel=_channel_from_args(args, code, args.ebn0, args.seed),
     )
     llrs = gateway.llr_frames(data)
     registry = MetricsRegistry()
@@ -373,6 +433,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if dropped or crc_bad:
         print(f"  degraded frames : {dropped} dropped, "
               f"{crc_bad} CRC-damaged", file=sys.stderr)
+    if args.bch_t is not None:
+        corrected = sum(
+            o.bch_corrected for o in outcomes if o.status == "ok"
+        )
+        uncorrectable = sum(
+            1 for o in outcomes if o.status == "ok" and not o.bch_ok
+        )
+        print(f"  outer BCH       : t={args.bch_t}, "
+              f"{corrected} bits corrected, "
+              f"{uncorrectable} frames uncorrectable", file=sys.stderr)
     print(report.format(), file=sys.stderr)
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out, registry.snapshot())
@@ -459,7 +529,12 @@ def _cmd_loadgen_connect(args: argparse.Namespace) -> int:
     from .serve import make_frame_pool, run_remote_loadgen
 
     code = _build_serve_code(args)
-    frame_pool = make_frame_pool(code, ebn0_db=args.ebn0, seed=args.seed)
+    frame_pool = make_frame_pool(
+        code,
+        ebn0_db=args.ebn0,
+        seed=args.seed,
+        channel=_channel_from_args(args, code, args.ebn0, args.seed + 1),
+    )
     host, port = _parse_listen(args.connect)
     print(f"loadgen rate {args.rate} (P={args.parallelism}, n={code.n}) "
           f"against fabric at {host}:{port}, "
@@ -544,6 +619,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             ebn0_db=args.ebn0,
             seed=args.seed,
+            channel=_channel_from_args(
+                args, code, args.ebn0, args.seed + 1
+            ),
             trace=trace,
             publisher=publisher,
             fabric=fabric,
@@ -560,8 +638,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f", fabric workers={args.fabric_workers} "
         f"dispatch={args.dispatch}" if fabric is not None else ""
     )
+    scenario = (
+        f" ({args.modulation}/{args.channel})"
+        if _channel_spec_from_args(args) is not None else ""
+    )
     print(f"loadgen rate {args.rate} (P={args.parallelism}, "
-          f"n={code.n}) at Eb/N0 = {args.ebn0} dB, "
+          f"n={code.n}) at Eb/N0 = {args.ebn0} dB{scenario}, "
           f"{args.duration}s per point{plane}:")
     print(f"  {'offered':>9} {'served':>9} {'p50 ms':>8} "
           f"{'p99 ms':>8} {'occup':>6} {'it/frame':>8} "
@@ -607,6 +689,143 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
               f"{args.publish}.prom (Prometheus text)")
     if args.trace is not None and args.trace != "-":
         print(f"  trace  : {args.trace}")
+    return 0
+
+
+def _cmd_acm(args: argparse.Namespace) -> int:
+    import json
+
+    from .acm import (
+        ModCod,
+        default_scaled_table,
+        derive_threshold_table,
+        run_acm_trace,
+    )
+    from .serve import ServeConfig
+
+    if args.derive:
+        table = derive_threshold_table(
+            [ModCod(rate) for rate in args.rates],
+            parallelism=args.parallelism,
+            channel=args.channel,
+            target_fer=args.target_fer,
+            margin_db=args.margin_db,
+            seed=args.seed,
+        )
+        print(f"derived threshold table (P={args.parallelism}, "
+              f"{args.channel}, FER {args.target_fer} crossing "
+              f"+ {args.margin_db} dB margin):")
+    else:
+        table = default_scaled_table()
+        print("committed scaled-code threshold table "
+              "(re-derive with --derive):")
+    for row in table.to_rows():
+        print(f"  {row['modcod']:<22} Es/N0 >= "
+              f"{row['esn0_db']:>6.2f} dB   "
+              f"(SE {row['spectral_efficiency']:.3f})")
+    if args.table_only:
+        return 0
+
+    config = ServeConfig(max_linger_ms=0.0)
+    result = run_acm_trace(
+        table,
+        frames=args.frames,
+        esn0_start_db=args.esn0_start,
+        esn0_stop_db=args.esn0_stop,
+        parallelism=args.parallelism,
+        channel=args.channel,
+        hysteresis_db=args.hysteresis_db,
+        dwell_frames=args.dwell_frames,
+        ewma_alpha=args.alpha,
+        serve_config=config,
+        seed=args.seed,
+    )
+    span = (
+        f"{result.true_esn0_db[0]:.2f} .. {result.true_esn0_db[-1]:.2f}"
+    )
+    print(f"\nACM ramp trace: {result.frames} frames, "
+          f"true Es/N0 {span} dB, estimator vs oracle:")
+    print(f"  within one step : {result.within_one_rate:.1%}")
+    print(f"  estimate RMSE   : {result.est_rmse_db:.3f} dB "
+          f"(after EWMA warm-up)")
+    print(f"  switches        : estimator {result.est_switches_up} up / "
+          f"{result.est_switches_down} down, "
+          f"oracle {result.oracle_switches_up} up / "
+          f"{result.oracle_switches_down} down")
+    print(f"  serve plane     : {result.checked} frames decoded, "
+          f"{result.frame_errors} frame errors")
+    if args.json_out is not None:
+        payload = result.to_dict()
+        payload["table"] = table.to_rows()
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  json            : {args.json_out}")
+    return 0
+
+
+def _parse_cell(spec: str):
+    """``rate[:modulation[:frame[:channel]]]`` → a ScenarioCell."""
+    from .acm import ModCod, ScenarioCell
+
+    parts = spec.split(":")
+    if len(parts) > 4:
+        raise ValueError(f"bad cell spec {spec!r}")
+    rate = parts[0]
+    modulation = parts[1] if len(parts) > 1 else "bpsk"
+    frame = parts[2] if len(parts) > 2 else "normal"
+    channel = parts[3] if len(parts) > 3 else "awgn"
+    return ScenarioCell(
+        modcod=ModCod(rate=rate, modulation=modulation, frame=frame),
+        channel=channel,
+    )
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from .acm import run_matrix
+
+    try:
+        cells = [_parse_cell(spec) for spec in args.cells]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    grids = {}
+    for entry in args.grid or ():
+        label, _, points = entry.partition("=")
+        if not points:
+            print(f"error: bad --grid entry {entry!r} "
+                  f"(want CELL=db,db,...)", file=sys.stderr)
+            return 2
+        grids[label] = [float(p) for p in points.split(",")]
+    matrix = run_matrix(
+        cells,
+        ebn0_points_db=args.ebn0,
+        grids=grids or None,
+        parallelism=args.parallelism,
+        mc_frames=args.frames,
+        max_iterations=args.iterations,
+        workers=args.workers,
+        serve=not args.no_serve,
+        serve_margin_db=args.serve_margin_db,
+        offered_fps=args.offered_fps,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print(f"scenario matrix: {len(cells)} cells, "
+          f"{args.frames} MC frames/point (P={args.parallelism})")
+    print(matrix.to_markdown())
+    if args.markdown_out is not None:
+        with open(args.markdown_out, "w") as handle:
+            handle.write(matrix.to_markdown() + "\n")
+        print(f"markdown: {args.markdown_out}")
+    if args.json_out is not None:
+        with open(args.json_out, "w") as handle:
+            json.dump(matrix.to_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"json    : {args.json_out}")
     return 0
 
 
@@ -793,6 +1012,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_channel_flags(p: argparse.ArgumentParser) -> None:
+        """Receiver-scenario flags shared by ber / serve / loadgen."""
+        p.add_argument("--modulation",
+                       choices=("bpsk", "qpsk", "8psk", "16apsk",
+                                "32apsk"),
+                       default="bpsk",
+                       help="constellation (default keeps the legacy "
+                            "bit-identical BPSK stream)")
+        p.add_argument("--channel",
+                       choices=("awgn", "rician", "rayleigh"),
+                       default="awgn",
+                       help="channel model (fading is block-coherent "
+                            "with perfect CSI)")
+        p.add_argument("--frame", choices=("normal", "short"),
+                       default="normal",
+                       help="FECFRAME length: normal 64800 or short "
+                            "16200 (short requires --parallelism 360)")
+        p.add_argument("--k-factor-db", type=float, default=10.0,
+                       help="Rician K factor (ignored for awgn; "
+                            "rayleigh is the no-LOS limit)")
+        p.add_argument("--block-length", type=int, default=0,
+                       help="fading coherence block in symbols "
+                            "(0 = one gain per frame)")
+
     p = sub.add_parser("datasheet", help="print the full datasheet")
     p.add_argument("--iterations", type=int, default=30)
     p.set_defaults(func=_cmd_datasheet)
@@ -863,6 +1106,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "convergence records ('-' for stdout)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the run's metrics snapshot as JSON")
+    add_channel_flags(p)
     p.set_defaults(func=_cmd_ber)
 
     p = sub.add_parser("anneal", help="optimize the RAM addressing")
@@ -954,6 +1198,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="-",
                    help="recovered byte stream ('-' for stdout)")
     add_serve_flags(p)
+    add_channel_flags(p)
+    p.add_argument("--bch-t", type=int, default=None,
+                   help="concatenate an outer BCH code correcting this "
+                        "many bit errors per frame (DVB-S2's outer "
+                        "code; payload shrinks by the parity bits)")
     p.set_defaults(func=_cmd_serve)
 
     def add_dispatch_flags(
@@ -1046,7 +1295,91 @@ def build_parser() -> argparse.ArgumentParser:
                         "printed)")
     add_dispatch_flags(p, default_workers=None)
     add_serve_flags(p)
+    add_channel_flags(p)
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "acm",
+        help="ACM threshold table + closed-loop ramp trace",
+        description=(
+            "Print the MODCOD threshold table (committed constants or "
+            "freshly derived from the Monte-Carlo engines) and run the "
+            "estimator-vs-oracle ramp trace through the multi-MODCOD "
+            "serve plane."
+        ),
+    )
+    p.add_argument("--frames", type=int, default=120,
+                   help="ramp length in frames")
+    p.add_argument("--esn0-start", type=float, default=None,
+                   help="ramp start (default: below the table floor)")
+    p.add_argument("--esn0-stop", type=float, default=None,
+                   help="ramp end (default: above the top threshold)")
+    p.add_argument("--parallelism", type=int, default=36)
+    p.add_argument("--channel",
+                   choices=("awgn", "rician", "rayleigh"),
+                   default="awgn")
+    p.add_argument("--hysteresis-db", type=float, default=0.3,
+                   help="extra dB required to switch up")
+    p.add_argument("--dwell-frames", type=int, default=4,
+                   help="frames between consecutive up-switches")
+    p.add_argument("--alpha", type=float, default=0.25,
+                   help="EWMA weight of the newest SNR sample")
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--derive", action="store_true",
+                   help="re-derive the threshold table instead of "
+                        "using the committed constants")
+    p.add_argument("--rates", nargs="+",
+                   default=["1/4", "1/2", "3/4"],
+                   help="rates for --derive")
+    p.add_argument("--target-fer", type=float, default=0.5,
+                   help="FER crossing located by --derive")
+    p.add_argument("--margin-db", type=float, default=0.5,
+                   help="link margin added by --derive")
+    p.add_argument("--table-only", action="store_true",
+                   help="print the table and skip the ramp trace")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the trace summary + table as JSON")
+    p.set_defaults(func=_cmd_acm)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="scenario matrix: waterfall + serve leg per cell",
+        description=(
+            "Run MODCOD x channel cells through the Monte-Carlo "
+            "engines (waterfall row) and the live serve/loadgen path "
+            "(capacity row).  Cells are rate[:modulation[:frame"
+            "[:channel]]], e.g. 1/2:8psk:normal:rayleigh."
+        ),
+    )
+    p.add_argument("--cells", nargs="+",
+                   default=["1/2", "3/4",
+                            "1/2:bpsk:normal:rayleigh"],
+                   help="matrix cells")
+    p.add_argument("--ebn0", type=float, nargs="+",
+                   default=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+                   help="Eb/N0 grid shared by cells without --grid")
+    p.add_argument("--grid", action="append", metavar="CELL=DB,DB,...",
+                   help="per-cell Eb/N0 grid override (label is the "
+                        "full cell spec incl. channel); repeatable")
+    p.add_argument("--parallelism", type=int, default=36)
+    p.add_argument("--frames", type=int, default=64,
+                   help="Monte-Carlo frames per grid point")
+    p.add_argument("--iterations", type=int, default=30)
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for the waterfall leg")
+    p.add_argument("--no-serve", action="store_true",
+                   help="skip the serve/loadgen leg")
+    p.add_argument("--serve-margin-db", type=float, default=1.0,
+                   help="serve operating point above the waterfall")
+    p.add_argument("--offered-fps", type=float, default=200.0)
+    p.add_argument("--duration", type=float, default=0.25,
+                   help="loadgen seconds per cell")
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--markdown-out", default=None, metavar="PATH",
+                   help="write the matrix as a markdown table")
+    p.add_argument("--json-out", default=None, metavar="PATH",
+                   help="write the matrix as JSON")
+    p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser(
         "obs", help="inspect JSONL traces written by --trace"

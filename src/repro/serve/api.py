@@ -144,6 +144,10 @@ class DecodeRequest:
     #: fabric's consistent-hash policy pins a client's frames to one
     #: worker); ``None`` means no affinity.
     client: Optional[str] = None
+    #: MODCOD label of the frame (e.g. ``"1/2:bpsk:normal"``) for
+    #: per-MODCOD accounting on the ACM path; a single-config service
+    #: serves one code, so ``None`` means "the service's only config".
+    modcod: Optional[str] = None
 
     def expired(self, now: float) -> bool:
         """True once the deadline (if any) has passed."""
@@ -174,6 +178,8 @@ class DecodeResult:
     latency_s: float = float("nan")
     #: Time spent queued before the batch formed (seconds).
     queued_s: float = float("nan")
+    #: MODCOD label echoed from the request (``None`` off the ACM path).
+    modcod: Optional[str] = None
 
     @property
     def ok(self) -> bool:

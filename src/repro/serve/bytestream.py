@@ -2,17 +2,21 @@
 
 ``repro serve`` speaks bytes at both ends.  On the way in, the gateway
 slices the input stream into BBFRAMEs (:mod:`repro.stream.bbframe`),
-encodes each payload with the systematic IRA encoder, and passes the
-codewords through a seeded AWGN channel — producing exactly the
+optionally BCH-encodes each payload (the DVB-S2 concatenated FEC:
+BBFRAME → BCH → LDPC), encodes with the systematic IRA encoder, and
+passes the codewords through a seeded channel — producing exactly the
 ``(n,)`` channel-LLR vectors the decode service consumes.  On the way
 out, it takes the service's :class:`~repro.serve.api.DecodeResult`\\ s,
-re-parses the decoded payloads with :meth:`BbFramer.try_deframe`
-(corruption is *data* on the serve path, never an exception), and
-reassembles the surviving data fields into the output byte stream.
+BCH-decodes when the outer code is on (correcting up to ``t`` residual
+bit errors the LDPC decoder left behind), re-parses the decoded
+payloads with :meth:`BbFramer.try_deframe` (corruption is *data* on the
+serve path, never an exception), and reassembles the surviving data
+fields into the output byte stream.
 
 Each direction returns per-frame records alongside the payload so the
 CLI can report what happened to every frame — decoded/expired/rejected,
-CRC intact or not — instead of silently dropping bytes.
+BCH corrections spent, CRC intact or not — instead of silently
+dropping bytes.
 """
 
 from __future__ import annotations
@@ -40,22 +44,43 @@ class FrameOutcome:
     data_bits: int  #: Data-field bits contributed to the output.
     iterations: int
     converged: bool
+    #: Bit errors the outer BCH decoder corrected (0 without BCH).
+    bch_corrected: int = 0
+    #: BCH decode succeeded (always True without BCH; False means more
+    #: than ``t`` residual errors — the payload went through uncorrected).
+    bch_ok: bool = True
 
 
 class ByteStreamGateway:
-    """Bytes → BBFRAME → encode → AWGN on submit; the reverse on poll.
+    """Bytes → BBFRAME → [BCH] → encode → channel on submit; reverse on
+    poll.
 
     Parameters
     ----------
     code:
-        The LDPC code; BBFRAMEs are sized to its ``k`` info bits
-        (``K_ldpc`` payloads — no outer BCH in this reproduction).
+        The LDPC code; BBFRAMEs are sized to its ``k`` info bits, or to
+        the BCH payload ``k_bch`` when the outer code is enabled.
     ebn0_db:
         AWGN operating point for the simulated channel.
     seed:
         Channel noise seed (``None`` draws OS entropy).
     matype:
         MATYPE header field stamped on every frame.
+    bch_t:
+        Outer-BCH error-correction capability; ``None`` (default)
+        disables the outer code (bare-LDPC payloads, the legacy
+        behaviour).  With BCH on, each BBFRAME payload is shortened to
+        ``code.k - n_parity`` bits and the concatenated BCH+LDPC chain
+        runs both ways.
+    bch_m:
+        Galois-field degree for the BCH code; ``None`` picks the
+        smallest ``m`` with ``2^m - 1 >= code.k`` (the DVB-S2 sizing
+        rule: the BCH codeword length matches ``K_ldpc``).
+    channel:
+        Prebuilt channel object (``llrs(bits)`` accepting a
+        ``(frames, n)`` batch, e.g. a :func:`repro.channel.build_channel`
+        cell) replacing the seeded AWGN default; ``ebn0_db`` and
+        ``seed`` are then ignored.
     """
 
     def __init__(
@@ -65,17 +90,42 @@ class ByteStreamGateway:
         ebn0_db: float = 2.0,
         seed: Optional[int] = 2005,
         matype: int = 0x7200,
+        bch_t: Optional[int] = None,
+        bch_m: Optional[int] = None,
+        channel=None,
     ) -> None:
         self.code = code
-        self.framer = BbFramer(code.k, matype=matype)
+        self.bch = None
+        payload_bits = code.k
+        if bch_t is not None:
+            from ..bch.code import BchCode
+
+            if bch_m is None:
+                bch_m = 1
+                while (1 << bch_m) - 1 < code.k:
+                    bch_m += 1
+            probe = BchCode(bch_m, bch_t)
+            if probe.n_parity >= code.k:
+                raise ValueError(
+                    f"BCH(m={bch_m}, t={bch_t}) parity "
+                    f"({probe.n_parity} bits) does not fit inside "
+                    f"k={code.k}"
+                )
+            self.bch = BchCode(bch_m, bch_t, k=code.k - probe.n_parity)
+            payload_bits = self.bch.k
+        self.framer = BbFramer(payload_bits, matype=matype)
         self.encoder = IraEncoder(code)
-        self.channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed)
+        if channel is None:
+            channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed)
+        self.channel = channel
 
     # ------------------------------------------------------------------
     def llr_frames(self, data: bytes) -> np.ndarray:
         """Turn a byte stream into ``(frames, n)`` channel LLRs."""
         payloads = self.framer.frame_stream(data)
         info = np.stack(payloads).astype(np.uint8)
+        if self.bch is not None:
+            info = np.stack([self.bch.encode(row) for row in info])
         codewords = self.encoder.encode_batch(info)
         return self.channel.llrs(codewords)
 
@@ -88,7 +138,11 @@ class ByteStreamGateway:
         Frames the service dropped contribute nothing; frames that
         decoded but fail the BBHEADER checks contribute their clamped
         data field (``try_deframe`` semantics) and are flagged
-        ``crc_ok=False`` with :data:`REASON_BAD_FRAME`.
+        ``crc_ok=False`` with :data:`REASON_BAD_FRAME`.  With the outer
+        BCH on, each decoded payload is BCH-decoded first: up to ``t``
+        residual LDPC bit errors are corrected (and counted), more than
+        ``t`` flows through uncorrected with ``bch_ok=False`` — the CRC
+        then renders the verdict, still as data.
         """
         parts: List[np.ndarray] = []
         outcomes: List[FrameOutcome] = []
@@ -107,6 +161,13 @@ class ByteStreamGateway:
                 )
                 continue
             payload = result.bits[: self.code.k]
+            bch_corrected = 0
+            bch_ok = True
+            if self.bch is not None:
+                decoded = self.bch.decode(payload)
+                bch_corrected = decoded.corrected
+                bch_ok = decoded.success
+                payload = self.bch.extract_message(decoded.bits)
             parsed = self.framer.try_deframe(payload)
             parts.append(parsed.data_bits)
             outcomes.append(
@@ -121,6 +182,8 @@ class ByteStreamGateway:
                     data_bits=int(parsed.data_bits.size),
                     iterations=result.iterations,
                     converged=result.converged,
+                    bch_corrected=bch_corrected,
+                    bch_ok=bch_ok,
                 )
             )
         bits = (

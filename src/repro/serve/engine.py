@@ -242,6 +242,7 @@ class DecodeService:
         *,
         deadline_s: Optional[float] = None,
         now: Optional[float] = None,
+        modcod: Optional[str] = None,
     ) -> int:
         """Admit one frame of channel LLRs; returns its request id.
 
@@ -251,12 +252,17 @@ class DecodeService:
         absolute service-clock deadline overriding the config default;
         ``now`` overrides the clock (loadgen backdates arrivals to the
         scheduled offered-rate instants, so queueing delay includes
-        time the pump spent decoding).
+        time the pump spent decoding).  ``modcod`` labels the frame for
+        per-MODCOD accounting (``serve.modcod.<label>.*`` counters) and
+        is echoed on the result; it does not change decoding — this
+        service still serves exactly one code/config.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         with self.registry.timer("serve.stage.enqueue"):
-            return self._submit(llrs, deadline_s=deadline_s, now=now)
+            return self._submit(
+                llrs, deadline_s=deadline_s, now=now, modcod=modcod
+            )
 
     def _submit(
         self,
@@ -264,6 +270,7 @@ class DecodeService:
         *,
         deadline_s: Optional[float],
         now: Optional[float],
+        modcod: Optional[str] = None,
     ) -> int:
         llrs = np.asarray(llrs, dtype=np.float64)
         if llrs.shape != (self.code.n,):
@@ -278,8 +285,13 @@ class DecodeService:
             llrs=llrs,
             arrival_s=now,
             deadline_s=deadline_s,
+            modcod=modcod,
         )
         self.registry.counter("serve.requests.submitted").inc()
+        if modcod is not None:
+            self.registry.counter(
+                f"serve.modcod.{modcod}.submitted"
+            ).inc()
         if not self.queue.offer(request):
             self.registry.counter("serve.requests.rejected").inc()
             self._drop(request, STATUS_REJECTED, REASON_QUEUE_FULL, now)
@@ -407,8 +419,13 @@ class DecodeService:
                 status=status,
                 reason=reason,
                 latency_s=now - request.arrival_s,
+                modcod=request.modcod,
             )
         )
+        if request.modcod is not None:
+            self.registry.counter(
+                f"serve.modcod.{request.modcod}.dropped"
+            ).inc()
         if self.trace is not None:
             self.trace.event(
                 "serve_drop",
@@ -612,6 +629,10 @@ class DecodeService:
             queued = meta["formed_s"] - request.arrival_s
             latency_h.observe(latency * 1e3)
             queue_h.observe(queued * 1e3)
+            if request.modcod is not None:
+                self.registry.counter(
+                    f"serve.modcod.{request.modcod}.completed"
+                ).inc()
             self._completed.append(
                 DecodeResult(
                     request_id=request.request_id,
@@ -624,6 +645,7 @@ class DecodeService:
                     batch_occupancy=occupancy,
                     latency_s=latency,
                     queued_s=queued,
+                    modcod=request.modcod,
                 )
             )
         if self.trace is not None:

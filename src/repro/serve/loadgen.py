@@ -58,18 +58,26 @@ def make_frame_pool(
     pool_size: int = 64,
     ebn0_db: float = 2.0,
     seed: int = 2005,
+    channel=None,
 ) -> FramePool:
     """Encode ``pool_size`` random codewords and pass them through AWGN.
 
     The generator cycles through the pool instead of synthesizing a
     fresh frame per arrival — frame generation must never become the
     bottleneck that caps the offered rate.
+
+    ``channel`` overrides the default seeded AWGN channel with any
+    prebuilt object whose ``llrs(bits)`` accepts a ``(frames, n)``
+    batch (a :func:`repro.channel.build_channel` cell); when given,
+    ``ebn0_db`` only labels the pool and the channel's own stream is
+    consumed.
     """
     rng = np.random.default_rng(seed)
     encoder = IraEncoder(code)
     info = rng.integers(0, 2, size=(pool_size, code.k), dtype=np.int8)
     codewords = encoder.encode_batch(info)
-    channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed + 1)
+    if channel is None:
+        channel = AwgnChannel(ebn0_db, code.k / code.n, seed=seed + 1)
     llrs = channel.llrs(codewords)
     return FramePool(llrs=llrs, codewords=codewords, ebn0_db=ebn0_db)
 
@@ -245,6 +253,7 @@ def sweep_offered_rates(
     duration_s: float,
     ebn0_db: float = 2.0,
     seed: int = 2005,
+    channel=None,
     trace: Optional[TraceRecorder] = None,
     publisher: Optional[SnapshotPublisher] = None,
     progress: Optional[Callable[[LoadgenResult], None]] = None,
@@ -255,9 +264,12 @@ def sweep_offered_rates(
 
     This is the latency-vs-offered-load experiment: sweep rates from
     well below to beyond saturation and watch p99 latency, shed
-    iterations, and rejects take over in that order.
+    iterations, and rejects take over in that order.  ``channel``
+    overrides the pool's AWGN channel (see :func:`make_frame_pool`).
     """
-    frame_pool = make_frame_pool(code, ebn0_db=ebn0_db, seed=seed)
+    frame_pool = make_frame_pool(
+        code, ebn0_db=ebn0_db, seed=seed, channel=channel
+    )
     results = []
     for rate in rates_fps:
         result = run_loadgen(

@@ -117,6 +117,11 @@ class ServiceReport:
     #: fill (milliseconds) — the model-side floor under the measured
     #: latency percentiles at depth > 1.
     model_pipeline_fill_ms: float = float("nan")
+    #: Per-MODCOD request accounting on the ACM path: ``{label:
+    #: {"submitted": n, "completed": n, "dropped": n}}`` from the
+    #: ``serve.modcod.<label>.*`` counters (labels must not contain
+    #: ``.``).  ``None`` when no MODCOD-labeled traffic was served.
+    modcods: Optional[dict] = None
 
     @classmethod
     def from_snapshot(
@@ -177,6 +182,14 @@ class ServiceReport:
             .get("serve.pipeline.depth", {})
             .get("value", 1)
         )
+        modcods: dict = {}
+        prefix = "serve.modcod."
+        for name, value in counters.items():
+            if not name.startswith(prefix):
+                continue
+            label, _, field = name[len(prefix):].rpartition(".")
+            if label and field:
+                modcods.setdefault(label, {})[field] = int(value)
         info_bps = frames_per_s * code.k
         return cls(
             rate=code.profile.name,
@@ -214,6 +227,7 @@ class ServiceReport:
             model_pipeline_fill_ms=pipeline_model.fill_latency_s(
                 model_iters
             ) * 1e3,
+            modcods=modcods or None,
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +286,15 @@ class ServiceReport:
                 f"  hw bottleneck {self.model_pipeline_frames_per_s:.1f}"
                 f" frames/s  fill={self.model_pipeline_fill_ms:.3f}ms"
             )
+        if self.modcods:
+            for label in sorted(self.modcods):
+                row = self.modcods[label]
+                lines.append(
+                    f"  modcod     {label}:"
+                    f"  submitted={row.get('submitted', 0)}"
+                    f"  completed={row.get('completed', 0)}"
+                    f"  dropped={row.get('dropped', 0)}"
+                )
         if self.stages:
             in_pump = [
                 (name, row) for name, row in self.stages.items()

@@ -33,6 +33,7 @@ def fast_ber(
     channel_scale: float = 1.0,
     backend=None,
     iteration_trace: Optional[IterationTraceRecorder] = None,
+    channel=None,
 ) -> BerResult:
     """All-zero-codeword BER measurement with batched decoding.
 
@@ -50,6 +51,11 @@ def fast_ber(
     per-iteration convergence records are emitted with globally numbered
     frames (the recorder's ``frame_offset`` is advanced per batch);
     tracing does not change decoder outputs.
+    ``channel`` overrides the default seeded AWGN channel with any
+    object exposing ``llrs_all_zero(n, size=...)`` (e.g. a
+    :func:`repro.channel.build_channel` fading or higher-order-
+    modulation cell); when given, ``ebn0_db`` only labels the result
+    and ``seed`` is ignored — the channel carries its own stream.
     """
     if frames < 1:
         raise ValueError("need at least one frame")
@@ -61,9 +67,10 @@ def fast_ber(
         channel_scale=channel_scale,
         backend=backend,
     )
-    channel = AwgnChannel(
-        ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed
-    )
+    if channel is None:
+        channel = AwgnChannel(
+            ebn0_db=ebn0_db, rate=float(code.profile.rate), seed=seed
+        )
     k, n = code.k, code.n
     bit_errors = frame_errors = 0
     total_iterations = converged_frames = 0

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..channel.awgn import AwgnChannel
+from ..channel.factory import build_channel
 from ..codes.construction import LdpcCode
 from ..decode.batch import make_batch_decoder
 from ..obs.iteration import IterationTraceRecorder
@@ -211,11 +212,22 @@ def _decode_shard(
         else None
     )
     with wall:
-        channel = AwgnChannel(
-            ebn0_db=run_params["ebn0_db"],
-            rate=float(code.profile.rate),
-            seed=seed_seq,
-        )
+        spec = run_params.get("channel")
+        if spec is None:
+            # Legacy path stays the literal AwgnChannel construction so
+            # every committed seeded result is reproduced bit for bit.
+            channel = AwgnChannel(
+                ebn0_db=run_params["ebn0_db"],
+                rate=float(code.profile.rate),
+                seed=seed_seq,
+            )
+        else:
+            channel = build_channel(
+                ebn0_db=run_params["ebn0_db"],
+                rate=float(code.profile.rate),
+                seed=seed_seq,
+                **spec,
+            )
         llrs = channel.llrs_all_zero(code.n, size=n_frames)
         result = decoder.decode_batch(
             llrs,
@@ -312,6 +324,7 @@ def parallel_ber(
     channel_scale: float = 1.0,
     backend=None,
     seed=0,
+    channel: Optional[dict] = None,
     registry: Optional[MetricsRegistry] = None,
     trace: Optional[TraceRecorder] = None,
     pool: Optional[PersistentPool] = None,
@@ -346,6 +359,15 @@ def parallel_ber(
     seed:
         Base seed; shard ``i`` uses child ``i`` of
         ``np.random.SeedSequence(seed)`` regardless of worker count.
+    channel:
+        Optional channel spec dict — keyword arguments for
+        :func:`repro.channel.build_channel` minus ``ebn0_db`` /
+        ``rate`` / ``seed`` (e.g. ``{"modulation": "8psk",
+        "channel": "rayleigh"}``).  Each shard builds its channel from
+        the spec with its own seed sequence, so the spec is what makes
+        fading / higher-order cells picklable across worker processes.
+        ``None`` keeps the literal legacy AWGN construction (existing
+        seeded results stay bit-identical).
     registry:
         Metrics registry the merged run metrics are folded into; defaults
         to the process-wide registry.  The run itself always meters into
@@ -384,10 +406,18 @@ def parallel_ber(
         "ebn0_db": float(ebn0_db),
         "max_iterations": int(max_iterations),
         "trace_iterations": trace is not None,
+        "channel": dict(channel) if channel is not None else None,
     }
     # Validate the schedule/segments/format combination up front,
     # in-process.
     _build_decoder(code, decoder_params)
+    if channel is not None:
+        # Same for the channel spec: fail fast on bad axes here rather
+        # than inside a worker process.
+        build_channel(
+            ebn0_db=float(ebn0_db), rate=float(code.profile.rate),
+            seed=0, **channel,
+        )
     sizes = _shard_sizes(max_frames, shard_frames)
     children = ensure_seed_sequence(seed).spawn(len(sizes))
 

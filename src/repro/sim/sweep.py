@@ -62,6 +62,7 @@ def parallel_snr_sweep(
     normalization: float = 0.75,
     fmt=None,
     channel_scale: float = 1.0,
+    channel: Optional[dict] = None,
     registry=None,
     trace=None,
 ) -> List[SweepPoint]:
@@ -76,7 +77,10 @@ def parallel_snr_sweep(
     :func:`~repro.sim.parallel.parallel_ber`).  ``registry`` and
     ``trace`` are forwarded to every point's engine run (one shared
     recorder: each point contributes its frames' iteration records and a
-    ``ber_result`` event).
+    ``ber_result`` event).  ``channel`` is a
+    :func:`repro.channel.build_channel` spec dict forwarded to every
+    point, which is how fading / higher-order scenario cells sweep
+    (``None`` keeps the exact legacy AWGN stream).
     """
     from .parallel import DEFAULT_SHARD_FRAMES, parallel_ber
 
@@ -97,6 +101,7 @@ def parallel_snr_sweep(
             normalization=normalization,
             fmt=fmt,
             channel_scale=channel_scale,
+            channel=channel,
             seed=np.random.SeedSequence(entropy=(seed, index)),
             registry=registry,
             trace=trace,

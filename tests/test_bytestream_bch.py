@@ -1,0 +1,130 @@
+"""Tests for the concatenated BCH+LDPC path through ByteStreamGateway.
+
+Satellite of the ACM PR: DVB-S2's outer BCH code rides the byte
+gateway — residual LDPC bit errors up to ``t`` are corrected on the
+way out, anything worse flows through as data for the CRC to judge.
+Error injection is synthetic (flipped bits in otherwise-perfect
+decode results) so every case is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ByteStreamGateway, DecodeService, ServeConfig
+from repro.serve.api import STATUS_OK, DecodeResult
+
+
+def _perfect_results(gateway, data: bytes):
+    """DecodeResults whose bits are the exact transmitted codewords."""
+    payloads = gateway.framer.frame_stream(data)
+    info = np.stack(payloads).astype(np.uint8)
+    if gateway.bch is not None:
+        info = np.stack([gateway.bch.encode(row) for row in info])
+    codewords = gateway.encoder.encode_batch(info)
+    return [
+        DecodeResult(
+            request_id=i,
+            status=STATUS_OK,
+            bits=row.copy(),
+            converged=True,
+            iterations=5,
+        )
+        for i, row in enumerate(codewords)
+    ]
+
+
+def test_bch_sizing_follows_dvbs2_rule(code_half_tiny):
+    """The BCH codeword is sized to K_ldpc: parity fits inside k and
+    the BBFRAME payload shrinks by exactly n_parity."""
+    gateway = ByteStreamGateway(code_half_tiny, bch_t=2)
+    assert gateway.bch is not None
+    assert gateway.bch.k + gateway.bch.n_parity == code_half_tiny.k
+    bare = ByteStreamGateway(code_half_tiny)
+    assert (
+        bare.framer.payload_bits
+        == gateway.framer.payload_bits + gateway.bch.n_parity
+    )
+
+
+def test_bch_parity_must_fit(code_half_tiny):
+    with pytest.raises(ValueError):
+        # t=120 over GF(2^11) needs 1155 parity bits > k=1080.
+        ByteStreamGateway(code_half_tiny, bch_t=120, bch_m=11)
+
+
+def test_clean_roundtrip_with_bch(code_half_tiny):
+    gateway = ByteStreamGateway(code_half_tiny, bch_t=2)
+    data = bytes(range(256)) * 2
+    decoded, outcomes = gateway.reassemble(
+        _perfect_results(gateway, data)
+    )
+    assert decoded[: len(data)] == data
+    assert all(o.crc_ok and o.bch_ok for o in outcomes)
+    assert all(o.bch_corrected == 0 for o in outcomes)
+
+
+def test_bch_corrects_residual_bit_errors(code_half_tiny):
+    """Up to t flipped payload bits per frame come back corrected."""
+    gateway = ByteStreamGateway(code_half_tiny, bch_t=3)
+    data = b"the outer code earns its keep on residual errors" * 4
+    results = _perfect_results(gateway, data)
+    rng = np.random.default_rng(8)
+    flips = rng.choice(code_half_tiny.k, size=3, replace=False)
+    results[0].bits[flips] ^= 1
+    decoded, outcomes = gateway.reassemble(results)
+    assert decoded[: len(data)] == data  # bytes fully recovered
+    assert outcomes[0].bch_corrected == 3
+    assert outcomes[0].bch_ok and outcomes[0].crc_ok
+    assert outcomes[1].bch_corrected == 0
+
+
+def test_beyond_t_errors_become_crc_verdict_not_exception(
+    code_half_tiny,
+):
+    """More than t errors: the payload flows through as data and the
+    frame gets flagged — by the BCH failure bit, or (when the decoder
+    miscorrects onto a nearby codeword, a real beyond-t failure mode)
+    by the BBHEADER CRC.  Never an exception."""
+    gateway = ByteStreamGateway(code_half_tiny, bch_t=2)
+    data = b"too many errors for the outer code to fix" * 8
+    results = _perfect_results(gateway, data)
+    rng = np.random.default_rng(9)
+    flips = rng.choice(gateway.bch.k, size=25, replace=False)
+    results[0].bits[flips] ^= 1
+    decoded, outcomes = gateway.reassemble(results)  # must not raise
+    assert not (outcomes[0].bch_ok and outcomes[0].crc_ok)
+    assert outcomes[0].reason is not None
+    # The undamaged frames still contribute their bytes.
+    assert all(o.crc_ok for o in outcomes[1:])
+
+
+def test_no_bch_keeps_legacy_fields(code_half_tiny):
+    gateway = ByteStreamGateway(code_half_tiny)
+    data = b"bare LDPC payloads stay the legacy path" * 4
+    decoded, outcomes = gateway.reassemble(
+        _perfect_results(gateway, data)
+    )
+    assert decoded[: len(data)] == data
+    assert all(o.bch_corrected == 0 and o.bch_ok for o in outcomes)
+
+
+@pytest.mark.slow
+def test_bch_ldpc_end_to_end_through_service(code_half_tiny):
+    """Full chain with real noise: bytes → BCH → LDPC → AWGN → decode
+    service → BCH → bytes."""
+    gateway = ByteStreamGateway(
+        code_half_tiny, ebn0_db=3.0, seed=2005, bch_t=2
+    )
+    data = b"concatenated fec end to end over a real channel" * 6
+    llrs = gateway.llr_frames(data)
+    config = ServeConfig(max_batch=8, max_linger_ms=0.0)
+    with DecodeService(code_half_tiny, config) as service:
+        for frame in llrs:
+            service.submit(frame)
+        service.flush()
+        results = sorted(service.poll(), key=lambda r: r.request_id)
+    decoded, outcomes = gateway.reassemble(results)
+    assert decoded[: len(data)] == data
+    assert all(o.crc_ok for o in outcomes)

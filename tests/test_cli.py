@@ -173,3 +173,55 @@ def test_vectors_generate_and_replay(capsys, tmp_path):
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_ber_scenario_flags(capsys):
+    code, out = run(
+        capsys, "ber", "--parallelism", "12", "--frames", "6",
+        "--ebn0", "6.0", "--modulation", "qpsk",
+        "--channel", "rician",
+    )
+    assert code == 0
+    assert "qpsk/rician" in out
+    assert "BER" in out
+
+
+def test_ber_short_frame_requires_p360(capsys):
+    with pytest.raises(SystemExit):
+        main(["ber", "--frame", "short", "--parallelism", "36"])
+
+
+def test_acm_table_only(capsys):
+    code, out = run(capsys, "acm", "--table-only")
+    assert code == 0
+    assert "1/2:bpsk:normal" in out
+    assert "Es/N0" in out
+
+
+def test_acm_ramp_trace(capsys):
+    code, out = run(
+        capsys, "acm", "--frames", "16", "--parallelism", "12",
+        "--seed", "3",
+    )
+    assert code == 0
+    assert "within one step" in out
+    assert "estimator" in out
+
+
+def test_scenarios_cli(capsys, tmp_path):
+    md = tmp_path / "matrix.md"
+    code, out = run(
+        capsys, "scenarios", "--cells", "1/2",
+        "--ebn0", "0", "2", "4", "--parallelism", "12",
+        "--frames", "8", "--workers", "1",
+        "--duration", "0.1", "--offered-fps", "80",
+        "--markdown-out", str(md),
+    )
+    assert code == 0
+    assert "waterfall" in out
+    assert md.read_text().startswith("| MODCOD")
+
+
+def test_scenarios_rejects_bad_cell(capsys):
+    code = main(["scenarios", "--cells", "1/2:bpsk:normal:awgn:extra"])
+    assert code == 2

@@ -118,3 +118,50 @@ def test_rayleigh_needs_more_snr_than_awgn(code_half, encoder_half):
         fading_errors += r_f.bits.any()
         awgn_errors += r_a.bits.any()
     assert fading_errors >= awgn_errors
+
+
+def test_all_zero_shortcut_matches_explicit_zeros():
+    """llrs_all_zero must draw the identical stream as llrs(zeros) —
+    it is a shortcut, not a different channel."""
+    kwargs = dict(ebn0_db=4.0, rate=0.5, k_factor_db=6.0,
+                  block_length=50, seed=9)
+    shortcut = BlockFadingChannel(**kwargs).llrs_all_zero(600)
+    explicit = BlockFadingChannel(**kwargs).llrs(
+        np.zeros(600, dtype=np.uint8)
+    )
+    np.testing.assert_allclose(shortcut, explicit)
+
+
+def test_batched_llrs_match_sequential():
+    """A (frames, n) batch consumes the RNG exactly like frame-by-frame
+    calls on the same channel instance."""
+    bits = np.random.default_rng(5).integers(
+        0, 2, size=(4, 300), dtype=np.uint8
+    )
+    kwargs = dict(ebn0_db=3.0, rate=0.5, k_factor_db=None,
+                  block_length=30, seed=11)
+    batched = BlockFadingChannel(**kwargs).llrs(bits)
+    assert batched.shape == (4, 300)
+    seq_channel = BlockFadingChannel(**kwargs)
+    sequential = np.stack([seq_channel.llrs(row) for row in bits])
+    np.testing.assert_allclose(batched, sequential)
+
+
+def test_batched_all_zero_matches_sequential():
+    kwargs = dict(ebn0_db=3.0, rate=0.5, k_factor_db=8.0,
+                  block_length=25, seed=13)
+    batched = BlockFadingChannel(**kwargs).llrs_all_zero(200, size=3)
+    assert batched.shape == (3, 200)
+    seq_channel = BlockFadingChannel(**kwargs)
+    sequential = np.stack(
+        [seq_channel.llrs_all_zero(200) for _ in range(3)]
+    )
+    np.testing.assert_allclose(batched, sequential)
+
+
+def test_esn0_and_reseed():
+    ch = BlockFadingChannel(ebn0_db=2.0, rate=0.5, seed=17)
+    assert ch.esn0_db == pytest.approx(2.0 + 10 * np.log10(0.5))
+    first = ch.llrs_all_zero(100)
+    ch.reseed(17)
+    np.testing.assert_allclose(ch.llrs_all_zero(100), first)
